@@ -1,0 +1,53 @@
+// Ablation — the Sec. III-C area/parallelism trade-off.
+//
+// Sweeps the area-efficient fold factor on FCN_Deconv2 (and a GAN layer for
+// contrast) and reports sub-crossbar count, cycles, latency, energy, and
+// area. The paper's chosen point (128 sub-arrays, 2 cycles) should sit on
+// the knee: half the sub-crossbars of fold 1 for only 2x the cycle count.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/designs.h"
+#include "red/core/red_design.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Ablation: area-efficient fold factor (Sec. III-C, Eq. 2)",
+                      "stride 8 / kernel 16x16 -> 128 sub-arrays in 2 cycles");
+
+  for (const auto& spec : {workloads::fcn_deconv2(), workloads::gan_deconv1()}) {
+    bench::print_section(spec.name);
+    TextTable t({"fold", "sub-crossbars", "decoder rows", "cycles", "latency (us)",
+                 "energy (uJ)", "area (mm^2)", "speedup vs ZP"});
+    arch::DesignConfig zp_cfg;
+    const double zp_lat =
+        core::make_design(core::DesignKind::kZeroPadding, zp_cfg)->cost(spec).total_latency()
+            .value();
+    for (int fold : {1, 2, 4, 8}) {
+      arch::DesignConfig cfg;
+      cfg.red_fold = fold;
+      const core::RedDesign red(cfg);
+      const auto a = red.activity(spec);
+      const auto r = red.cost(spec);
+      t.add_row({std::to_string(fold), std::to_string(a.sc_units), std::to_string(a.dec_rows),
+                 std::to_string(a.cycles), format_double(r.total_latency().value() / 1e3, 2),
+                 format_double(r.total_energy().value() / 1e6, 3),
+                 format_double(r.total_area().value() / 1e6, 4),
+                 format_speedup(zp_lat / r.total_latency().value())});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("auto-fold selection vs sub-crossbar budget (FCN_Deconv2)");
+  for (int budget : {512, 256, 128, 64, 32}) {
+    arch::DesignConfig cfg;
+    cfg.red_max_subcrossbars = budget;
+    const core::RedDesign red(cfg);
+    std::cout << "budget " << budget << " sub-arrays -> fold "
+              << red.fold_for(workloads::fcn_deconv2()) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation — device non-idealities (beyond the paper, which assumes ideal
+// cells): output error of the RED data flow vs programming noise, stuck-at
+// fault rate, and ADC resolution.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/rng.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/generator.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Ablation: device variation / faults / ADC resolution",
+                      "extension — the paper assumes ideal devices");
+
+  const nn::DeconvLayerSpec spec{"noise_probe", 6, 6, 16, 8, 4, 4, 2, 1, 0};
+  Rng rng(2024);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -30, 30);
+  const auto golden = nn::deconv_reference(spec, input, kernel);
+
+  bench::print_section("programming noise (level sigma), RED, normalized RMSE over 5 seeds");
+  {
+    TextTable t({"sigma", "NRMSE", "perturbed cells"});
+    for (double sigma : {0.0, 0.1, 0.2, 0.4, 0.8, 1.6}) {
+      double err = 0;
+      std::int64_t perturbed = 0;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        arch::DesignConfig cfg;
+        cfg.quant.variation.level_sigma = sigma;
+        cfg.quant.variation.seed = seed;
+        const auto red = core::make_design(core::DesignKind::kRed, cfg);
+        err += normalized_rmse(golden, red->run(spec, input, kernel)) / 5.0;
+        (void)perturbed;
+      }
+      t.add_row({format_double(sigma, 2), format_percent(err, 2), sigma == 0.0 ? "0" : "-"});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("stuck-at fault rate, RED vs zero-padding (same devices)");
+  {
+    TextTable t({"fault rate", "RED NRMSE", "ZP NRMSE"});
+    for (double rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
+      double err_red = 0, err_zp = 0;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        arch::DesignConfig cfg;
+        cfg.quant.variation.stuck_at_rate = rate;
+        cfg.quant.variation.seed = seed;
+        err_red += normalized_rmse(golden,
+                                   core::make_design(core::DesignKind::kRed, cfg)
+                                       ->run(spec, input, kernel)) /
+                   5.0;
+        err_zp += normalized_rmse(golden,
+                                  core::make_design(core::DesignKind::kZeroPadding, cfg)
+                                      ->run(spec, input, kernel)) /
+                  5.0;
+      }
+      t.add_row({format_percent(rate, 1), format_percent(err_red, 2),
+                 format_percent(err_zp, 2)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("clipped ADC resolution (bit-accurate path), RED");
+  {
+    TextTable t({"ADC bits", "NRMSE", "exact?"});
+    for (int bits : {4, 5, 6, 7, 8, 9, 10}) {
+      arch::DesignConfig cfg;
+      cfg.bit_accurate = true;
+      cfg.quant.adc = {xbar::AdcMode::kClipped, bits};
+      const auto red = core::make_design(core::DesignKind::kRed, cfg);
+      const auto out = red->run(spec, input, kernel);
+      const double err = normalized_rmse(golden, out);
+      t.add_row({std::to_string(bits), format_percent(err, 3), err == 0.0 ? "yes" : "no"});
+    }
+    std::cout << t.to_ascii();
+  }
+  return 0;
+}

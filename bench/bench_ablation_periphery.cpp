@@ -1,0 +1,110 @@
+// Ablation — periphery sensitivity: column-mux ratio and technology node.
+//
+// The mux ratio trades read-circuit area against serialized conversion
+// latency; the node sweep shows the ratios (RED's speedup/saving) are stable
+// across technology scaling, as expected for a normalized comparison.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/designs.h"
+#include "red/report/evaluation.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Ablation: mux ratio and technology node",
+                      "design-space sensitivity of the Fig. 7/8/9 ratios");
+
+  bench::print_section("mux ratio sweep (GAN_Deconv3)");
+  {
+    TextTable t({"mux", "RED speedup", "RED energy saving", "RED area overhead",
+                 "RED latency (us)"});
+    for (int mux : {2, 4, 8, 16, 32}) {
+      arch::DesignConfig cfg;
+      cfg.mux_ratio = mux;
+      const auto c = report::compare_layer(workloads::gan_deconv3(), cfg);
+      t.add_row({std::to_string(mux), format_speedup(c.red_speedup_vs_zp()),
+                 format_percent(c.red_energy_saving_vs_zp(), 1),
+                 format_percent(c.red_area_overhead_vs_zp(), 1),
+                 format_double(c.red.total_latency().value() / 1e3, 3)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("technology node sweep (GAN_Deconv1)");
+  {
+    TextTable t({"node", "RED speedup", "RED energy saving", "RED area (mm^2)",
+                 "ZP area (mm^2)"});
+    for (const auto& node :
+         {tech::TechNode::node65(), tech::TechNode::node45(), tech::TechNode::node32()}) {
+      arch::DesignConfig cfg;
+      cfg.node = node;
+      const auto c = report::compare_layer(workloads::gan_deconv1(), cfg);
+      t.add_row({node.name, format_speedup(c.red_speedup_vs_zp()),
+                 format_percent(c.red_energy_saving_vs_zp(), 1),
+                 format_double(c.red.total_area().value() / 1e6, 3),
+                 format_double(c.zero_padding.total_area().value() / 1e6, 3)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("activation precision sweep (GAN_Deconv3)");
+  {
+    TextTable t({"abits", "RED speedup", "RED energy saving"});
+    for (int abits : {4, 6, 8, 12}) {
+      arch::DesignConfig cfg;
+      cfg.quant.abits = abits;
+      const auto c = report::compare_layer(workloads::gan_deconv3(), cfg);
+      t.add_row({std::to_string(abits), format_speedup(c.red_speedup_vs_zp()),
+                 format_percent(c.red_energy_saving_vs_zp(), 1)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("input DAC resolution sweep (GAN_Deconv3, post-ReLU data)");
+  {
+    TextTable t({"dac bits", "pulses/MVM", "RED latency (us)", "RED energy (uJ)"});
+    for (int dac : {1, 2, 4, 8}) {
+      arch::DesignConfig cfg;
+      cfg.quant.dac_bits = dac;
+      const auto cost = core::make_design(core::DesignKind::kRed, cfg)
+                            ->cost(workloads::gan_deconv3());
+      t.add_row({std::to_string(dac), std::to_string(cfg.quant.pulses()),
+                 format_double(cost.total_latency().value() / 1e3, 3),
+                 format_double(cost.total_energy().value() / 1e6, 4)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("activation sparsity sweep (GAN_Deconv1)");
+  {
+    TextTable t({"sparsity", "ZP energy (uJ)", "RED energy (uJ)", "RED saving"});
+    for (double s : {0.0, 0.25, 0.5, 0.75}) {
+      arch::DesignConfig cfg;
+      cfg.activation_sparsity = s;
+      const auto c = report::compare_layer(workloads::gan_deconv1(), cfg);
+      t.add_row({format_percent(s, 0),
+                 format_double(c.zero_padding.total_energy().value() / 1e6, 4),
+                 format_double(c.red.total_energy().value() / 1e6, 4),
+                 format_percent(c.red_energy_saving_vs_zp(), 1)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("intra-layer pipelining (Eq. 3 bound vs 2-stage overlap)");
+  {
+    TextTable t({"Layer", "RED Eq.3 (us)", "RED pipelined (us)", "speedup vs ZP pipelined"});
+    for (const auto& spec : workloads::table1_benchmarks()) {
+      arch::DesignConfig cfg;
+      const auto zp = core::make_design(core::DesignKind::kZeroPadding, cfg)->cost(spec);
+      const auto red = core::make_design(core::DesignKind::kRed, cfg)->cost(spec);
+      t.add_row({spec.name, format_double(red.total_latency().value() / 1e3, 2),
+                 format_double(red.pipelined_latency().value() / 1e3, 2),
+                 format_speedup(zp.pipelined_latency() / red.pipelined_latency())});
+    }
+    std::cout << t.to_ascii();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation — stride sweep: RED's cycle reduction is stride^2 (Sec. III-C:
+// "the speed-up brought by RED quadratically increases with the stride"),
+// while the realized speedup saturates once per-cycle overheads and folding
+// kick in. Complements Fig. 4's redundancy growth.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/red_design.h"
+#include "red/nn/redundancy.h"
+#include "red/report/evaluation.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Ablation: stride sweep",
+                      "speedup ~ stride^2 (Sec. III-C); redundancy per Fig. 4");
+
+  TextTable t({"stride", "kernel", "fold", "redundancy", "ZP/RED cycles", "RED speedup",
+               "RED energy saving"});
+  for (int s : {1, 2, 4, 8}) {
+    // FCN-style layer: kernel = 2*stride (classic bilinear up-sampling size),
+    // 21 classes, 16x16 input.
+    nn::DeconvLayerSpec spec{"sweep_s" + std::to_string(s), 16, 16, 21, 21,
+                             std::max(2, 2 * s), std::max(2, 2 * s), s, 0, 0};
+    spec.validate();
+    arch::DesignConfig cfg;
+    const core::RedDesign red(cfg);
+    const auto c = report::compare_layer(spec, cfg);
+    const auto zp_cycles = c.zero_padding.cycles();
+    const auto red_cycles = c.red.cycles();
+    t.add_row({std::to_string(s), std::to_string(spec.kh) + "x" + std::to_string(spec.kw),
+               std::to_string(red.fold_for(spec)),
+               format_percent(nn::zero_redundancy_ratio(spec), 1),
+               format_double(static_cast<double>(zp_cycles) / static_cast<double>(red_cycles), 1) +
+                   "x",
+               format_speedup(c.red_speedup_vs_zp()),
+               format_percent(c.red_energy_saving_vs_zp(), 1)});
+  }
+  std::cout << t.to_ascii();
+
+  bench::print_section("GAN-style stride sweep (kernel 4x4, pad 1, 64->128 channels)");
+  TextTable g({"stride", "RED speedup", "ideal s^2/fold"});
+  for (int s : {1, 2, 3, 4}) {
+    nn::DeconvLayerSpec spec{"gan_s" + std::to_string(s), 8, 8, 64, 128, 4, 4, s, 1, 0};
+    if (spec.oh() < 1) continue;
+    spec.validate();
+    arch::DesignConfig cfg;
+    const auto c = report::compare_layer(spec, cfg);
+    const int fold = core::RedDesign(cfg).fold_for(spec);
+    g.add_row({std::to_string(s), format_speedup(c.red_speedup_vs_zp()),
+               format_double(static_cast<double>(s) * s / fold, 1) + "x"});
+  }
+  std::cout << g.to_ascii();
+  return 0;
+}

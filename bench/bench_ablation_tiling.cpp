@@ -1,0 +1,62 @@
+// Ablation — physical subarray tiling (beyond the paper's monolithic-macro
+// model): how bounded subarrays + digital partial-sum merging change the
+// three designs' costs, and whether RED's advantage survives.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/designs.h"
+#include "red/report/evaluation.h"
+#include "red/workloads/benchmarks.h"
+#include "red/xbar/tiling.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Ablation: physical subarray tiling",
+                      "extension — the paper prices monolithic macros (Fig. 3)");
+
+  bench::print_section("RED speedup / energy saving vs ZP, monolithic vs tiled (128x128)");
+  {
+    TextTable t({"Layer", "speedup (mono)", "speedup (tiled)", "saving (mono)",
+                 "saving (tiled)"});
+    for (const auto& spec : workloads::table1_benchmarks()) {
+      arch::DesignConfig mono;
+      arch::DesignConfig tiled;
+      tiled.tiled = true;
+      const auto cm = report::compare_layer(spec, mono);
+      const auto ct = report::compare_layer(spec, tiled);
+      t.add_row({spec.name, format_speedup(cm.red_speedup_vs_zp()),
+                 format_speedup(ct.red_speedup_vs_zp()),
+                 format_percent(cm.red_energy_saving_vs_zp(), 1),
+                 format_percent(ct.red_energy_saving_vs_zp(), 1)});
+    }
+    std::cout << t.to_ascii();
+  }
+
+  bench::print_section("subarray-size sweep (GAN_Deconv1, RED)");
+  {
+    TextTable t({"subarray", "subarrays used", "latency (us)", "energy (uJ)", "area (mm^2)",
+                 "cell utilization"});
+    for (std::int64_t side : {64, 128, 256, 512}) {
+      arch::DesignConfig cfg;
+      cfg.tiled = true;
+      cfg.tiling = {side, side};
+      const auto design = core::make_design(core::DesignKind::kRed, cfg);
+      const auto spec = workloads::gan_deconv1();
+      const auto base = design->activity(spec);
+      const auto act = arch::apply_tiling(base, cfg);
+      const auto cost = design->cost(spec);
+      t.add_row({std::to_string(side) + "x" + std::to_string(side),
+                 std::to_string(act.sc_units),
+                 format_double(cost.total_latency().value() / 1e3, 2),
+                 format_double(cost.total_energy().value() / 1e6, 3),
+                 format_double(cost.total_area().value() / 1e6, 4),
+                 format_percent(static_cast<double>(base.cells) /
+                                    static_cast<double>(act.cells),
+                                1)});
+    }
+    std::cout << t.to_ascii();
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 7 — latency: (a) speedup over zero-padding, (b) array/periphery
+// execution-time breakdown.
+//
+// Paper: RED achieves 3.69~31.15x speedup over zero-padding; zero-padding
+// holds 1.55~2.62x longer latency than padding-free on GANs; RED cuts
+// 76.9~96.8% of the zero-padding latency.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Fig. 7: latency comparison",
+                      "RED speedup 3.69~31.15x; ZP 1.55~2.62x slower than PF on GANs");
+  const auto cmps = report::compare_layers(workloads::table1_benchmarks());
+
+  bench::print_section("(a) speedup over the zero-padding design");
+  std::cout << report::fig7a_speedup(cmps).to_ascii();
+
+  bench::print_section("(b) execution time breakdown (normalized to zero-padding = 100%)");
+  std::cout << report::fig7b_latency_breakdown(cmps).to_ascii();
+
+  bench::print_section("paper-band summary");
+  double lo = 1e30, hi = 0, red_min = 1.0, red_max = 0.0;
+  for (const auto& c : cmps) {
+    lo = std::min(lo, c.red_speedup_vs_zp());
+    hi = std::max(hi, c.red_speedup_vs_zp());
+    red_min = std::min(red_min, c.red_latency_reduction_vs_zp());
+    red_max = std::max(red_max, c.red_latency_reduction_vs_zp());
+  }
+  std::cout << "RED speedup range: " << format_speedup(lo) << " ~ " << format_speedup(hi)
+            << "  (paper: 3.69x ~ 31.15x)\n";
+  std::cout << "RED latency reduction: " << format_percent(red_min, 1) << " ~ "
+            << format_percent(red_max, 1) << "  (paper: 76.9% ~ 96.8%)\n";
+  double zp_over_pf_lo = 1e30, zp_over_pf_hi = 0;
+  for (const auto& c : cmps) {
+    if (!workloads::is_gan_layer(c.spec)) continue;
+    zp_over_pf_lo = std::min(zp_over_pf_lo, c.pf_speedup_vs_zp());
+    zp_over_pf_hi = std::max(zp_over_pf_hi, c.pf_speedup_vs_zp());
+  }
+  std::cout << "ZP latency vs PF on GANs: " << format_speedup(zp_over_pf_lo) << " ~ "
+            << format_speedup(zp_over_pf_hi) << "  (paper: 1.55x ~ 2.62x)\n";
+  return 0;
+}

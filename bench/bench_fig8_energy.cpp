@@ -1,0 +1,45 @@
+// Fig. 8 — energy: (a) saving vs zero-padding, (b) array/periphery breakdown.
+//
+// Paper: RED saves 8%~88.36% energy vs zero-padding; the padding-free array
+// energy is 4.48~7.53x the other two; padding-free consumes up to 6.68x more
+// total energy on GANs.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Fig. 8: energy comparison",
+                      "RED saves 8%~88.36%; PF array energy 4.48~7.53x");
+  const auto cmps = report::compare_layers(workloads::table1_benchmarks());
+
+  bench::print_section("(a) energy saving vs the zero-padding design");
+  std::cout << report::fig8a_energy_saving(cmps).to_ascii();
+
+  bench::print_section("(b) energy breakdown (normalized to zero-padding = 100%)");
+  std::cout << report::fig8b_energy_breakdown(cmps).to_ascii();
+
+  bench::print_section("paper-band summary");
+  double save_lo = 1.0, save_hi = 0.0, arr_lo = 1e30, arr_hi = 0.0, pf_worst = 0.0;
+  for (const auto& c : cmps) {
+    save_lo = std::min(save_lo, c.red_energy_saving_vs_zp());
+    save_hi = std::max(save_hi, c.red_energy_saving_vs_zp());
+    if (workloads::is_gan_layer(c.spec)) {
+      arr_lo = std::min(arr_lo, c.pf_array_energy_ratio());
+      arr_hi = std::max(arr_hi, c.pf_array_energy_ratio());
+      pf_worst = std::max(pf_worst, c.pf_energy_vs_zp());
+    }
+  }
+  std::cout << "RED energy saving: " << format_percent(save_lo, 2) << " ~ "
+            << format_percent(save_hi, 2) << "  (paper: 8% ~ 88.36%)\n";
+  std::cout << "PF array energy ratio (GANs): " << format_speedup(arr_lo) << " ~ "
+            << format_speedup(arr_hi) << "  (paper: 4.48x ~ 7.53x)\n";
+  std::cout << "PF worst total energy vs ZP (GANs): " << format_speedup(pf_worst)
+            << "  (paper: up to 6.68x)\n";
+  return 0;
+}

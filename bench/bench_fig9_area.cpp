@@ -1,0 +1,40 @@
+// Fig. 9 — area breakdown (array vs periphery), normalized to zero-padding.
+//
+// Paper: identical array area across designs; padding-free +9.79% (GANs) /
+// +116.57% (FCN_Deconv2); RED ~+21.41% across layers.
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Fig. 9: area comparison",
+                      "PF +9.79% (GAN) / +116.57% (FCN2); RED ~+21.41%");
+  // The paper plots GAN_Deconv1 and FCN_Deconv2; we print all six.
+  const auto cmps = report::compare_layers(workloads::table1_benchmarks());
+  std::cout << report::fig9_area(cmps).to_ascii();
+
+  bench::print_section("overhead vs zero-padding");
+  for (const auto& c : cmps) {
+    std::cout << c.spec.name << ": padding-free "
+              << format_percent(c.pf_area_overhead_vs_zp(), 2) << ", RED "
+              << format_percent(c.red_area_overhead_vs_zp(), 2) << '\n';
+  }
+
+  bench::print_section("paper anchor check (the two plotted layers)");
+  for (const auto& c : cmps) {
+    if (c.spec.name == "GAN_Deconv1")
+      std::cout << "GAN_Deconv1: PF " << format_percent(c.pf_area_overhead_vs_zp(), 2)
+                << " (paper +9.79%), RED " << format_percent(c.red_area_overhead_vs_zp(), 2)
+                << " (paper +21.41%)\n";
+    if (c.spec.name == "FCN_Deconv2")
+      std::cout << "FCN_Deconv2: PF " << format_percent(c.pf_area_overhead_vs_zp(), 2)
+                << " (paper +116.57%), RED " << format_percent(c.red_area_overhead_vs_zp(), 2)
+                << " (paper ~+21%)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks of the simulator itself (google-benchmark): crossbar MVM
+// fast vs bit-accurate paths, design schedule execution, and analytic cost
+// evaluation throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "red/common/rng.h"
+#include "red/core/designs.h"
+#include "red/report/evaluation.h"
+#include "red/core/schedule.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+#include "red/xbar/analog.h"
+#include "red/xbar/crossbar.h"
+
+namespace {
+
+using namespace red;
+
+xbar::LogicalXbar make_xbar(std::int64_t rows, std::int64_t cols) {
+  Rng rng(1);
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows * cols));
+  for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+  return xbar::LogicalXbar(rows, cols, w, xbar::QuantConfig{});
+}
+
+std::vector<std::int32_t> make_input(std::int64_t rows) {
+  Rng rng(2);
+  std::vector<std::int32_t> in(static_cast<std::size_t>(rows));
+  for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+  return in;
+}
+
+void BM_MvmFastPath(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows);
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm(in));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmFastPath)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MvmBitAccurate(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows);
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate(in));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmBitAccurate)->Arg(128)->Arg(512);
+
+void BM_DesignRun(benchmark::State& state) {
+  const auto kind = static_cast<core::DesignKind>(state.range(0));
+  const auto design = core::make_design(kind);
+  // Reduced-channel SNGAN layer: full spatial structure, fast execution.
+  nn::DeconvLayerSpec spec{"bench", 4, 4, 32, 16, 4, 4, 2, 1, 0};
+  Rng rng(3);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(design->run(spec, input, kernel));
+}
+BENCHMARK(BM_DesignRun)
+    ->Arg(static_cast<int>(core::DesignKind::kZeroPadding))
+    ->Arg(static_cast<int>(core::DesignKind::kPaddingFree))
+    ->Arg(static_cast<int>(core::DesignKind::kRed));
+
+void BM_AnalyticCostTable1(benchmark::State& state) {
+  const auto specs = workloads::table1_benchmarks();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(report::compare_layers(specs));
+  state.SetItemsProcessed(state.iterations() * specs.size() * 3);
+}
+BENCHMARK(BM_AnalyticCostTable1);
+
+void BM_ScheduleGeneration(benchmark::State& state) {
+  const nn::DeconvLayerSpec spec{"sched", 70, 70, 21, 21, 16, 16, 8, 0, 0};
+  const core::ZeroSkipSchedule schedule(spec, 2);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.cycle(i));
+    i = (i + 1) % schedule.num_cycles();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleGeneration);
+
+void BM_AnalogIrDropSolve(benchmark::State& state) {
+  const auto side = state.range(0);
+  Rng rng(4);
+  std::vector<std::uint8_t> levels(static_cast<std::size_t>(side * side));
+  for (auto& l : levels) l = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  std::vector<std::uint8_t> inputs(static_cast<std::size_t>(side), 1);
+  xbar::AnalogConfig cfg;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(xbar::solve_crossbar_read(levels, side, side, 3, inputs, cfg));
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_AnalogIrDropSolve)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

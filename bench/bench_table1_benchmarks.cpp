@@ -1,0 +1,33 @@
+// Table I — benchmark layers and per-design cycle counts.
+//
+// Regenerates the paper's benchmark table and appends the structural cycle
+// counts of the three designs (which drive every Fig. 7/8 ratio).
+#include <iostream>
+
+#include "bench_util.h"
+#include "red/common/string_util.h"
+#include "red/core/designs.h"
+#include "red/core/red_design.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  bench::print_header("Table I: benchmarks used in this work",
+                      "RED (DATE 2019), Table I");
+  const auto specs = workloads::table1_benchmarks();
+  std::cout << report::table1(specs).to_ascii();
+
+  bench::print_section("cycle-count ratios (zero-padding / RED)");
+  const arch::DesignConfig cfg;
+  for (const auto& s : specs) {
+    const auto zp = core::make_design(core::DesignKind::kZeroPadding, cfg)->activity(s);
+    const auto red = core::make_design(core::DesignKind::kRed, cfg)->activity(s);
+    std::cout << s.name << ": " << zp.cycles << " / " << red.cycles << " = "
+              << format_double(static_cast<double>(zp.cycles) / static_cast<double>(red.cycles),
+                               2)
+              << "x (stride^2/fold = "
+              << s.stride * s.stride / core::RedDesign(cfg).fold_for(s) << "x ideal)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Shared header/footer helpers for the figure benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace red::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_reference) {
+  std::cout << "==============================================================\n"
+            << title << '\n'
+            << "Paper reference: " << paper_reference << '\n'
+            << "==============================================================\n";
+}
+
+inline void print_section(const std::string& name) { std::cout << "\n--- " << name << " ---\n"; }
+
+}  // namespace red::bench

@@ -1,0 +1,66 @@
+// Design-space exploration: the Sec. III-C area/parallelism trade-off as a
+// Pareto sweep over the fold factor and mux ratio for FCN_Deconv2.
+//
+// Demonstrates using the cost model programmatically to pick a configuration
+// under an area budget (the paper picks fold 2 = 128 sub-arrays).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/core/red_design.h"
+#include "red/workloads/benchmarks.h"
+
+int main() {
+  using namespace red;
+  const auto layer = workloads::fcn_deconv2();
+  std::cout << "Design space for " << layer.to_string() << "\n\n";
+
+  struct Point {
+    int fold;
+    int mux;
+    double latency_us;
+    double energy_uj;
+    double area_mm2;
+    std::int64_t sub_arrays;
+  };
+  std::vector<Point> points;
+  for (int fold : {1, 2, 4, 8}) {
+    for (int mux : {4, 8, 16}) {
+      arch::DesignConfig cfg;
+      cfg.red_fold = fold;
+      cfg.mux_ratio = mux;
+      const core::RedDesign red(cfg);
+      const auto cost = red.cost(layer);
+      const auto act = red.activity(layer);
+      points.push_back({fold, mux, cost.total_latency().value() / 1e3,
+                        cost.total_energy().value() / 1e6, cost.total_area().value() / 1e6,
+                        act.sc_units});
+    }
+  }
+
+  TextTable t({"fold", "mux", "sub-arrays", "latency (us)", "energy (uJ)", "area (mm^2)",
+               "Pareto"});
+  for (const auto& p : points) {
+    const bool dominated = std::any_of(points.begin(), points.end(), [&](const Point& q) {
+      return (q.latency_us < p.latency_us && q.area_mm2 <= p.area_mm2) ||
+             (q.latency_us <= p.latency_us && q.area_mm2 < p.area_mm2);
+    });
+    t.add_row({std::to_string(p.fold), std::to_string(p.mux), std::to_string(p.sub_arrays),
+               format_double(p.latency_us, 1), format_double(p.energy_uj, 2),
+               format_double(p.area_mm2, 4), dominated ? "" : "*"});
+  }
+  std::cout << t.to_ascii();
+
+  // Pick the fastest configuration under a 128-sub-array budget, as the
+  // paper does for this layer.
+  const Point* best = nullptr;
+  for (const auto& p : points)
+    if (p.sub_arrays <= 128 && (best == nullptr || p.latency_us < best->latency_us)) best = &p;
+  if (best != nullptr)
+    std::cout << "\nFastest config within the paper's 128-sub-array budget: fold " << best->fold
+              << ", mux " << best->mux << " -> " << format_double(best->latency_us, 1)
+              << " us, " << format_double(best->area_mm2, 4) << " mm^2\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Structural activity description of one deconvolution layer on one design.
+//
+// Every field is an exact structural count derived from the layer geometry —
+// no technology constants involved. The cost model (cost_model.h) turns an
+// activity description into latency/energy/area via the calibrated component
+// models; the functional simulators must reproduce the dynamic counts
+// (cycles, row_drives, conversions) exactly, which tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace red::arch {
+
+/// Shape of one logical crossbar macro (a mode group in RED, the whole array
+/// in the baselines). `count` collapses identical repeats.
+struct MacroShape {
+  std::int64_t rows = 0;
+  std::int64_t phys_cols = 0;
+  std::int64_t count = 1;
+};
+
+struct LayerActivity {
+  std::string design_name;
+
+  /// Logical macros making up the design (used by the tiled cost mode).
+  std::vector<MacroShape> macros;
+
+  // ---- macro structure ----------------------------------------------------
+  std::int64_t total_rows = 0;     ///< sum of rows across all (sub-)crossbars
+  std::int64_t out_phys_cols = 0;  ///< physical output columns, all groups
+  std::int64_t cells = 0;          ///< programmed ReRAM cells (rows x phys cols)
+  std::int64_t dec_units = 1;      ///< decoder instances
+  std::int64_t dec_rows = 0;       ///< rows addressed by one decoder
+  bool sub_crossbar_decoders = false;
+  std::int64_t sc_units = 1;       ///< sub-crossbars after folding (1 = monolithic)
+  std::int64_t groups = 1;         ///< concurrently-read output groups
+  std::int64_t wl_load_cols = 0;   ///< physical columns loading one wordline
+  std::int64_t bl_load_rows = 0;   ///< rows loading the tallest bitline
+  /// sum over groups of (phys cols x stacked rows); scales bitline energy
+  std::int64_t bl_weighted_cols = 0;
+  bool split_macro = false;        ///< charged the sub-crossbar segmentation area
+  int sa_extra_stages = 0;         ///< extra shift-adder accumulation stages
+  int fold = 1;                    ///< area-efficient fold factor (Sec. III-C)
+
+  // ---- dynamic totals over the whole layer --------------------------------
+  std::int64_t cycles = 0;
+  std::int64_t row_drives = 0;    ///< wordline activations with real data
+  std::int64_t conversions = 0;   ///< read-circuit conversions
+  std::int64_t mux_switches = 0;
+  std::int64_t sa_ops = 0;
+  double mac_pulses = 0;          ///< analytic expectation (avg bit density)
+
+  // ---- padding-free add-on activity ---------------------------------------
+  std::int64_t patch_positions = 0;  ///< KH*KW (0 = no overlap accumulator)
+  std::int64_t overlap_adds = 0;
+  std::int64_t buffer_accesses = 0;
+  bool has_crop = false;
+};
+
+}  // namespace red::arch

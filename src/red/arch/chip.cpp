@@ -1,0 +1,85 @@
+#include "red/arch/chip.h"
+
+#include <cmath>
+
+#include "red/circuits/interconnect.h"
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::arch {
+
+void ChipConfig::validate() const {
+  subarray.validate();
+  if (banks < 1) throw ConfigError("chip needs at least one bank");
+  if (subarrays_per_bank < 1) throw ConfigError("bank needs at least one subarray");
+  if (global_buffer_bits < 1) throw ConfigError("global buffer must be non-empty");
+  if (bank_control_area_um2 < 0) throw ConfigError("bank control area must be >= 0");
+}
+
+double ChipPlan::cell_utilization() const {
+  std::int64_t used = 0, alloc = 0;
+  for (const auto& l : layers) {
+    used += l.utilized_cells;
+    alloc += l.allocated_cells;
+  }
+  return alloc == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(alloc);
+}
+
+double ChipPlan::occupancy() const {
+  return available_subarrays == 0
+             ? 0.0
+             : static_cast<double>(required_subarrays) / static_cast<double>(available_subarrays);
+}
+
+ChipPlan plan_chip(const Design& design, const std::vector<nn::DeconvLayerSpec>& stack,
+                   const ChipConfig& chip) {
+  chip.validate();
+  RED_EXPECTS(!stack.empty());
+
+  ChipPlan plan;
+  plan.available_subarrays = chip.total_subarrays();
+  for (const auto& spec : stack) {
+    const LayerActivity act = design.activity(spec);
+    LayerPlacement placement;
+    placement.layer = spec.name;
+    for (const auto& m : act.macros) {
+      const auto tiles = xbar::plan_tiling(m.rows, m.phys_cols, chip.subarray);
+      placement.subarrays += m.count * tiles.tiles();
+      placement.utilized_cells += m.count * tiles.utilized_cells();
+      placement.allocated_cells += m.count * tiles.allocated_cells();
+    }
+    // RED's segmentation: a split macro whose sub-crossbars are smaller than
+    // a subarray still consumes whole subarrays per decoder unit.
+    if (act.split_macro && act.dec_units > placement.subarrays)
+      placement.subarrays = act.dec_units;
+    plan.required_subarrays += placement.subarrays;
+    plan.layers.push_back(std::move(placement));
+  }
+  plan.fits = plan.required_subarrays <= plan.available_subarrays;
+
+  // Chip area: per-bank control + global buffer + every subarray's cells and
+  // periphery (priced via the calibrated constants of the design's config).
+  const auto& cal = design.config().calib;
+  const auto& node = design.config().node;
+  const double cell_um2 = cal.cell_area_f2 * node.f2_um2();
+  const double cells_per_sub =
+      static_cast<double>(chip.subarray.subarray_rows) * chip.subarray.subarray_cols;
+  const double sub_periphery =
+      cal.a_dec_base + cal.a_dec_per_row * static_cast<double>(chip.subarray.subarray_rows) +
+      cal.a_wd_per_row * static_cast<double>(chip.subarray.subarray_rows) +
+      (cal.a_bd_per_col + cal.a_mux_per_col) * static_cast<double>(chip.subarray.subarray_cols) +
+      (cal.a_conv_unit + cal.a_sa_unit) * static_cast<double>(chip.subarray.subarray_cols) / 8.0;
+  const double sub_area = cells_per_sub * cell_um2 + sub_periphery;
+  double bank_area = chip.bank_control_area_um2 +
+                     cal.a_buf_per_bit * static_cast<double>(chip.global_buffer_bits) +
+                     sub_area * static_cast<double>(chip.subarrays_per_bank);
+  // Intra-bank H-tree routing inputs/outputs between the global row buffer
+  // and the subarrays (Fig. 1(c)); sized by the bank's pre-routing edge.
+  const double bank_edge_mm = std::sqrt(bank_area) / 1000.0;
+  const circuits::HTree htree(chip.subarrays_per_bank, bank_edge_mm, cal);
+  bank_area += htree.area().value();
+  plan.chip_area = SquareMicrons{bank_area * chip.banks};
+  return plan;
+}
+
+}  // namespace red::arch

@@ -1,0 +1,62 @@
+// Chip-level organization (paper Fig. 1(c)): a ReRAM PIM chip is a grid of
+// banks, each holding a bank controller, a global row buffer, and a set of
+// crossbar subarrays with their periphery.
+//
+// This module answers the deployment questions the per-layer cost model
+// cannot: how many physical subarrays does a whole network need under each
+// design, does it fit a given chip, and what chip area results. Weights stay
+// resident (PIM: no off-chip weight traffic), so the fit is determined by
+// the designs' subarray demand — including RED's segmentation overhead and
+// the padding-free design's wide output macros.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "red/arch/design.h"
+#include "red/common/units.h"
+#include "red/nn/layer.h"
+#include "red/xbar/tiling.h"
+
+namespace red::arch {
+
+struct ChipConfig {
+  int banks = 8;
+  std::int64_t subarrays_per_bank = 128;
+  xbar::TilingConfig subarray;               ///< physical subarray geometry
+  std::int64_t global_buffer_bits = 1 << 21; ///< per-bank global row buffer
+  double bank_control_area_um2 = 5.0e4;      ///< controller + decoders per bank
+
+  void validate() const;
+  [[nodiscard]] std::int64_t total_subarrays() const {
+    return std::int64_t{banks} * subarrays_per_bank;
+  }
+};
+
+/// One layer's physical demand on the chip.
+struct LayerPlacement {
+  std::string layer;
+  std::int64_t subarrays = 0;        ///< crossbar tiles needed (weights resident)
+  std::int64_t utilized_cells = 0;   ///< cells holding real weights
+  std::int64_t allocated_cells = 0;  ///< cells in the allocated tiles
+};
+
+struct ChipPlan {
+  std::vector<LayerPlacement> layers;
+  std::int64_t required_subarrays = 0;
+  std::int64_t available_subarrays = 0;
+  bool fits = false;
+  /// Fraction of allocated cells holding real weights.
+  [[nodiscard]] double cell_utilization() const;
+  /// Fraction of the chip's subarrays in use (when it fits).
+  [[nodiscard]] double occupancy() const;
+  SquareMicrons chip_area;  ///< full chip (all banks), independent of the network
+};
+
+/// Map a whole deconvolution stack onto a chip under one design.
+[[nodiscard]] ChipPlan plan_chip(const Design& design,
+                                 const std::vector<nn::DeconvLayerSpec>& stack,
+                                 const ChipConfig& chip);
+
+}  // namespace red::arch

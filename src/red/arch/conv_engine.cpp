@@ -1,0 +1,92 @@
+#include "red/arch/conv_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "red/common/contracts.h"
+#include "red/xbar/crossbar.h"
+
+namespace red::arch {
+
+ConvEngine::ConvEngine(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
+
+LayerActivity ConvEngine::activity(const nn::ConvLayerSpec& spec) const {
+  spec.validate();
+  const int slices = cfg_.quant.slices();
+  const int pulses = cfg_.quant.pulses();
+
+  LayerActivity a;
+  a.design_name = "conv";
+  a.total_rows = std::int64_t{spec.kh} * spec.kw * spec.c;
+  a.out_phys_cols = std::int64_t{spec.m} * slices;
+  a.cells = a.total_rows * a.out_phys_cols;
+  a.macros = {MacroShape{a.total_rows, a.out_phys_cols, 1}};
+  a.dec_units = 1;
+  a.dec_rows = a.total_rows;
+  a.sc_units = 1;
+  a.groups = 1;
+  a.wl_load_cols = a.out_phys_cols;
+  a.bl_load_rows = a.total_rows;
+  a.bl_weighted_cols = a.out_phys_cols * a.total_rows;
+
+  a.cycles = std::int64_t{spec.oh()} * spec.ow();
+  a.row_drives = nn::conv_window_hits(spec) * spec.c;
+  a.conversions = a.cycles * a.out_phys_cols * pulses;
+  a.mux_switches = a.conversions;
+  a.sa_ops = a.conversions;
+  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
+                 static_cast<double>(a.out_phys_cols);
+  return a;
+}
+
+CostReport ConvEngine::cost(const nn::ConvLayerSpec& spec) const {
+  const LayerActivity act = activity(spec);
+  return compute_cost(cfg_.tiled ? apply_tiling(act, cfg_) : act, cfg_);
+}
+
+Tensor<std::int32_t> ConvEngine::run(const nn::ConvLayerSpec& spec,
+                                     const Tensor<std::int32_t>& input,
+                                     const Tensor<std::int32_t>& kernel, RunStats* stats) const {
+  spec.validate();
+  RED_EXPECTS(input.shape() == spec.input_shape());
+  RED_EXPECTS(kernel.shape() == spec.kernel_shape());
+
+  const std::int64_t rows = std::int64_t{spec.kh} * spec.kw * spec.c;
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows * spec.m));
+  for (int i = 0; i < spec.kh; ++i)
+    for (int j = 0; j < spec.kw; ++j)
+      for (int c = 0; c < spec.c; ++c) {
+        const std::int64_t r = (std::int64_t{i} * spec.kw + j) * spec.c + c;
+        for (int m = 0; m < spec.m; ++m)
+          w[static_cast<std::size_t>(r * spec.m + m)] = kernel.at(i, j, c, m);
+      }
+  const xbar::LogicalXbar macro(rows, spec.m, w, cfg_.quant);
+
+  Tensor<std::int32_t> out(spec.output_shape());
+  std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
+  RunStats local;
+  for (int y = 0; y < spec.oh(); ++y)
+    for (int x = 0; x < spec.ow(); ++x) {
+      std::fill(window.begin(), window.end(), 0);
+      for (int i = 0; i < spec.kh; ++i) {
+        const int h = y * spec.stride + i - spec.pad;
+        if (h < 0 || h >= spec.ih) continue;
+        for (int j = 0; j < spec.kw; ++j) {
+          const int wx = x * spec.stride + j - spec.pad;
+          if (wx < 0 || wx >= spec.iw) continue;
+          for (int c = 0; c < spec.c; ++c)
+            window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
+                input.at(0, c, h, wx);
+        }
+      }
+      const auto res = cfg_.bit_accurate ? macro.mvm_bit_accurate(window, &local.mvm)
+                                         : macro.mvm(window, &local.mvm);
+      ++local.cycles;
+      for (int m = 0; m < spec.m; ++m)
+        out.at(0, m, y, x) = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
+    }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace red::arch

@@ -1,0 +1,32 @@
+// Convolution engine: the standard ReRAM conv mapping (Fig. 1(b)) priced
+// with the same cost model as the deconvolution designs.
+//
+// Kernel unrolled on KH*KW*C rows x M columns, one output pixel per cycle
+// (OH*OW cycles) — the machinery the zero-padding deconvolution baseline
+// reuses. Lets whole networks (conv backbone + deconv head) be evaluated
+// under one model.
+#pragma once
+
+#include "red/arch/design.h"
+#include "red/nn/conv_layer.h"
+
+namespace red::arch {
+
+class ConvEngine {
+ public:
+  explicit ConvEngine(DesignConfig cfg);
+
+  [[nodiscard]] LayerActivity activity(const nn::ConvLayerSpec& spec) const;
+  [[nodiscard]] CostReport cost(const nn::ConvLayerSpec& spec) const;
+  [[nodiscard]] Tensor<std::int32_t> run(const nn::ConvLayerSpec& spec,
+                                         const Tensor<std::int32_t>& input,
+                                         const Tensor<std::int32_t>& kernel,
+                                         RunStats* stats = nullptr) const;
+
+  [[nodiscard]] const DesignConfig& config() const { return cfg_; }
+
+ private:
+  DesignConfig cfg_;
+};
+
+}  // namespace red::arch

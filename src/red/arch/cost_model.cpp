@@ -1,0 +1,194 @@
+// The cost model: LayerActivity -> per-component latency/energy/area.
+//
+// Latency is the paper's lumped, non-pipelined Eq. (3): each component's
+// per-cycle delay times the cycle count. Energy is Eq. (4): per-event
+// energies times the structural event counts, plus a leakage term
+// proportional to total area x total runtime. Area instantiates one set of
+// periphery components per macro structure.
+#include <algorithm>
+
+#include "red/arch/design.h"
+#include "red/circuits/buffer.h"
+#include "red/circuits/decoder.h"
+#include "red/circuits/drivers.h"
+#include "red/circuits/mux.h"
+#include "red/circuits/overlap.h"
+#include "red/circuits/read_circuit.h"
+#include "red/circuits/shift_adder.h"
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+#include "red/xbar/tiling.h"
+
+namespace red::arch {
+
+using circuits::Component;
+
+LayerActivity apply_tiling(const LayerActivity& act, const DesignConfig& cfg) {
+  cfg.validate();
+  RED_EXPECTS_MSG(!act.macros.empty(), "activity carries no macro shapes");
+  const auto& tiling = cfg.tiling;
+  const int pulses = cfg.quant.pulses();
+
+  LayerActivity t = act;
+  t.design_name = act.design_name + " (tiled)";
+  t.total_rows = 0;
+  t.out_phys_cols = 0;
+  t.cells = 0;
+  t.dec_units = 0;
+  t.sc_units = 0;
+  t.bl_weighted_cols = 0;
+  t.conversions = 0;
+  t.sa_ops = act.sa_ops;  // base shift-adds kept; merges added below
+  std::int64_t merge_adds_per_cycle = 0;
+  int worst_merge_stages = 0;
+  std::int64_t wl_load = 0;
+  std::int64_t bl_load = 0;
+
+  for (const auto& m : act.macros) {
+    const auto plan = xbar::plan_tiling(m.rows, m.phys_cols, tiling);
+    // Physical structure: every subarray gets its own decoder/drivers/output
+    // periphery; unused cells in edge tiles are still allocated.
+    t.total_rows += m.count * plan.tiles() * tiling.subarray_rows;
+    t.out_phys_cols += m.count * plan.tiles() * tiling.subarray_cols;
+    t.cells += m.count * plan.allocated_cells();
+    t.dec_units += m.count * plan.tiles();
+    t.sc_units += m.count * plan.tiles();
+    t.bl_weighted_cols += m.count * plan.tiles() * tiling.subarray_cols * tiling.subarray_rows;
+    // Each row tile converts its own partial sums every cycle.
+    t.conversions += act.cycles * pulses * m.count * plan.row_tiles * m.phys_cols;
+    merge_adds_per_cycle += m.count * (plan.row_tiles - 1) * m.phys_cols;
+    worst_merge_stages = std::max(worst_merge_stages, plan.merge_stages());
+    wl_load = std::max(wl_load, std::min(m.phys_cols, tiling.subarray_cols));
+    bl_load = std::max(bl_load, std::min(m.rows, tiling.subarray_rows));
+  }
+  t.dec_rows = tiling.subarray_rows;
+  t.sub_crossbar_decoders = true;
+  t.wl_load_cols = wl_load;
+  t.bl_load_rows = bl_load;
+  // A logical row spanning several column tiles drives one line segment per
+  // tile (re-buffered), so row drives scale with the widest macro's tiling.
+  std::int64_t max_col_tiles = 1;
+  for (const auto& m : act.macros)
+    max_col_tiles =
+        std::max(max_col_tiles, xbar::plan_tiling(m.rows, m.phys_cols, tiling).col_tiles);
+  t.row_drives = act.row_drives * max_col_tiles;
+  t.mux_switches = t.conversions;
+  t.sa_ops += act.cycles * pulses * merge_adds_per_cycle;
+  t.sa_extra_stages = act.sa_extra_stages + worst_merge_stages;
+  return t;
+}
+
+CostReport measured_cost(const LayerActivity& act, const RunStats& stats,
+                         const DesignConfig& cfg) {
+  LayerActivity m = act;
+  m.design_name = act.design_name + " (measured)";
+  m.cycles = stats.cycles;
+  m.row_drives = stats.mvm.row_drives;
+  m.conversions = stats.mvm.conversions;
+  m.mux_switches = stats.mvm.conversions;
+  m.sa_ops = stats.mvm.conversions;
+  m.mac_pulses = static_cast<double>(stats.mvm.mac_pulses);
+  if (stats.overlap_adds != 0) m.overlap_adds = stats.overlap_adds;
+  if (stats.buffer_accesses != 0) m.buffer_accesses = stats.buffer_accesses;
+  // The measured counts already encode the tensor's real zero pattern; do
+  // not apply the analytic sparsity discount on top of them.
+  DesignConfig cfg_measured = cfg;
+  cfg_measured.activation_sparsity = 0.0;
+  return compute_cost(m, cfg_measured);
+}
+
+CostReport compute_cost(const LayerActivity& act, const DesignConfig& cfg) {
+  cfg.validate();
+  RED_EXPECTS(act.cycles >= 1);
+  RED_EXPECTS(act.total_rows >= 1 && act.out_phys_cols >= 1);
+
+  const auto& cal = cfg.calib;
+  const int pulses = cfg.quant.pulses();
+  const double cycles = static_cast<double>(act.cycles);
+
+  CostReport report;
+  report.set_design(act.design_name);
+  report.set_cycles(act.cycles);
+
+  // ---- component instances -------------------------------------------------
+  const circuits::RowDecoder decoder(act.dec_rows, act.sub_crossbar_decoders, cal);
+  const circuits::WordlineDriver wl(act.total_rows, act.wl_load_cols, pulses, cal);
+  const circuits::BitlineDriver bl(act.out_phys_cols, act.bl_load_rows, cal);
+  const circuits::ColumnMux mux(act.out_phys_cols, cfg.mux_ratio, cal);
+  const circuits::ReadCircuit rc(act.out_phys_cols, cfg.mux_ratio, cal);
+  const circuits::ShiftAdder sa(act.out_phys_cols, cfg.mux_ratio, act.sa_extra_stages, cal);
+
+  // ---- latency (per cycle x cycles), Eq. (3) -------------------------------
+  const double broadcast_ns =
+      act.sc_units > 1 ? cal.t_broadcast_bit * ilog2_ceil(act.sc_units) : 0.0;
+  report.add_latency(Component::kDecoder,
+                     Nanoseconds{cycles * (decoder.latency().value() + broadcast_ns)});
+  report.add_latency(Component::kWordlineDriving, wl.latency() * cycles);
+  report.add_latency(Component::kBitlineDriving, bl.latency() * cycles);
+  report.add_latency(Component::kMultiplexer, mux.latency() * cycles);
+  report.add_latency(Component::kReadCircuit, rc.latency() * cycles);
+  report.add_latency(Component::kShiftAdder, sa.latency() * cycles);
+
+  // ---- energy, Eq. (4) ------------------------------------------------------
+  // Runtime activation sparsity suppresses the data-dependent terms: a zero
+  // pixel drives no wordline and switches no cell, in every design alike.
+  const double density = 1.0 - cfg.activation_sparsity;
+  report.add_energy(Component::kComputation,
+                    Picojoules{act.mac_pulses * density * cal.e_mac_pulse});
+  report.add_energy(Component::kWordlineDriving,
+                    wl.energy_per_row_drive() * (static_cast<double>(act.row_drives) * density));
+  report.add_energy(Component::kBitlineDriving,
+                    Picojoules{cycles * pulses * static_cast<double>(act.bl_weighted_cols) *
+                               cal.e_bd_per_row});
+  report.add_energy(Component::kDecoder,
+                    decoder.energy_per_cycle() * (cycles * static_cast<double>(act.dec_units)));
+  report.add_energy(Component::kMultiplexer,
+                    mux.energy_per_switch() * static_cast<double>(act.mux_switches));
+  report.add_energy(Component::kReadCircuit,
+                    rc.energy_per_conversion() * static_cast<double>(act.conversions));
+  report.add_energy(Component::kShiftAdder, sa.energy_per_op() * static_cast<double>(act.sa_ops));
+
+  // ---- area -----------------------------------------------------------------
+  const double cell_um2 = cal.cell_area_f2 * cfg.node.f2_um2();
+  report.add_area(Component::kComputation, SquareMicrons{static_cast<double>(act.cells) * cell_um2});
+  report.add_area(Component::kWordlineDriving, wl.area());
+  report.add_area(Component::kBitlineDriving, bl.area());
+  report.add_area(Component::kDecoder, decoder.area() * static_cast<double>(act.dec_units));
+  report.add_area(Component::kMultiplexer, mux.area());
+  report.add_area(Component::kReadCircuit, rc.area());
+  report.add_area(Component::kShiftAdder, sa.area());
+
+  // Sub-crossbar segmentation overhead (RED): a fixed fraction of the cell
+  // array, charged to the "other" periphery (Sec. IV-B3 attributes RED's
+  // overhead to output-related periphery added by splitting the crossbar).
+  if (act.split_macro) {
+    report.add_area(Component::kOther,
+                    SquareMicrons{static_cast<double>(act.cells) * cell_um2 *
+                                  cal.split_area_fraction});
+  }
+
+  // Padding-free add-ons: overlap accumulator + crop unit (Sec. III-A).
+  if (act.patch_positions > 0) {
+    const circuits::OverlapAccumulator acc(act.patch_positions, act.out_phys_cols, cfg.mux_ratio,
+                                           cal);
+    report.add_latency(Component::kOther, acc.latency() * cycles);
+    report.add_energy(Component::kOther,
+                      acc.energy_per_add() * static_cast<double>(act.overlap_adds) +
+                          acc.energy_per_buffer_access() *
+                              static_cast<double>(act.buffer_accesses));
+    report.add_area(Component::kOther, acc.area());
+  }
+  if (act.has_crop) {
+    report.add_area(Component::kOther, circuits::CropUnit(cal).area());
+  }
+
+  // ---- leakage: power density x total area x runtime ------------------------
+  const double leak_w = cal.p_leak_w_per_um2 * report.total_area().value();
+  report.set_leakage(Picojoules{leak_w * report.total_latency().value() * 1e3});
+  // (W x ns = 1e-9 J = 1 nJ -> 1e3 pJ... concretely: W * ns * 1e3 = pJ)
+
+  return report;
+}
+
+}  // namespace red::arch

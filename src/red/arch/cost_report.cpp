@@ -1,0 +1,76 @@
+#include "red/arch/cost_report.h"
+
+#include <algorithm>
+
+namespace red::arch {
+
+using circuits::Component;
+using circuits::component_index;
+
+void CostReport::add_latency(Component c, Nanoseconds v) {
+  latency_ns_[static_cast<std::size_t>(component_index(c))] += v.value();
+}
+void CostReport::add_energy(Component c, Picojoules v) {
+  energy_pj_[static_cast<std::size_t>(component_index(c))] += v.value();
+}
+void CostReport::add_area(Component c, SquareMicrons v) {
+  area_um2_[static_cast<std::size_t>(component_index(c))] += v.value();
+}
+
+Nanoseconds CostReport::latency(Component c) const {
+  return Nanoseconds{latency_ns_[static_cast<std::size_t>(component_index(c))]};
+}
+Picojoules CostReport::energy(Component c) const {
+  return Picojoules{energy_pj_[static_cast<std::size_t>(component_index(c))]};
+}
+SquareMicrons CostReport::area(Component c) const {
+  return SquareMicrons{area_um2_[static_cast<std::size_t>(component_index(c))]};
+}
+
+double CostReport::group_sum(const std::array<double, circuits::kNumComponents>& a,
+                             bool array_group) const {
+  double s = 0.0;
+  for (auto c : circuits::all_components())
+    if (circuits::is_array_component(c) == array_group)
+      s += a[static_cast<std::size_t>(component_index(c))];
+  return s;
+}
+
+Nanoseconds CostReport::array_latency() const { return Nanoseconds{group_sum(latency_ns_, true)}; }
+Nanoseconds CostReport::periphery_latency() const {
+  return Nanoseconds{group_sum(latency_ns_, false)};
+}
+Nanoseconds CostReport::total_latency() const {
+  return array_latency() + periphery_latency();
+}
+
+Nanoseconds CostReport::pipelined_latency() const {
+  if (cycles_ <= 0) return total_latency();
+  const double a = array_latency().value() / static_cast<double>(cycles_);
+  const double p = periphery_latency().value() / static_cast<double>(cycles_);
+  return Nanoseconds{std::max(a, p) * static_cast<double>(cycles_) + std::min(a, p)};
+}
+
+SquareMicrons CostReport::array_area() const { return SquareMicrons{group_sum(area_um2_, true)}; }
+SquareMicrons CostReport::periphery_area() const {
+  return SquareMicrons{group_sum(area_um2_, false)};
+}
+SquareMicrons CostReport::total_area() const { return array_area() + periphery_area(); }
+
+Picojoules CostReport::array_energy() const {
+  const double dynamic = group_sum(energy_pj_, true);
+  const double total_area_um2 = total_area().value();
+  const double share = total_area_um2 > 0.0 ? array_area().value() / total_area_um2 : 0.0;
+  return Picojoules{dynamic + leakage_pj_ * share};
+}
+Picojoules CostReport::periphery_energy() const {
+  const double dynamic = group_sum(energy_pj_, false);
+  const double total_area_um2 = total_area().value();
+  const double share = total_area_um2 > 0.0 ? periphery_area().value() / total_area_um2 : 0.0;
+  return Picojoules{dynamic + leakage_pj_ * share};
+}
+Picojoules CostReport::total_energy() const {
+  return Picojoules{group_sum(energy_pj_, true) + group_sum(energy_pj_, false) + leakage_pj_};
+}
+
+}  // namespace red::arch

@@ -1,0 +1,71 @@
+// Per-component cost report of one (layer, design) pair.
+//
+// Latency follows the paper's Eq. (3):
+//   L_total = (L_wd + L_bd)_array + (L_dec + L_mux + L_rc + L_sa)_periphery
+// Energy follows Eq. (4):
+//   E_total = (E_c + E_wd + E_bd)_array + (E_dec + E_mux + E_rc + E_sa)_pp
+// plus the add-on ("other") periphery of the padding-free design and a
+// leakage term proportional to area x runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "red/circuits/breakdown.h"
+#include "red/common/units.h"
+
+namespace red::arch {
+
+class CostReport {
+ public:
+  CostReport() = default;
+
+  [[nodiscard]] const std::string& design() const { return design_; }
+  void set_design(std::string name) { design_ = std::move(name); }
+
+  [[nodiscard]] std::int64_t cycles() const { return cycles_; }
+  void set_cycles(std::int64_t c) { cycles_ = c; }
+
+  void add_latency(circuits::Component c, Nanoseconds v);
+  void add_energy(circuits::Component c, Picojoules v);
+  void add_area(circuits::Component c, SquareMicrons v);
+  void set_leakage(Picojoules v) { leakage_pj_ = v.value(); }
+
+  [[nodiscard]] Nanoseconds latency(circuits::Component c) const;
+  [[nodiscard]] Picojoules energy(circuits::Component c) const;
+  [[nodiscard]] SquareMicrons area(circuits::Component c) const;
+  [[nodiscard]] Picojoules leakage() const { return Picojoules{leakage_pj_}; }
+
+  // Group totals per Table II. Leakage is apportioned to the array/periphery
+  // energy groups by area share; total_* include everything.
+  [[nodiscard]] Nanoseconds array_latency() const;
+  [[nodiscard]] Nanoseconds periphery_latency() const;
+  [[nodiscard]] Nanoseconds total_latency() const;
+
+  /// Latency under a two-stage intra-layer pipeline (array stage overlapped
+  /// with the periphery stage of the previous cycle, ISAAC/PipeLayer-style):
+  /// max(array, periphery) per cycle, plus one fill cycle of the smaller
+  /// stage. Always <= total_latency(); the paper's Eq. (3) is the
+  /// non-pipelined bound.
+  [[nodiscard]] Nanoseconds pipelined_latency() const;
+  [[nodiscard]] Picojoules array_energy() const;
+  [[nodiscard]] Picojoules periphery_energy() const;
+  [[nodiscard]] Picojoules total_energy() const;
+  [[nodiscard]] SquareMicrons array_area() const;
+  [[nodiscard]] SquareMicrons periphery_area() const;
+  [[nodiscard]] SquareMicrons total_area() const;
+
+ private:
+  [[nodiscard]] double group_sum(const std::array<double, circuits::kNumComponents>& a,
+                                 bool array_group) const;
+
+  std::string design_;
+  std::int64_t cycles_ = 0;
+  std::array<double, circuits::kNumComponents> latency_ns_{};
+  std::array<double, circuits::kNumComponents> energy_pj_{};
+  std::array<double, circuits::kNumComponents> area_um2_{};
+  double leakage_pj_ = 0.0;
+};
+
+}  // namespace red::arch

@@ -1,0 +1,31 @@
+#include "red/arch/design.h"
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::arch {
+
+void DesignConfig::validate() const {
+  quant.validate();
+  tiling.validate();
+  if (activation_sparsity < 0.0 || activation_sparsity >= 1.0)
+    throw ConfigError("activation_sparsity must be in [0, 1)");
+  if (mux_ratio < 1) throw ConfigError("mux_ratio must be >= 1");
+  if (red_max_subcrossbars < 1) throw ConfigError("red_max_subcrossbars must be >= 1");
+  if (red_fold < 0) throw ConfigError("red_fold must be >= 0 (0 = auto)");
+}
+
+Design::Design(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
+
+CostReport Design::cost(const nn::DeconvLayerSpec& spec) const {
+  const LayerActivity act = activity(spec);
+  return compute_cost(cfg_.tiled ? apply_tiling(act, cfg_) : act, cfg_);
+}
+
+std::vector<std::int64_t> Design::execute_mvm(const xbar::LogicalXbar& xbar,
+                                              std::span<const std::int32_t> input,
+                                              xbar::MvmStats* stats) const {
+  return cfg_.bit_accurate ? xbar.mvm_bit_accurate(input, stats) : xbar.mvm(input, stats);
+}
+
+}  // namespace red::arch

@@ -1,0 +1,100 @@
+// Design abstraction: an accelerator implementation of deconvolution.
+//
+// A Design answers three questions for a layer:
+//   * activity(spec) — exact structural counts (cycles, drives, conversions);
+//   * run(spec, ...) — functional execution producing the output tensor plus
+//     measured activity (must match activity(spec), tested);
+//   * cost(spec)     — calibrated latency/energy/area via the cost model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "red/arch/activity.h"
+#include "red/arch/cost_report.h"
+#include "red/nn/layer.h"
+#include "red/tech/calibration.h"
+#include "red/tech/tech.h"
+#include "red/tensor/tensor.h"
+#include "red/xbar/crossbar.h"
+#include "red/xbar/tiling.h"
+
+namespace red::arch {
+
+struct DesignConfig {
+  xbar::QuantConfig quant;         ///< data-path widths and ADC behaviour
+  int mux_ratio = 8;               ///< bitlines per read circuit
+  int red_max_subcrossbars = 128;  ///< fold threshold of Sec. III-C
+  int red_fold = 0;                ///< 0 = auto (smallest power of two under threshold)
+  bool bit_accurate = false;       ///< use the slice/bit-plane functional path
+  bool tiled = false;              ///< price macros as bounded physical subarrays
+  /// Fraction of activations that are zero at runtime (post-ReLU data is
+  /// typically ~0.5). Scales the data-dependent energy terms analytically;
+  /// the structural latency (cycles) is unaffected.
+  double activation_sparsity = 0.0;
+  xbar::TilingConfig tiling;       ///< subarray geometry for tiled mode
+  tech::Calibration calib = tech::Calibration::defaults();
+  tech::TechNode node = tech::TechNode::node65();
+
+  void validate() const;
+};
+
+/// Activity measured during a functional run.
+struct RunStats {
+  std::int64_t cycles = 0;
+  xbar::MvmStats mvm;
+  std::int64_t overlap_adds = 0;
+  std::int64_t buffer_accesses = 0;
+};
+
+class Design {
+ public:
+  explicit Design(DesignConfig cfg);
+  virtual ~Design() = default;
+
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Exact structural activity for this layer (no tech constants).
+  [[nodiscard]] virtual LayerActivity activity(const nn::DeconvLayerSpec& spec) const = 0;
+
+  /// Execute the layer functionally through the crossbar pipeline.
+  [[nodiscard]] virtual Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
+                                                 const Tensor<std::int32_t>& input,
+                                                 const Tensor<std::int32_t>& kernel,
+                                                 RunStats* stats = nullptr) const = 0;
+
+  /// Calibrated cost of this layer (analytic; does not touch tensor data).
+  [[nodiscard]] CostReport cost(const nn::DeconvLayerSpec& spec) const;
+
+  [[nodiscard]] const DesignConfig& config() const { return cfg_; }
+
+ protected:
+  /// MVM helper honoring cfg_.bit_accurate.
+  [[nodiscard]] std::vector<std::int64_t> execute_mvm(const xbar::LogicalXbar& xbar,
+                                                      std::span<const std::int32_t> input,
+                                                      xbar::MvmStats* stats) const;
+
+  DesignConfig cfg_;
+};
+
+/// Map LayerActivity to component costs with the calibrated models. Exposed
+/// for tests and ablations; Design::cost is a thin wrapper.
+[[nodiscard]] CostReport compute_cost(const LayerActivity& act, const DesignConfig& cfg);
+
+/// Rewrite an activity description as if each logical macro were split onto
+/// bounded physical subarrays: periphery re-priced per subarray, partial-sum
+/// merges charged, under-utilized cells allocated. Used when cfg.tiled.
+[[nodiscard]] LayerActivity apply_tiling(const LayerActivity& act, const DesignConfig& cfg);
+
+/// Cost attribution of a *measured* functional run: the analytic activity's
+/// data-dependent counts (cycles, wordline drives, conversions, MAC pulses)
+/// are replaced by what the simulator actually observed, so the energy
+/// reflects the real tensor's bit density instead of the analytic average.
+[[nodiscard]] CostReport measured_cost(const LayerActivity& act, const RunStats& stats,
+                                       const DesignConfig& cfg);
+
+}  // namespace red::arch

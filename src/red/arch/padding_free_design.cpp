@@ -1,0 +1,105 @@
+#include "red/arch/padding_free_design.h"
+
+#include <vector>
+
+#include "red/common/contracts.h"
+
+namespace red::arch {
+
+LayerActivity PaddingFreeDesign::activity(const nn::DeconvLayerSpec& spec) const {
+  spec.validate();
+  const int slices = cfg_.quant.slices();
+  const int pulses = cfg_.quant.pulses();
+  const std::int64_t patch = std::int64_t{spec.kh} * spec.kw;
+
+  LayerActivity a;
+  a.design_name = name();
+  a.total_rows = spec.c;
+  a.out_phys_cols = patch * spec.m * slices;
+  a.macros = {MacroShape{spec.c, a.out_phys_cols, 1}};
+  a.cells = a.total_rows * a.out_phys_cols;
+  a.dec_units = 1;
+  a.dec_rows = spec.c;
+  a.sc_units = 1;
+  a.groups = 1;
+  a.wl_load_cols = a.out_phys_cols;
+  a.bl_load_rows = spec.c;
+  a.bl_weighted_cols = a.out_phys_cols * a.total_rows;
+
+  a.cycles = std::int64_t{spec.ih} * spec.iw;
+  a.row_drives = a.cycles * spec.c;  // inputs are dense: every row, every cycle
+  a.conversions = a.cycles * a.out_phys_cols * pulses;
+  a.mux_switches = a.conversions;
+  a.sa_ops = a.conversions;
+  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
+                 static_cast<double>(a.out_phys_cols);
+
+  a.patch_positions = patch;
+  a.overlap_adds = a.cycles * patch * spec.m;
+  a.buffer_accesses = 2 * a.overlap_adds;  // read-modify-write of the canvas
+  a.has_crop = true;
+  return a;
+}
+
+Tensor<std::int32_t> PaddingFreeDesign::run(const nn::DeconvLayerSpec& spec,
+                                            const Tensor<std::int32_t>& input,
+                                            const Tensor<std::int32_t>& kernel,
+                                            RunStats* stats) const {
+  spec.validate();
+  RED_EXPECTS(input.shape() == spec.input_shape());
+  RED_EXPECTS(kernel.shape() == spec.kernel_shape());
+
+  // Program the macro: column (i*KW + j)*M + m of row c holds W[i,j,c,m].
+  // (The paper's explicit 180-degree rotation and our scatter-form weights
+  //  cancel; see deconv_padding_free.h.)
+  const std::int64_t lcols = std::int64_t{spec.kh} * spec.kw * spec.m;
+  std::vector<std::int32_t> w(static_cast<std::size_t>(spec.c * lcols));
+  for (int c = 0; c < spec.c; ++c)
+    for (int i = 0; i < spec.kh; ++i)
+      for (int j = 0; j < spec.kw; ++j)
+        for (int m = 0; m < spec.m; ++m)
+          w[static_cast<std::size_t>(std::int64_t{c} * lcols +
+                                     (std::int64_t{i} * spec.kw + j) * spec.m + m)] =
+              kernel.at(i, j, c, m);
+  const xbar::LogicalXbar macro(spec.c, lcols, w, cfg_.quant);
+
+  const int canvas_h = (spec.ih - 1) * spec.stride + spec.kh;
+  const int canvas_w = (spec.iw - 1) * spec.stride + spec.kw;
+  Tensor<std::int32_t> canvas(Shape4{1, spec.m, canvas_h, canvas_w});
+  std::vector<std::int32_t> pixel(static_cast<std::size_t>(spec.c));
+
+  RunStats local;
+  for (int h = 0; h < spec.ih; ++h)
+    for (int wpix = 0; wpix < spec.iw; ++wpix) {
+      for (int c = 0; c < spec.c; ++c)
+        pixel[static_cast<std::size_t>(c)] = input.at(0, c, h, wpix);
+      const auto res = execute_mvm(macro, pixel, &local.mvm);
+      ++local.cycles;
+      // Overlap accumulation (step c of Algorithm 2).
+      for (int i = 0; i < spec.kh; ++i)
+        for (int j = 0; j < spec.kw; ++j)
+          for (int m = 0; m < spec.m; ++m) {
+            const auto v = res[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.m +
+                                                        m)];
+            canvas.at(0, m, h * spec.stride + i, wpix * spec.stride + j) +=
+                static_cast<std::int32_t>(v);
+            ++local.overlap_adds;
+            local.buffer_accesses += 2;
+          }
+    }
+
+  // Crop (step d).
+  const int oh = spec.oh(), ow = spec.ow();
+  Tensor<std::int32_t> out(spec.output_shape());
+  for (int m = 0; m < spec.m; ++m)
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x) {
+        const int cy = y + spec.pad;
+        const int cx = x + spec.pad;
+        if (cy < canvas_h && cx < canvas_w) out.at(0, m, y, x) = canvas.at(0, m, cy, cx);
+      }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace red::arch

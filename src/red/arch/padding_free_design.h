@@ -1,0 +1,27 @@
+// Padding-free design (Algorithm 2 mapped directly onto a ReRAM macro).
+//
+// Mapping (Fig. 3): C rows x KH*KW*M logical columns; one input pixel per
+// cycle (IH*IW cycles). The crossbar output is not final: an overlap
+// accumulator merges the per-pixel patches on a canvas buffer and a crop unit
+// trims the edges — the add-on circuitry that makes this design expensive on
+// ReRAM (Sec. III-A), on top of the quadratic wordline-driving cost of its
+// KH*KW*M-column output.
+#pragma once
+
+#include "red/arch/design.h"
+
+namespace red::arch {
+
+class PaddingFreeDesign final : public Design {
+ public:
+  explicit PaddingFreeDesign(DesignConfig cfg) : Design(std::move(cfg)) {}
+
+  [[nodiscard]] std::string name() const override { return "padding-free"; }
+  [[nodiscard]] LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
+                                         const Tensor<std::int32_t>& input,
+                                         const Tensor<std::int32_t>& kernel,
+                                         RunStats* stats = nullptr) const override;
+};
+
+}  // namespace red::arch

@@ -1,0 +1,34 @@
+#include "red/arch/programming.h"
+
+#include <cmath>
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::arch {
+
+std::int64_t ProgrammingCost::break_even_images(Picojoules per_image) const {
+  RED_EXPECTS(per_image.value() > 0.0);
+  return static_cast<std::int64_t>(std::ceil(energy.value() / per_image.value()));
+}
+
+ProgrammingCost programming_cost(const LayerActivity& act, const DesignConfig& cfg) {
+  cfg.validate();
+  const auto& cal = cfg.calib;
+  ProgrammingCost cost;
+  cost.cells = act.cells;
+  cost.write_pulses = static_cast<double>(act.cells) * cal.write_verify_pulses;
+  cost.energy = Picojoules{cost.write_pulses * cal.e_write_pulse};
+  // Rows program serially (per macro, `parallel_write_rows` at a time); all
+  // macros program concurrently, so the slowest macro sets the latency.
+  double worst_rows = 0;
+  for (const auto& m : act.macros)
+    worst_rows = std::max(worst_rows, static_cast<double>(m.rows));
+  if (act.macros.empty()) worst_rows = static_cast<double>(act.total_rows);
+  const double row_batches = std::ceil(worst_rows / std::max(1.0, cal.parallel_write_rows));
+  cost.latency =
+      Nanoseconds{row_batches * cal.write_verify_pulses * cal.t_write_pulse};
+  return cost;
+}
+
+}  // namespace red::arch

@@ -1,0 +1,31 @@
+// One-time weight programming cost (write-and-verify).
+//
+// PIM weights stay resident, so programming is paid once per deployment and
+// amortizes over inference. ReRAM writes are slow (tens of ns) and energetic
+// (pJ per pulse), so the break-even image count against a design's per-image
+// energy is a real deployment quantity — reported by the network bench.
+#pragma once
+
+#include <cstdint>
+
+#include "red/arch/activity.h"
+#include "red/arch/design.h"
+#include "red/common/units.h"
+
+namespace red::arch {
+
+struct ProgrammingCost {
+  std::int64_t cells = 0;
+  double write_pulses = 0;  ///< total pulses incl. verify retries
+  Nanoseconds latency;      ///< row-serial programming time
+  Picojoules energy;
+
+  /// Images needed before programming energy amortizes below `per_image`.
+  [[nodiscard]] std::int64_t break_even_images(Picojoules per_image) const;
+};
+
+/// Programming cost of one layer's crossbars under a design.
+[[nodiscard]] ProgrammingCost programming_cost(const LayerActivity& act,
+                                               const DesignConfig& cfg);
+
+}  // namespace red::arch

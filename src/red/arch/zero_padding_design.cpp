@@ -1,0 +1,85 @@
+#include "red/arch/zero_padding_design.h"
+
+#include <vector>
+
+#include "red/common/contracts.h"
+#include "red/nn/conv.h"
+#include "red/nn/deconv_zero_padding.h"
+#include "red/nn/redundancy.h"
+
+namespace red::arch {
+
+LayerActivity ZeroPaddingDesign::activity(const nn::DeconvLayerSpec& spec) const {
+  spec.validate();
+  const int slices = cfg_.quant.slices();
+  const int pulses = cfg_.quant.pulses();
+
+  LayerActivity a;
+  a.design_name = name();
+  a.total_rows = std::int64_t{spec.kh} * spec.kw * spec.c;
+  a.out_phys_cols = std::int64_t{spec.m} * slices;
+  a.macros = {MacroShape{a.total_rows, a.out_phys_cols, 1}};
+  a.cells = a.total_rows * a.out_phys_cols;
+  a.dec_units = 1;
+  a.dec_rows = a.total_rows;
+  a.sc_units = 1;
+  a.groups = 1;
+  a.wl_load_cols = a.out_phys_cols;
+  a.bl_load_rows = a.total_rows;
+  a.bl_weighted_cols = a.out_phys_cols * a.total_rows;
+
+  a.cycles = std::int64_t{spec.oh()} * spec.ow();
+  a.row_drives = nn::structural_window_hits(spec) * spec.c;
+  a.conversions = a.cycles * a.out_phys_cols * pulses;
+  a.mux_switches = a.conversions;
+  a.sa_ops = a.conversions;
+  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
+                 static_cast<double>(a.out_phys_cols);
+  return a;
+}
+
+Tensor<std::int32_t> ZeroPaddingDesign::run(const nn::DeconvLayerSpec& spec,
+                                            const Tensor<std::int32_t>& input,
+                                            const Tensor<std::int32_t>& kernel,
+                                            RunStats* stats) const {
+  spec.validate();
+  RED_EXPECTS(input.shape() == spec.input_shape());
+  RED_EXPECTS(kernel.shape() == spec.kernel_shape());
+
+  // Program the macro: row (i*KW + j)*C + c holds the 180-degree-rotated
+  // kernel (the stride-1 convolution form of Algorithm 1, step b).
+  const Tensor<std::int32_t> rot = nn::rotate180(kernel);
+  const std::int64_t rows = std::int64_t{spec.kh} * spec.kw * spec.c;
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows * spec.m));
+  for (int i = 0; i < spec.kh; ++i)
+    for (int j = 0; j < spec.kw; ++j)
+      for (int c = 0; c < spec.c; ++c) {
+        const std::int64_t r = (std::int64_t{i} * spec.kw + j) * spec.c + c;
+        for (int m = 0; m < spec.m; ++m)
+          w[static_cast<std::size_t>(r * spec.m + m)] = rot.at(i, j, c, m);
+      }
+  const xbar::LogicalXbar macro(rows, spec.m, w, cfg_.quant);
+
+  const Tensor<std::int32_t> padded = nn::zero_pad_input(spec, input);
+  const int oh = spec.oh(), ow = spec.ow();
+  Tensor<std::int32_t> out(spec.output_shape());
+  std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
+
+  RunStats local;
+  for (int y = 0; y < oh; ++y)
+    for (int x = 0; x < ow; ++x) {
+      for (int i = 0; i < spec.kh; ++i)
+        for (int j = 0; j < spec.kw; ++j)
+          for (int c = 0; c < spec.c; ++c)
+            window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
+                padded.at(0, c, y + i, x + j);
+      const auto res = execute_mvm(macro, window, &local.mvm);
+      ++local.cycles;
+      for (int m = 0; m < spec.m; ++m)
+        out.at(0, m, y, x) = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
+    }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace red::arch

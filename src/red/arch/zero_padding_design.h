@@ -1,0 +1,27 @@
+// Zero-padding design (Algorithm 1 on a conventional ReRAM CNN accelerator,
+// the ReGAN-style baseline everything is normalized to).
+//
+// Mapping (Fig. 3): one macro of KH*KW*C rows x M logical columns; each cycle
+// feeds one padded-input window and yields one pixel of every output map, so
+// the layer takes OH*OW cycles. The padded windows are mostly zeros
+// (Fig. 4), so most cycles drive few wordlines yet still pay full decode,
+// conversion, and shift-add work — the redundancy RED removes.
+#pragma once
+
+#include "red/arch/design.h"
+
+namespace red::arch {
+
+class ZeroPaddingDesign final : public Design {
+ public:
+  explicit ZeroPaddingDesign(DesignConfig cfg) : Design(std::move(cfg)) {}
+
+  [[nodiscard]] std::string name() const override { return "zero-padding"; }
+  [[nodiscard]] LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
+                                         const Tensor<std::int32_t>& input,
+                                         const Tensor<std::int32_t>& kernel,
+                                         RunStats* stats = nullptr) const override;
+};
+
+}  // namespace red::arch

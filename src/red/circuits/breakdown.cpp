@@ -1,0 +1,49 @@
+#include "red/circuits/breakdown.h"
+
+namespace red::circuits {
+
+std::string component_name(Component c) {
+  switch (c) {
+    case Component::kComputation:
+      return "Computation";
+    case Component::kWordlineDriving:
+      return "Wordline Driving";
+    case Component::kBitlineDriving:
+      return "Bitline Driving";
+    case Component::kDecoder:
+      return "Decoder";
+    case Component::kMultiplexer:
+      return "Multiplexer";
+    case Component::kReadCircuit:
+      return "Read Circuit / Integrate & Fire";
+    case Component::kShiftAdder:
+      return "Shift Adder";
+    case Component::kOther:
+      return "Add-on (overlap add / buffer / crop)";
+  }
+  return "?";
+}
+
+std::string component_abbrev(Component c) {
+  switch (c) {
+    case Component::kComputation:
+      return "c";
+    case Component::kWordlineDriving:
+      return "wd";
+    case Component::kBitlineDriving:
+      return "bd";
+    case Component::kDecoder:
+      return "dec";
+    case Component::kMultiplexer:
+      return "mux";
+    case Component::kReadCircuit:
+      return "rc";
+    case Component::kShiftAdder:
+      return "sa";
+    case Component::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,48 @@
+// Table II breakdown components and their array/periphery grouping.
+//
+//   Array (a):      Computation (c), Wordline Driving (wd), Bitline Driving (bd)
+//   Periphery (pp): Multiplexer (mux), Decoder (dec), Read Circuit (rc),
+//                   Shift Adder (sa)
+// kOther collects the padding-free design's add-on circuitry (overlap adders,
+// accumulation buffer, crop unit); it belongs to the periphery group.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace red::circuits {
+
+enum class Component {
+  kComputation = 0,
+  kWordlineDriving,
+  kBitlineDriving,
+  kDecoder,
+  kMultiplexer,
+  kReadCircuit,
+  kShiftAdder,
+  kOther,
+};
+
+inline constexpr int kNumComponents = 8;
+
+[[nodiscard]] constexpr std::array<Component, kNumComponents> all_components() {
+  return {Component::kComputation,  Component::kWordlineDriving, Component::kBitlineDriving,
+          Component::kDecoder,      Component::kMultiplexer,     Component::kReadCircuit,
+          Component::kShiftAdder,   Component::kOther};
+}
+
+/// Full name as in Table II, e.g. "Wordline Driving".
+[[nodiscard]] std::string component_name(Component c);
+
+/// Paper abbreviation, e.g. "wd".
+[[nodiscard]] std::string component_abbrev(Component c);
+
+/// True for the array group (c, wd, bd) of Table II.
+[[nodiscard]] constexpr bool is_array_component(Component c) {
+  return c == Component::kComputation || c == Component::kWordlineDriving ||
+         c == Component::kBitlineDriving;
+}
+
+[[nodiscard]] constexpr int component_index(Component c) { return static_cast<int>(c); }
+
+}  // namespace red::circuits

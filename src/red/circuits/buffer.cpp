@@ -1,0 +1,19 @@
+#include "red/circuits/buffer.h"
+
+#include "red/common/contracts.h"
+
+namespace red::circuits {
+
+SramBuffer::SramBuffer(std::int64_t bits, const tech::Calibration& cal) : bits_(bits), cal_(cal) {
+  RED_EXPECTS(bits >= 1);
+}
+
+Nanoseconds SramBuffer::access_latency() const { return Nanoseconds{cal_.t_buf_access}; }
+
+Picojoules SramBuffer::energy_per_access() const { return Picojoules{cal_.e_buf}; }
+
+SquareMicrons SramBuffer::area() const {
+  return SquareMicrons{cal_.a_buf_per_bit * static_cast<double>(bits_)};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,25 @@
+// SRAM accumulation buffer model (used by the padding-free design's canvas).
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class SramBuffer {
+ public:
+  SramBuffer(std::int64_t bits, const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t bits() const { return bits_; }
+  [[nodiscard]] Nanoseconds access_latency() const;
+  [[nodiscard]] Picojoules energy_per_access() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t bits_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

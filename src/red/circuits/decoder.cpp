@@ -1,0 +1,27 @@
+#include "red/circuits/decoder.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+RowDecoder::RowDecoder(std::int64_t rows, bool sub_crossbar, const tech::Calibration& cal)
+    : rows_(rows), sub_crossbar_(sub_crossbar), cal_(cal) {
+  RED_EXPECTS(rows >= 1);
+}
+
+Nanoseconds RowDecoder::latency() const {
+  return Nanoseconds{cal_.t_dec_base + cal_.t_dec_per_bit * ilog2_ceil(rows_)};
+}
+
+Picojoules RowDecoder::energy_per_cycle() const {
+  const double base = sub_crossbar_ ? cal_.e_dec_base : cal_.e_dec_base;
+  return Picojoules{base + cal_.e_dec_per_row * static_cast<double>(rows_)};
+}
+
+SquareMicrons RowDecoder::area() const {
+  const double base = sub_crossbar_ ? cal_.a_sc_base : cal_.a_dec_base;
+  return SquareMicrons{base + cal_.a_dec_per_row * static_cast<double>(rows_)};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,35 @@
+// Row decoder / input register model.
+//
+// Addresses `rows` wordlines: latency scales with address depth (log2 rows),
+// energy with the rows whose input registers are clocked each cycle, area
+// with the row count plus a fixed base. A macro split into sub-crossbars
+// (RED) uses one small decoder per SC with a reduced base cost (the SC shares
+// the bank-level control).
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class RowDecoder {
+ public:
+  RowDecoder(std::int64_t rows, bool sub_crossbar, const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+
+  /// Decode latency per cycle.
+  [[nodiscard]] Nanoseconds latency() const;
+  /// Energy per cycle (base + per clocked row).
+  [[nodiscard]] Picojoules energy_per_cycle() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t rows_;
+  bool sub_crossbar_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,51 @@
+#include "red/circuits/drivers.h"
+
+#include "red/common/contracts.h"
+
+namespace red::circuits {
+
+WordlineDriver::WordlineDriver(std::int64_t rows, std::int64_t load_cols, int input_bits,
+                               const tech::Calibration& cal)
+    : rows_(rows), load_cols_(load_cols), input_bits_(input_bits), cal_(cal) {
+  RED_EXPECTS(rows >= 1 && load_cols >= 1 && input_bits >= 1);
+}
+
+double WordlineDriver::upsize_factor() const {
+  return 1.0 + static_cast<double>(load_cols_) / cal_.wd_upsize_cols;
+}
+
+Nanoseconds WordlineDriver::latency() const {
+  const double cols = static_cast<double>(load_cols_);
+  return Nanoseconds{cal_.t_wd_base + cal_.t_pulse_per_bit * input_bits_ +
+                     cal_.t_wd_wire_col2 * cols * cols};
+}
+
+Picojoules WordlineDriver::energy_per_row_drive() const {
+  const double cols = static_cast<double>(load_cols_);
+  return Picojoules{cal_.e_wd_base + cal_.e_wd_per_col * cols * upsize_factor()};
+}
+
+SquareMicrons WordlineDriver::area() const {
+  return SquareMicrons{cal_.a_wd_per_row * static_cast<double>(rows_) * upsize_factor()};
+}
+
+BitlineDriver::BitlineDriver(std::int64_t cols, std::int64_t load_rows,
+                             const tech::Calibration& cal)
+    : cols_(cols), load_rows_(load_rows), cal_(cal) {
+  RED_EXPECTS(cols >= 1 && load_rows >= 1);
+}
+
+Nanoseconds BitlineDriver::latency() const {
+  const double rows = static_cast<double>(load_rows_);
+  return Nanoseconds{cal_.t_bd_base + cal_.t_bd_wire_row2 * rows * rows};
+}
+
+Picojoules BitlineDriver::energy_per_conversion() const {
+  return Picojoules{cal_.e_bd_per_row * static_cast<double>(load_rows_)};
+}
+
+SquareMicrons BitlineDriver::area() const {
+  return SquareMicrons{cal_.a_bd_per_col * static_cast<double>(cols_)};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,55 @@
+// Wordline and bitline driver models.
+//
+// The wordline driver streams the bit-serial input pulses onto a line loaded
+// by `load_cols` cells: its delay has a distributed-RC term quadratic in the
+// line length and its per-drive energy grows superlinearly (wire CV^2 times a
+// driver-upsizing factor). This is the mechanism behind the paper's
+// observation that "the wordline/bitline driving power increases in a
+// quadratic relation with the column number" (Sec. III-A), which penalizes
+// the padding-free design's KH*KW*M-column output.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class WordlineDriver {
+ public:
+  WordlineDriver(std::int64_t rows, std::int64_t load_cols, int input_bits,
+                 const tech::Calibration& cal);
+
+  /// Per-cycle latency: turn-on + bit-serial pulse streaming + wire RC.
+  [[nodiscard]] Nanoseconds latency() const;
+  /// Energy for driving one row for one full input (all bit planes).
+  [[nodiscard]] Picojoules energy_per_row_drive() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+  [[nodiscard]] double upsize_factor() const;
+
+ private:
+  std::int64_t rows_;
+  std::int64_t load_cols_;
+  int input_bits_;
+  tech::Calibration cal_;
+};
+
+class BitlineDriver {
+ public:
+  BitlineDriver(std::int64_t cols, std::int64_t load_rows, const tech::Calibration& cal);
+
+  /// Per-cycle latency: precharge + wire RC along the (row-direction) line.
+  [[nodiscard]] Nanoseconds latency() const;
+  /// Energy per column conversion (precharging a line of `load_rows` cells).
+  [[nodiscard]] Picojoules energy_per_conversion() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t cols_;
+  std::int64_t load_rows_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,49 @@
+#include "red/circuits/interconnect.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+HTree::HTree(std::int64_t nodes, double bank_edge_mm, const tech::Calibration& cal)
+    : nodes_(nodes), bank_edge_mm_(bank_edge_mm), cal_(cal) {
+  RED_EXPECTS(nodes >= 1);
+  RED_EXPECTS(bank_edge_mm > 0.0);
+}
+
+int HTree::levels() const { return nodes_ <= 1 ? 0 : ilog2_ceil(nodes_); }
+
+double HTree::path_mm() const {
+  // Link lengths halve per level: edge/2 + edge/4 + ... (levels terms).
+  double len = 0.0;
+  double seg = bank_edge_mm_ / 2.0;
+  for (int l = 0; l < levels(); ++l) {
+    len += seg;
+    seg /= 2.0;
+  }
+  return len;
+}
+
+double HTree::total_wire_mm() const {
+  // Level l has 2^(l+1) links of length edge/2^(l+1).
+  double total = 0.0;
+  for (int l = 0; l < levels(); ++l) {
+    const double links = static_cast<double>(std::int64_t{1} << (l + 1));
+    total += links * (bank_edge_mm_ / static_cast<double>(std::int64_t{2} << l) / 2.0);
+  }
+  return total;
+}
+
+Nanoseconds HTree::latency_per_transfer() const {
+  return Nanoseconds{cal_.htree_ns_per_mm * path_mm()};
+}
+
+Picojoules HTree::energy_per_bit() const {
+  return Picojoules{cal_.htree_wire_pj_per_mm_bit * path_mm()};
+}
+
+SquareMicrons HTree::area() const {
+  return SquareMicrons{cal_.htree_um2_per_mm_link * total_wire_mm()};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,38 @@
+// H-tree interconnect distributing inputs to subarrays and collecting
+// outputs within a bank (the routing fabric implied by Fig. 1(c)).
+//
+// A binary H-tree over `nodes` leaves: levels = ceil(log2(nodes)); link
+// length halves per level starting from half the bank edge. Costs scale per
+// transported bit: energy per bit-mm, latency per mm of the root-to-leaf
+// path, area per mm of total wiring.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class HTree {
+ public:
+  /// `nodes` leaves (subarrays), spread over a square bank of `bank_edge_mm`.
+  HTree(std::int64_t nodes, double bank_edge_mm, const tech::Calibration& cal);
+
+  [[nodiscard]] int levels() const;
+  /// Root-to-leaf path length (mm).
+  [[nodiscard]] double path_mm() const;
+  /// Total wiring length over the whole tree (mm).
+  [[nodiscard]] double total_wire_mm() const;
+
+  [[nodiscard]] Nanoseconds latency_per_transfer() const;
+  [[nodiscard]] Picojoules energy_per_bit() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t nodes_;
+  double bank_edge_mm_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,23 @@
+#include "red/circuits/mux.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+ColumnMux::ColumnMux(std::int64_t cols, int mux_ratio, const tech::Calibration& cal)
+    : cols_(cols), mux_ratio_(mux_ratio), cal_(cal) {
+  RED_EXPECTS(cols >= 1 && mux_ratio >= 1);
+}
+
+std::int64_t ColumnMux::groups() const { return ceil_div(cols_, std::int64_t{mux_ratio_}); }
+
+Nanoseconds ColumnMux::latency() const { return Nanoseconds{cal_.t_mux}; }
+
+Picojoules ColumnMux::energy_per_switch() const { return Picojoules{cal_.e_mux}; }
+
+SquareMicrons ColumnMux::area() const {
+  return SquareMicrons{cal_.a_mux_per_col * static_cast<double>(cols_)};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,30 @@
+// Column multiplexer: shares one read circuit among `mux_ratio` bitlines.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class ColumnMux {
+ public:
+  ColumnMux(std::int64_t cols, int mux_ratio, const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] int mux_ratio() const { return mux_ratio_; }
+  /// Number of read-circuit groups behind the mux.
+  [[nodiscard]] std::int64_t groups() const;
+
+  [[nodiscard]] Nanoseconds latency() const;
+  [[nodiscard]] Picojoules energy_per_switch() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t cols_;
+  int mux_ratio_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,48 @@
+#include "red/circuits/overlap.h"
+
+#include <cmath>
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+OverlapAccumulator::OverlapAccumulator(std::int64_t patch_positions, std::int64_t cols_phys,
+                                       int mux_ratio, const tech::Calibration& cal)
+    : patch_positions_(patch_positions), cols_phys_(cols_phys), mux_ratio_(mux_ratio), cal_(cal) {
+  RED_EXPECTS(patch_positions >= 1 && cols_phys >= 1 && mux_ratio >= 1);
+}
+
+std::int64_t OverlapAccumulator::adder_units() const {
+  // Adders are shared across the patch positions (serialized writes), so the
+  // bank is sized by one position's physical column count.
+  return ceil_div(cols_phys_ / std::max<std::int64_t>(patch_positions_, 1),
+                  std::int64_t{mux_ratio_}) +
+         1;
+}
+
+std::int64_t OverlapAccumulator::buffer_bits() const {
+  return cols_phys_ * cal_.buf_bits_per_value;
+}
+
+Nanoseconds OverlapAccumulator::latency() const {
+  const int tree_stages = ilog2_ceil(patch_positions_ + 1);
+  return Nanoseconds{cal_.t_tree_stage * tree_stages +
+                     cal_.t_buf_serial * static_cast<double>(patch_positions_) +
+                     cal_.t_buf_access};
+}
+
+Picojoules OverlapAccumulator::energy_per_add() const { return Picojoules{cal_.e_add}; }
+
+Picojoules OverlapAccumulator::energy_per_buffer_access() const { return Picojoules{cal_.e_buf}; }
+
+SquareMicrons OverlapAccumulator::area() const {
+  return SquareMicrons{cal_.a_add_unit * static_cast<double>(adder_units()) +
+                       cal_.a_buf_per_bit * static_cast<double>(buffer_bits())};
+}
+
+CropUnit::CropUnit(const tech::Calibration& cal) : cal_(cal) {}
+
+SquareMicrons CropUnit::area() const { return SquareMicrons{cal_.a_crop_unit}; }
+
+}  // namespace red::circuits

@@ -1,0 +1,51 @@
+// Padding-free add-on circuitry: overlap accumulator and crop unit
+// (steps c and d of Algorithm 2).
+//
+// These are exactly the "dedicated circuit support and extra area cost" the
+// paper charges to the padding-free design on ReRAM (Sec. III-A). The
+// accumulator merges each cycle's KH*KW*M patch values into a canvas buffer
+// through a bank of time-shared adders; the writes serialize over the KH*KW
+// patch positions, which is what caps the padding-free design's speedup on
+// large FCN kernels.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class OverlapAccumulator {
+ public:
+  /// `patch_positions` = KH*KW, `cols_phys` = physical output columns
+  /// (KH*KW*M*slices), `mux_ratio` shares adders like the read circuits.
+  OverlapAccumulator(std::int64_t patch_positions, std::int64_t cols_phys, int mux_ratio,
+                     const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t adder_units() const;
+  [[nodiscard]] std::int64_t buffer_bits() const;
+
+  /// Per-cycle latency: adder-tree stages + serialized canvas writes.
+  [[nodiscard]] Nanoseconds latency() const;
+  [[nodiscard]] Picojoules energy_per_add() const;
+  [[nodiscard]] Picojoules energy_per_buffer_access() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t patch_positions_;
+  std::int64_t cols_phys_;
+  int mux_ratio_;
+  tech::Calibration cal_;
+};
+
+class CropUnit {
+ public:
+  explicit CropUnit(const tech::Calibration& cal);
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,23 @@
+#include "red/circuits/read_circuit.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+ReadCircuit::ReadCircuit(std::int64_t cols, int mux_ratio, const tech::Calibration& cal)
+    : cols_(cols), mux_ratio_(mux_ratio), cal_(cal) {
+  RED_EXPECTS(cols >= 1 && mux_ratio >= 1);
+}
+
+std::int64_t ReadCircuit::units() const { return ceil_div(cols_, std::int64_t{mux_ratio_}); }
+
+Nanoseconds ReadCircuit::latency() const { return Nanoseconds{cal_.t_conv * mux_ratio_}; }
+
+Picojoules ReadCircuit::energy_per_conversion() const { return Picojoules{cal_.e_conv}; }
+
+SquareMicrons ReadCircuit::area() const {
+  return SquareMicrons{cal_.a_conv_unit * static_cast<double>(units())};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,32 @@
+// Read circuit: integrate-&-fire conversion of bitline currents to digits.
+//
+// One I&F unit per mux group; within a cycle each unit serially converts its
+// `mux_ratio` columns (per input bit plane the counters integrate during the
+// pulse, so only the final sampling is serialized).
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class ReadCircuit {
+ public:
+  ReadCircuit(std::int64_t cols, int mux_ratio, const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t units() const;
+
+  /// Per-cycle latency (mux_ratio serialized samplings).
+  [[nodiscard]] Nanoseconds latency() const;
+  [[nodiscard]] Picojoules energy_per_conversion() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t cols_;
+  int mux_ratio_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,26 @@
+#include "red/circuits/shift_adder.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::circuits {
+
+ShiftAdder::ShiftAdder(std::int64_t cols, int mux_ratio, int extra_stages,
+                       const tech::Calibration& cal)
+    : cols_(cols), mux_ratio_(mux_ratio), extra_stages_(extra_stages), cal_(cal) {
+  RED_EXPECTS(cols >= 1 && mux_ratio >= 1 && extra_stages >= 0);
+}
+
+std::int64_t ShiftAdder::units() const { return ceil_div(cols_, std::int64_t{mux_ratio_}); }
+
+Nanoseconds ShiftAdder::latency() const {
+  return Nanoseconds{cal_.t_sa + cal_.t_sa_stage * extra_stages_};
+}
+
+Picojoules ShiftAdder::energy_per_op() const { return Picojoules{cal_.e_sa}; }
+
+SquareMicrons ShiftAdder::area() const {
+  return SquareMicrons{cal_.a_sa_unit * static_cast<double>(units())};
+}
+
+}  // namespace red::circuits

@@ -1,0 +1,30 @@
+// Shift-adder: recombines weight bit-slices and input bit-planes, and (in
+// RED) accumulates the vertically-summed sub-crossbar partials across folded
+// cycles. `extra_stages` models the deeper accumulation tree RED needs when a
+// computation-mode group stacks several sub-crossbars on one bitline.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/units.h"
+#include "red/tech/calibration.h"
+
+namespace red::circuits {
+
+class ShiftAdder {
+ public:
+  ShiftAdder(std::int64_t cols, int mux_ratio, int extra_stages, const tech::Calibration& cal);
+
+  [[nodiscard]] std::int64_t units() const;
+  [[nodiscard]] Nanoseconds latency() const;
+  [[nodiscard]] Picojoules energy_per_op() const;
+  [[nodiscard]] SquareMicrons area() const;
+
+ private:
+  std::int64_t cols_;
+  int mux_ratio_;
+  int extra_stages_;
+  tech::Calibration cal_;
+};
+
+}  // namespace red::circuits

@@ -1,0 +1,43 @@
+// Lightweight contract macros (Core Guidelines I.6/I.8 style).
+//
+// RED_EXPECTS checks a precondition, RED_ENSURES a postcondition. Both are
+// always enabled: the simulator is a research tool where silent corruption is
+// far worse than the cost of a branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "red/common/error.h"
+
+namespace red::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace red::detail
+
+#define RED_EXPECTS(cond)                                                              \
+  do {                                                                                 \
+    if (!(cond)) ::red::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RED_EXPECTS_MSG(cond, msg)                                                     \
+  do {                                                                                 \
+    if (!(cond)) ::red::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RED_ENSURES(cond)                                                              \
+  do {                                                                                 \
+    if (!(cond)) ::red::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define RED_ENSURES_MSG(cond, msg)                                                     \
+  do {                                                                                 \
+    if (!(cond)) ::red::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

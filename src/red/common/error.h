@@ -1,0 +1,38 @@
+// Error types shared across the RED libraries.
+//
+// Following the C++ Core Guidelines (E.2), errors that a caller cannot be
+// expected to handle locally are reported via exceptions derived from
+// std::exception. Contract violations (precondition/postcondition failures)
+// use ContractViolation so tests can assert on them precisely.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace red {
+
+/// Base class for all errors thrown by the RED libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A precondition, postcondition, or invariant was violated.
+class ContractViolation final : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+/// A configuration (layer spec, design parameter, tech parameter) is invalid.
+class ConfigError final : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Two tensors/values expected to agree did not (functional mismatch).
+class MismatchError final : public Error {
+ public:
+  explicit MismatchError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace red

@@ -1,0 +1,95 @@
+#include "red/common/flags.h"
+
+#include <stdexcept>
+
+#include "red/common/error.h"
+
+namespace red {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+Flags Flags::parse(const std::vector<std::string>& args) {
+  Flags flags;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& tok = args[i];
+    if (tok.rfind("--", 0) == 0) {
+      const std::string name = tok.substr(2);
+      if (name.empty()) throw ConfigError("empty flag name '--'");
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        flags.values_[name] = args[i + 1];
+        ++i;
+      } else {
+        flags.values_[name] = "true";
+      }
+    } else {
+      flags.positional_.push_back(tok);
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) throw ConfigError("missing required flag --" + name);
+  return it->second;
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_)
+    if (queried_.count(name) == 0) out.push_back(name);
+  return out;
+}
+
+}  // namespace red

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the CLI tool and ad-hoc harnesses.
+//
+// Grammar: positional words and `--name value` / `--name` (boolean) pairs.
+// No global registry, no statics — parse produces a value-semantic Flags
+// object (Core Guidelines I.3: avoid singletons).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace red {
+
+class Flags {
+ public:
+  /// Parse argv (excluding argv[0]). A token `--x` followed by another flag
+  /// or end-of-line is boolean true; otherwise it captures the next token.
+  [[nodiscard]] static Flags parse(int argc, const char* const* argv);
+  [[nodiscard]] static Flags parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of --name; throws ConfigError if absent (use has() or defaults).
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;  ///< present and not "false"
+
+  /// Names that were parsed but never queried — typo detection for the CLI.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace red

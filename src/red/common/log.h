@@ -1,0 +1,25 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator libraries never print on their own; benches and examples opt
+// in. Kept deliberately tiny — no formatting DSL, no global configuration
+// file — per Core Guidelines "keep interfaces minimal".
+#pragma once
+
+#include <string>
+
+namespace red {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+}  // namespace red

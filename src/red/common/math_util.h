@@ -1,0 +1,47 @@
+// Small integer math helpers used across the cost models and schedulers.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "red/common/contracts.h"
+
+namespace red {
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+[[nodiscard]] constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  RED_EXPECTS(b > 0);
+  RED_EXPECTS(a >= 0);
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr int ilog2_floor(std::int64_t x) {
+  RED_EXPECTS(x >= 1);
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1; number of address bits needed for x entries.
+[[nodiscard]] constexpr int ilog2_ceil(std::int64_t x) {
+  RED_EXPECTS(x >= 1);
+  const int f = ilog2_floor(x);
+  return (std::int64_t{1} << f) == x ? f : f + 1;
+}
+
+/// True if x is a power of two (x >= 1).
+[[nodiscard]] constexpr bool is_pow2(std::int64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+/// Round x up to the next multiple of m (m > 0).
+template <typename T>
+[[nodiscard]] constexpr T round_up(T x, T m) {
+  return ceil_div(x, m) * m;
+}
+
+}  // namespace red

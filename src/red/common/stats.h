@@ -1,0 +1,51 @@
+// Streaming statistics accumulator (Welford) for the noise/variation studies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "red/common/contracts.h"
+
+namespace red {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const {
+    RED_EXPECTS(n_ > 0);
+    return mean_;
+  }
+  [[nodiscard]] double variance() const {
+    RED_EXPECTS(n_ > 1);
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    RED_EXPECTS(n_ > 0);
+    return min_;
+  }
+  [[nodiscard]] double max() const {
+    RED_EXPECTS(n_ > 0);
+    return max_;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace red

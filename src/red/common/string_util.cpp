@@ -1,0 +1,43 @@
+#include "red/common/string_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "red/common/contracts.h"
+
+namespace red {
+
+std::string format_double(double v, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << v;
+  return os.str();
+}
+
+std::string format_percent(double ratio, int decimals) {
+  return format_double(ratio * 100.0, decimals) + "%";
+}
+
+std::string format_speedup(double v, int decimals) { return format_double(v, decimals) + "x"; }
+
+std::string ascii_bar(double value, double max, int width) {
+  RED_EXPECTS(width > 0);
+  RED_EXPECTS(max > 0.0);
+  const int filled = static_cast<int>(std::lround(std::clamp(value / max, 0.0, 1.0) * width));
+  std::string bar(static_cast<std::size_t>(filled), '#');
+  bar.append(static_cast<std::size_t>(width - filled), '.');
+  return bar;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace red

@@ -1,0 +1,25 @@
+// String formatting helpers for reports and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace red {
+
+/// Format a double with `digits` significant-looking decimals, e.g. 3.1416 -> "3.14".
+[[nodiscard]] std::string format_double(double v, int decimals = 2);
+
+/// Format a ratio as a percentage string, e.g. 0.8636 -> "86.36%".
+[[nodiscard]] std::string format_percent(double ratio, int decimals = 2);
+
+/// Format a speedup, e.g. 31.1532 -> "31.15x".
+[[nodiscard]] std::string format_speedup(double v, int decimals = 2);
+
+/// Render a horizontal ASCII bar of `width` cells filled proportionally to
+/// value/max (used for in-terminal figure reproductions).
+[[nodiscard]] std::string ascii_bar(double value, double max, int width = 40);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+}  // namespace red

@@ -1,0 +1,103 @@
+#include "red/common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "red/common/contracts.h"
+
+namespace red {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  RED_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RED_EXPECTS_MSG(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(const std::vector<std::string>& header,
+                                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c) w[c] = std::max(w[c], row[c].size());
+  return w;
+}
+
+void write_padded(std::ostringstream& os, const std::string& s, std::size_t width) {
+  os << s;
+  for (std::size_t i = s.size(); i < width; ++i) os << ' ';
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::to_ascii() const {
+  const auto w = column_widths(header_, rows_);
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << "  ";
+    write_padded(os, header_[c], w[c]);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << "  ";
+    os << std::string(w[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      write_padded(os, row[c], w[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TextTable::to_markdown() const {
+  std::ostringstream os;
+  os << "|";
+  for (const auto& h : header_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << "|";
+    for (const auto& cell : row) os << ' ' << cell << " |";
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) os << ',';
+    os << csv_escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace red

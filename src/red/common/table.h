@@ -1,0 +1,32 @@
+// Plain-text table rendering for benches and reports.
+//
+// Supports aligned ASCII (for terminals), Markdown (for EXPERIMENTS.md), and
+// CSV (for downstream plotting).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace red {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace red

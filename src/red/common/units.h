@@ -1,0 +1,86 @@
+// Strong unit types for the cost models.
+//
+// Latency, energy, and area travel through many formulas; mixing them up is
+// an easy silent bug. Each quantity is a tiny value type wrapping a double
+// with only the arithmetic that makes physical sense (Core Guidelines P.1:
+// express ideas directly in code).
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+
+namespace red {
+
+namespace detail {
+
+/// CRTP base providing the arithmetic shared by all scalar unit types.
+template <typename Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.value_ + b.value_}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.value_ - b.value_}; }
+  friend constexpr Derived operator*(Derived a, double k) { return Derived{a.value_ * k}; }
+  friend constexpr Derived operator*(double k, Derived a) { return Derived{a.value_ * k}; }
+  friend constexpr Derived operator/(Derived a, double k) { return Derived{a.value_ / k}; }
+  /// Ratio of two like quantities is a plain number.
+  friend constexpr double operator/(Derived a, Derived b) { return a.value_ / b.value_; }
+  friend constexpr auto operator<=>(UnitBase a, UnitBase b) = default;
+
+  constexpr Derived& operator+=(Derived b) {
+    value_ += b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    value_ -= b.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double k) {
+    value_ *= k;
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Time in nanoseconds.
+class Nanoseconds final : public detail::UnitBase<Nanoseconds> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+/// Energy in picojoules.
+class Picojoules final : public detail::UnitBase<Picojoules> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+/// Area in square micrometers.
+class SquareMicrons final : public detail::UnitBase<SquareMicrons> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Nanoseconds v) { return os << v.value() << " ns"; }
+inline std::ostream& operator<<(std::ostream& os, Picojoules v) { return os << v.value() << " pJ"; }
+inline std::ostream& operator<<(std::ostream& os, SquareMicrons v) {
+  return os << v.value() << " um^2";
+}
+
+namespace unit_literals {
+constexpr Nanoseconds operator""_ns(long double v) { return Nanoseconds{static_cast<double>(v)}; }
+constexpr Picojoules operator""_pJ(long double v) { return Picojoules{static_cast<double>(v)}; }
+constexpr SquareMicrons operator""_um2(long double v) {
+  return SquareMicrons{static_cast<double>(v)};
+}
+}  // namespace unit_literals
+
+}  // namespace red

@@ -1,0 +1,30 @@
+#include "red/core/designs.h"
+
+#include "red/arch/padding_free_design.h"
+#include "red/arch/zero_padding_design.h"
+#include "red/common/error.h"
+#include "red/core/red_design.h"
+
+namespace red::core {
+
+std::unique_ptr<arch::Design> make_design(DesignKind kind, arch::DesignConfig cfg) {
+  switch (kind) {
+    case DesignKind::kZeroPadding:
+      return std::make_unique<arch::ZeroPaddingDesign>(std::move(cfg));
+    case DesignKind::kPaddingFree:
+      return std::make_unique<arch::PaddingFreeDesign>(std::move(cfg));
+    case DesignKind::kRed:
+      return std::make_unique<RedDesign>(std::move(cfg));
+  }
+  throw ConfigError("unknown design kind");
+}
+
+std::vector<std::unique_ptr<arch::Design>> make_all_designs(arch::DesignConfig cfg) {
+  std::vector<std::unique_ptr<arch::Design>> out;
+  out.push_back(make_design(DesignKind::kZeroPadding, cfg));
+  out.push_back(make_design(DesignKind::kPaddingFree, cfg));
+  out.push_back(make_design(DesignKind::kRed, cfg));
+  return out;
+}
+
+}  // namespace red::core

@@ -1,0 +1,22 @@
+// Factory for the three evaluated designs (Sec. IV): the zero-padding
+// baseline, the padding-free design, and RED.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "red/arch/design.h"
+
+namespace red::core {
+
+enum class DesignKind { kZeroPadding, kPaddingFree, kRed };
+
+[[nodiscard]] std::unique_ptr<arch::Design> make_design(DesignKind kind,
+                                                        arch::DesignConfig cfg = {});
+
+/// All three designs in the paper's presentation order
+/// (zero-padding, padding-free, RED).
+[[nodiscard]] std::vector<std::unique_ptr<arch::Design>> make_all_designs(
+    arch::DesignConfig cfg = {});
+
+}  // namespace red::core

@@ -1,0 +1,49 @@
+#include "red/core/mode_groups.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+
+namespace red::core {
+
+int ModeGroup::input_offset(int phase, int pad, int k_index, int stride) {
+  const int q = phase + pad - k_index;
+  RED_EXPECTS_MSG(q % stride == 0, "kernel index not congruent with this mode");
+  // C++ division truncates toward zero; q may be negative but is exact here.
+  return q / stride;
+}
+
+std::vector<ModeGroup> compute_mode_groups(const nn::DeconvLayerSpec& spec) {
+  spec.validate();
+  const int s = spec.stride;
+  std::vector<ModeGroup> groups;
+  for (int a = 0; a < s; ++a)
+    for (int b = 0; b < s; ++b) {
+      ModeGroup g;
+      g.a = a;
+      g.b = b;
+      const int ri = (a + spec.pad) % s;
+      const int rj = (b + spec.pad) % s;
+      for (int i = ri; i < spec.kh; i += s)
+        for (int j = rj; j < spec.kw; j += s) g.scs.push_back(ScCoord{i, j});
+      std::sort(g.scs.begin(), g.scs.end(),
+                [](ScCoord x, ScCoord y) { return x.i != y.i ? x.i < y.i : x.j < y.j; });
+      if (!g.scs.empty()) groups.push_back(std::move(g));
+    }
+  RED_ENSURES(!groups.empty());
+  return groups;
+}
+
+std::int64_t max_group_size(const std::vector<ModeGroup>& groups) {
+  std::int64_t m = 0;
+  for (const auto& g : groups) m = std::max<std::int64_t>(m, static_cast<std::int64_t>(g.scs.size()));
+  return m;
+}
+
+std::int64_t total_sub_crossbars(const std::vector<ModeGroup>& groups) {
+  std::int64_t n = 0;
+  for (const auto& g : groups) n += static_cast<std::int64_t>(g.scs.size());
+  return n;
+}
+
+}  // namespace red::core

@@ -1,0 +1,50 @@
+#include "red/core/pixel_wise_mapping.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::core {
+
+SubCrossbarTensor::SubCrossbarTensor(const nn::DeconvLayerSpec& spec,
+                                     const Tensor<std::int32_t>& kernel)
+    : kh_(spec.kh), kw_(spec.kw), c_(spec.c), m_(spec.m) {
+  RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
+  blocks_.resize(static_cast<std::size_t>(sc_count()));
+  for (int i = 0; i < kh_; ++i)
+    for (int j = 0; j < kw_; ++j) {
+      auto& blk = blocks_[static_cast<std::size_t>(i * kw_ + j)];
+      blk.resize(static_cast<std::size_t>(c_) * m_);
+      for (int c = 0; c < c_; ++c)
+        for (int m = 0; m < m_; ++m)
+          blk[static_cast<std::size_t>(c) * m_ + m] = kernel.at(i, j, c, m);  // Eq. (1)
+    }
+}
+
+const std::vector<std::int32_t>& SubCrossbarTensor::sc_weights(ScCoord sc) const {
+  RED_EXPECTS(sc.i >= 0 && sc.i < kh_ && sc.j >= 0 && sc.j < kw_);
+  return blocks_[static_cast<std::size_t>(sc.flat(kw_))];
+}
+
+std::int32_t SubCrossbarTensor::at(int c, int m, int flat_sc) const {
+  RED_EXPECTS(flat_sc >= 0 && flat_sc < sc_count());
+  RED_EXPECTS(c >= 0 && c < c_ && m >= 0 && m < m_);
+  return blocks_[static_cast<std::size_t>(flat_sc)][static_cast<std::size_t>(c) * m_ + m];
+}
+
+std::int64_t folded_sc_count(const std::vector<ModeGroup>& groups, int fold) {
+  RED_EXPECTS(fold >= 1);
+  std::int64_t n = 0;
+  for (const auto& g : groups)
+    n += ceil_div<std::int64_t>(static_cast<std::int64_t>(g.scs.size()), fold);
+  return n;
+}
+
+int auto_fold(const std::vector<ModeGroup>& groups, int max_subcrossbars) {
+  RED_EXPECTS(max_subcrossbars >= 1);
+  const std::int64_t max_group = max_group_size(groups);
+  int fold = 1;
+  while (folded_sc_count(groups, fold) > max_subcrossbars && fold < max_group) fold *= 2;
+  return fold;
+}
+
+}  // namespace red::core

@@ -1,0 +1,129 @@
+#include "red/core/red_design.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+#include "red/core/pixel_wise_mapping.h"
+#include "red/core/schedule.h"
+#include "red/nn/redundancy.h"
+
+namespace red::core {
+
+int RedDesign::fold_for(const nn::DeconvLayerSpec& spec) const {
+  if (cfg_.red_fold > 0) return cfg_.red_fold;
+  return auto_fold(compute_mode_groups(spec), cfg_.red_max_subcrossbars);
+}
+
+arch::LayerActivity RedDesign::activity(const nn::DeconvLayerSpec& spec) const {
+  spec.validate();
+  const auto groups = compute_mode_groups(spec);
+  const int fold = fold_for(spec);
+  const int slices = cfg_.quant.slices();
+  const int pulses = cfg_.quant.pulses();
+  const std::int64_t m_phys = std::int64_t{spec.m} * slices;
+
+  arch::LayerActivity a;
+  a.design_name = name();
+  a.total_rows = total_sub_crossbars(groups) * spec.c;  // == KH*KW*C
+  a.out_phys_cols = static_cast<std::int64_t>(groups.size()) * m_phys;
+  a.cells = a.total_rows * m_phys;  // every SC is C x M_phys
+  a.dec_units = folded_sc_count(groups, fold);
+  a.dec_rows = std::int64_t{fold} * spec.c;
+  a.sub_crossbar_decoders = true;
+  a.sc_units = a.dec_units;
+  a.groups = static_cast<std::int64_t>(groups.size());
+  a.wl_load_cols = m_phys;  // one wordline spans only its own sub-crossbar
+  a.bl_load_rows = max_group_size(groups) * spec.c;  // tallest shared bitline
+  a.bl_weighted_cols = 0;
+  for (const auto& g : groups) {
+    const std::int64_t group_rows = static_cast<std::int64_t>(g.scs.size()) * spec.c;
+    a.bl_weighted_cols += m_phys * group_rows;
+    a.macros.push_back(arch::MacroShape{group_rows, m_phys, 1});
+  }
+  a.split_macro = true;
+  a.sa_extra_stages = ilog2_ceil(max_group_size(groups)) + (fold > 1 ? 1 : 0);
+  a.fold = fold;
+
+  a.cycles = std::int64_t{ceil_div(spec.oh(), spec.stride)} *
+             ceil_div(spec.ow(), spec.stride) * fold;
+  // Zero-skipping drives exactly the wordlines carrying real data — the same
+  // (input pixel, kernel tap) pairings the zero-padding design's non-zero
+  // window entries make, so the totals coincide by construction.
+  a.row_drives = nn::structural_window_hits(spec) * spec.c;
+  a.conversions = a.cycles * a.out_phys_cols * pulses;
+  a.mux_switches = a.conversions;
+  a.sa_ops = a.conversions;
+  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
+                 static_cast<double>(m_phys);
+  return a;
+}
+
+Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
+                                    const Tensor<std::int32_t>& input,
+                                    const Tensor<std::int32_t>& kernel,
+                                    arch::RunStats* stats) const {
+  spec.validate();
+  RED_EXPECTS(input.shape() == spec.input_shape());
+  RED_EXPECTS(kernel.shape() == spec.kernel_shape());
+
+  const ZeroSkipSchedule schedule(spec, fold_for(spec));
+  const auto& groups = schedule.groups();
+  const SubCrossbarTensor sct(spec, kernel);
+
+  // One logical crossbar per mode group: the group's sub-crossbars stacked on
+  // shared bitlines (vertical sum-up), C rows each, M logical columns.
+  std::vector<xbar::LogicalXbar> group_xbars;
+  group_xbars.reserve(groups.size());
+  for (const auto& g : groups) {
+    std::vector<std::int32_t> w;
+    w.reserve(g.scs.size() * static_cast<std::size_t>(spec.c) * spec.m);
+    for (const auto& sc : g.scs) {
+      const auto& blk = sct.sc_weights(sc);
+      w.insert(w.end(), blk.begin(), blk.end());
+    }
+    group_xbars.emplace_back(static_cast<std::int64_t>(g.scs.size()) * spec.c, spec.m, w,
+                             cfg_.quant);
+  }
+
+  Tensor<std::int32_t> out(spec.output_shape());
+  arch::RunStats local;
+
+  std::vector<std::int32_t> group_input;
+  // Per-group accumulators carry partial sums across fold phases (Eq. 2);
+  // phases of one block are adjacent in the schedule.
+  std::vector<std::vector<std::int64_t>> acc(
+      groups.size(), std::vector<std::int64_t>(static_cast<std::size_t>(spec.m)));
+
+  for (std::int64_t ci = 0; ci < schedule.num_cycles(); ++ci) {
+    const ScheduleCycle cyc = schedule.cycle(ci);
+    ++local.cycles;
+    for (const auto& work : cyc.groups) {
+      auto& group_acc = acc[static_cast<std::size_t>(work.group_index)];
+      if (cyc.phase == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
+
+      group_input.assign(work.inputs.size() * static_cast<std::size_t>(spec.c), 0);
+      for (const auto& in : work.inputs) {
+        if (!in.active) continue;  // zero-skip: padded zeros are never streamed
+        for (int c = 0; c < spec.c; ++c)
+          group_input[static_cast<std::size_t>(in.sc_index) * spec.c +
+                      static_cast<std::size_t>(c)] = input.at(0, c, in.h, in.w);
+      }
+      const auto partial =
+          execute_mvm(group_xbars[static_cast<std::size_t>(work.group_index)], group_input,
+                      &local.mvm);
+      for (int m = 0; m < spec.m; ++m)
+        group_acc[static_cast<std::size_t>(m)] += partial[static_cast<std::size_t>(m)];
+
+      if (work.produces_output)
+        for (int m = 0; m < spec.m; ++m)
+          out.at(0, m, work.out_y, work.out_x) =
+              static_cast<std::int32_t>(group_acc[static_cast<std::size_t>(m)]);
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace red::core

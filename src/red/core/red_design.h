@@ -1,0 +1,36 @@
+// RED: the paper's ReRAM-based deconvolution accelerator.
+//
+// Combines pixel-wise mapping (Eq. 1) with the zero-skipping data flow
+// (Sec. III-B2): only non-zero input pixels are streamed, every computation
+// mode runs concurrently on its own sub-crossbar group, and one cycle
+// produces an s x s block of output pixels per output map. Cycle count:
+// ceil(OH/s) * ceil(OW/s) * fold, versus OH*OW for the zero-padding design.
+//
+// Sub-crossbars within one mode group share bitlines (vertical sum-up), so
+// the overlap addition costs no extra circuitry; the price is the sub-
+// crossbar segmentation area (~21% in the paper). For large kernels the
+// area-efficient fold (Eq. 2) halves the sub-crossbar count per doubling of
+// the cycle count.
+#pragma once
+
+#include "red/arch/design.h"
+#include "red/core/mode_groups.h"
+
+namespace red::core {
+
+class RedDesign final : public arch::Design {
+ public:
+  explicit RedDesign(arch::DesignConfig cfg) : Design(std::move(cfg)) {}
+
+  [[nodiscard]] std::string name() const override { return "RED"; }
+  [[nodiscard]] arch::LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
+                                         const Tensor<std::int32_t>& input,
+                                         const Tensor<std::int32_t>& kernel,
+                                         arch::RunStats* stats = nullptr) const override;
+
+  /// Fold factor used for this layer (config override or auto).
+  [[nodiscard]] int fold_for(const nn::DeconvLayerSpec& spec) const;
+};
+
+}  // namespace red::core

@@ -1,0 +1,67 @@
+#include "red/core/schedule.h"
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+
+namespace red::core {
+
+ZeroSkipSchedule::ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold)
+    : spec_(std::move(spec)),
+      groups_(compute_mode_groups(spec_)),
+      fold_(fold),
+      blocks_y_(ceil_div(spec_.oh(), spec_.stride)),
+      blocks_x_(ceil_div(spec_.ow(), spec_.stride)) {
+  RED_EXPECTS(fold_ >= 1);
+}
+
+std::int64_t ZeroSkipSchedule::num_cycles() const {
+  return std::int64_t{blocks_y_} * blocks_x_ * fold_;
+}
+
+ScheduleCycle ZeroSkipSchedule::cycle(std::int64_t index) const {
+  RED_EXPECTS(index >= 0 && index < num_cycles());
+  ScheduleCycle out;
+  out.index = index;
+  out.phase = static_cast<int>(index % fold_);
+  const std::int64_t block = index / fold_;
+  out.block_y = static_cast<int>(block / blocks_x_);
+  out.block_x = static_cast<int>(block % blocks_x_);
+
+  const int s = spec_.stride;
+  out.groups.reserve(groups_.size());
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const auto& g = groups_[gi];
+    GroupWork work;
+    work.group_index = static_cast<int>(gi);
+    work.out_y = out.block_y * s + g.a;
+    work.out_x = out.block_x * s + g.b;
+    // The output pixel completes on the block's last fold phase, once all
+    // row bands have contributed (Eq. 2 accumulation).
+    work.produces_output =
+        work.out_y < spec_.oh() && work.out_x < spec_.ow() && out.phase == fold_ - 1;
+    const bool pixel_in_range = work.out_y < spec_.oh() && work.out_x < spec_.ow();
+
+    work.inputs.reserve(g.scs.size());
+    for (std::size_t k = 0; k < g.scs.size(); ++k) {
+      ScInput in;
+      in.sc = g.scs[k];
+      in.sc_index = static_cast<int>(k);
+      // Eq. 2: fold phase p activates the SCs at positions k ≡ p (mod fold).
+      const bool phase_active = static_cast<int>(k) % fold_ == out.phase;
+      if (pixel_in_range && phase_active) {
+        const int h = out.block_y + ModeGroup::input_offset(g.a, spec_.pad, in.sc.i, s);
+        const int w = out.block_x + ModeGroup::input_offset(g.b, spec_.pad, in.sc.j, s);
+        if (h >= 0 && h < spec_.ih && w >= 0 && w < spec_.iw) {
+          in.h = h;
+          in.w = w;
+          in.active = true;  // a real (non-zero-inserted) pixel: zero-skipping
+        }
+      }
+      work.inputs.push_back(in);
+    }
+    out.groups.push_back(std::move(work));
+  }
+  return out;
+}
+
+}  // namespace red::core

@@ -1,0 +1,72 @@
+// Explicit zero-skipping schedule (paper Fig. 5(c)).
+//
+// The schedule materializes, cycle by cycle, which input pixel each
+// sub-crossbar receives and which output pixel each mode group produces —
+// the data the paper illustrates as "Cycle 1: I(0,0) goes to SC1, ...".
+// RedDesign::run executes this schedule; tests introspect it to prove the
+// data-flow properties the paper claims:
+//   * every output pixel is produced exactly once,
+//   * only non-zero (real) input pixels are ever fed (zero-skipping),
+//   * each (input pixel, kernel tap) pair is consumed exactly once,
+//   * fold phases partition each group's sub-crossbars (Eq. 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/core/mode_groups.h"
+#include "red/nn/layer.h"
+
+namespace red::core {
+
+/// One sub-crossbar's input assignment within a cycle.
+struct ScInput {
+  ScCoord sc;        ///< kernel tap of the sub-crossbar
+  int sc_index = 0;  ///< position within the group's stacking order
+  int h = 0;         ///< input row fed to the SC (valid only if `active`)
+  int w = 0;         ///< input col
+  bool active = false;  ///< false = zero vector (edge mask or inactive fold phase)
+};
+
+/// One mode group's work within a cycle.
+struct GroupWork {
+  int group_index = 0;
+  int out_y = 0;  ///< output pixel produced (all M maps)
+  int out_x = 0;
+  bool produces_output = false;  ///< false on partial edge blocks
+  std::vector<ScInput> inputs;   ///< one entry per SC in the group
+};
+
+/// One schedule cycle: all groups operate concurrently.
+struct ScheduleCycle {
+  std::int64_t index = 0;
+  int block_y = 0;  ///< output block coordinates
+  int block_x = 0;
+  int phase = 0;    ///< fold phase (Eq. 2); 0 when fold == 1
+  std::vector<GroupWork> groups;
+};
+
+class ZeroSkipSchedule {
+ public:
+  ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold);
+
+  [[nodiscard]] const nn::DeconvLayerSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<ModeGroup>& groups() const { return groups_; }
+  [[nodiscard]] int fold() const { return fold_; }
+  [[nodiscard]] int blocks_y() const { return blocks_y_; }
+  [[nodiscard]] int blocks_x() const { return blocks_x_; }
+  [[nodiscard]] std::int64_t num_cycles() const;
+
+  /// Generate cycle `index` (0 <= index < num_cycles()). Cycles iterate
+  /// blocks row-major, with the `fold` phases of a block adjacent.
+  [[nodiscard]] ScheduleCycle cycle(std::int64_t index) const;
+
+ private:
+  nn::DeconvLayerSpec spec_;
+  std::vector<ModeGroup> groups_;
+  int fold_;
+  int blocks_y_;
+  int blocks_x_;
+};
+
+}  // namespace red::core

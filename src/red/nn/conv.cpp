@@ -1,0 +1,44 @@
+#include "red/nn/conv.h"
+
+#include "red/common/contracts.h"
+
+namespace red::nn {
+
+Tensor<std::int32_t> conv2d_valid(const Tensor<std::int32_t>& input,
+                                  const Tensor<std::int32_t>& kernel) {
+  const auto& is = input.shape();
+  const auto& ks = kernel.shape();
+  RED_EXPECTS_MSG(is.dim(0) == 1, "input must be a single batch");
+  RED_EXPECTS_MSG(is.dim(1) == ks.dim(2), "input channels must match kernel channels");
+  const std::int64_t c = is.dim(1), h = is.dim(2), w = is.dim(3);
+  const std::int64_t kh = ks.dim(0), kw = ks.dim(1), m = ks.dim(3);
+  RED_EXPECTS(h >= kh && w >= kw);
+
+  Tensor<std::int32_t> out(Shape4{1, m, h - kh + 1, w - kw + 1});
+  for (std::int64_t om = 0; om < m; ++om)
+    for (std::int64_t y = 0; y + kh <= h; ++y)
+      for (std::int64_t x = 0; x + kw <= w; ++x) {
+        std::int64_t acc = 0;
+        for (std::int64_t ch = 0; ch < c; ++ch)
+          for (std::int64_t i = 0; i < kh; ++i)
+            for (std::int64_t j = 0; j < kw; ++j)
+              acc += std::int64_t{input.at(0, ch, y + i, x + j)} *
+                     std::int64_t{kernel.at(i, j, ch, om)};
+        out.at(0, om, y, x) = static_cast<std::int32_t>(acc);
+      }
+  return out;
+}
+
+Tensor<std::int32_t> rotate180(const Tensor<std::int32_t>& kernel) {
+  const auto& ks = kernel.shape();
+  const std::int64_t kh = ks.dim(0), kw = ks.dim(1), c = ks.dim(2), m = ks.dim(3);
+  Tensor<std::int32_t> rot(ks);
+  for (std::int64_t i = 0; i < kh; ++i)
+    for (std::int64_t j = 0; j < kw; ++j)
+      for (std::int64_t ch = 0; ch < c; ++ch)
+        for (std::int64_t om = 0; om < m; ++om)
+          rot.at(i, j, ch, om) = kernel.at(kh - 1 - i, kw - 1 - j, ch, om);
+  return rot;
+}
+
+}  // namespace red::nn

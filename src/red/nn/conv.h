@@ -1,0 +1,22 @@
+// Plain valid convolution (stride 1) — the second step of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+/// Valid (no padding) stride-1 convolution.
+///
+/// `input` is (1, C, H, W); `kernel` is (KH, KW, C, M) and is applied as a
+/// correlation (no flip — callers that need the flipped-kernel convolution
+/// rotate the kernel first, see rotate180). Output is (1, M, H-KH+1, W-KW+1).
+[[nodiscard]] Tensor<std::int32_t> conv2d_valid(const Tensor<std::int32_t>& input,
+                                                const Tensor<std::int32_t>& kernel);
+
+/// Rotate a (KH, KW, C, M) kernel by 180 degrees in the spatial dims
+/// (step (a) of the padding-free algorithm, Algorithm 2).
+[[nodiscard]] Tensor<std::int32_t> rotate180(const Tensor<std::int32_t>& kernel);
+
+}  // namespace red::nn

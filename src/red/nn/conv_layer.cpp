@@ -1,0 +1,73 @@
+#include "red/nn/conv_layer.h"
+
+#include <sstream>
+#include <vector>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::nn {
+
+void ConvLayerSpec::validate() const {
+  std::ostringstream why;
+  if (ih < 1 || iw < 1) why << "input dims must be >= 1; ";
+  if (c < 1 || m < 1) why << "channel counts must be >= 1; ";
+  if (kh < 1 || kw < 1) why << "kernel dims must be >= 1; ";
+  if (stride < 1) why << "stride must be >= 1; ";
+  if (pad < 0) why << "pad must be >= 0; ";
+  if (pad >= kh || pad >= kw) why << "pad must be < kernel (no all-zero windows); ";
+  if (ih + 2 * pad < kh || iw + 2 * pad < kw) why << "kernel larger than padded input; ";
+  const std::string s = why.str();
+  if (!s.empty()) throw ConfigError("invalid conv layer '" + name + "': " + s);
+}
+
+std::int64_t ConvLayerSpec::useful_macs() const { return conv_window_hits(*this) * c * m; }
+
+std::string ConvLayerSpec::to_string() const {
+  std::ostringstream os;
+  os << name << ": in(" << ih << "," << iw << "," << c << ") out(" << oh() << "," << ow() << ","
+     << m << ") kernel(" << kh << "," << kw << ") stride " << stride << " pad " << pad;
+  return os.str();
+}
+
+Tensor<std::int32_t> conv_reference(const ConvLayerSpec& spec, const Tensor<std::int32_t>& input,
+                                    const Tensor<std::int32_t>& kernel) {
+  spec.validate();
+  RED_EXPECTS_MSG(input.shape() == spec.input_shape(), "input shape mismatch");
+  RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
+  Tensor<std::int32_t> out(spec.output_shape());
+  for (int m = 0; m < spec.m; ++m)
+    for (int y = 0; y < spec.oh(); ++y)
+      for (int x = 0; x < spec.ow(); ++x) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < spec.kh; ++i) {
+          const int h = y * spec.stride + i - spec.pad;
+          if (h < 0 || h >= spec.ih) continue;
+          for (int j = 0; j < spec.kw; ++j) {
+            const int w = x * spec.stride + j - spec.pad;
+            if (w < 0 || w >= spec.iw) continue;
+            for (int c = 0; c < spec.c; ++c)
+              acc += std::int64_t{input.at(0, c, h, w)} * kernel.at(i, j, c, m);
+          }
+        }
+        out.at(0, m, y, x) = static_cast<std::int32_t>(acc);
+      }
+  return out;
+}
+
+std::int64_t conv_window_hits(const ConvLayerSpec& spec) {
+  spec.validate();
+  const auto hits_1d = [&](int extent, int out, int k) {
+    std::int64_t total = 0;
+    for (int y = 0; y < out; ++y)
+      for (int i = 0; i < k; ++i) {
+        const int h = y * spec.stride + i - spec.pad;
+        if (h >= 0 && h < extent) ++total;
+      }
+    return total;
+  };
+  // Separable: rows and cols factorize as in the deconv case.
+  return hits_1d(spec.ih, spec.oh(), spec.kh) * hits_1d(spec.iw, spec.ow(), spec.kw);
+}
+
+}  // namespace red::nn

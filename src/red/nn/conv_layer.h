@@ -1,0 +1,52 @@
+// Regular (forward) convolution layer: the other half of GAN/FCN inference.
+//
+// The discriminator of a GAN and the backbone of an FCN are convolutional;
+// a ReRAM PIM chip hosting RED executes those layers with the standard
+// conv mapping (kernel unrolled on KH*KW*C rows — exactly the machinery the
+// zero-padding deconvolution baseline uses). This spec + reference lets the
+// library cover whole networks, not just the deconvolution stages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+struct ConvLayerSpec {
+  std::string name;
+  int ih = 1;
+  int iw = 1;
+  int c = 1;       ///< input channels
+  int m = 1;       ///< output channels
+  int kh = 1;
+  int kw = 1;
+  int stride = 1;
+  int pad = 0;
+
+  void validate() const;
+
+  [[nodiscard]] int oh() const { return (ih + 2 * pad - kh) / stride + 1; }
+  [[nodiscard]] int ow() const { return (iw + 2 * pad - kw) / stride + 1; }
+
+  [[nodiscard]] Shape4 input_shape() const { return {1, c, ih, iw}; }
+  [[nodiscard]] Shape4 kernel_shape() const { return {kh, kw, c, m}; }
+  [[nodiscard]] Shape4 output_shape() const { return {1, m, oh(), ow()}; }
+
+  /// MACs on in-bounds input pixels (padding zeros excluded).
+  [[nodiscard]] std::int64_t useful_macs() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Golden strided, padded convolution (correlation form, as in frameworks).
+[[nodiscard]] Tensor<std::int32_t> conv_reference(const ConvLayerSpec& spec,
+                                                  const Tensor<std::int32_t>& input,
+                                                  const Tensor<std::int32_t>& kernel);
+
+/// Structurally non-zero (in-bounds) window-pixel hits over all output
+/// positions — the conv analogue of structural_window_hits.
+[[nodiscard]] std::int64_t conv_window_hits(const ConvLayerSpec& spec);
+
+}  // namespace red::nn

@@ -1,0 +1,68 @@
+#include "red/nn/deconv_padding_free.h"
+
+#include "red/common/contracts.h"
+#include "red/nn/conv.h"
+
+namespace red::nn {
+
+PaddingFreeResult deconv_padding_free(const DeconvLayerSpec& spec,
+                                      const Tensor<std::int32_t>& input,
+                                      const Tensor<std::int32_t>& kernel) {
+  spec.validate();
+  RED_EXPECTS_MSG(input.shape() == spec.input_shape(), "input shape mismatch");
+  RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
+
+  // Step a) rotate; the rotated kernel is what the crossbar stores.
+  const Tensor<std::int32_t> rotated = rotate180(kernel);
+
+  const int canvas_h = (spec.ih - 1) * spec.stride + spec.kh;
+  const int canvas_w = (spec.iw - 1) * spec.stride + spec.kw;
+  Tensor<std::int32_t> canvas(Shape4{1, spec.m, canvas_h, canvas_w});
+  Tensor<std::int32_t> touched(Shape4{1, 1, canvas_h, canvas_w});
+
+  PaddingFreeStats stats;
+  stats.canvas_h = canvas_h;
+  stats.canvas_w = canvas_w;
+
+  // Steps b) + c): one patch per input pixel, accumulated onto the canvas.
+  // Reading the rotated kernel at (KH-1-i, KW-1-j) undoes step a)'s rotation
+  // because our stored weights are already transposed-conv (scatter) weights.
+  for (int h = 0; h < spec.ih; ++h)
+    for (int w = 0; w < spec.iw; ++w) {
+      for (int i = 0; i < spec.kh; ++i)
+        for (int j = 0; j < spec.kw; ++j) {
+          const int y = h * spec.stride + i;
+          const int x = w * spec.stride + j;
+          if (touched.at(0, 0, y, x) != 0) stats.overlap_adds += spec.m;
+          touched.at(0, 0, y, x) = 1;
+          for (int c = 0; c < spec.c; ++c) {
+            const std::int64_t in = input.at(0, c, h, w);
+            if (in == 0) continue;
+            for (int m = 0; m < spec.m; ++m)
+              canvas.at(0, m, y, x) += static_cast<std::int32_t>(
+                  in * rotated.at(spec.kh - 1 - i, spec.kw - 1 - j, c, m));
+          }
+        }
+      stats.macs += std::int64_t{spec.kh} * spec.kw * spec.c * spec.m;
+    }
+
+  // Step d) crop `pad` from the top/left, `pad - output_pad` from bottom/right.
+  const int oh = spec.oh(), ow = spec.ow();
+  Tensor<std::int32_t> out(spec.output_shape());
+  for (int m = 0; m < spec.m; ++m)
+    for (int y = 0; y < oh; ++y)
+      for (int x = 0; x < ow; ++x) {
+        const int cy = y + spec.pad;
+        const int cx = x + spec.pad;
+        // With output_pad > pad the requested output extends past the canvas;
+        // those pixels are zero by definition of the transposed conv.
+        if (cy < canvas_h && cx < canvas_w) out.at(0, m, y, x) = canvas.at(0, m, cy, cx);
+      }
+  stats.cropped_pixels =
+      std::int64_t{spec.m} * (std::int64_t{canvas_h} * canvas_w - std::int64_t{oh} * ow);
+  if (stats.cropped_pixels < 0) stats.cropped_pixels = 0;
+
+  return PaddingFreeResult{std::move(out), stats};
+}
+
+}  // namespace red::nn

@@ -1,0 +1,45 @@
+// Algorithm 2 — padding-free deconvolution.
+//
+// Step a) Rotation: rotate the kernel by 180°.
+// Step b) Convolution: each input pixel is MAC-ed against the whole kernel,
+//         producing a KHxKWxM patch per pixel (one crossbar access per
+//         input pixel on hardware: C rows in, KH*KW*M columns out).
+// Step c) Addition: overlapping patch pixels are accumulated on a canvas of
+//         size ((IH-1)*s + KH) x ((IW-1)*s + KW).
+// Step d) Cropping: `pad` rows/cols are cut from the top/left and
+//         `pad - output_pad` from the bottom/right.
+//
+// Note on the rotation step: the paper presents the algorithm from the
+// convolution viewpoint, where the scattered patch uses the rotated kernel of
+// the *convolution* weights. Our layer spec stores transposed-conv weights
+// (the scatter kernel), so the two 180° rotations cancel: we rotate in step a)
+// and index the rotated kernel back-to-front in step b), which keeps the
+// hardware structure (one pixel -> one patch) identical to the paper while
+// matching the golden reference bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "red/nn/layer.h"
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+struct PaddingFreeStats {
+  int canvas_h = 0;
+  int canvas_w = 0;
+  std::int64_t macs = 0;            ///< useful MACs (no structural zeros)
+  std::int64_t overlap_adds = 0;    ///< additions merging overlapping patches
+  std::int64_t cropped_pixels = 0;  ///< canvas pixels discarded by step d)
+};
+
+struct PaddingFreeResult {
+  Tensor<std::int32_t> output;
+  PaddingFreeStats stats;
+};
+
+[[nodiscard]] PaddingFreeResult deconv_padding_free(const DeconvLayerSpec& spec,
+                                                    const Tensor<std::int32_t>& input,
+                                                    const Tensor<std::int32_t>& kernel);
+
+}  // namespace red::nn

@@ -1,0 +1,35 @@
+#include "red/nn/deconv_reference.h"
+
+#include "red/common/contracts.h"
+
+namespace red::nn {
+
+Tensor<std::int32_t> deconv_reference(const DeconvLayerSpec& spec,
+                                      const Tensor<std::int32_t>& input,
+                                      const Tensor<std::int32_t>& kernel) {
+  spec.validate();
+  RED_EXPECTS_MSG(input.shape() == spec.input_shape(), "input shape mismatch");
+  RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
+
+  const int oh = spec.oh(), ow = spec.ow();
+  Tensor<std::int32_t> out(spec.output_shape());
+  for (int h = 0; h < spec.ih; ++h)
+    for (int w = 0; w < spec.iw; ++w)
+      for (int i = 0; i < spec.kh; ++i) {
+        const int y = h * spec.stride - spec.pad + i;
+        if (y < 0 || y >= oh) continue;
+        for (int j = 0; j < spec.kw; ++j) {
+          const int x = w * spec.stride - spec.pad + j;
+          if (x < 0 || x >= ow) continue;
+          for (int c = 0; c < spec.c; ++c) {
+            const std::int64_t in = input.at(0, c, h, w);
+            if (in == 0) continue;
+            for (int m = 0; m < spec.m; ++m)
+              out.at(0, m, y, x) += static_cast<std::int32_t>(in * kernel.at(i, j, c, m));
+          }
+        }
+      }
+  return out;
+}
+
+}  // namespace red::nn

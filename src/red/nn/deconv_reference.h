@@ -1,0 +1,21 @@
+// Golden deconvolution reference: direct scatter-accumulate.
+//
+// Every hardware data flow in this project is validated bit-exactly against
+// this function. It is the textbook transposed-convolution definition:
+//   O[m, h*s - p + i, w*s - p + j] += I[c, h, w] * W[i, j, c, m]
+#pragma once
+
+#include <cstdint>
+
+#include "red/nn/layer.h"
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+/// Direct transposed convolution. `input` must match spec.input_shape() and
+/// `kernel` spec.kernel_shape(); the result has spec.output_shape().
+[[nodiscard]] Tensor<std::int32_t> deconv_reference(const DeconvLayerSpec& spec,
+                                                    const Tensor<std::int32_t>& input,
+                                                    const Tensor<std::int32_t>& kernel);
+
+}  // namespace red::nn

@@ -1,0 +1,97 @@
+#include "red/nn/gradient.h"
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::nn {
+
+ConvLayerSpec input_gradient_spec(const DeconvLayerSpec& spec) {
+  spec.validate();
+  ConvLayerSpec conv;
+  conv.name = spec.name + "_dinput";
+  conv.ih = spec.oh();
+  conv.iw = spec.ow();
+  conv.c = spec.m;  // roles swap: gradient flows from M maps back to C channels
+  conv.m = spec.c;
+  conv.kh = spec.kh;
+  conv.kw = spec.kw;
+  conv.stride = spec.stride;
+  conv.pad = spec.pad;
+  conv.validate();
+  // Sanity: the conv output grid must be the deconv input grid. (The floor
+  // division absorbs output_pad < stride.)
+  RED_ENSURES(conv.oh() == spec.ih && conv.ow() == spec.iw);
+  return conv;
+}
+
+Tensor<std::int32_t> deconv_input_gradient(const DeconvLayerSpec& spec,
+                                           const Tensor<std::int32_t>& out_grad,
+                                           const Tensor<std::int32_t>& kernel) {
+  spec.validate();
+  RED_EXPECTS_MSG(out_grad.shape() == spec.output_shape(), "output-gradient shape mismatch");
+  RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
+
+  // dL/dI[c,h,w] = sum_{m,i,j} G[m, h*s - p + i, w*s - p + j] * W[i,j,c,m]:
+  // a stride-s convolution of G with W, channels/maps swapped.
+  Tensor<std::int32_t> grad(spec.input_shape());
+  const int oh = spec.oh(), ow = spec.ow();
+  for (int c = 0; c < spec.c; ++c)
+    for (int h = 0; h < spec.ih; ++h)
+      for (int w = 0; w < spec.iw; ++w) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < spec.kh; ++i) {
+          const int y = h * spec.stride - spec.pad + i;
+          if (y < 0 || y >= oh) continue;
+          for (int j = 0; j < spec.kw; ++j) {
+            const int x = w * spec.stride - spec.pad + j;
+            if (x < 0 || x >= ow) continue;
+            for (int m = 0; m < spec.m; ++m)
+              acc += std::int64_t{out_grad.at(0, m, y, x)} * kernel.at(i, j, c, m);
+          }
+        }
+        grad.at(0, c, h, w) = static_cast<std::int32_t>(acc);
+      }
+  return grad;
+}
+
+Tensor<std::int32_t> deconv_kernel_gradient(const DeconvLayerSpec& spec,
+                                            const Tensor<std::int32_t>& input,
+                                            const Tensor<std::int32_t>& out_grad) {
+  spec.validate();
+  RED_EXPECTS_MSG(input.shape() == spec.input_shape(), "input shape mismatch");
+  RED_EXPECTS_MSG(out_grad.shape() == spec.output_shape(), "output-gradient shape mismatch");
+
+  // dL/dW[i,j,c,m] = sum_{h,w} I[c,h,w] * G[m, h*s - p + i, w*s - p + j].
+  Tensor<std::int32_t> grad(spec.kernel_shape());
+  const int oh = spec.oh(), ow = spec.ow();
+  for (int i = 0; i < spec.kh; ++i)
+    for (int j = 0; j < spec.kw; ++j)
+      for (int c = 0; c < spec.c; ++c)
+        for (int m = 0; m < spec.m; ++m) {
+          std::int64_t acc = 0;
+          for (int h = 0; h < spec.ih; ++h) {
+            const int y = h * spec.stride - spec.pad + i;
+            if (y < 0 || y >= oh) continue;
+            for (int w = 0; w < spec.iw; ++w) {
+              const int x = w * spec.stride - spec.pad + j;
+              if (x < 0 || x >= ow) continue;
+              acc += std::int64_t{input.at(0, c, h, w)} * out_grad.at(0, m, y, x);
+            }
+          }
+          grad.at(i, j, c, m) = static_cast<std::int32_t>(acc);
+        }
+  return grad;
+}
+
+std::int64_t inner_product(const Tensor<std::int32_t>& a, const Tensor<std::int32_t>& b) {
+  if (a.shape() != b.shape())
+    throw ConfigError("inner_product: shape mismatch " + a.shape().to_string() + " vs " +
+                      b.shape().to_string());
+  std::int64_t acc = 0;
+  const auto* pa = a.data();
+  const auto* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) acc += std::int64_t{pa[i]} * pb[i];
+  return acc;
+}
+
+}  // namespace red::nn

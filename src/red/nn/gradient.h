@@ -1,0 +1,45 @@
+// Backward passes of the deconvolution layer (training support).
+//
+// The paper's baseline ReGAN [12] is a GAN *training* accelerator; training
+// a deconvolution layer needs two gradients, and both map onto machinery
+// this library already has:
+//
+//   * dL/dInput  — a stride-s, pad-p regular convolution of the output
+//     gradient with the same kernel (channels and maps swap roles). On
+//     hardware this runs on the standard conv mapping (arch::ConvEngine),
+//     so a chip hosting RED trains with no extra array types.
+//   * dL/dKernel — a correlation of the input with the output gradient.
+//
+// The adjoint identity  <deconv(I, W), G> == <I, input_gradient(G, W)>
+// pins the implementations against each other (tested).
+#pragma once
+
+#include <cstdint>
+
+#include "red/nn/conv_layer.h"
+#include "red/nn/layer.h"
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+/// The conv-layer spec that computes dL/dInput for `spec` on a standard
+/// conv engine: (OH, OW, M) -> (IH, IW, C), kernel KHxKW, stride s, pad p.
+[[nodiscard]] ConvLayerSpec input_gradient_spec(const DeconvLayerSpec& spec);
+
+/// dL/dInput given the output gradient (shape = spec.output_shape()).
+/// Returns spec.input_shape().
+[[nodiscard]] Tensor<std::int32_t> deconv_input_gradient(const DeconvLayerSpec& spec,
+                                                         const Tensor<std::int32_t>& out_grad,
+                                                         const Tensor<std::int32_t>& kernel);
+
+/// dL/dKernel given the layer input and the output gradient.
+/// Returns spec.kernel_shape().
+[[nodiscard]] Tensor<std::int32_t> deconv_kernel_gradient(const DeconvLayerSpec& spec,
+                                                          const Tensor<std::int32_t>& input,
+                                                          const Tensor<std::int32_t>& out_grad);
+
+/// Flat inner product of two same-shape tensors (for adjoint checks).
+[[nodiscard]] std::int64_t inner_product(const Tensor<std::int32_t>& a,
+                                         const Tensor<std::int32_t>& b);
+
+}  // namespace red::nn

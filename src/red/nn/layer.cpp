@@ -1,0 +1,60 @@
+#include "red/nn/layer.h"
+
+#include <sstream>
+
+#include "red/common/error.h"
+
+namespace red::nn {
+
+void DeconvLayerSpec::validate() const {
+  std::ostringstream why;
+  if (ih < 1 || iw < 1) why << "input dims must be >= 1; ";
+  if (c < 1 || m < 1) why << "channel counts must be >= 1; ";
+  if (kh < 1 || kw < 1) why << "kernel dims must be >= 1; ";
+  if (stride < 1) why << "stride must be >= 1; ";
+  if (pad < 0) why << "pad must be >= 0; ";
+  if (output_pad < 0) why << "output_pad must be >= 0; ";
+  if (output_pad >= stride && stride > 1)
+    why << "output_pad must be < stride (it selects one of the stride phases); ";
+  if (kh - 1 - pad < 0 || kw - 1 - pad < 0)
+    why << "pad must be <= K-1 (otherwise the padded-conv formulation is ill-formed); ";
+  if (stride >= 1 && ((ih - 1) * stride - 2 * pad + kh + output_pad) < 1)
+    why << "output height would be < 1; ";
+  if (stride >= 1 && ((iw - 1) * stride - 2 * pad + kw + output_pad) < 1)
+    why << "output width would be < 1; ";
+  const std::string s = why.str();
+  if (!s.empty()) throw ConfigError("invalid deconv layer '" + name + "': " + s);
+}
+
+std::int64_t DeconvLayerSpec::useful_macs() const {
+  return std::int64_t{ih} * iw * c * kh * kw * m;
+}
+
+std::string DeconvLayerSpec::to_string() const {
+  std::ostringstream os;
+  os << name << ": in(" << ih << "," << iw << "," << c << ") out(" << oh() << "," << ow() << ","
+     << m << ") kernel(" << kh << "," << kw << "," << c << "," << m << ") stride " << stride
+     << " pad " << pad;
+  if (output_pad != 0) os << " output_pad " << output_pad;
+  return os.str();
+}
+
+double PaddedGeometry::zero_fraction(int ih, int iw) const {
+  const double total = static_cast<double>(padded_h) * padded_w;
+  const double nonzero = static_cast<double>(ih) * iw;
+  return 1.0 - nonzero / total;
+}
+
+PaddedGeometry padded_geometry(const DeconvLayerSpec& spec) {
+  spec.validate();
+  const int inserted_h = (spec.ih - 1) * spec.stride + 1;
+  const int inserted_w = (spec.iw - 1) * spec.stride + 1;
+  PaddedGeometry g;
+  g.offset_top = spec.kh - 1 - spec.pad;
+  g.offset_left = spec.kw - 1 - spec.pad;
+  g.padded_h = inserted_h + g.offset_top + (spec.kh - 1 - spec.pad + spec.output_pad);
+  g.padded_w = inserted_w + g.offset_left + (spec.kw - 1 - spec.pad + spec.output_pad);
+  return g;
+}
+
+}  // namespace red::nn

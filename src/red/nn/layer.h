@@ -1,0 +1,66 @@
+// Deconvolution (transposed convolution) layer specification.
+//
+// Semantics follow the standard transposed-conv definition (identical to
+// PyTorch ConvTranspose2d):
+//   OH = (IH - 1) * stride - 2 * pad + KH + output_pad
+// `output_pad` is needed by layers such as DCGAN's 5x5/stride-2 deconvs whose
+// output size is not otherwise reachable with an integral pad.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "red/tensor/shape.h"
+
+namespace red::nn {
+
+struct DeconvLayerSpec {
+  std::string name;
+  int ih = 1;          ///< input feature-map height (IH)
+  int iw = 1;          ///< input feature-map width (IW)
+  int c = 1;           ///< input channels (C)
+  int m = 1;           ///< output channels / number of filters (M)
+  int kh = 1;          ///< kernel height (KH)
+  int kw = 1;          ///< kernel width (KW)
+  int stride = 1;      ///< stride s (up-sampling factor)
+  int pad = 0;         ///< padding p
+  int output_pad = 0;  ///< extra rows/cols on the bottom/right edge
+
+  /// Validate all fields; throws ConfigError with a description if invalid.
+  void validate() const;
+
+  [[nodiscard]] int oh() const { return (ih - 1) * stride - 2 * pad + kh + output_pad; }
+  [[nodiscard]] int ow() const { return (iw - 1) * stride - 2 * pad + kw + output_pad; }
+
+  /// Input feature-map tensor shape (1, C, IH, IW).
+  [[nodiscard]] Shape4 input_shape() const { return {1, c, ih, iw}; }
+  /// Kernel tensor shape (KH, KW, C, M) — the paper's layout.
+  [[nodiscard]] Shape4 kernel_shape() const { return {kh, kw, c, m}; }
+  /// Output feature-map tensor shape (1, M, OH, OW).
+  [[nodiscard]] Shape4 output_shape() const { return {1, m, oh(), ow()}; }
+
+  /// Number of useful multiply-accumulates (each input pixel meets each
+  /// kernel weight once, per output map): IH*IW*C*KH*KW*M.
+  [[nodiscard]] std::int64_t useful_macs() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Geometry of the zero-padding algorithm's padded input (Algorithm 1).
+///
+/// Zero-insertion spreads the IHxIW grid to (IH-1)*s+1 x (IW-1)*s+1, then the
+/// edges are padded with (K-1-p) zeros on the top/left and (K-1-p+output_pad)
+/// on the bottom/right so that a stride-1 valid convolution yields OHxOW.
+struct PaddedGeometry {
+  int padded_h = 0;
+  int padded_w = 0;
+  int offset_top = 0;   ///< rows of zeros above the first input row
+  int offset_left = 0;  ///< cols of zeros left of the first input col
+
+  /// Fraction of zero pixels in the padded input (the paper's Fig. 4 metric).
+  [[nodiscard]] double zero_fraction(int ih, int iw) const;
+};
+
+[[nodiscard]] PaddedGeometry padded_geometry(const DeconvLayerSpec& spec);
+
+}  // namespace red::nn

@@ -1,0 +1,86 @@
+#include "red/nn/ops.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::nn {
+
+Tensor<std::int32_t> relu(const Tensor<std::int32_t>& t) {
+  Tensor<std::int32_t> out = t;
+  for (auto& v : out) v = std::max(v, 0);
+  return out;
+}
+
+Tensor<std::int32_t> requantize_shift(const Tensor<std::int32_t>& t, int shift, std::int32_t lo,
+                                      std::int32_t hi) {
+  RED_EXPECTS(shift >= 0 && shift < 31);
+  RED_EXPECTS(lo <= hi);
+  Tensor<std::int32_t> out = t;
+  for (auto& v : out) v = std::clamp(v >> shift, lo, hi);
+  return out;
+}
+
+namespace {
+
+Tensor<std::int32_t> pool(const Tensor<std::int32_t>& t, int k, bool take_max) {
+  RED_EXPECTS(k >= 1);
+  const auto& s = t.shape();
+  RED_EXPECTS_MSG(s.dim(2) % k == 0 && s.dim(3) % k == 0, "pool window must tile the input");
+  Tensor<std::int32_t> out(Shape4{s.dim(0), s.dim(1), s.dim(2) / k, s.dim(3) / k});
+  for (std::int64_t n = 0; n < s.dim(0); ++n)
+    for (std::int64_t c = 0; c < s.dim(1); ++c)
+      for (std::int64_t y = 0; y < out.shape().dim(2); ++y)
+        for (std::int64_t x = 0; x < out.shape().dim(3); ++x) {
+          std::int64_t acc = take_max ? std::numeric_limits<std::int32_t>::min() : 0;
+          for (int i = 0; i < k; ++i)
+            for (int j = 0; j < k; ++j) {
+              const std::int32_t v = t.at(n, c, y * k + i, x * k + j);
+              acc = take_max ? std::max<std::int64_t>(acc, v) : acc + v;
+            }
+          out.at(n, c, y, x) =
+              static_cast<std::int32_t>(take_max ? acc : acc / (std::int64_t{k} * k));
+        }
+  return out;
+}
+
+}  // namespace
+
+Tensor<std::int32_t> max_pool(const Tensor<std::int32_t>& t, int k) { return pool(t, k, true); }
+
+Tensor<std::int32_t> avg_pool(const Tensor<std::int32_t>& t, int k) { return pool(t, k, false); }
+
+Tensor<std::int32_t> crop_add(const Tensor<std::int32_t>& big, const Tensor<std::int32_t>& small,
+                              int offset_y, int offset_x) {
+  const auto& bs = big.shape();
+  const auto& ss = small.shape();
+  if (bs.dim(1) != ss.dim(1))
+    throw ConfigError("crop_add: channel mismatch " + bs.to_string() + " vs " + ss.to_string());
+  RED_EXPECTS(offset_y >= 0 && offset_x >= 0);
+  RED_EXPECTS_MSG(offset_y + ss.dim(2) <= bs.dim(2) && offset_x + ss.dim(3) <= bs.dim(3),
+                  "crop window exceeds the larger tensor");
+  Tensor<std::int32_t> out = small;
+  for (std::int64_t c = 0; c < ss.dim(1); ++c)
+    for (std::int64_t y = 0; y < ss.dim(2); ++y)
+      for (std::int64_t x = 0; x < ss.dim(3); ++x)
+        out.at(0, c, y, x) += big.at(0, c, y + offset_y, x + offset_x);
+  return out;
+}
+
+Tensor<std::int32_t> argmax_channels(const Tensor<std::int32_t>& t) {
+  const auto& s = t.shape();
+  Tensor<std::int32_t> out(Shape4{s.dim(0), 1, s.dim(2), s.dim(3)});
+  for (std::int64_t n = 0; n < s.dim(0); ++n)
+    for (std::int64_t y = 0; y < s.dim(2); ++y)
+      for (std::int64_t x = 0; x < s.dim(3); ++x) {
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < s.dim(1); ++c)
+          if (t.at(n, c, y, x) > t.at(n, best, y, x)) best = c;
+        out.at(n, 0, y, x) = static_cast<std::int32_t>(best);
+      }
+  return out;
+}
+
+}  // namespace red::nn

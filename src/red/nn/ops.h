@@ -1,0 +1,40 @@
+// Elementwise / structural network ops around the (de)conv layers.
+//
+// Enough of the digital glue to chain realistic networks: ReLU, max/avg
+// pooling (discriminator/backbone), FCN-style skip fusion (crop + add), and
+// per-pixel argmax (segmentation decisions). All integer-domain, like the
+// rest of the functional pipeline; these run on the chip's digital periphery,
+// not in the crossbars.
+#pragma once
+
+#include <cstdint>
+
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+/// max(x, 0) elementwise.
+[[nodiscard]] Tensor<std::int32_t> relu(const Tensor<std::int32_t>& t);
+
+/// Saturating right-shift requantization: clamp(x >> shift, lo, hi). The
+/// stand-in for scale-and-round between stages.
+[[nodiscard]] Tensor<std::int32_t> requantize_shift(const Tensor<std::int32_t>& t, int shift,
+                                                    std::int32_t lo, std::int32_t hi);
+
+/// kxk max pooling with stride k (window must tile the input exactly).
+[[nodiscard]] Tensor<std::int32_t> max_pool(const Tensor<std::int32_t>& t, int k);
+
+/// kxk average pooling with stride k (floor division, window tiles exactly).
+[[nodiscard]] Tensor<std::int32_t> avg_pool(const Tensor<std::int32_t>& t, int k);
+
+/// FCN skip fusion: crop `big` at (offset_y, offset_x) to `small`'s spatial
+/// size and add elementwise (channels must match). This is the "crop + sum"
+/// that fuses voc-fcn8s's pool3/pool4 skips with the up-sampled scores.
+[[nodiscard]] Tensor<std::int32_t> crop_add(const Tensor<std::int32_t>& big,
+                                            const Tensor<std::int32_t>& small, int offset_y,
+                                            int offset_x);
+
+/// Per-pixel argmax over channels: (1, C, H, W) -> (1, 1, H, W) of class ids.
+[[nodiscard]] Tensor<std::int32_t> argmax_channels(const Tensor<std::int32_t>& t);
+
+}  // namespace red::nn

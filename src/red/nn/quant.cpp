@@ -1,0 +1,29 @@
+#include "red/nn/quant.h"
+
+#include <algorithm>
+#include <string>
+
+#include "red/common/error.h"
+
+namespace red::nn {
+
+IntRange signed_range(int bits) {
+  RED_EXPECTS(bits >= 2 && bits <= 31);
+  const std::int32_t hi = static_cast<std::int32_t>((std::int64_t{1} << (bits - 1)) - 1);
+  return IntRange{static_cast<std::int32_t>(-(std::int64_t{1} << (bits - 1))), hi};
+}
+
+std::int32_t saturate(std::int64_t v, int bits) {
+  const IntRange r = signed_range(bits);
+  return static_cast<std::int32_t>(std::clamp<std::int64_t>(v, r.lo, r.hi));
+}
+
+void check_range(const Tensor<std::int32_t>& t, int bits, const char* what) {
+  const IntRange r = signed_range(bits);
+  for (auto v : t)
+    if (v < r.lo || v > r.hi)
+      throw ConfigError(std::string(what) + ": value " + std::to_string(v) + " outside " +
+                        std::to_string(bits) + "-bit signed range");
+}
+
+}  // namespace red::nn

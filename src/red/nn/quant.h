@@ -1,0 +1,28 @@
+// Integer quantization helpers.
+//
+// The functional pipeline is integer-native: weights are signed `wbits`
+// integers, activations signed `abits` integers, accumulation int32/64.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/contracts.h"
+#include "red/tensor/tensor.h"
+
+namespace red::nn {
+
+/// Inclusive value range of a signed two's-complement integer of `bits` bits.
+struct IntRange {
+  std::int32_t lo = 0;
+  std::int32_t hi = 0;
+};
+
+[[nodiscard]] IntRange signed_range(int bits);
+
+/// Saturating cast of v into `bits`-bit signed range.
+[[nodiscard]] std::int32_t saturate(std::int64_t v, int bits);
+
+/// Throws ConfigError if any element of t is outside the `bits`-bit signed range.
+void check_range(const Tensor<std::int32_t>& t, int bits, const char* what);
+
+}  // namespace red::nn

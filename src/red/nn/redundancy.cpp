@@ -1,0 +1,55 @@
+#include "red/nn/redundancy.h"
+
+#include <cstdint>
+
+namespace red::nn {
+
+double zero_redundancy_ratio(const DeconvLayerSpec& spec) {
+  const PaddedGeometry g = padded_geometry(spec);
+  return g.zero_fraction(spec.ih, spec.iw);
+}
+
+namespace {
+
+/// Per-output-row (or column) count of structurally non-zero pixels within a
+/// k-wide window at each window position; 1-D factor of the 2-D count.
+std::vector<std::int64_t> hits_1d(int offset, int extent, int out, int k, int stride) {
+  std::vector<std::int64_t> per_window(static_cast<std::size_t>(out), 0);
+  for (int y = 0; y < out; ++y)
+    for (int i = 0; i < k; ++i) {
+      const int rel = y + i - offset;
+      if (rel >= 0 && rel % stride == 0 && rel / stride < extent)
+        ++per_window[static_cast<std::size_t>(y)];
+    }
+  return per_window;
+}
+
+}  // namespace
+
+std::int64_t structural_window_hits(const DeconvLayerSpec& spec) {
+  const PaddedGeometry g = padded_geometry(spec);
+  const auto rows = hits_1d(g.offset_top, spec.ih, spec.oh(), spec.kh, spec.stride);
+  const auto cols = hits_1d(g.offset_left, spec.iw, spec.ow(), spec.kw, spec.stride);
+  std::int64_t row_sum = 0;
+  for (auto r : rows) row_sum += r;
+  std::int64_t col_sum = 0;
+  for (auto c : cols) col_sum += c;
+  // Separable: hits(y, x) = rows[y] * cols[x]; sum over the grid factorizes.
+  return row_sum * col_sum;
+}
+
+std::vector<RedundancyPoint> redundancy_vs_stride(DeconvLayerSpec spec,
+                                                  const std::vector<int>& strides) {
+  std::vector<RedundancyPoint> out;
+  out.reserve(strides.size());
+  for (int s : strides) {
+    spec.stride = s;
+    // output_pad only selects the phase of the output size; it does not
+    // change the zero structure materially, but it must stay < stride.
+    if (spec.output_pad >= s) spec.output_pad = s - 1;
+    out.push_back(RedundancyPoint{s, zero_redundancy_ratio(spec)});
+  }
+  return out;
+}
+
+}  // namespace red::nn

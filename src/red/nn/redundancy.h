@@ -1,0 +1,35 @@
+// Zero-redundancy analysis of the zero-padding algorithm (paper Fig. 4).
+//
+// The paper's metric is the fraction of zero pixels in the padded input: the
+// convolution touches every padded pixel KH*KW times on average, so the zero
+// fraction equals the fraction of redundant MACs. Anchors from the paper
+// (SNGAN, 4x4 input, 4x4 kernel, pad 1): 86.8% at stride 2, 99.8% at stride 32.
+#pragma once
+
+#include <vector>
+
+#include "red/nn/layer.h"
+
+namespace red::nn {
+
+/// Zero fraction of the padded input for `spec` (the Fig. 4 y-axis).
+[[nodiscard]] double zero_redundancy_ratio(const DeconvLayerSpec& spec);
+
+/// Total number of structurally non-zero pixel hits over all OHxOW stride-1
+/// windows of the padded input — i.e. how many (window, pixel) pairs carry
+/// real data. Multiplying by C gives the wordline activations of the
+/// zero-padding design (and, by construction, of RED's zero-skipping flow);
+/// multiplying by C*M gives its useful MACs.
+[[nodiscard]] std::int64_t structural_window_hits(const DeconvLayerSpec& spec);
+
+struct RedundancyPoint {
+  int stride = 1;
+  double ratio = 0.0;
+};
+
+/// Sweep the stride, holding the input/kernel/pad geometry fixed
+/// (reproduces one curve of Fig. 4).
+[[nodiscard]] std::vector<RedundancyPoint> redundancy_vs_stride(DeconvLayerSpec spec,
+                                                                const std::vector<int>& strides);
+
+}  // namespace red::nn

@@ -1,0 +1,61 @@
+#include "red/report/evaluation.h"
+
+#include <algorithm>
+
+#include "red/core/designs.h"
+
+namespace red::report {
+
+double LayerComparison::red_speedup_vs_zp() const {
+  return zero_padding.total_latency() / red.total_latency();
+}
+
+double LayerComparison::pf_speedup_vs_zp() const {
+  return zero_padding.total_latency() / padding_free.total_latency();
+}
+
+double LayerComparison::red_latency_reduction_vs_zp() const {
+  return 1.0 - red.total_latency() / zero_padding.total_latency();
+}
+
+double LayerComparison::red_energy_saving_vs_zp() const {
+  return 1.0 - red.total_energy() / zero_padding.total_energy();
+}
+
+double LayerComparison::pf_energy_vs_zp() const {
+  return padding_free.total_energy() / zero_padding.total_energy();
+}
+
+double LayerComparison::pf_array_energy_ratio() const {
+  const double others =
+      std::max(zero_padding.array_energy().value(), red.array_energy().value());
+  return padding_free.array_energy().value() / others;
+}
+
+double LayerComparison::red_area_overhead_vs_zp() const {
+  return red.total_area() / zero_padding.total_area() - 1.0;
+}
+
+double LayerComparison::pf_area_overhead_vs_zp() const {
+  return padding_free.total_area() / zero_padding.total_area() - 1.0;
+}
+
+LayerComparison compare_layer(const nn::DeconvLayerSpec& spec, const arch::DesignConfig& cfg) {
+  using core::DesignKind;
+  LayerComparison cmp;
+  cmp.spec = spec;
+  cmp.zero_padding = core::make_design(DesignKind::kZeroPadding, cfg)->cost(spec);
+  cmp.padding_free = core::make_design(DesignKind::kPaddingFree, cfg)->cost(spec);
+  cmp.red = core::make_design(DesignKind::kRed, cfg)->cost(spec);
+  return cmp;
+}
+
+std::vector<LayerComparison> compare_layers(const std::vector<nn::DeconvLayerSpec>& specs,
+                                            const arch::DesignConfig& cfg) {
+  std::vector<LayerComparison> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) out.push_back(compare_layer(s, cfg));
+  return out;
+}
+
+}  // namespace red::report

@@ -1,0 +1,44 @@
+// Cross-design evaluation of a layer: the quantities the paper's Figs. 7-9
+// plot, normalized to the zero-padding baseline as in Sec. IV-A.
+#pragma once
+
+#include <vector>
+
+#include "red/arch/cost_report.h"
+#include "red/arch/design.h"
+#include "red/nn/layer.h"
+
+namespace red::report {
+
+struct LayerComparison {
+  nn::DeconvLayerSpec spec;
+  arch::CostReport zero_padding;
+  arch::CostReport padding_free;
+  arch::CostReport red;
+
+  // -- Fig. 7: latency ------------------------------------------------------
+  [[nodiscard]] double red_speedup_vs_zp() const;
+  [[nodiscard]] double pf_speedup_vs_zp() const;
+  /// Fractional latency reduction of RED vs zero-padding (array+periphery).
+  [[nodiscard]] double red_latency_reduction_vs_zp() const;
+
+  // -- Fig. 8: energy -------------------------------------------------------
+  [[nodiscard]] double red_energy_saving_vs_zp() const;  ///< fraction in [0,1)
+  [[nodiscard]] double pf_energy_vs_zp() const;          ///< ratio (>1 = worse)
+  /// Padding-free array energy over the larger of the other two array energies.
+  [[nodiscard]] double pf_array_energy_ratio() const;
+
+  // -- Fig. 9: area ---------------------------------------------------------
+  [[nodiscard]] double red_area_overhead_vs_zp() const;  ///< fraction (+0.21 = +21%)
+  [[nodiscard]] double pf_area_overhead_vs_zp() const;
+};
+
+/// Evaluate all three designs analytically on one layer.
+[[nodiscard]] LayerComparison compare_layer(const nn::DeconvLayerSpec& spec,
+                                            const arch::DesignConfig& cfg = {});
+
+/// Evaluate a set of layers (e.g. workloads::table1_benchmarks()).
+[[nodiscard]] std::vector<LayerComparison> compare_layers(
+    const std::vector<nn::DeconvLayerSpec>& specs, const arch::DesignConfig& cfg = {});
+
+}  // namespace red::report

@@ -1,0 +1,62 @@
+#include "red/report/export.h"
+
+#include <fstream>
+
+#include "red/common/error.h"
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+namespace red::report {
+
+std::string format_extension(ExportFormat fmt) {
+  switch (fmt) {
+    case ExportFormat::kCsv:
+      return "csv";
+    case ExportFormat::kMarkdown:
+      return "md";
+    case ExportFormat::kAscii:
+      return "txt";
+  }
+  return "txt";
+}
+
+std::string render(const TextTable& table, ExportFormat fmt) {
+  switch (fmt) {
+    case ExportFormat::kCsv:
+      return table.to_csv();
+    case ExportFormat::kMarkdown:
+      return table.to_markdown();
+    case ExportFormat::kAscii:
+      return table.to_ascii();
+  }
+  return table.to_ascii();
+}
+
+std::filesystem::path export_table(const TextTable& table, const std::filesystem::path& dir,
+                                   const std::string& name, ExportFormat fmt) {
+  std::filesystem::create_directories(dir);
+  const auto path = dir / (name + "." + format_extension(fmt));
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open " + path.string() + " for writing");
+  out << render(table, fmt);
+  if (!out) throw Error("failed writing " + path.string());
+  return path;
+}
+
+std::vector<std::filesystem::path> export_all_figures(const std::filesystem::path& dir,
+                                                      ExportFormat fmt) {
+  const auto specs = workloads::table1_benchmarks();
+  const auto cmps = compare_layers(specs);
+  std::vector<std::filesystem::path> written;
+  written.push_back(export_table(table1(specs), dir, "table1", fmt));
+  written.push_back(export_table(fig4_redundancy({1, 2, 4, 8, 16, 32}), dir, "fig4", fmt));
+  written.push_back(export_table(fig7a_speedup(cmps), dir, "fig7a_speedup", fmt));
+  written.push_back(export_table(fig7b_latency_breakdown(cmps), dir, "fig7b_breakdown", fmt));
+  written.push_back(export_table(fig8a_energy_saving(cmps), dir, "fig8a_saving", fmt));
+  written.push_back(export_table(fig8b_energy_breakdown(cmps), dir, "fig8b_breakdown", fmt));
+  written.push_back(export_table(fig9_area(cmps), dir, "fig9_area", fmt));
+  return written;
+}
+
+}  // namespace red::report

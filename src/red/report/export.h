@@ -1,0 +1,31 @@
+// Result export: write the reproduced tables/figures to files so downstream
+// plotting (or EXPERIMENTS.md regeneration) never scrapes stdout.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "red/common/table.h"
+
+namespace red::report {
+
+enum class ExportFormat { kCsv, kMarkdown, kAscii };
+
+/// File extension for a format ("csv", "md", "txt").
+[[nodiscard]] std::string format_extension(ExportFormat fmt);
+
+/// Render `table` in `fmt`.
+[[nodiscard]] std::string render(const TextTable& table, ExportFormat fmt);
+
+/// Write one table to `dir/name.<ext>`; creates `dir` if needed.
+/// Returns the path written.
+std::filesystem::path export_table(const TextTable& table, const std::filesystem::path& dir,
+                                   const std::string& name, ExportFormat fmt);
+
+/// Write every paper table/figure (Table I, Fig. 4/7/8/9) for the Table I
+/// benchmarks into `dir` in `fmt`. Returns the paths written.
+std::vector<std::filesystem::path> export_all_figures(const std::filesystem::path& dir,
+                                                      ExportFormat fmt);
+
+}  // namespace red::report

@@ -1,0 +1,130 @@
+#include "red/report/figures.h"
+
+#include <sstream>
+
+#include "red/common/string_util.h"
+#include "red/core/designs.h"
+#include "red/nn/redundancy.h"
+
+namespace red::report {
+
+namespace {
+
+std::string dims3(int a, int b, int c) {
+  std::ostringstream os;
+  os << '(' << a << ", " << b << ", " << c << ')';
+  return os.str();
+}
+
+}  // namespace
+
+TextTable table1(const std::vector<nn::DeconvLayerSpec>& specs, const arch::DesignConfig& cfg) {
+  TextTable t({"Layer Name", "Input Size", "Output Size", "Kernel Size", "Stride",
+               "ZP cycles", "PF cycles", "RED cycles"});
+  for (const auto& s : specs) {
+    const auto zp = core::make_design(core::DesignKind::kZeroPadding, cfg)->activity(s);
+    const auto pf = core::make_design(core::DesignKind::kPaddingFree, cfg)->activity(s);
+    const auto red = core::make_design(core::DesignKind::kRed, cfg)->activity(s);
+    std::ostringstream kernel;
+    kernel << '(' << s.kh << ", " << s.kw << ", " << s.c << ", " << s.m << ')';
+    t.add_row({s.name, dims3(s.ih, s.iw, s.c), dims3(s.oh(), s.ow(), s.m), kernel.str(),
+               std::to_string(s.stride), std::to_string(zp.cycles), std::to_string(pf.cycles),
+               std::to_string(red.cycles)});
+  }
+  return t;
+}
+
+TextTable fig4_redundancy(const std::vector<int>& strides) {
+  // The two Fig. 4 curves: SNGAN (4x4 input, 4x4 kernel, pad 1) and
+  // FCN (16x16 input, 4x4 kernel, pad 0).
+  nn::DeconvLayerSpec sngan{"SNGAN 4x4", 4, 4, 1, 1, 4, 4, 2, 1, 0};
+  nn::DeconvLayerSpec fcn{"FCN 16x16", 16, 16, 1, 1, 4, 4, 2, 0, 0};
+  const auto sngan_pts = nn::redundancy_vs_stride(sngan, strides);
+  const auto fcn_pts = nn::redundancy_vs_stride(fcn, strides);
+  TextTable t({"Stride", "SNGAN[13] input:4x4", "FCN[3] input:16x16"});
+  for (std::size_t i = 0; i < strides.size(); ++i)
+    t.add_row({std::to_string(strides[i]), format_percent(sngan_pts[i].ratio, 2),
+               format_percent(fcn_pts[i].ratio, 2)});
+  return t;
+}
+
+TextTable fig7a_speedup(const std::vector<LayerComparison>& cmps) {
+  TextTable t({"Layer", "zero-padding", "padding-free", "RED"});
+  for (const auto& c : cmps)
+    t.add_row({c.spec.name, "1.00x", format_speedup(c.pf_speedup_vs_zp()),
+               format_speedup(c.red_speedup_vs_zp())});
+  return t;
+}
+
+namespace {
+
+void add_breakdown_rows(TextTable& t, const LayerComparison& c, bool energy) {
+  const auto pct = [&](const arch::CostReport& r, bool array) {
+    const double base =
+        energy ? c.zero_padding.total_energy().value() : c.zero_padding.total_latency().value();
+    const double v = energy ? (array ? r.array_energy().value() : r.periphery_energy().value())
+                            : (array ? r.array_latency().value() : r.periphery_latency().value());
+    return format_percent(v / base, 1);
+  };
+  t.add_row({c.spec.name, pct(c.zero_padding, true), pct(c.zero_padding, false),
+             pct(c.padding_free, true), pct(c.padding_free, false), pct(c.red, true),
+             pct(c.red, false)});
+}
+
+}  // namespace
+
+TextTable fig7b_latency_breakdown(const std::vector<LayerComparison>& cmps) {
+  TextTable t({"Layer", "ZP array", "ZP periphery", "PF array", "PF periphery", "RED array",
+               "RED periphery"});
+  for (const auto& c : cmps) add_breakdown_rows(t, c, /*energy=*/false);
+  return t;
+}
+
+TextTable fig8a_energy_saving(const std::vector<LayerComparison>& cmps) {
+  TextTable t({"Layer", "RED saving vs ZP", "PF energy vs ZP", "PF array energy ratio"});
+  for (const auto& c : cmps)
+    t.add_row({c.spec.name, format_percent(c.red_energy_saving_vs_zp(), 2),
+               format_speedup(c.pf_energy_vs_zp()), format_speedup(c.pf_array_energy_ratio())});
+  return t;
+}
+
+TextTable fig8b_energy_breakdown(const std::vector<LayerComparison>& cmps) {
+  TextTable t({"Layer", "ZP array", "ZP periphery", "PF array", "PF periphery", "RED array",
+               "RED periphery"});
+  for (const auto& c : cmps) add_breakdown_rows(t, c, /*energy=*/true);
+  return t;
+}
+
+TextTable fig9_area(const std::vector<LayerComparison>& cmps) {
+  TextTable t({"Layer", "Design", "array %", "periphery %", "total %"});
+  for (const auto& c : cmps) {
+    const double base = c.zero_padding.total_area().value();
+    const auto row = [&](const char* name, const arch::CostReport& r) {
+      t.add_row({c.spec.name, name, format_percent(r.array_area().value() / base, 1),
+                 format_percent(r.periphery_area().value() / base, 1),
+                 format_percent(r.total_area().value() / base, 2)});
+    };
+    row("zero-padding", c.zero_padding);
+    row("padding-free", c.padding_free);
+    row("RED", c.red);
+  }
+  return t;
+}
+
+TextTable component_breakdown(const arch::CostReport& report) {
+  TextTable t({"Component", "Abbr", "Group", "Latency (ns)", "Energy (pJ)", "Area (um^2)"});
+  for (auto comp : circuits::all_components()) {
+    t.add_row({circuits::component_name(comp), circuits::component_abbrev(comp),
+               circuits::is_array_component(comp) ? "array" : "periphery",
+               format_double(report.latency(comp).value(), 2),
+               format_double(report.energy(comp).value(), 2),
+               format_double(report.area(comp).value(), 2)});
+  }
+  t.add_row({"Leakage", "-", "-", "-", format_double(report.leakage().value(), 2), "-"});
+  t.add_row({"TOTAL", "-", "-", format_double(report.total_latency().value(), 2),
+             format_double(report.total_energy().value(), 2),
+             format_double(report.total_area().value(), 2)});
+  return t;
+}
+
+}  // namespace red::report

@@ -1,0 +1,38 @@
+// Builders that render each paper table/figure as a text table
+// (ASCII for the terminal, Markdown/CSV for EXPERIMENTS.md and plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "red/common/table.h"
+#include "red/nn/layer.h"
+#include "red/report/evaluation.h"
+
+namespace red::report {
+
+/// Table I: the benchmark list plus each design's cycle counts.
+[[nodiscard]] TextTable table1(const std::vector<nn::DeconvLayerSpec>& specs,
+                               const arch::DesignConfig& cfg = {});
+
+/// Fig. 4: zero-redundancy ratio vs stride for the two paper curves.
+[[nodiscard]] TextTable fig4_redundancy(const std::vector<int>& strides);
+
+/// Fig. 7(a): speedup over the zero-padding design.
+[[nodiscard]] TextTable fig7a_speedup(const std::vector<LayerComparison>& cmps);
+/// Fig. 7(b): execution-time breakdown (array vs periphery), normalized to
+/// the zero-padding design per layer (percent).
+[[nodiscard]] TextTable fig7b_latency_breakdown(const std::vector<LayerComparison>& cmps);
+
+/// Fig. 8(a): energy saving factor vs the zero-padding design.
+[[nodiscard]] TextTable fig8a_energy_saving(const std::vector<LayerComparison>& cmps);
+/// Fig. 8(b): energy breakdown, normalized to zero-padding per layer (percent).
+[[nodiscard]] TextTable fig8b_energy_breakdown(const std::vector<LayerComparison>& cmps);
+
+/// Fig. 9: area breakdown, normalized to zero-padding per layer (percent).
+[[nodiscard]] TextTable fig9_area(const std::vector<LayerComparison>& cmps);
+
+/// Per-component Table II breakdown of one report (diagnostics).
+[[nodiscard]] TextTable component_breakdown(const arch::CostReport& report);
+
+}  // namespace red::report

@@ -1,0 +1,148 @@
+#include "red/report/json.h"
+
+#include <sstream>
+
+namespace red::report {
+
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void open(const std::string& key = "") {
+    pad();
+    if (!key.empty()) os_ << '"' << key << "\": ";
+    os_ << "{\n";
+    ++depth_;
+    first_ = true;
+  }
+  void close(bool trailing_newline = true) {
+    os_ << '\n';
+    --depth_;
+    pad();
+    os_ << '}';
+    if (trailing_newline && depth_ == 0) os_ << '\n';
+    first_ = false;
+  }
+  void field(const std::string& key, double value) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": " << value;
+  }
+  void field(const std::string& key, std::int64_t value) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": " << value;
+  }
+  void field(const std::string& key, const std::string& value) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": \"" << json_escape(value) << '"';
+  }
+  void object(const std::string& key) {
+    sep();
+    open(key);
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+  }
+  void pad() {
+    for (int i = 0; i < indent_ + depth_ * 2; ++i) os_ << ' ';
+  }
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_report_fields(JsonWriter& w, const arch::CostReport& r) {
+  w.field("design", r.design());
+  w.field("cycles", r.cycles());
+  w.field("latency_ns", r.total_latency().value());
+  w.field("latency_pipelined_ns", r.pipelined_latency().value());
+  w.field("energy_pj", r.total_energy().value());
+  w.field("area_um2", r.total_area().value());
+  w.field("leakage_pj", r.leakage().value());
+  w.object("array");
+  w.field("latency_ns", r.array_latency().value());
+  w.field("energy_pj", r.array_energy().value());
+  w.field("area_um2", r.array_area().value());
+  w.close(false);
+  w.object("periphery");
+  w.field("latency_ns", r.periphery_latency().value());
+  w.field("energy_pj", r.periphery_energy().value());
+  w.field("area_um2", r.periphery_area().value());
+  w.close(false);
+  w.object("components");
+  for (auto c : circuits::all_components()) {
+    w.object(circuits::component_abbrev(c));
+    w.field("latency_ns", r.latency(c).value());
+    w.field("energy_pj", r.energy(c).value());
+    w.field("area_um2", r.area(c).value());
+    w.close(false);
+  }
+  w.close(false);
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string to_json(const arch::CostReport& report, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  write_report_fields(w, report);
+  w.close();
+  return w.str();
+}
+
+std::string to_json(const LayerComparison& cmp, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("layer", cmp.spec.name);
+  w.field("red_speedup_vs_zp", cmp.red_speedup_vs_zp());
+  w.field("pf_speedup_vs_zp", cmp.pf_speedup_vs_zp());
+  w.field("red_energy_saving_vs_zp", cmp.red_energy_saving_vs_zp());
+  w.field("pf_energy_vs_zp", cmp.pf_energy_vs_zp());
+  w.field("pf_array_energy_ratio", cmp.pf_array_energy_ratio());
+  w.field("red_area_overhead_vs_zp", cmp.red_area_overhead_vs_zp());
+  w.field("pf_area_overhead_vs_zp", cmp.pf_area_overhead_vs_zp());
+  w.object("zero_padding");
+  write_report_fields(w, cmp.zero_padding);
+  w.close(false);
+  w.object("padding_free");
+  write_report_fields(w, cmp.padding_free);
+  w.close(false);
+  w.object("red");
+  write_report_fields(w, cmp.red);
+  w.close(false);
+  w.close();
+  return w.str();
+}
+
+}  // namespace red::report

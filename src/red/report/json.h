@@ -1,0 +1,25 @@
+// Minimal JSON serialization of cost reports and comparisons (for scripting
+// against the CLI without parsing tables).
+//
+// Hand-rolled writer: the output grammar is tiny (objects of numbers and
+// strings), so a dependency-free emitter keeps the project self-contained.
+#pragma once
+
+#include <string>
+
+#include "red/arch/cost_report.h"
+#include "red/report/evaluation.h"
+
+namespace red::report {
+
+/// One cost report as a JSON object (per-component arrays + totals).
+[[nodiscard]] std::string to_json(const arch::CostReport& report, int indent = 0);
+
+/// A full three-design comparison as a JSON object with the headline
+/// Fig. 7/8/9 quantities.
+[[nodiscard]] std::string to_json(const LayerComparison& cmp, int indent = 0);
+
+/// Escape a string for embedding in JSON.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace red::report

@@ -1,0 +1,68 @@
+#include "red/sim/balance.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+#include "red/workloads/networks.h"
+
+namespace red::sim {
+
+BalanceResult balance_pipeline(core::DesignKind kind,
+                               const std::vector<nn::DeconvLayerSpec>& stack,
+                               const arch::ChipConfig& chip, std::int64_t subarray_budget,
+                               const arch::DesignConfig& cfg) {
+  workloads::validate_stack(stack);
+  RED_EXPECTS(subarray_budget >= 1);
+  const auto design = core::make_design(kind, cfg);
+  const auto placement = arch::plan_chip(*design, stack, chip);
+
+  BalanceResult result;
+  result.subarray_budget = subarray_budget;
+  double slowest = 0.0;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    BalancedStage stage;
+    stage.spec = stack[i];
+    stage.subarrays = placement.layers[i].subarrays;
+    stage.raw_latency = design->cost(stack[i]).total_latency();
+    slowest = std::max(slowest, stage.raw_latency.value());
+    result.subarrays_used += stage.subarrays;
+    result.stages.push_back(std::move(stage));
+  }
+  result.interval_before = Nanoseconds{slowest};
+
+  // Greedy: while budget remains, duplicate the stage with the worst
+  // effective interval (ties: cheapest duplication first).
+  for (;;) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < result.stages.size(); ++i) {
+      const auto& a = result.stages[i];
+      const auto& b = result.stages[worst];
+      if (a.effective_interval().value() > b.effective_interval().value() ||
+          (a.effective_interval().value() == b.effective_interval().value() &&
+           a.subarrays < b.subarrays))
+        worst = i;
+    }
+    auto& stage = result.stages[worst];
+    if (result.subarrays_used + stage.subarrays > subarray_budget) break;
+    // Duplicating only helps while another stage (or the copy count) still
+    // bounds the interval; stop when the bottleneck cannot improve.
+    std::int64_t second = 0;
+    for (std::size_t i = 0; i < result.stages.size(); ++i)
+      if (i != worst)
+        second = std::max(
+            second, static_cast<std::int64_t>(result.stages[i].effective_interval().value()));
+    const double after = stage.raw_latency.value() / (stage.duplication + 1);
+    if (after < static_cast<double>(second) * 0.25 && stage.duplication >= 4)
+      break;  // diminishing returns guard
+    ++stage.duplication;
+    result.subarrays_used += stage.subarrays;
+    if (stage.duplication > 64) break;  // safety stop
+  }
+
+  double after = 0.0;
+  for (const auto& s : result.stages) after = std::max(after, s.effective_interval().value());
+  result.interval_after = Nanoseconds{after};
+  return result;
+}
+
+}  // namespace red::sim

@@ -1,0 +1,48 @@
+// Pipeline balancing by weight duplication (PipeLayer [8]-style).
+//
+// In a layer-pipelined PIM chip the initiation interval equals the slowest
+// stage. Duplicating a stage's crossbars lets two images' worth of that
+// stage run in parallel, halving its effective interval at the price of the
+// stage's subarrays. balance_pipeline greedily duplicates the bottleneck
+// stage while a subarray budget lasts — the classic ReRAM-pipeline knob the
+// paper's related work (PipeLayer, ReGAN) relies on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/arch/chip.h"
+#include "red/sim/pipeline.h"
+
+namespace red::sim {
+
+struct BalancedStage {
+  nn::DeconvLayerSpec spec;
+  std::int64_t subarrays = 0;      ///< per copy
+  int duplication = 1;             ///< crossbar copies of this stage
+  Nanoseconds raw_latency;         ///< one image through one copy
+  /// Effective initiation interval contribution: raw / duplication.
+  [[nodiscard]] Nanoseconds effective_interval() const {
+    return raw_latency / static_cast<double>(duplication);
+  }
+};
+
+struct BalanceResult {
+  std::vector<BalancedStage> stages;
+  std::int64_t subarray_budget = 0;
+  std::int64_t subarrays_used = 0;
+  Nanoseconds interval_before;
+  Nanoseconds interval_after;
+
+  [[nodiscard]] double speedup() const { return interval_before / interval_after; }
+};
+
+/// Balance `stack` on `kind` under a total subarray budget (e.g. the chip's).
+/// Stage subarray demand comes from plan_chip's placement under `chip`.
+[[nodiscard]] BalanceResult balance_pipeline(core::DesignKind kind,
+                                             const std::vector<nn::DeconvLayerSpec>& stack,
+                                             const arch::ChipConfig& chip,
+                                             std::int64_t subarray_budget,
+                                             const arch::DesignConfig& cfg = {});
+
+}  // namespace red::sim

@@ -1,0 +1,62 @@
+#include "red/sim/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "red/common/error.h"
+#include "red/common/string_util.h"
+#include "red/tensor/tensor_ops.h"
+
+namespace red::sim {
+
+namespace {
+
+void check_eq(std::vector<std::string>& issues, const char* what, std::int64_t predicted,
+              std::int64_t measured) {
+  if (predicted != measured) {
+    std::ostringstream os;
+    os << what << ": predicted " << predicted << " but measured " << measured;
+    issues.push_back(os.str());
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> consistency_issues(const arch::LayerActivity& predicted,
+                                            const arch::RunStats& measured,
+                                            bool expect_exact_drives) {
+  std::vector<std::string> issues;
+  check_eq(issues, "cycles", predicted.cycles, measured.cycles);
+  check_eq(issues, "conversions", predicted.conversions, measured.mvm.conversions);
+  if (expect_exact_drives) {
+    check_eq(issues, "row_drives", predicted.row_drives, measured.mvm.row_drives);
+  } else if (measured.mvm.row_drives > predicted.row_drives) {
+    std::ostringstream os;
+    os << "row_drives: measured " << measured.mvm.row_drives
+       << " exceeds the structural bound " << predicted.row_drives;
+    issues.push_back(os.str());
+  }
+  if (predicted.overlap_adds != 0)
+    check_eq(issues, "overlap_adds", predicted.overlap_adds, measured.overlap_adds);
+  if (predicted.buffer_accesses != 0)
+    check_eq(issues, "buffer_accesses", predicted.buffer_accesses, measured.buffer_accesses);
+  return issues;
+}
+
+SimulationResult simulate(const arch::Design& design, const nn::DeconvLayerSpec& spec,
+                          const Tensor<std::int32_t>& input, const Tensor<std::int32_t>& kernel,
+                          bool check) {
+  SimulationResult result{Tensor<std::int32_t>{}, {}, design.activity(spec),
+                          design.cost(spec)};
+  result.output = design.run(spec, input, kernel, &result.measured);
+  if (check) {
+    const bool exact_drives = count_zeros(input) == 0;
+    const auto issues = consistency_issues(result.predicted, result.measured, exact_drives);
+    if (!issues.empty())
+      throw MismatchError("design '" + design.name() + "' on layer '" + spec.name +
+                          "' is inconsistent: " + join(issues, "; "));
+  }
+  return result;
+}
+
+}  // namespace red::sim

@@ -1,0 +1,43 @@
+// Simulation engine: runs a design functionally and cross-checks the
+// measured activity against the analytic model.
+//
+// The analytic LayerActivity predicts cycles, conversions, and (for inputs
+// with no accidental zero values) wordline drives from geometry alone; the
+// functional run counts them as they happen. Any disagreement means either
+// the schedule or the model is wrong, so simulate() can verify them against
+// each other — this is the strongest internal consistency check the project
+// has, and the integration tests lean on it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "red/arch/design.h"
+#include "red/nn/layer.h"
+#include "red/tensor/tensor.h"
+
+namespace red::sim {
+
+struct SimulationResult {
+  Tensor<std::int32_t> output;
+  arch::RunStats measured;
+  arch::LayerActivity predicted;
+  arch::CostReport cost;
+};
+
+/// Differences between predicted and measured activity; empty means consistent.
+/// `expect_exact_drives` should be true only when the input tensor has no
+/// zero values (zero-valued pixels legitimately skip wordline drives).
+[[nodiscard]] std::vector<std::string> consistency_issues(const arch::LayerActivity& predicted,
+                                                          const arch::RunStats& measured,
+                                                          bool expect_exact_drives);
+
+/// Run `design` on the layer and return output, stats, and analytic cost.
+/// If `check` is true, throws MismatchError when the functional run
+/// contradicts the analytic activity model.
+[[nodiscard]] SimulationResult simulate(const arch::Design& design,
+                                        const nn::DeconvLayerSpec& spec,
+                                        const Tensor<std::int32_t>& input,
+                                        const Tensor<std::int32_t>& kernel, bool check = true);
+
+}  // namespace red::sim

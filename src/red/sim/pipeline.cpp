@@ -1,0 +1,49 @@
+#include "red/sim/pipeline.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+#include "red/workloads/networks.h"
+
+namespace red::sim {
+
+double PipelineResult::throughput_img_per_s() const {
+  RED_EXPECTS(initiation_interval.value() > 0.0);
+  return 1e9 / initiation_interval.value();
+}
+
+Nanoseconds PipelineResult::pipelined_latency(std::int64_t n) const {
+  RED_EXPECTS(n >= 1);
+  return fill_latency + initiation_interval * static_cast<double>(n - 1);
+}
+
+PipelineResult evaluate_pipeline(core::DesignKind kind,
+                                 const std::vector<nn::DeconvLayerSpec>& stack,
+                                 const arch::DesignConfig& cfg) {
+  workloads::validate_stack(stack);
+  const auto design = core::make_design(kind, cfg);
+
+  PipelineResult result;
+  result.design_name = design->name();
+  double seq = 0.0, slowest = 0.0, energy = 0.0, area = 0.0;
+  for (const auto& layer : stack) {
+    StageCost stage{layer, design->cost(layer), 0};
+    stage.activation_bits =
+        std::int64_t{layer.oh()} * layer.ow() * layer.m * cfg.quant.abits;
+    seq += stage.cost.total_latency().value();
+    slowest = std::max(slowest, stage.cost.total_latency().value());
+    energy += stage.cost.total_energy().value();
+    area += stage.cost.total_area().value();
+    // Double-buffered hand-off to the next stage.
+    if (&layer != &stack.back()) result.buffer_bits += 2 * stage.activation_bits;
+    result.stages.push_back(std::move(stage));
+  }
+  result.sequential_latency = Nanoseconds{seq};
+  result.initiation_interval = Nanoseconds{slowest};
+  result.fill_latency = Nanoseconds{seq};
+  result.energy_per_image = Picojoules{energy};
+  result.total_area = SquareMicrons{area};
+  return result;
+}
+
+}  // namespace red::sim

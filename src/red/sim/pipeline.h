@@ -1,0 +1,51 @@
+// Network-level execution model.
+//
+// The paper evaluates single layers; real GAN/FCN inference chains several
+// deconvolution stages (plus inter-stage activation buffers). This model
+// prices a whole stack per design, in two operating modes:
+//  * sequential — one image, stages back to back (latency = sum of stages);
+//  * pipelined  — a PipeLayer-style stream where stage i processes image
+//    n-i concurrently (initiation interval = slowest stage, fill = sum).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "red/arch/cost_report.h"
+#include "red/arch/design.h"
+#include "red/core/designs.h"
+#include "red/nn/layer.h"
+
+namespace red::sim {
+
+struct StageCost {
+  nn::DeconvLayerSpec spec;
+  arch::CostReport cost;
+  std::int64_t activation_bits = 0;  ///< output activations buffered to the next stage
+};
+
+struct PipelineResult {
+  std::string design_name;
+  std::vector<StageCost> stages;
+
+  Nanoseconds sequential_latency;  ///< one image, no overlap
+  Nanoseconds initiation_interval; ///< pipelined steady-state spacing (= slowest stage)
+  Nanoseconds fill_latency;        ///< first image through the pipe
+  Picojoules energy_per_image;
+  SquareMicrons total_area;        ///< all stages resident (weights stay programmed)
+  std::int64_t buffer_bits = 0;    ///< inter-stage double buffers
+
+  /// Steady-state throughput in images per second.
+  [[nodiscard]] double throughput_img_per_s() const;
+  /// Latency for `n` images in pipelined mode.
+  [[nodiscard]] Nanoseconds pipelined_latency(std::int64_t n) const;
+};
+
+/// Price a deconvolution stack on one design. The stack must chain
+/// (workloads::validate_stack).
+[[nodiscard]] PipelineResult evaluate_pipeline(core::DesignKind kind,
+                                               const std::vector<nn::DeconvLayerSpec>& stack,
+                                               const arch::DesignConfig& cfg = {});
+
+}  // namespace red::sim

@@ -1,0 +1,55 @@
+#include "red/sim/trace.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "red/common/contracts.h"
+
+namespace red::sim {
+
+std::string render_schedule_trace(const core::ZeroSkipSchedule& schedule,
+                                  const TraceOptions& options) {
+  RED_EXPECTS(options.max_cycles >= 1);
+  const int kw = schedule.spec().kw;
+  std::ostringstream os;
+  const std::int64_t cycles = std::min(schedule.num_cycles(), options.max_cycles);
+  for (std::int64_t i = 0; i < cycles; ++i) {
+    const auto cyc = schedule.cycle(i);
+    os << "Cycle " << (i + 1);
+    if (schedule.fold() > 1) os << " (phase " << cyc.phase + 1 << ")";
+    os << ": ";
+    // Group assignments by input pixel, as the paper narrates them.
+    std::map<std::pair<int, int>, std::vector<int>> by_pixel;
+    for (const auto& g : cyc.groups)
+      for (const auto& in : g.inputs)
+        if (in.active) by_pixel[{in.h, in.w}].push_back(in.sc.flat(kw) + 1);
+    bool first = true;
+    for (const auto& [pixel, scs] : by_pixel) {
+      if (!first) os << " | ";
+      first = false;
+      os << "I(" << pixel.first << "," << pixel.second << ") -> ";
+      for (std::size_t k = 0; k < scs.size(); ++k) {
+        if (k != 0) os << ", ";
+        os << "SC" << scs[k];
+      }
+    }
+    if (by_pixel.empty()) os << "(idle)";
+    if (options.show_outputs) {
+      os << "  =>";
+      bool any = false;
+      for (const auto& g : cyc.groups)
+        if (g.produces_output) {
+          os << " O(" << g.out_y << "," << g.out_x << ")";
+          any = true;
+        }
+      if (!any) os << " (accumulating)";
+    }
+    os << '\n';
+  }
+  if (schedule.num_cycles() > cycles)
+    os << "... (" << schedule.num_cycles() - cycles << " more cycles)\n";
+  return os.str();
+}
+
+}  // namespace red::sim

@@ -1,0 +1,23 @@
+// Human-readable schedule traces, in the paper's own narration style:
+//   Cycle 1: I(0,0) -> SC1 | I(1,0) -> SC2, SC3 | out O(0,0) O(0,1) ...
+// Sub-crossbars are numbered 1..KH*KW row-major like Fig. 5/6; I(h,w) are
+// real input-pixel coordinates (zero-skipping: padded zeros never appear).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "red/core/schedule.h"
+
+namespace red::sim {
+
+struct TraceOptions {
+  std::int64_t max_cycles = 16;  ///< truncate long schedules
+  bool show_outputs = true;
+};
+
+/// Render the first `max_cycles` cycles of a zero-skipping schedule.
+[[nodiscard]] std::string render_schedule_trace(const core::ZeroSkipSchedule& schedule,
+                                                const TraceOptions& options = {});
+
+}  // namespace red::sim

@@ -1,0 +1,59 @@
+#include "red/sim/verifier.h"
+
+#include <sstream>
+
+#include "red/common/rng.h"
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/sim/engine.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/generator.h"
+
+namespace red::sim {
+
+bool VerificationReport::all_passed() const {
+  for (const auto& v : verdicts)
+    if (!v.bit_exact || !v.activity_consistent) return false;
+  return !verdicts.empty();
+}
+
+std::string VerificationReport::summary() const {
+  std::ostringstream os;
+  os << spec.name << " (seed " << seed << "): ";
+  for (const auto& v : verdicts) {
+    os << v.design << "=" << (v.bit_exact && v.activity_consistent ? "ok" : "FAIL") << " ";
+  }
+  return os.str();
+}
+
+VerificationReport verify_layer(const nn::DeconvLayerSpec& spec, std::uint64_t seed,
+                                const arch::DesignConfig& cfg) {
+  spec.validate();
+  VerificationReport report;
+  report.spec = spec;
+  report.seed = seed;
+
+  Rng rng(seed);
+  const auto input = workloads::make_input(spec, rng, 1, 7);  // non-zero: exact drive counts
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const auto golden = nn::deconv_reference(spec, input, kernel);
+
+  for (const auto& design : core::make_all_designs(cfg)) {
+    DesignVerdict verdict;
+    verdict.design = design->name();
+    arch::RunStats stats;
+    const auto out = design->run(spec, input, kernel, &stats);
+    verdict.cycles = stats.cycles;
+    verdict.max_abs_error = max_abs_diff(golden, out);
+    verdict.bit_exact = verdict.max_abs_error == 0;
+    if (!verdict.bit_exact) verdict.issues.push_back(first_mismatch(golden, out));
+    const auto issues =
+        sim::consistency_issues(design->activity(spec), stats, /*expect_exact_drives=*/true);
+    verdict.activity_consistent = issues.empty();
+    verdict.issues.insert(verdict.issues.end(), issues.begin(), issues.end());
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+}  // namespace red::sim

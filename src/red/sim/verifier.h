@@ -1,0 +1,39 @@
+// Cross-design verifier: run all three designs on the same data and check
+// them against the golden deconvolution and against the analytic activity
+// model. The library's self-test entry point (used by tests, the CLI, and
+// anyone porting the code to a new platform).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "red/arch/design.h"
+#include "red/nn/layer.h"
+
+namespace red::sim {
+
+struct DesignVerdict {
+  std::string design;
+  bool bit_exact = false;        ///< output equals the golden reference
+  bool activity_consistent = false;  ///< measured counts match the analytic model
+  std::int64_t cycles = 0;
+  std::int64_t max_abs_error = 0;  ///< 0 when bit_exact
+  std::vector<std::string> issues;
+};
+
+struct VerificationReport {
+  nn::DeconvLayerSpec spec;
+  std::uint64_t seed = 0;
+  std::vector<DesignVerdict> verdicts;
+
+  [[nodiscard]] bool all_passed() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Verify every design on `spec` with deterministic data from `seed`.
+[[nodiscard]] VerificationReport verify_layer(const nn::DeconvLayerSpec& spec,
+                                              std::uint64_t seed = 1,
+                                              const arch::DesignConfig& cfg = {});
+
+}  // namespace red::sim

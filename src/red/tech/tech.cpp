@@ -1,0 +1,9 @@
+#include "red/tech/tech.h"
+
+namespace red::tech {
+
+TechNode TechNode::node65() { return TechNode{"65nm", 65.0, 1.1, 2.0}; }
+TechNode TechNode::node45() { return TechNode{"45nm", 45.0, 1.0, 2.0}; }
+TechNode TechNode::node32() { return TechNode{"32nm", 32.0, 0.9, 2.0}; }
+
+}  // namespace red::tech

@@ -1,0 +1,46 @@
+// Technology node and ReRAM cell parameters.
+//
+// The paper's setup (Sec. IV-A): 65 nm node, 2 GHz system clock, 1T1R cell.
+// Other nodes are provided for ablation studies and scale the 65 nm
+// calibration constants with classic constant-field factors.
+#pragma once
+
+#include <string>
+
+namespace red::tech {
+
+struct TechNode {
+  std::string name;
+  double feature_nm = 65.0;  ///< lithography feature size F
+  double vdd = 1.1;          ///< supply voltage (V)
+  double clock_ghz = 2.0;    ///< system clock (paper Sec. IV-A)
+
+  /// Area of one F^2 in um^2.
+  [[nodiscard]] double f2_um2() const {
+    const double f_um = feature_nm * 1e-3;
+    return f_um * f_um;
+  }
+
+  /// Linear scale factor relative to the 65 nm reference node.
+  [[nodiscard]] double scale_from_65() const { return feature_nm / 65.0; }
+
+  [[nodiscard]] static TechNode node65();
+  [[nodiscard]] static TechNode node45();
+  [[nodiscard]] static TechNode node32();
+};
+
+/// 1T1R ReRAM cell parameters.
+struct CellParams {
+  double area_f2 = 12.0;   ///< 1T1R cell footprint in F^2 (transistor-limited)
+  int bits_per_cell = 2;   ///< MLC levels stored per device
+  double r_on_ohm = 1e4;   ///< low-resistance state
+  double r_off_ohm = 1e6;  ///< high-resistance state
+  double read_v = 0.3;     ///< read voltage on the wordline (V)
+
+  /// Conductance levels representable by one cell (e.g. 4 for 2 bits).
+  [[nodiscard]] int levels() const { return 1 << bits_per_cell; }
+  /// Cell area at a given node, um^2.
+  [[nodiscard]] double area_um2(const TechNode& node) const { return area_f2 * node.f2_um2(); }
+};
+
+}  // namespace red::tech

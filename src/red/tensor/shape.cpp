@@ -1,0 +1,13 @@
+#include "red/tensor/shape.h"
+
+#include <sstream>
+
+namespace red {
+
+std::string Shape4::to_string() const {
+  std::ostringstream os;
+  os << '(' << dims_[0] << ", " << dims_[1] << ", " << dims_[2] << ", " << dims_[3] << ')';
+  return os.str();
+}
+
+}  // namespace red

@@ -1,0 +1,53 @@
+// 4-D tensor shape with row-major strides.
+//
+// All tensors in this project are logically 4-D; lower-rank data sets the
+// leading dimensions to 1. Axis meaning is by convention at the use site:
+//   feature maps: (N=1, C, H, W)       kernels: (KH, KW, C, M)   [paper's layout]
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "red/common/contracts.h"
+
+namespace red {
+
+class Shape4 {
+ public:
+  constexpr Shape4() : dims_{1, 1, 1, 1} {}
+  constexpr Shape4(std::int64_t d0, std::int64_t d1, std::int64_t d2, std::int64_t d3)
+      : dims_{d0, d1, d2, d3} {
+    RED_EXPECTS(d0 >= 1 && d1 >= 1 && d2 >= 1 && d3 >= 1);
+  }
+
+  [[nodiscard]] constexpr std::int64_t dim(int axis) const {
+    RED_EXPECTS(axis >= 0 && axis < 4);
+    return dims_[static_cast<std::size_t>(axis)];
+  }
+  [[nodiscard]] constexpr std::int64_t operator[](int axis) const { return dim(axis); }
+
+  [[nodiscard]] constexpr std::int64_t size() const {
+    return dims_[0] * dims_[1] * dims_[2] * dims_[3];
+  }
+
+  /// Row-major flat index of (i0, i1, i2, i3). Bounds-checked.
+  [[nodiscard]] constexpr std::int64_t index(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                                             std::int64_t i3) const {
+    RED_EXPECTS(i0 >= 0 && i0 < dims_[0]);
+    RED_EXPECTS(i1 >= 0 && i1 < dims_[1]);
+    RED_EXPECTS(i2 >= 0 && i2 < dims_[2]);
+    RED_EXPECTS(i3 >= 0 && i3 < dims_[3]);
+    return ((i0 * dims_[1] + i1) * dims_[2] + i2) * dims_[3] + i3;
+  }
+
+  friend constexpr bool operator==(const Shape4& a, const Shape4& b) { return a.dims_ == b.dims_; }
+  friend constexpr bool operator!=(const Shape4& a, const Shape4& b) { return !(a == b); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, 4> dims_;
+};
+
+}  // namespace red

@@ -1,0 +1,50 @@
+// Owning, value-semantic 4-D tensor.
+//
+// Storage is a contiguous row-major std::vector (Core Guidelines SL.con.1:
+// prefer vector as the default container). Element access is bounds-checked
+// through Shape4::index; hot loops may use data() + precomputed offsets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/tensor/shape.h"
+
+namespace red {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() : shape_{}, data_(1, T{}) {}
+  explicit Tensor(Shape4 shape, T fill = T{})
+      : shape_(shape), data_(static_cast<std::size_t>(shape.size()), fill) {}
+
+  [[nodiscard]] const Shape4& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.size(); }
+
+  [[nodiscard]] T& at(std::int64_t i0, std::int64_t i1, std::int64_t i2, std::int64_t i3) {
+    return data_[static_cast<std::size_t>(shape_.index(i0, i1, i2, i3))];
+  }
+  [[nodiscard]] const T& at(std::int64_t i0, std::int64_t i1, std::int64_t i2,
+                            std::int64_t i3) const {
+    return data_[static_cast<std::size_t>(shape_.index(i0, i1, i2, i3))];
+  }
+
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  friend bool operator==(const Tensor& a, const Tensor& b) {
+    return a.shape_ == b.shape_ && a.data_ == b.data_;
+  }
+
+ private:
+  Shape4 shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace red

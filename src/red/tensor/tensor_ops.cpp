@@ -1,0 +1,71 @@
+#include "red/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "red/common/error.h"
+
+namespace red {
+
+void fill_random(Tensor<std::int32_t>& t, Rng& rng, std::int32_t lo, std::int32_t hi) {
+  for (auto& v : t) v = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+}
+
+std::int64_t count_zeros(const Tensor<std::int32_t>& t) {
+  return std::count(t.begin(), t.end(), 0);
+}
+
+std::int64_t sum(const Tensor<std::int32_t>& t) {
+  std::int64_t acc = 0;
+  for (auto v : t) acc += v;
+  return acc;
+}
+
+std::int64_t max_abs_diff(const Tensor<std::int32_t>& a, const Tensor<std::int32_t>& b) {
+  if (a.shape() != b.shape())
+    throw ConfigError("max_abs_diff: shape mismatch " + a.shape().to_string() + " vs " +
+                      b.shape().to_string());
+  std::int64_t m = 0;
+  const auto* pa = a.data();
+  const auto* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::int64_t{std::abs(std::int64_t{pa[i]} - std::int64_t{pb[i]})});
+  return m;
+}
+
+double normalized_rmse(const Tensor<std::int32_t>& a, const Tensor<std::int32_t>& b) {
+  if (a.shape() != b.shape())
+    throw ConfigError("normalized_rmse: shape mismatch " + a.shape().to_string() + " vs " +
+                      b.shape().to_string());
+  double err2 = 0.0, ref2 = 0.0;
+  const auto* pa = a.data();
+  const auto* pb = b.data();
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+    err2 += d * d;
+    ref2 += static_cast<double>(pa[i]) * static_cast<double>(pa[i]);
+  }
+  if (ref2 == 0.0) return err2 == 0.0 ? 0.0 : 1.0;
+  return std::sqrt(err2 / ref2);
+}
+
+std::string first_mismatch(const Tensor<std::int32_t>& a, const Tensor<std::int32_t>& b) {
+  if (a.shape() != b.shape())
+    return "shape mismatch: " + a.shape().to_string() + " vs " + b.shape().to_string();
+  const auto& s = a.shape();
+  for (std::int64_t i0 = 0; i0 < s.dim(0); ++i0)
+    for (std::int64_t i1 = 0; i1 < s.dim(1); ++i1)
+      for (std::int64_t i2 = 0; i2 < s.dim(2); ++i2)
+        for (std::int64_t i3 = 0; i3 < s.dim(3); ++i3)
+          if (a.at(i0, i1, i2, i3) != b.at(i0, i1, i2, i3)) {
+            std::ostringstream os;
+            os << "first mismatch at (" << i0 << "," << i1 << "," << i2 << "," << i3
+               << "): " << a.at(i0, i1, i2, i3) << " vs " << b.at(i0, i1, i2, i3);
+            return os.str();
+          }
+  return "";
+}
+
+}  // namespace red

@@ -1,0 +1,34 @@
+// Operations on tensors used by the reference algorithms and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "red/common/rng.h"
+#include "red/tensor/tensor.h"
+
+namespace red {
+
+/// Fill with uniform integers in [lo, hi] (inclusive), deterministically.
+void fill_random(Tensor<std::int32_t>& t, Rng& rng, std::int32_t lo, std::int32_t hi);
+
+/// Count elements equal to zero.
+[[nodiscard]] std::int64_t count_zeros(const Tensor<std::int32_t>& t);
+
+/// Sum of all elements (int64 accumulate to avoid overflow).
+[[nodiscard]] std::int64_t sum(const Tensor<std::int32_t>& t);
+
+/// Maximum absolute element difference; throws ConfigError on shape mismatch.
+[[nodiscard]] std::int64_t max_abs_diff(const Tensor<std::int32_t>& a,
+                                        const Tensor<std::int32_t>& b);
+
+/// First mismatching index rendered for diagnostics, or "" if tensors are equal.
+[[nodiscard]] std::string first_mismatch(const Tensor<std::int32_t>& a,
+                                         const Tensor<std::int32_t>& b);
+
+/// Root-mean-square error of `b` against reference `a`, normalized by the
+/// RMS of `a` (0 = identical; used by the device-variation studies).
+[[nodiscard]] double normalized_rmse(const Tensor<std::int32_t>& a,
+                                     const Tensor<std::int32_t>& b);
+
+}  // namespace red

@@ -1,0 +1,52 @@
+#include "red/workloads/benchmarks.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+
+namespace red::workloads {
+
+// DCGAN's 5x5/stride-2 layers need pad 2 + output_pad 1 to map 8->16.
+nn::DeconvLayerSpec gan_deconv1() {
+  return {"GAN_Deconv1", 8, 8, 512, 256, 5, 5, 2, 2, 1};
+}
+nn::DeconvLayerSpec gan_deconv2() {
+  return {"GAN_Deconv2", 4, 4, 512, 256, 5, 5, 2, 2, 1};
+}
+// SNGAN's 4x4/stride-2 layers use pad 1: (4-1)*2 - 2 + 4 = 8.
+nn::DeconvLayerSpec gan_deconv3() {
+  return {"GAN_Deconv3", 4, 4, 512, 256, 4, 4, 2, 1, 0};
+}
+nn::DeconvLayerSpec gan_deconv4() {
+  return {"GAN_Deconv4", 6, 6, 512, 256, 4, 4, 2, 1, 0};
+}
+// voc-fcn8s upsampling layers are unpadded: 2x: (16-1)*2 + 4 = 34.
+nn::DeconvLayerSpec fcn_deconv1() {
+  return {"FCN_Deconv1", 16, 16, 21, 21, 4, 4, 2, 0, 0};
+}
+// 8x: (70-1)*8 + 16 = 568.
+nn::DeconvLayerSpec fcn_deconv2() {
+  return {"FCN_Deconv2", 70, 70, 21, 21, 16, 16, 8, 0, 0};
+}
+
+std::vector<nn::DeconvLayerSpec> table1_benchmarks() {
+  return {gan_deconv1(), gan_deconv2(), gan_deconv3(),
+          gan_deconv4(), fcn_deconv1(), fcn_deconv2()};
+}
+
+std::vector<nn::DeconvLayerSpec> table1_reduced(int factor) {
+  RED_EXPECTS(factor >= 1);
+  auto layers = table1_benchmarks();
+  for (auto& l : layers) {
+    l.name += "_reduced";
+    l.c = std::max(1, l.c / factor);
+    l.m = std::max(1, l.m / factor);
+  }
+  return layers;
+}
+
+bool is_gan_layer(const nn::DeconvLayerSpec& spec) {
+  return spec.name.rfind("GAN", 0) == 0;
+}
+
+}  // namespace red::workloads

@@ -1,0 +1,39 @@
+// Table I — the six benchmark deconvolution layers.
+//
+// | layer        | model            | input          | output         | kernel           | s |
+// | GAN_Deconv1  | DCGAN (LSUN)     | ( 8,  8, 512)  | (16, 16, 256)  | (5, 5, 512, 256) | 2 |
+// | GAN_Deconv2  | ImprovedGAN      | ( 4,  4, 512)  | ( 8,  8, 256)  | (5, 5, 512, 256) | 2 |
+// | GAN_Deconv3  | SNGAN (CIFAR-10) | ( 4,  4, 512)  | ( 8,  8, 256)  | (4, 4, 512, 256) | 2 |
+// | GAN_Deconv4  | SNGAN (STL-10)   | ( 6,  6, 512)  | (12, 12, 256)  | (4, 4, 512, 256) | 2 |
+// | FCN_Deconv1  | voc-fcn8s 2x     | (16, 16, 21)   | (34, 34, 21)   | (4, 4, 21, 21)   | 2 |
+// | FCN_Deconv2  | voc-fcn8s 8x     | (70, 70, 21)   | (568, 568, 21) | (16,16, 21, 21)  | 8 |
+//
+// Padding / output-padding are derived from the table's input/output sizes
+// under the standard transposed-conv formula (see DeconvLayerSpec).
+#pragma once
+
+#include <vector>
+
+#include "red/nn/layer.h"
+
+namespace red::workloads {
+
+[[nodiscard]] nn::DeconvLayerSpec gan_deconv1();
+[[nodiscard]] nn::DeconvLayerSpec gan_deconv2();
+[[nodiscard]] nn::DeconvLayerSpec gan_deconv3();
+[[nodiscard]] nn::DeconvLayerSpec gan_deconv4();
+[[nodiscard]] nn::DeconvLayerSpec fcn_deconv1();
+[[nodiscard]] nn::DeconvLayerSpec fcn_deconv2();
+
+/// All six Table I layers in paper order.
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> table1_benchmarks();
+
+/// Same geometries with channels scaled down by `factor` (for fast functional
+/// tests; spatial/kernel/stride structure — which determines every activity
+/// ratio — is preserved exactly).
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> table1_reduced(int factor);
+
+/// True for the GAN_* layers (the paper splits several analyses by family).
+[[nodiscard]] bool is_gan_layer(const nn::DeconvLayerSpec& spec);
+
+}  // namespace red::workloads

@@ -1,0 +1,44 @@
+#include "red/workloads/generator.h"
+
+#include <algorithm>
+
+#include "red/tensor/tensor_ops.h"
+
+namespace red::workloads {
+
+nn::DeconvLayerSpec random_layer(Rng& rng, const GeneratorOptions& opts) {
+  for (;;) {
+    nn::DeconvLayerSpec spec;
+    spec.name = "random_" + std::to_string(rng.uniform_int(0, 1 << 20));
+    spec.stride = static_cast<int>(rng.uniform_int(1, opts.max_stride));
+    spec.kh = static_cast<int>(rng.uniform_int(1, opts.max_kernel));
+    spec.kw = static_cast<int>(rng.uniform_int(1, opts.max_kernel));
+    spec.pad = static_cast<int>(rng.uniform_int(0, std::min(spec.kh, spec.kw) - 1));
+    spec.output_pad = (opts.allow_output_pad && spec.stride > 1)
+                          ? static_cast<int>(rng.uniform_int(0, spec.stride - 1))
+                          : 0;
+    spec.ih = static_cast<int>(rng.uniform_int(1, opts.max_spatial));
+    spec.iw = static_cast<int>(rng.uniform_int(1, opts.max_spatial));
+    spec.c = static_cast<int>(rng.uniform_int(1, opts.max_channels));
+    spec.m = static_cast<int>(rng.uniform_int(1, opts.max_channels));
+    if (spec.oh() < 1 || spec.ow() < 1) continue;
+    spec.validate();
+    return spec;
+  }
+}
+
+Tensor<std::int32_t> make_input(const nn::DeconvLayerSpec& spec, Rng& rng, std::int32_t lo,
+                                std::int32_t hi) {
+  Tensor<std::int32_t> t(spec.input_shape());
+  fill_random(t, rng, lo, hi);
+  return t;
+}
+
+Tensor<std::int32_t> make_kernel(const nn::DeconvLayerSpec& spec, Rng& rng, std::int32_t lo,
+                                 std::int32_t hi) {
+  Tensor<std::int32_t> t(spec.kernel_shape());
+  fill_random(t, rng, lo, hi);
+  return t;
+}
+
+}  // namespace red::workloads

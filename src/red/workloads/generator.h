@@ -1,0 +1,30 @@
+// Random workload generation for property tests and ablation sweeps.
+#pragma once
+
+#include "red/common/rng.h"
+#include "red/nn/layer.h"
+#include "red/tensor/tensor.h"
+
+namespace red::workloads {
+
+struct GeneratorOptions {
+  int max_spatial = 8;   ///< max IH/IW
+  int max_kernel = 6;    ///< max KH/KW
+  int max_stride = 4;
+  int max_channels = 4;  ///< max C/M
+  bool allow_output_pad = true;
+};
+
+/// Draw a random valid deconv layer spec.
+[[nodiscard]] nn::DeconvLayerSpec random_layer(Rng& rng, const GeneratorOptions& opts = {});
+
+/// Deterministic pseudo-random activation tensor for a layer, in
+/// [lo, hi] (use lo >= 1 to make activity counts structurally exact).
+[[nodiscard]] Tensor<std::int32_t> make_input(const nn::DeconvLayerSpec& spec, Rng& rng,
+                                              std::int32_t lo, std::int32_t hi);
+
+/// Deterministic pseudo-random kernel tensor in [lo, hi].
+[[nodiscard]] Tensor<std::int32_t> make_kernel(const nn::DeconvLayerSpec& spec, Rng& rng,
+                                               std::int32_t lo, std::int32_t hi);
+
+}  // namespace red::workloads

@@ -1,0 +1,82 @@
+#include "red/workloads/networks.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::workloads {
+
+namespace {
+
+int div_ch(int ch, int d) { return std::max(1, ch / d); }
+
+}  // namespace
+
+std::vector<nn::DeconvLayerSpec> dcgan_generator(int channel_div) {
+  RED_EXPECTS(channel_div >= 1);
+  const int d = channel_div;
+  return {
+      {"dcgan_l1", 4, 4, div_ch(1024, d), div_ch(512, d), 5, 5, 2, 2, 1},
+      {"dcgan_l2", 8, 8, div_ch(512, d), div_ch(256, d), 5, 5, 2, 2, 1},
+      {"dcgan_l3", 16, 16, div_ch(256, d), div_ch(128, d), 5, 5, 2, 2, 1},
+      {"dcgan_l4", 32, 32, div_ch(128, d), 3, 5, 5, 2, 2, 1},
+  };
+}
+
+std::vector<nn::DeconvLayerSpec> sngan_generator(int channel_div) {
+  RED_EXPECTS(channel_div >= 1);
+  const int d = channel_div;
+  return {
+      {"sngan_l1", 4, 4, div_ch(512, d), div_ch(256, d), 4, 4, 2, 1, 0},
+      {"sngan_l2", 8, 8, div_ch(256, d), div_ch(128, d), 4, 4, 2, 1, 0},
+      {"sngan_l3", 16, 16, div_ch(128, d), div_ch(64, d), 4, 4, 2, 1, 0},
+  };
+}
+
+std::vector<nn::DeconvLayerSpec> fcn8s_upsampling() {
+  // 21 classes throughout; geometry follows Table I's FCN rows.
+  return {
+      {"fcn8s_up2a", 16, 16, 21, 21, 4, 4, 2, 0, 0},   // 16 -> 34
+      {"fcn8s_up2b", 34, 34, 21, 21, 4, 4, 2, 0, 0},   // 34 -> 70
+      {"fcn8s_up8", 70, 70, 21, 21, 16, 16, 8, 0, 0},  // 70 -> 568
+  };
+}
+
+std::vector<nn::ConvLayerSpec> dcgan_discriminator(int channel_div) {
+  RED_EXPECTS(channel_div >= 1);
+  const int d = channel_div;
+  return {
+      {"dcgan_d1", 64, 64, 3, div_ch(128, d), 5, 5, 2, 2},
+      {"dcgan_d2", 32, 32, div_ch(128, d), div_ch(256, d), 5, 5, 2, 2},
+      {"dcgan_d3", 16, 16, div_ch(256, d), div_ch(512, d), 5, 5, 2, 2},
+      {"dcgan_d4", 8, 8, div_ch(512, d), div_ch(1024, d), 5, 5, 2, 2},
+  };
+}
+
+void validate_conv_stack(const std::vector<nn::ConvLayerSpec>& stack) {
+  RED_EXPECTS(!stack.empty());
+  for (auto& l : stack) l.validate();
+  for (std::size_t i = 1; i < stack.size(); ++i) {
+    const auto& prev = stack[i - 1];
+    const auto& next = stack[i];
+    if (prev.oh() != next.ih || prev.ow() != next.iw || prev.m != next.c)
+      throw ConfigError("conv stack mismatch between '" + prev.name + "' and '" + next.name +
+                        "'");
+  }
+}
+
+void validate_stack(const std::vector<nn::DeconvLayerSpec>& stack) {
+  RED_EXPECTS(!stack.empty());
+  for (auto& l : stack) l.validate();
+  for (std::size_t i = 1; i < stack.size(); ++i) {
+    const auto& prev = stack[i - 1];
+    const auto& next = stack[i];
+    if (prev.oh() != next.ih || prev.ow() != next.iw || prev.m != next.c)
+      throw ConfigError("stack mismatch between '" + prev.name + "' (" +
+                        std::to_string(prev.oh()) + "x" + std::to_string(prev.ow()) + "x" +
+                        std::to_string(prev.m) + ") and '" + next.name + "'");
+  }
+}
+
+}  // namespace red::workloads

@@ -1,0 +1,35 @@
+// Full deconvolution stacks of the networks the benchmarks come from,
+// for end-to-end example pipelines (each layer's output feeds the next).
+#pragma once
+
+#include <vector>
+
+#include "red/nn/conv_layer.h"
+#include "red/nn/layer.h"
+
+namespace red::workloads {
+
+/// DCGAN generator (LSUN, 64x64 output): four 5x5/stride-2 deconv stages
+/// 4x4x1024 -> 8x8x512 -> 16x16x256 -> 32x32x128 -> 64x64x3.
+/// `channel_div` scales channel counts down for fast functional runs.
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> dcgan_generator(int channel_div = 1);
+
+/// SNGAN CIFAR-10 generator: three 4x4/stride-2 deconv stages
+/// 4x4x512 -> 8x8x256 -> 16x16x128 -> 32x32x64.
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> sngan_generator(int channel_div = 1);
+
+/// voc-fcn8s up-sampling head: two 4x4/stride-2 stages + one 16x16/stride-8
+/// stage (the paper's FCN_Deconv1/2 geometries chained on 21 classes).
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> fcn8s_upsampling();
+
+/// Chain check: every layer's output must match the next layer's input.
+void validate_stack(const std::vector<nn::DeconvLayerSpec>& stack);
+
+/// DCGAN discriminator: four 5x5/stride-2 conv stages 64x64x3 -> 4x4x1024
+/// (the conv counterpart of dcgan_generator, for whole-GAN evaluation).
+[[nodiscard]] std::vector<nn::ConvLayerSpec> dcgan_discriminator(int channel_div = 1);
+
+/// Chain check for conv stacks.
+void validate_conv_stack(const std::vector<nn::ConvLayerSpec>& stack);
+
+}  // namespace red::workloads

@@ -1,0 +1,122 @@
+#include "red/xbar/analog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace red::xbar {
+
+double AnalogResult::worst_relative_error() const {
+  double worst = 0.0;
+  for (std::size_t c = 0; c < column_current_a.size(); ++c) {
+    const double ideal = ideal_current_a[c];
+    if (ideal == 0.0) continue;
+    worst = std::max(worst, std::abs(column_current_a[c] - ideal) / std::abs(ideal));
+  }
+  return worst;
+}
+
+double AnalogResult::mean_relative_error() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < column_current_a.size(); ++c) {
+    const double ideal = ideal_current_a[c];
+    if (ideal == 0.0) continue;
+    sum += std::abs(column_current_a[c] - ideal) / std::abs(ideal);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+AnalogResult solve_crossbar_read(const std::vector<std::uint8_t>& levels, std::int64_t rows,
+                                 std::int64_t cols, int max_level,
+                                 const std::vector<std::uint8_t>& inputs,
+                                 const AnalogConfig& cfg) {
+  cfg.validate();
+  RED_EXPECTS(rows >= 1 && cols >= 1 && max_level >= 1);
+  RED_EXPECTS(levels.size() == static_cast<std::size_t>(rows * cols));
+  RED_EXPECTS(inputs.size() == static_cast<std::size_t>(rows));
+
+  AnalogResult result;
+  result.ideal_current_a.assign(static_cast<std::size_t>(cols), 0.0);
+  std::vector<double> g_cell(levels.size());
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double g =
+          cfg.level_conductance(levels[static_cast<std::size_t>(r * cols + c)], max_level);
+      g_cell[static_cast<std::size_t>(r * cols + c)] = g;
+      if (inputs[static_cast<std::size_t>(r)] != 0)
+        result.ideal_current_a[static_cast<std::size_t>(c)] += cfg.v_read * g;
+    }
+
+  if (cfg.r_wire_ohm == 0.0) {
+    // No parasitics: the network degenerates to the ideal MVM.
+    result.column_current_a = result.ideal_current_a;
+    result.converged = true;
+    return result;
+  }
+
+  const double g_wire = 1.0 / cfg.r_wire_ohm;
+  const auto idx = [cols](std::int64_t r, std::int64_t c) {
+    return static_cast<std::size_t>(r * cols + c);
+  };
+  std::vector<double> vw(levels.size(), 0.0);  // wordline nodes
+  std::vector<double> vb(levels.size(), 0.0);  // bitline nodes
+
+  // Successive over-relaxation on the nodal equations.
+  const double omega = 1.9;
+  int it = 0;
+  for (; it < cfg.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const double drive = inputs[static_cast<std::size_t>(r)] != 0 ? cfg.v_read : 0.0;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        // Wordline node (r, c): neighbors along the row + the cell.
+        {
+          double gsum = g_cell[idx(r, c)];
+          double isum = g_cell[idx(r, c)] * vb[idx(r, c)];
+          // left neighbor (or the driver at the row edge)
+          gsum += g_wire;
+          isum += g_wire * (c == 0 ? drive : vw[idx(r, c - 1)]);
+          if (c + 1 < cols) {
+            gsum += g_wire;
+            isum += g_wire * vw[idx(r, c + 1)];
+          }
+          const double v = isum / gsum;
+          max_delta = std::max(max_delta, std::abs(v - vw[idx(r, c)]));
+          vw[idx(r, c)] += omega * (v - vw[idx(r, c)]);
+        }
+        // Bitline node (r, c): neighbors along the column + the cell; the
+        // bottom node connects to the virtual-ground sense amp.
+        {
+          double gsum = g_cell[idx(r, c)];
+          double isum = g_cell[idx(r, c)] * vw[idx(r, c)];
+          if (r > 0) {
+            gsum += g_wire;
+            isum += g_wire * vb[idx(r - 1, c)];
+          }
+          if (r + 1 < rows) {
+            gsum += g_wire;
+            isum += g_wire * vb[idx(r + 1, c)];
+          } else {
+            gsum += g_wire;  // segment into the sense node at 0 V
+          }
+          const double v = isum / gsum;
+          max_delta = std::max(max_delta, std::abs(v - vb[idx(r, c)]));
+          vb[idx(r, c)] += omega * (v - vb[idx(r, c)]);
+        }
+      }
+    }
+    if (max_delta < cfg.tolerance_v) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.iterations = it + 1;
+
+  result.column_current_a.assign(static_cast<std::size_t>(cols), 0.0);
+  for (std::int64_t c = 0; c < cols; ++c)
+    result.column_current_a[static_cast<std::size_t>(c)] = g_wire * vb[idx(rows - 1, c)];
+  return result;
+}
+
+}  // namespace red::xbar

@@ -1,0 +1,68 @@
+// Analog crossbar model with wire parasitics (IR drop).
+//
+// The ideal MVM abstraction assumes every cell sees the full read voltage
+// and every bitline current reaches the sense amp. Real crossbars lose
+// voltage across the wordline/bitline wire segments: far cells see less
+// drive, and large arrays accumulate enough droop to corrupt the MVM. This
+// module solves the 2-D resistive network exactly (Gauss-Seidel over the
+// wordline/bitline node voltages) and reports the column-current error
+// against the ideal — the physical justification for bounding subarrays
+// (xbar/tiling.h) at ~128x128.
+//
+// Model: wordline r is driven at its left edge with v_read * input_r; each
+// cell (r, c) is a conductance g(r, c) between wordline node (r, c) and
+// bitline node (r, c); wire segments of r_wire ohm join adjacent nodes along
+// each wordline and bitline; bitline c is sensed (virtual ground) at the
+// bottom of column c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/common/contracts.h"
+
+namespace red::xbar {
+
+struct AnalogConfig {
+  double v_read = 0.3;        ///< wordline drive voltage (V)
+  double g_on_s = 1e-4;       ///< cell conductance of the max level (S) = 1/R_on
+  double g_off_s = 1e-6;      ///< cell conductance of level 0 (S) = 1/R_off
+  double r_wire_ohm = 1.0;    ///< wire resistance per cell segment (ohm)
+  int max_iterations = 20000;
+  double tolerance_v = 1e-8;  ///< max node-voltage update at convergence
+
+  void validate() const {
+    RED_EXPECTS(v_read > 0.0);
+    RED_EXPECTS(g_on_s > g_off_s && g_off_s >= 0.0);
+    RED_EXPECTS(r_wire_ohm >= 0.0);
+    RED_EXPECTS(max_iterations >= 1 && tolerance_v > 0.0);
+  }
+
+  /// Conductance of a cell holding `level` out of `max_level` (linear map).
+  [[nodiscard]] double level_conductance(int level, int max_level) const {
+    return g_off_s + (g_on_s - g_off_s) * static_cast<double>(level) /
+                         static_cast<double>(max_level);
+  }
+};
+
+struct AnalogResult {
+  std::vector<double> column_current_a;        ///< solved sense currents (A)
+  std::vector<double> ideal_current_a;         ///< no-parasitic reference (A)
+  int iterations = 0;
+  bool converged = false;
+
+  /// Worst relative column-current error vs ideal.
+  [[nodiscard]] double worst_relative_error() const;
+  /// Mean relative column-current error.
+  [[nodiscard]] double mean_relative_error() const;
+};
+
+/// Solve one read: `levels` is rows x cols of cell levels in [0, max_level];
+/// `inputs` holds 0/1 wordline drives (one bit plane).
+[[nodiscard]] AnalogResult solve_crossbar_read(const std::vector<std::uint8_t>& levels,
+                                               std::int64_t rows, std::int64_t cols,
+                                               int max_level,
+                                               const std::vector<std::uint8_t>& inputs,
+                                               const AnalogConfig& cfg);
+
+}  // namespace red::xbar

@@ -1,0 +1,72 @@
+#include "red/xbar/codec.h"
+
+#include "red/common/contracts.h"
+
+namespace red::xbar {
+
+std::vector<std::uint8_t> encode_weight(std::int32_t w, const QuantConfig& q) {
+  q.validate();
+  const std::int64_t offset = q.weight_offset();
+  RED_EXPECTS_MSG(w >= -offset && w < offset, "weight outside wbits signed range");
+  std::int64_t u = w + offset;  // non-negative, fits in wbits
+  std::vector<std::uint8_t> levels(static_cast<std::size_t>(q.slices()));
+  for (auto& lv : levels) {
+    lv = static_cast<std::uint8_t>(u & q.max_level());
+    u >>= q.cell_bits;
+  }
+  RED_ENSURES(u == 0);
+  return levels;
+}
+
+std::int32_t decode_weight(const std::vector<std::uint8_t>& levels, const QuantConfig& q) {
+  RED_EXPECTS(levels.size() == static_cast<std::size_t>(q.slices()));
+  std::int64_t u = 0;
+  for (std::size_t k = levels.size(); k-- > 0;) u = (u << q.cell_bits) | levels[k];
+  return static_cast<std::int32_t>(u - q.weight_offset());
+}
+
+std::vector<std::uint8_t> input_bit_planes(std::int32_t a, const QuantConfig& q) {
+  q.validate();
+  const std::int64_t half = std::int64_t{1} << (q.abits - 1);
+  RED_EXPECTS_MSG(a >= -half && a < half, "activation outside abits signed range");
+  const std::uint64_t u = static_cast<std::uint64_t>(a) & ((std::uint64_t{1} << q.abits) - 1);
+  std::vector<std::uint8_t> planes(static_cast<std::size_t>(q.abits));
+  for (int b = 0; b < q.abits; ++b) planes[static_cast<std::size_t>(b)] = (u >> b) & 1u;
+  return planes;
+}
+
+std::int32_t decode_input_planes(const std::vector<std::uint8_t>& planes, const QuantConfig& q) {
+  RED_EXPECTS(planes.size() == static_cast<std::size_t>(q.abits));
+  std::int64_t v = 0;
+  for (int b = 0; b < q.abits - 1; ++b)
+    if (planes[static_cast<std::size_t>(b)]) v += std::int64_t{1} << b;
+  if (planes[static_cast<std::size_t>(q.abits - 1)]) v -= std::int64_t{1} << (q.abits - 1);
+  return static_cast<std::int32_t>(v);
+}
+
+std::vector<std::uint8_t> input_digits(std::int32_t a, const QuantConfig& q) {
+  q.validate();
+  RED_EXPECTS_MSG(a >= 0, "multi-bit DAC streaming requires non-negative activations");
+  RED_EXPECTS_MSG(a < (std::int64_t{1} << q.abits), "activation exceeds abits unsigned range");
+  const int digit_max = (1 << q.dac_bits) - 1;
+  std::vector<std::uint8_t> digits(static_cast<std::size_t>(q.pulses()));
+  std::int64_t u = a;
+  for (auto& d : digits) {
+    d = static_cast<std::uint8_t>(u & digit_max);
+    u >>= q.dac_bits;
+  }
+  RED_ENSURES(u == 0);
+  return digits;
+}
+
+int pulse_count(std::int32_t a, const QuantConfig& q) {
+  int n = 0;
+  if (q.dac_bits == 1) {
+    for (auto p : input_bit_planes(a, q)) n += p;
+  } else {
+    for (auto d : input_digits(a, q)) n += d != 0 ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace red::xbar

@@ -1,0 +1,35 @@
+// Weight and activation codecs between digital integers and crossbar form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/xbar/quant_config.h"
+
+namespace red::xbar {
+
+/// Encode a signed weight into non-negative cell levels (least-significant
+/// slice first): w + offset = sum_k levels[k] * 2^(cell_bits * k).
+[[nodiscard]] std::vector<std::uint8_t> encode_weight(std::int32_t w, const QuantConfig& q);
+
+/// Inverse of encode_weight.
+[[nodiscard]] std::int32_t decode_weight(const std::vector<std::uint8_t>& levels,
+                                         const QuantConfig& q);
+
+/// Two's-complement bit planes of a signed activation, LSB first; plane
+/// abits-1 is the sign plane with weight -2^(abits-1).
+[[nodiscard]] std::vector<std::uint8_t> input_bit_planes(std::int32_t a, const QuantConfig& q);
+
+/// Inverse of input_bit_planes.
+[[nodiscard]] std::int32_t decode_input_planes(const std::vector<std::uint8_t>& planes,
+                                               const QuantConfig& q);
+
+/// Base-2^dac_bits digits of a non-negative activation, LSB first
+/// (multi-bit DAC streaming). Throws for negative inputs when dac_bits > 1.
+[[nodiscard]] std::vector<std::uint8_t> input_digits(std::int32_t a, const QuantConfig& q);
+
+/// Number of non-zero wordline pulses transmitting `a` (bit-serial '1' bits,
+/// or non-zero DAC digits when dac_bits > 1).
+[[nodiscard]] int pulse_count(std::int32_t a, const QuantConfig& q);
+
+}  // namespace red::xbar

@@ -1,0 +1,175 @@
+#include "red/xbar/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+#include "red/xbar/codec.h"
+
+namespace red::xbar {
+
+MvmStats& MvmStats::operator+=(const MvmStats& o) {
+  mvm_ops += o.mvm_ops;
+  row_drives += o.row_drives;
+  mac_pulses += o.mac_pulses;
+  conversions += o.conversions;
+  adc_clips += o.adc_clips;
+  return *this;
+}
+
+LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
+                         std::span<const std::int32_t> weights, QuantConfig config)
+    : rows_(rows), cols_(cols), config_(config) {
+  config_.validate();
+  RED_EXPECTS(rows >= 1 && cols >= 1);
+  RED_EXPECTS_MSG(weights.size() == static_cast<std::size_t>(rows * cols),
+                  "weights must be rows*cols");
+  const int slices = config_.slices();
+  weights_.resize(weights.size());
+  levels_.resize(weights.size() * static_cast<std::size_t>(slices));
+
+  // Device non-idealities are applied at program time, per stored level, so
+  // both MVM paths see the same (perturbed) weights.
+  const auto& var = config_.variation;
+  std::mt19937_64 engine(var.seed);
+  std::normal_distribution<double> noise(0.0, var.level_sigma);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> coin(0, 1);
+  variation_stats_.cells = static_cast<std::int64_t>(weights.size()) * slices;
+
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    auto lv = encode_weight(weights[i], config_);
+    if (var.enabled()) {
+      for (auto& level : lv) {
+        const std::uint8_t original = level;
+        if (var.stuck_at_rate > 0.0 && unit(engine) < var.stuck_at_rate) {
+          level = coin(engine) == 0 ? 0
+                                    : static_cast<std::uint8_t>(config_.max_level());
+          ++variation_stats_.stuck_cells;
+        } else if (var.level_sigma > 0.0) {
+          const double perturbed = static_cast<double>(level) + noise(engine);
+          level = static_cast<std::uint8_t>(std::clamp<long>(
+              std::lround(perturbed), 0L, static_cast<long>(config_.max_level())));
+        }
+        if (level != original) ++variation_stats_.perturbed_cells;
+      }
+    }
+    std::copy(lv.begin(), lv.end(), levels_.begin() + static_cast<std::ptrdiff_t>(i * slices));
+    weights_[i] = decode_weight(lv, config_);
+    // Without non-idealities the offset encoding is lossless in-range.
+    if (!var.enabled()) RED_ENSURES(weights_[i] == weights[i]);
+  }
+}
+
+std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {
+  RED_EXPECTS(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return weights_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+std::vector<std::int64_t> LogicalXbar::mvm(std::span<const std::int32_t> input,
+                                           MvmStats* stats) const {
+  RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(rows_), "input size mismatch");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(cols_), 0);
+  std::int64_t drives = 0;
+  std::int64_t pulses = 0;
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const std::int64_t in = input[static_cast<std::size_t>(r)];
+    if (in == 0) continue;
+    ++drives;
+    pulses += std::int64_t{pulse_count(static_cast<std::int32_t>(in), config_)} * phys_cols();
+    const std::int32_t* wrow = weights_.data() + r * cols_;
+    for (std::int64_t c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += in * wrow[c];
+  }
+  if (stats != nullptr) {
+    stats->mvm_ops += 1;
+    stats->row_drives += drives;
+    stats->mac_pulses += pulses;
+    stats->conversions += phys_cols() * config_.pulses();
+  }
+  return out;
+}
+
+std::vector<std::int64_t> LogicalXbar::mvm_bit_accurate(std::span<const std::int32_t> input,
+                                                        MvmStats* stats) const {
+  RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(rows_), "input size mismatch");
+  const int slices = config_.slices();
+  const int num_pulses = config_.pulses();
+  const std::int64_t clip_max = config_.adc.mode == AdcMode::kClipped
+                                    ? (std::int64_t{1} << config_.adc.bits) - 1
+                                    : std::numeric_limits<std::int64_t>::max();
+
+  // Pre-compute per-row pulse streams (bit planes, or DAC digits when
+  // dac_bits > 1) and the exact digital input sum (offset column).
+  std::vector<std::vector<std::uint8_t>> streams;
+  streams.reserve(input.size());
+  std::int64_t input_sum = 0;
+  std::int64_t drives = 0;
+  std::int64_t pulses = 0;
+  for (auto v : input) {
+    streams.push_back(config_.dac_bits == 1 ? input_bit_planes(v, config_)
+                                            : input_digits(v, config_));
+    input_sum += v;
+    if (v != 0) {
+      ++drives;
+      pulses += std::int64_t{pulse_count(v, config_)} * phys_cols();
+    }
+  }
+
+  std::vector<std::int64_t> out(static_cast<std::size_t>(cols_), 0);
+  std::int64_t clips = 0;
+  for (int b = 0; b < num_pulses; ++b) {
+    // Bit-serial: the MSB plane carries the two's-complement negative weight.
+    // Multi-bit DAC: digits are unsigned (non-negative activations only).
+    const std::int64_t pulse_weight =
+        (config_.dac_bits == 1 && b == config_.abits - 1)
+            ? -(std::int64_t{1} << b)
+            : (std::int64_t{1} << (config_.dac_bits * b));
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      std::int64_t col_acc = 0;  // recombined across slices
+      for (int s = 0; s < slices; ++s) {
+        std::int64_t current = 0;  // integrate the column current for pulse b
+        for (std::int64_t r = 0; r < rows_; ++r) {
+          const auto drive = streams[static_cast<std::size_t>(r)][static_cast<std::size_t>(b)];
+          if (drive == 0) continue;
+          current += std::int64_t{drive} *
+                     levels_[static_cast<std::size_t>((r * cols_ + c) * slices + s)];
+        }
+        if (current > clip_max) {
+          current = clip_max;
+          ++clips;
+        }
+        col_acc += current << (config_.cell_bits * s);
+      }
+      out[static_cast<std::size_t>(c)] += pulse_weight * col_acc;
+    }
+  }
+  // Offset-encoding correction: subtract offset * (exact digital input sum).
+  for (auto& v : out) v -= std::int64_t{config_.weight_offset()} * input_sum;
+
+  if (stats != nullptr) {
+    stats->mvm_ops += 1;
+    stats->row_drives += drives;
+    stats->mac_pulses += pulses;
+    stats->conversions += phys_cols() * num_pulses;
+    stats->adc_clips += clips;
+  }
+  return out;
+}
+
+int LogicalXbar::lossless_adc_bits() const {
+  const int slices = config_.slices();
+  std::int64_t worst = 0;
+  for (std::int64_t c = 0; c < cols_; ++c)
+    for (int s = 0; s < slices; ++s) {
+      std::int64_t sum = 0;
+      for (std::int64_t r = 0; r < rows_; ++r)
+        sum += levels_[static_cast<std::size_t>((r * cols_ + c) * slices + s)];
+      worst = std::max(worst, sum);
+    }
+  return worst == 0 ? 1 : ilog2_ceil(worst + 1);
+}
+
+}  // namespace red::xbar

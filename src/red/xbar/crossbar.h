@@ -1,0 +1,74 @@
+// Logical ReRAM crossbar: a rows x cols signed-weight matrix stored as
+// offset-encoded, bit-sliced cell levels, executing bit-serial MVM.
+//
+// Two execution paths:
+//  * mvm()      — fast path. With an ideal ADC the analog pipeline is
+//                 lossless, so the MVM equals an exact integer dot product
+//                 on the encode/decode round-tripped weights. Activity
+//                 (pulses, conversions, row drives) is counted analytically
+//                 from the inputs.
+//  * mvm_bit_accurate() — simulates every slice column and every input bit
+//                 plane through the ADC transfer function. This is the path
+//                 that models a clipped ADC; with an ideal ADC it must equal
+//                 mvm() bit-exactly (asserted by tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "red/xbar/quant_config.h"
+
+namespace red::xbar {
+
+/// Activity counters accumulated across MVM calls.
+struct MvmStats {
+  std::int64_t mvm_ops = 0;       ///< crossbar accesses (cycles)
+  std::int64_t row_drives = 0;    ///< wordlines driven with a non-zero input
+  std::int64_t mac_pulses = 0;    ///< cell-level MAC pulses ('1' bits x phys cols)
+  std::int64_t conversions = 0;   ///< read-circuit conversions (phys cols x abits)
+  std::int64_t adc_clips = 0;     ///< conversions that saturated (clipped ADC)
+
+  MvmStats& operator+=(const MvmStats& o);
+};
+
+class LogicalXbar {
+ public:
+  /// Program the crossbar with `weights` in row-major order (rows x cols).
+  LogicalXbar(std::int64_t rows, std::int64_t cols, std::span<const std::int32_t> weights,
+              QuantConfig config);
+
+  [[nodiscard]] std::int64_t rows() const { return rows_; }
+  [[nodiscard]] std::int64_t cols() const { return cols_; }
+  [[nodiscard]] std::int64_t phys_cols() const { return cols_ * config_.slices(); }
+  [[nodiscard]] const QuantConfig& config() const { return config_; }
+
+  /// Weight stored at (r, c) after the encode/decode round trip (lossless for
+  /// in-range weights; exposed for tests).
+  [[nodiscard]] std::int32_t stored_weight(std::int64_t r, std::int64_t c) const;
+
+  /// Fast exact MVM (ideal ADC semantics). input.size() == rows().
+  [[nodiscard]] std::vector<std::int64_t> mvm(std::span<const std::int32_t> input,
+                                              MvmStats* stats = nullptr) const;
+
+  /// Slice/bit-plane-level simulation honoring the configured ADC.
+  [[nodiscard]] std::vector<std::int64_t> mvm_bit_accurate(std::span<const std::int32_t> input,
+                                                           MvmStats* stats = nullptr) const;
+
+  /// Smallest clipped-ADC resolution that keeps mvm_bit_accurate lossless for
+  /// this crossbar (worst-case column sum of one bit plane).
+  [[nodiscard]] int lossless_adc_bits() const;
+
+  /// What the configured VariationModel did at program time.
+  [[nodiscard]] const VariationStats& variation_stats() const { return variation_stats_; }
+
+ private:
+  std::int64_t rows_;
+  std::int64_t cols_;
+  QuantConfig config_;
+  std::vector<std::int32_t> weights_;      ///< stored signed weights, row-major
+  std::vector<std::uint8_t> levels_;       ///< cell levels, [row][col][slice]
+  VariationStats variation_stats_;
+};
+
+}  // namespace red::xbar

@@ -1,0 +1,58 @@
+// Quantization and ADC configuration of the functional crossbar pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/contracts.h"
+#include "red/common/math_util.h"
+#include "red/xbar/variation.h"
+
+namespace red::xbar {
+
+enum class AdcMode {
+  kIdeal,    ///< unbounded integrate-&-fire counter: lossless conversion
+  kClipped,  ///< counter saturates at 2^bits - 1 (ablation of ADC resolution)
+};
+
+struct AdcConfig {
+  AdcMode mode = AdcMode::kIdeal;
+  int bits = 8;  ///< only used in kClipped mode
+};
+
+/// Data-path widths. Weights are offset-encoded (w + 2^(wbits-1), always
+/// non-negative) and split into base-2^cell_bits digits across `slices()`
+/// physical columns; activations stream bit-serially over `abits` pulses in
+/// two's complement (MSB pulse carries weight -2^(abits-1)).
+struct QuantConfig {
+  int wbits = 8;
+  int abits = 8;
+  int cell_bits = 2;
+  /// Input DAC resolution: bits driven per wordline pulse. 1 = classic
+  /// bit-serial. Values > 1 shorten the pulse train by dac_bits x but
+  /// require non-negative activations (post-ReLU data) — the digit encoding
+  /// is unsigned.
+  int dac_bits = 1;
+  AdcConfig adc;
+  VariationModel variation;  ///< device non-idealities (off by default)
+
+  [[nodiscard]] int slices() const { return ceil_div(wbits, cell_bits); }
+  /// Wordline pulses per MVM (bit-serial: abits; multi-bit DAC: fewer).
+  [[nodiscard]] int pulses() const { return ceil_div(abits, dac_bits); }
+  /// Offset added to weights so stored levels are non-negative.
+  [[nodiscard]] std::int32_t weight_offset() const {
+    return static_cast<std::int32_t>(std::int64_t{1} << (wbits - 1));
+  }
+  /// Max level one cell stores (e.g. 3 for 2-bit cells).
+  [[nodiscard]] int max_level() const { return (1 << cell_bits) - 1; }
+
+  void validate() const {
+    RED_EXPECTS(wbits >= 2 && wbits <= 16);
+    RED_EXPECTS(abits >= 2 && abits <= 16);
+    RED_EXPECTS(cell_bits >= 1 && cell_bits <= 4);
+    RED_EXPECTS(dac_bits >= 1 && dac_bits <= 8);
+    RED_EXPECTS(adc.bits >= 1 && adc.bits <= 31);
+    variation.validate();
+  }
+};
+
+}  // namespace red::xbar

@@ -1,0 +1,22 @@
+#include "red/xbar/tiling.h"
+
+#include "red/common/math_util.h"
+
+namespace red::xbar {
+
+int TilePlan::merge_stages() const { return row_tiles <= 1 ? 0 : ilog2_ceil(row_tiles); }
+
+TilePlan plan_tiling(std::int64_t rows, std::int64_t phys_cols, const TilingConfig& cfg) {
+  cfg.validate();
+  RED_EXPECTS(rows >= 1 && phys_cols >= 1);
+  TilePlan plan;
+  plan.logical_rows = rows;
+  plan.logical_cols = phys_cols;
+  plan.subarray_rows = cfg.subarray_rows;
+  plan.subarray_cols = cfg.subarray_cols;
+  plan.row_tiles = ceil_div(rows, cfg.subarray_rows);
+  plan.col_tiles = ceil_div(phys_cols, cfg.subarray_cols);
+  return plan;
+}
+
+}  // namespace red::xbar

@@ -1,0 +1,52 @@
+// Physical subarray tiling.
+//
+// The paper (like Fig. 3) models each design as monolithic logical crossbars;
+// a manufacturable chip splits them onto bounded subarrays (e.g. 128x128)
+// and merges the row-tile partial sums digitally. plan_tiling computes the
+// tile grid, utilization, and merge-tree depth for one logical macro; the
+// cost model's tiled mode (DesignConfig::tiled) uses it to re-price
+// periphery per subarray and charge the extra conversions and partial-sum
+// additions that tiling introduces.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/contracts.h"
+
+namespace red::xbar {
+
+struct TilingConfig {
+  std::int64_t subarray_rows = 128;
+  std::int64_t subarray_cols = 128;  ///< physical columns per subarray
+
+  void validate() const {
+    RED_EXPECTS(subarray_rows >= 1);
+    RED_EXPECTS(subarray_cols >= 1);
+  }
+};
+
+struct TilePlan {
+  std::int64_t logical_rows = 0;
+  std::int64_t logical_cols = 0;  ///< physical columns of the logical macro
+  std::int64_t row_tiles = 0;
+  std::int64_t col_tiles = 0;
+  std::int64_t subarray_rows = 0;
+  std::int64_t subarray_cols = 0;
+
+  [[nodiscard]] std::int64_t tiles() const { return row_tiles * col_tiles; }
+  [[nodiscard]] std::int64_t allocated_cells() const {
+    return tiles() * subarray_rows * subarray_cols;
+  }
+  [[nodiscard]] std::int64_t utilized_cells() const { return logical_rows * logical_cols; }
+  /// Fraction of allocated cells holding real weights.
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(utilized_cells()) / static_cast<double>(allocated_cells());
+  }
+  /// Depth of the digital tree merging the row tiles' partial sums.
+  [[nodiscard]] int merge_stages() const;
+};
+
+[[nodiscard]] TilePlan plan_tiling(std::int64_t rows, std::int64_t phys_cols,
+                                   const TilingConfig& cfg);
+
+}  // namespace red::xbar

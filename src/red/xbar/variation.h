@@ -1,0 +1,41 @@
+// ReRAM device non-idealities: programming variation and stuck-at faults.
+//
+// Applied at program time, per cell level: a write-and-verify loop leaves a
+// residual Gaussian error on each stored level, and a fraction of devices is
+// stuck in the high- or low-resistance state. Because the perturbation lands
+// on the stored levels (not the read-out), the fast and bit-accurate MVM
+// paths stay mutually consistent under noise — both compute with the same
+// perturbed weights — which tests rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/contracts.h"
+
+namespace red::xbar {
+
+struct VariationModel {
+  /// Std-dev of the residual programming error, in cell-level units
+  /// (levels are re-rounded and clamped to the device range).
+  double level_sigma = 0.0;
+  /// Fraction of cells stuck (half stuck-at-LRS = max level, half at HRS = 0).
+  double stuck_at_rate = 0.0;
+  /// Seed making a given crossbar's fault/noise pattern reproducible.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const { return level_sigma > 0.0 || stuck_at_rate > 0.0; }
+
+  void validate() const {
+    RED_EXPECTS(level_sigma >= 0.0);
+    RED_EXPECTS(stuck_at_rate >= 0.0 && stuck_at_rate <= 1.0);
+  }
+};
+
+/// Counters describing what the variation model did to one crossbar.
+struct VariationStats {
+  std::int64_t cells = 0;
+  std::int64_t perturbed_cells = 0;  ///< level changed by programming noise
+  std::int64_t stuck_cells = 0;
+};
+
+}  // namespace red::xbar

@@ -1,0 +1,124 @@
+// Tests for the IR-drop analog crossbar solver.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/xbar/analog.h"
+
+namespace red::xbar {
+namespace {
+
+std::vector<std::uint8_t> uniform_levels(std::int64_t rows, std::int64_t cols,
+                                         std::uint8_t level) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(rows * cols), level);
+}
+
+std::vector<std::uint8_t> all_on(std::int64_t rows) {
+  return std::vector<std::uint8_t>(static_cast<std::size_t>(rows), 1);
+}
+
+AnalogConfig config(double r_wire) {
+  AnalogConfig cfg;
+  cfg.r_wire_ohm = r_wire;
+  return cfg;
+}
+
+TEST(Analog, ZeroWireResistanceIsIdeal) {
+  const auto r = solve_crossbar_read(uniform_levels(8, 4, 3), 8, 4, 3, all_on(8), config(0.0));
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.column_current_a, r.ideal_current_a);
+  EXPECT_DOUBLE_EQ(r.worst_relative_error(), 0.0);
+}
+
+TEST(Analog, SmallWireResistanceNearIdeal) {
+  const auto r = solve_crossbar_read(uniform_levels(8, 4, 3), 8, 4, 3, all_on(8), config(1e-4));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.worst_relative_error(), 1e-3);
+  // Currents only droop, never exceed the ideal.
+  for (std::size_t c = 0; c < r.column_current_a.size(); ++c)
+    EXPECT_LE(r.column_current_a[c], r.ideal_current_a[c] * (1.0 + 1e-9));
+}
+
+TEST(Analog, ErrorGrowsWithWireResistance) {
+  double prev = -1.0;
+  for (double rw : {0.5, 2.0, 8.0}) {
+    const auto r = solve_crossbar_read(uniform_levels(32, 8, 3), 32, 8, 3, all_on(32),
+                                       config(rw));
+    ASSERT_TRUE(r.converged) << rw;
+    EXPECT_GT(r.worst_relative_error(), prev) << rw;
+    prev = r.worst_relative_error();
+  }
+}
+
+TEST(Analog, ErrorGrowsWithArraySize) {
+  double prev = -1.0;
+  for (std::int64_t side : {8, 32, 64}) {
+    const auto r = solve_crossbar_read(uniform_levels(side, side, 3), side, side, 3,
+                                       all_on(side), config(1.0));
+    ASSERT_TRUE(r.converged) << side;
+    EXPECT_GT(r.mean_relative_error(), prev) << side;
+    prev = r.mean_relative_error();
+  }
+}
+
+TEST(Analog, FarColumnsDroopMore) {
+  // The wordline is driven at the left edge; the rightmost column sees the
+  // largest IR drop.
+  const auto r =
+      solve_crossbar_read(uniform_levels(16, 16, 3), 16, 16, 3, all_on(16), config(4.0));
+  ASSERT_TRUE(r.converged);
+  const auto rel = [&](std::size_t c) {
+    return (r.ideal_current_a[c] - r.column_current_a[c]) / r.ideal_current_a[c];
+  };
+  EXPECT_GT(rel(15), rel(0));
+}
+
+TEST(Analog, ZeroInputsZeroCurrent) {
+  std::vector<std::uint8_t> off(16, 0);
+  const auto r = solve_crossbar_read(uniform_levels(16, 4, 3), 16, 4, 3, off, config(1.0));
+  for (auto i : r.column_current_a) EXPECT_NEAR(i, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.worst_relative_error(), 0.0);  // no reference current
+}
+
+TEST(Analog, UniformColumnsUniformCurrents) {
+  // Identical columns must solve to identical currents (network symmetry).
+  const auto r = solve_crossbar_read(uniform_levels(12, 6, 2), 12, 6, 2, all_on(12),
+                                     config(1.0));
+  ASSERT_TRUE(r.converged);
+  // Columns differ only via their distance from the driver; compare col 2/3
+  // which are interior and adjacent: the difference must be smooth (<5%).
+  EXPECT_NEAR(r.column_current_a[2] / r.column_current_a[3], 1.0, 0.05);
+}
+
+TEST(Analog, LevelConductanceMapsLinearly) {
+  const AnalogConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.level_conductance(0, 3), cfg.g_off_s);
+  EXPECT_DOUBLE_EQ(cfg.level_conductance(3, 3), cfg.g_on_s);
+  const double mid = cfg.level_conductance(1, 3);
+  EXPECT_GT(mid, cfg.g_off_s);
+  EXPECT_LT(mid, cfg.g_on_s);
+}
+
+TEST(Analog, RejectsBadArguments) {
+  EXPECT_THROW(
+      (void)solve_crossbar_read(uniform_levels(4, 4, 3), 4, 4, 3, all_on(3), config(1.0)),
+      ContractViolation);  // wrong input size
+  AnalogConfig bad;
+  bad.g_on_s = bad.g_off_s;
+  EXPECT_THROW(bad.validate(), ContractViolation);
+}
+
+TEST(Analog, RandomPatternStillBounded) {
+  Rng rng(7);
+  std::vector<std::uint8_t> levels(64 * 16);
+  for (auto& l : levels) l = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+  std::vector<std::uint8_t> inputs(64);
+  for (auto& i : inputs) i = static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+  const auto r = solve_crossbar_read(levels, 64, 16, 3, inputs, config(1.0));
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.worst_relative_error(), 0.0);
+  EXPECT_LT(r.worst_relative_error(), 0.5);  // 64 rows at 1 ohm: moderate droop
+}
+
+}  // namespace
+}  // namespace red::xbar

@@ -1,0 +1,182 @@
+// Tests for the periphery component models: monotonicity, scaling laws,
+// and Table II grouping.
+#include <gtest/gtest.h>
+
+#include "red/circuits/breakdown.h"
+#include "red/circuits/buffer.h"
+#include "red/circuits/decoder.h"
+#include "red/circuits/drivers.h"
+#include "red/circuits/mux.h"
+#include "red/circuits/overlap.h"
+#include "red/circuits/read_circuit.h"
+#include "red/circuits/shift_adder.h"
+#include "red/common/error.h"
+#include "red/tech/calibration.h"
+#include "red/tech/tech.h"
+
+namespace red::circuits {
+namespace {
+
+const tech::Calibration kCal = tech::Calibration::defaults();
+
+TEST(Breakdown, TableIIGrouping) {
+  EXPECT_TRUE(is_array_component(Component::kComputation));
+  EXPECT_TRUE(is_array_component(Component::kWordlineDriving));
+  EXPECT_TRUE(is_array_component(Component::kBitlineDriving));
+  EXPECT_FALSE(is_array_component(Component::kDecoder));
+  EXPECT_FALSE(is_array_component(Component::kMultiplexer));
+  EXPECT_FALSE(is_array_component(Component::kReadCircuit));
+  EXPECT_FALSE(is_array_component(Component::kShiftAdder));
+  EXPECT_FALSE(is_array_component(Component::kOther));
+}
+
+TEST(Breakdown, AbbreviationsMatchTableII) {
+  EXPECT_EQ(component_abbrev(Component::kComputation), "c");
+  EXPECT_EQ(component_abbrev(Component::kWordlineDriving), "wd");
+  EXPECT_EQ(component_abbrev(Component::kBitlineDriving), "bd");
+  EXPECT_EQ(component_abbrev(Component::kDecoder), "dec");
+  EXPECT_EQ(component_abbrev(Component::kMultiplexer), "mux");
+  EXPECT_EQ(component_abbrev(Component::kReadCircuit), "rc");
+  EXPECT_EQ(component_abbrev(Component::kShiftAdder), "sa");
+}
+
+TEST(Breakdown, AllComponentsEnumerated) {
+  const auto all = all_components();
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kNumComponents));
+  for (auto c : all) EXPECT_FALSE(component_name(c).empty());
+}
+
+TEST(RowDecoder, LatencyGrowsLogarithmically) {
+  const RowDecoder d256(256, false, kCal);
+  const RowDecoder d512(512, false, kCal);
+  const RowDecoder d1024(1024, false, kCal);
+  EXPECT_LT(d256.latency(), d512.latency());
+  // One extra address bit per doubling.
+  EXPECT_NEAR(d512.latency().value() - d256.latency().value(),
+              d1024.latency().value() - d512.latency().value(), 1e-12);
+}
+
+TEST(RowDecoder, EnergyScalesWithRows) {
+  const RowDecoder small(64, false, kCal);
+  const RowDecoder big(6400, false, kCal);
+  EXPECT_GT(big.energy_per_cycle().value(), 10.0 * small.energy_per_cycle().value() * 0.5);
+  EXPECT_GT(big.energy_per_cycle(), small.energy_per_cycle());
+}
+
+TEST(RowDecoder, SubCrossbarBaseIsSmaller) {
+  const RowDecoder macro(512, false, kCal);
+  const RowDecoder sc(512, true, kCal);
+  EXPECT_LT(sc.area(), macro.area());
+  EXPECT_GT(sc.area().value(), 0.0);
+}
+
+TEST(RowDecoder, RejectsNonPositiveRows) {
+  EXPECT_THROW((RowDecoder{0, false, kCal}), ContractViolation);
+}
+
+TEST(WordlineDriver, EnergySuperlinearInColumns) {
+  // The paper: "driving power increases in a quadratic relation with the
+  // column number". Doubling columns must more than double per-drive energy
+  // once past the upsizing knee.
+  const WordlineDriver narrow(512, 1024, 8, kCal);
+  const WordlineDriver wide(512, 25600, 8, kCal);
+  const double ratio =
+      wide.energy_per_row_drive().value() / narrow.energy_per_row_drive().value();
+  EXPECT_GT(ratio, 25600.0 / 1024.0);  // strictly superlinear
+}
+
+TEST(WordlineDriver, LatencyQuadraticWireTerm) {
+  const WordlineDriver short_line(1, 1000, 8, kCal);
+  const WordlineDriver long_line(1, 2000, 8, kCal);
+  const double wire_short = short_line.latency().value() - kCal.t_wd_base -
+                            8 * kCal.t_pulse_per_bit;
+  const double wire_long = long_line.latency().value() - kCal.t_wd_base - 8 * kCal.t_pulse_per_bit;
+  EXPECT_NEAR(wire_long / wire_short, 4.0, 1e-6);  // (2x length)^2
+}
+
+TEST(WordlineDriver, PulseStreamingScalesWithBits) {
+  const WordlineDriver a4(128, 128, 4, kCal);
+  const WordlineDriver a8(128, 128, 8, kCal);
+  EXPECT_NEAR(a8.latency().value() - a4.latency().value(), 4 * kCal.t_pulse_per_bit, 1e-12);
+}
+
+TEST(BitlineDriver, EnergyLinearInRows) {
+  const BitlineDriver a(64, 100, kCal);
+  const BitlineDriver b(64, 200, kCal);
+  EXPECT_NEAR(b.energy_per_conversion().value() / a.energy_per_conversion().value(), 2.0, 1e-9);
+}
+
+TEST(BitlineDriver, LatencyQuadraticInRows) {
+  const BitlineDriver a(64, 1000, kCal);
+  const BitlineDriver b(64, 2000, kCal);
+  const double wa = a.latency().value() - kCal.t_bd_base;
+  const double wb = b.latency().value() - kCal.t_bd_base;
+  EXPECT_NEAR(wb / wa, 4.0, 1e-6);
+}
+
+TEST(ColumnMux, GroupsAreCeilDiv) {
+  EXPECT_EQ(ColumnMux(1024, 8, kCal).groups(), 128);
+  EXPECT_EQ(ColumnMux(1025, 8, kCal).groups(), 129);
+  EXPECT_EQ(ColumnMux(7, 8, kCal).groups(), 1);
+}
+
+TEST(ReadCircuit, UnitsShareColumnsViaMux) {
+  const ReadCircuit rc(1024, 8, kCal);
+  EXPECT_EQ(rc.units(), 128);
+  // Serialized sampling: latency proportional to the mux ratio.
+  const ReadCircuit rc16(1024, 16, kCal);
+  EXPECT_NEAR(rc16.latency().value() / rc.latency().value(), 2.0, 1e-9);
+  // Fewer units -> less area.
+  EXPECT_LT(rc16.area(), rc.area());
+}
+
+TEST(ShiftAdder, ExtraStagesAddLatencyNotUnits) {
+  const ShiftAdder flat(1024, 8, 0, kCal);
+  const ShiftAdder deep(1024, 8, 3, kCal);
+  EXPECT_EQ(flat.units(), deep.units());
+  EXPECT_NEAR(deep.latency().value() - flat.latency().value(), 3 * kCal.t_sa_stage, 1e-12);
+  EXPECT_DOUBLE_EQ(flat.area().value(), deep.area().value());
+}
+
+TEST(SramBuffer, AreaLinearInBits) {
+  const SramBuffer a(1000, kCal);
+  const SramBuffer b(3000, kCal);
+  EXPECT_NEAR(b.area().value() / a.area().value(), 3.0, 1e-9);
+}
+
+TEST(OverlapAccumulator, LatencySerializesOverPatchPositions) {
+  // FCN-style 16x16 patch: 256 serialized canvas writes dominate; this is
+  // what caps the padding-free design's speedup on large kernels.
+  const OverlapAccumulator small(25, 25 * 256 * 4, 8, kCal);
+  const OverlapAccumulator large(256, 256 * 21 * 4, 8, kCal);
+  EXPECT_GT(large.latency().value(), small.latency().value());
+  EXPECT_GT(large.latency().value(), 256 * kCal.t_buf_serial);
+}
+
+TEST(OverlapAccumulator, BufferSizedByPhysicalColumns) {
+  const OverlapAccumulator acc(25, 25600, 8, kCal);
+  EXPECT_EQ(acc.buffer_bits(), 25600 * kCal.buf_bits_per_value);
+  EXPECT_GT(acc.area().value(), 0.0);
+}
+
+TEST(CropUnit, HasFixedArea) {
+  EXPECT_DOUBLE_EQ(CropUnit(kCal).area().value(), kCal.a_crop_unit);
+}
+
+TEST(TechNode, Presets) {
+  const auto n65 = tech::TechNode::node65();
+  EXPECT_DOUBLE_EQ(n65.feature_nm, 65.0);
+  EXPECT_DOUBLE_EQ(n65.clock_ghz, 2.0);  // paper Sec. IV-A
+  EXPECT_NEAR(n65.f2_um2(), 0.004225, 1e-9);
+  EXPECT_LT(tech::TechNode::node32().f2_um2(), tech::TechNode::node45().f2_um2());
+  EXPECT_NEAR(tech::TechNode::node45().scale_from_65(), 45.0 / 65.0, 1e-12);
+}
+
+TEST(CellParams, AreaAndLevels) {
+  const tech::CellParams cell;
+  EXPECT_EQ(cell.levels(), 4);  // 2-bit MLC
+  EXPECT_NEAR(cell.area_um2(tech::TechNode::node65()), 12.0 * 0.004225, 1e-9);
+}
+
+}  // namespace
+}  // namespace red::circuits

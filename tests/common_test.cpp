@@ -1,0 +1,138 @@
+// Tests for red/common: contracts, math, units, RNG, tables, strings.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+#include "red/common/math_util.h"
+#include "red/common/rng.h"
+#include "red/common/string_util.h"
+#include "red/common/table.h"
+#include "red/common/units.h"
+
+namespace red {
+namespace {
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(RED_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(RED_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, MessageIncludesExpressionAndNote) {
+  try {
+    RED_EXPECTS_MSG(false, "details here");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("details here"), std::string::npos);
+  }
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div<std::int64_t>(322624, 64), 5041);
+}
+
+TEST(MathUtil, CeilDivRejectsNonPositiveDivisor) {
+  EXPECT_THROW((void)ceil_div(3, 0), ContractViolation);
+  EXPECT_THROW((void)ceil_div(-1, 3), ContractViolation);
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2_floor(1), 0);
+  EXPECT_EQ(ilog2_floor(2), 1);
+  EXPECT_EQ(ilog2_floor(3), 1);
+  EXPECT_EQ(ilog2_floor(1024), 10);
+  EXPECT_EQ(ilog2_ceil(1), 0);
+  EXPECT_EQ(ilog2_ceil(3), 2);
+  EXPECT_EQ(ilog2_ceil(1024), 10);
+  EXPECT_EQ(ilog2_ceil(1025), 11);
+}
+
+TEST(MathUtil, IsPow2AndRoundUp) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(round_up(13, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+}
+
+TEST(Units, ArithmeticKeepsDimension) {
+  using namespace unit_literals;
+  const Nanoseconds t = 2.0_ns + 3.0_ns;
+  EXPECT_DOUBLE_EQ(t.value(), 5.0);
+  EXPECT_DOUBLE_EQ((t * 2.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(t / Nanoseconds{2.5}, 2.0);  // ratio is dimensionless
+  Picojoules e{1.5};
+  e += Picojoules{0.5};
+  EXPECT_DOUBLE_EQ(e.value(), 2.0);
+  EXPECT_LT(SquareMicrons{1.0}, SquareMicrons{2.0});
+}
+
+TEST(Units, StreamFormatting) {
+  std::ostringstream os;
+  os << Nanoseconds{1.5} << " / " << Picojoules{2.0} << " / " << SquareMicrons{3.0};
+  EXPECT_EQ(os.str(), "1.5 ns / 2 pJ / 3 um^2");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(-50, 50), b.uniform_int(-50, 50));
+}
+
+TEST(Rng, RespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  EXPECT_THROW((void)rng.uniform_int(2, 1), ContractViolation);
+}
+
+TEST(StringUtil, Formatting) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.8679, 1), "86.8%");
+  EXPECT_EQ(format_speedup(31.1532), "31.15x");
+}
+
+TEST(StringUtil, AsciiBar) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####.....");
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 4), "####");  // clamped
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 4), "....");
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(TextTable, AsciiAlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("name    v"), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownAndCsv) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "has,comma"});
+  EXPECT_NE(t.to_markdown().find("| a | b |"), std::string::npos);
+  EXPECT_NE(t.to_csv().find("\"has,comma\""), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red

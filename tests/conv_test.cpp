@@ -1,0 +1,167 @@
+// Tests for the regular-convolution substrate (spec, reference, crossbar
+// engine) and the DCGAN discriminator stack.
+#include <gtest/gtest.h>
+
+#include "red/arch/conv_engine.h"
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/nn/conv_layer.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/networks.h"
+
+namespace red::nn {
+namespace {
+
+ConvLayerSpec small_conv() { return ConvLayerSpec{"conv", 8, 8, 3, 4, 3, 3, 2, 1}; }
+
+TEST(ConvLayerSpec, OutputSizeFormula) {
+  EXPECT_EQ(small_conv().oh(), 4);  // (8 + 2 - 3)/2 + 1
+  const ConvLayerSpec d1{"d1", 64, 64, 3, 128, 5, 5, 2, 2};
+  EXPECT_EQ(d1.oh(), 32);
+  const ConvLayerSpec s1{"s1", 7, 7, 2, 2, 3, 3, 1, 0};
+  EXPECT_EQ(s1.oh(), 5);
+}
+
+TEST(ConvLayerSpec, ValidationRejectsBadConfigs) {
+  auto s = small_conv();
+  s.stride = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = small_conv();
+  s.pad = s.kh;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = small_conv();
+  s.ih = 1;
+  s.pad = 0;  // kernel 3 > input 1
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(ConvReference, HandComputedStridedExample) {
+  // 4x4 ramp input, 2x2 ones kernel, stride 2, no pad: block sums.
+  ConvLayerSpec spec{"hand", 4, 4, 1, 1, 2, 2, 2, 0};
+  Tensor<std::int32_t> in(spec.input_shape());
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) in.at(0, 0, y, x) = y * 4 + x;
+  Tensor<std::int32_t> k(spec.kernel_shape(), 1);
+  const auto out = conv_reference(spec, in, k);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_EQ(out.at(0, 0, 1, 1), 10 + 11 + 14 + 15);
+}
+
+TEST(ConvReference, PaddingContributesZeros) {
+  ConvLayerSpec spec{"pad", 2, 2, 1, 1, 3, 3, 1, 1};
+  Tensor<std::int32_t> in(spec.input_shape(), 1);
+  Tensor<std::int32_t> k(spec.kernel_shape(), 1);
+  const auto out = conv_reference(spec, in, k);
+  EXPECT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4);  // only the 2x2 in-bounds pixels
+}
+
+TEST(ConvWindowHits, CountsInBoundsPixelsOnly) {
+  const ConvLayerSpec nopad{"np", 4, 4, 1, 1, 2, 2, 2, 0};
+  EXPECT_EQ(conv_window_hits(nopad), 4 * 4);  // every window fully in bounds
+  const ConvLayerSpec pad{"p", 2, 2, 1, 1, 3, 3, 1, 1};
+  // 4 windows x 4 in-bounds pixels each.
+  EXPECT_EQ(conv_window_hits(pad), 16);
+  EXPECT_EQ(pad.useful_macs(), 16);
+}
+
+}  // namespace
+}  // namespace red::nn
+
+namespace red::arch {
+namespace {
+
+TEST(ConvEngine, BitExactAgainstReference) {
+  Rng rng(61);
+  for (int t = 0; t < 15; ++t) {
+    nn::ConvLayerSpec spec;
+    spec.name = "rand" + std::to_string(t);
+    spec.kh = static_cast<int>(rng.uniform_int(1, 4));
+    spec.kw = static_cast<int>(rng.uniform_int(1, 4));
+    spec.stride = static_cast<int>(rng.uniform_int(1, 3));
+    spec.pad = static_cast<int>(rng.uniform_int(0, std::min(spec.kh, spec.kw) - 1));
+    spec.ih = static_cast<int>(rng.uniform_int(spec.kh, 8));
+    spec.iw = static_cast<int>(rng.uniform_int(spec.kw, 8));
+    spec.c = static_cast<int>(rng.uniform_int(1, 4));
+    spec.m = static_cast<int>(rng.uniform_int(1, 4));
+    spec.validate();
+
+    Tensor<std::int32_t> input(spec.input_shape());
+    Tensor<std::int32_t> kernel(spec.kernel_shape());
+    fill_random(input, rng, -9, 9);
+    fill_random(kernel, rng, -9, 9);
+
+    const ConvEngine engine{DesignConfig{}};
+    ASSERT_EQ(first_mismatch(nn::conv_reference(spec, input, kernel),
+                             engine.run(spec, input, kernel)),
+              "")
+        << spec.to_string();
+  }
+}
+
+TEST(ConvEngine, BitAccuratePathMatches) {
+  const nn::ConvLayerSpec spec{"ba", 5, 5, 2, 3, 3, 3, 1, 1};
+  Rng rng(62);
+  Tensor<std::int32_t> input(spec.input_shape());
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(input, rng, -7, 7);
+  fill_random(kernel, rng, -7, 7);
+  DesignConfig cfg;
+  cfg.bit_accurate = true;
+  const ConvEngine engine(cfg);
+  EXPECT_EQ(first_mismatch(nn::conv_reference(spec, input, kernel),
+                           engine.run(spec, input, kernel)),
+            "");
+}
+
+TEST(ConvEngine, ActivityMatchesMeasured) {
+  const nn::ConvLayerSpec spec{"act", 6, 6, 3, 4, 3, 3, 2, 1};
+  Rng rng(63);
+  Tensor<std::int32_t> input(spec.input_shape());
+  fill_random(input, rng, 1, 7);  // strictly non-zero
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(kernel, rng, -7, 7);
+  const ConvEngine engine{DesignConfig{}};
+  RunStats stats;
+  (void)engine.run(spec, input, kernel, &stats);
+  const auto act = engine.activity(spec);
+  EXPECT_EQ(stats.cycles, act.cycles);
+  EXPECT_EQ(stats.mvm.conversions, act.conversions);
+  EXPECT_EQ(stats.mvm.row_drives, act.row_drives);
+}
+
+TEST(ConvEngine, CostIsFiniteAndTiles) {
+  const nn::ConvLayerSpec spec{"cost", 32, 32, 128, 256, 5, 5, 2, 2};
+  DesignConfig mono;
+  DesignConfig tiled;
+  tiled.tiled = true;
+  const auto r = ConvEngine(mono).cost(spec);
+  const auto rt = ConvEngine(tiled).cost(spec);
+  EXPECT_GT(r.total_latency().value(), 0.0);
+  EXPECT_GT(rt.total_area().value(), r.total_area().value() * 0.5);
+  EXPECT_GT(rt.energy(circuits::Component::kShiftAdder).value(),
+            r.energy(circuits::Component::kShiftAdder).value());
+}
+
+TEST(ConvEngine, DiscriminatorStackChains) {
+  const auto stack = workloads::dcgan_discriminator();
+  EXPECT_NO_THROW(workloads::validate_conv_stack(stack));
+  EXPECT_EQ(stack.front().ih, 64);
+  EXPECT_EQ(stack.back().oh(), 4);
+  EXPECT_EQ(stack.back().m, 1024);
+  auto broken = stack;
+  broken[1].ih = 31;
+  EXPECT_THROW(workloads::validate_conv_stack(broken), ConfigError);
+}
+
+TEST(ConvEngine, GeneratorAndDiscriminatorShareCostModel) {
+  // Whole-GAN view: a deconv layer and its mirror conv layer get comparable
+  // (same order) costs under the shared model.
+  const nn::ConvLayerSpec conv{"mirror_conv", 16, 16, 256, 512, 5, 5, 2, 2};
+  const auto conv_cost = ConvEngine{DesignConfig{}}.cost(conv);
+  EXPECT_GT(conv_cost.total_energy().value(), 0.0);
+  EXPECT_EQ(conv_cost.cycles(), std::int64_t{conv.oh()} * conv.ow());
+}
+
+}  // namespace
+}  // namespace red::arch

@@ -1,0 +1,89 @@
+// Focused unit tests of the CostReport arithmetic (grouping, leakage
+// apportioning, accumulation) — the numeric backbone every figure rests on.
+#include <gtest/gtest.h>
+
+#include "red/arch/cost_report.h"
+
+namespace red::arch {
+namespace {
+
+using circuits::Component;
+
+CostReport sample_report() {
+  CostReport r;
+  r.set_design("probe");
+  r.set_cycles(10);
+  r.add_latency(Component::kWordlineDriving, Nanoseconds{30.0});
+  r.add_latency(Component::kBitlineDriving, Nanoseconds{10.0});
+  r.add_latency(Component::kDecoder, Nanoseconds{20.0});
+  r.add_latency(Component::kReadCircuit, Nanoseconds{40.0});
+  r.add_energy(Component::kComputation, Picojoules{100.0});
+  r.add_energy(Component::kShiftAdder, Picojoules{50.0});
+  r.add_area(Component::kComputation, SquareMicrons{600.0});
+  r.add_area(Component::kReadCircuit, SquareMicrons{400.0});
+  return r;
+}
+
+TEST(CostReport, GroupSumsFollowTableII) {
+  const auto r = sample_report();
+  EXPECT_DOUBLE_EQ(r.array_latency().value(), 40.0);      // wd + bd
+  EXPECT_DOUBLE_EQ(r.periphery_latency().value(), 60.0);  // dec + rc
+  EXPECT_DOUBLE_EQ(r.total_latency().value(), 100.0);
+  EXPECT_DOUBLE_EQ(r.array_area().value(), 600.0);
+  EXPECT_DOUBLE_EQ(r.periphery_area().value(), 400.0);
+}
+
+TEST(CostReport, AccumulationAddsAcrossCalls) {
+  CostReport r;
+  r.add_energy(Component::kComputation, Picojoules{1.0});
+  r.add_energy(Component::kComputation, Picojoules{2.5});
+  EXPECT_DOUBLE_EQ(r.energy(Component::kComputation).value(), 3.5);
+}
+
+TEST(CostReport, LeakageApportionedByAreaShare) {
+  auto r = sample_report();
+  r.set_leakage(Picojoules{10.0});
+  // Array holds 60% of the area, so it carries 6 pJ of the leakage.
+  EXPECT_DOUBLE_EQ(r.array_energy().value(), 100.0 + 6.0);
+  EXPECT_DOUBLE_EQ(r.periphery_energy().value(), 50.0 + 4.0);
+  EXPECT_DOUBLE_EQ(r.total_energy().value(), 160.0);
+  // Group split must reconstruct the total exactly.
+  EXPECT_DOUBLE_EQ(r.array_energy().value() + r.periphery_energy().value(),
+                   r.total_energy().value());
+}
+
+TEST(CostReport, ZeroAreaLeavesLeakageInTotalOnly) {
+  CostReport r;
+  r.add_energy(Component::kComputation, Picojoules{5.0});
+  r.set_leakage(Picojoules{3.0});
+  EXPECT_DOUBLE_EQ(r.array_energy().value(), 5.0);  // no area -> no share
+  EXPECT_DOUBLE_EQ(r.total_energy().value(), 8.0);
+}
+
+TEST(CostReport, PipelinedLatencyArithmetic) {
+  auto r = sample_report();  // per cycle: array 4, periphery 6 over 10 cycles
+  EXPECT_DOUBLE_EQ(r.pipelined_latency().value(), 6.0 * 10 + 4.0);
+  // Degenerate: unknown cycle count falls back to the series bound.
+  CostReport no_cycles;
+  no_cycles.add_latency(Component::kDecoder, Nanoseconds{7.0});
+  EXPECT_DOUBLE_EQ(no_cycles.pipelined_latency().value(), 7.0);
+}
+
+TEST(CostReport, DefaultIsEmpty) {
+  const CostReport r;
+  EXPECT_DOUBLE_EQ(r.total_latency().value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_energy().value(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_area().value(), 0.0);
+  EXPECT_EQ(r.cycles(), 0);
+  for (auto c : circuits::all_components()) EXPECT_DOUBLE_EQ(r.latency(c).value(), 0.0);
+}
+
+TEST(CostReport, OtherComponentCountsAsPeriphery) {
+  CostReport r;
+  r.add_area(Component::kOther, SquareMicrons{12.0});
+  EXPECT_DOUBLE_EQ(r.periphery_area().value(), 12.0);
+  EXPECT_DOUBLE_EQ(r.array_area().value(), 0.0);
+}
+
+}  // namespace
+}  // namespace red::arch

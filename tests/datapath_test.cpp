@@ -1,0 +1,181 @@
+// Tests for the data-path extensions: multi-bit input DACs, activation
+// sparsity, measured-cost attribution, and intra-layer pipelining.
+#include <gtest/gtest.h>
+
+#include "red/arch/design.h"
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/sim/engine.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+#include "red/xbar/codec.h"
+#include "red/xbar/crossbar.h"
+
+namespace red {
+namespace {
+
+TEST(MultiBitDac, PulseCountFormula) {
+  xbar::QuantConfig q;
+  EXPECT_EQ(q.pulses(), 8);  // bit-serial
+  q.dac_bits = 2;
+  EXPECT_EQ(q.pulses(), 4);
+  q.dac_bits = 3;
+  EXPECT_EQ(q.pulses(), 3);  // ceil(8/3)
+  q.dac_bits = 8;
+  EXPECT_EQ(q.pulses(), 1);
+}
+
+TEST(MultiBitDac, DigitRoundTrip) {
+  xbar::QuantConfig q;
+  q.dac_bits = 2;
+  for (std::int32_t a = 0; a < 256; ++a) {
+    const auto digits = xbar::input_digits(a, q);
+    ASSERT_EQ(digits.size(), 4u);
+    std::int32_t v = 0;
+    for (std::size_t k = digits.size(); k-- > 0;)
+      v = (v << q.dac_bits) | digits[k];
+    EXPECT_EQ(v, a);
+  }
+}
+
+TEST(MultiBitDac, NegativeInputsRejected) {
+  xbar::QuantConfig q;
+  q.dac_bits = 2;
+  EXPECT_THROW((void)xbar::input_digits(-1, q), ContractViolation);
+  EXPECT_THROW((void)xbar::pulse_count(-1, q), ContractViolation);
+}
+
+TEST(MultiBitDac, BitAccurateExactForUnsignedData) {
+  Rng rng(81);
+  for (int dac : {2, 4}) {
+    xbar::QuantConfig q;
+    q.dac_bits = dac;
+    std::vector<std::int32_t> w(48);
+    for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+    const xbar::LogicalXbar xb(16, 3, w, q);
+    std::vector<std::int32_t> in(16);
+    for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(0, 255));
+    xbar::MvmStats stats;
+    EXPECT_EQ(xb.mvm_bit_accurate(in, &stats), xb.mvm(in)) << "dac " << dac;
+    EXPECT_EQ(stats.conversions, xb.phys_cols() * q.pulses());
+  }
+}
+
+TEST(MultiBitDac, RedDesignExactWithPostReluData) {
+  arch::DesignConfig cfg;
+  cfg.quant.dac_bits = 2;
+  cfg.bit_accurate = true;
+  const nn::DeconvLayerSpec spec{"dac", 4, 4, 4, 3, 3, 3, 2, 1, 0};
+  Rng rng(82);
+  const auto input = workloads::make_input(spec, rng, 0, 100);  // non-negative
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const auto red = core::make_design(core::DesignKind::kRed, cfg);
+  EXPECT_EQ(first_mismatch(nn::deconv_reference(spec, input, kernel),
+                           red->run(spec, input, kernel)),
+            "");
+}
+
+TEST(MultiBitDac, WiderDacShortensLatency) {
+  const auto spec = workloads::gan_deconv3();
+  double prev = 1e30;
+  for (int dac : {1, 2, 4}) {
+    arch::DesignConfig cfg;
+    cfg.quant.dac_bits = dac;
+    const auto cost = core::make_design(core::DesignKind::kRed, cfg)->cost(spec);
+    EXPECT_LT(cost.total_latency().value(), prev) << "dac " << dac;
+    prev = cost.total_latency().value();
+  }
+}
+
+TEST(Sparsity, EnergyFallsMonotonicallyWithSparsity) {
+  const auto spec = workloads::gan_deconv1();
+  double prev = 1e30;
+  for (double s : {0.0, 0.3, 0.6, 0.9}) {
+    arch::DesignConfig cfg;
+    cfg.activation_sparsity = s;
+    const auto cost = core::make_design(core::DesignKind::kRed, cfg)->cost(spec);
+    EXPECT_LT(cost.total_energy().value(), prev) << "sparsity " << s;
+    prev = cost.total_energy().value();
+  }
+}
+
+TEST(Sparsity, LatencyUnaffected) {
+  const auto spec = workloads::gan_deconv3();
+  arch::DesignConfig dense;
+  arch::DesignConfig sparse;
+  sparse.activation_sparsity = 0.8;
+  EXPECT_DOUBLE_EQ(
+      core::make_design(core::DesignKind::kRed, dense)->cost(spec).total_latency().value(),
+      core::make_design(core::DesignKind::kRed, sparse)->cost(spec).total_latency().value());
+}
+
+TEST(Sparsity, ValidationRejectsOutOfRange) {
+  arch::DesignConfig cfg;
+  cfg.activation_sparsity = 1.0;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+  cfg.activation_sparsity = -0.1;
+  EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(MeasuredCost, MatchesAnalyticOnDenseAverageData) {
+  // With dense, full-range data the measured energy should land near the
+  // analytic estimate (which assumes 0.5 bit density).
+  const nn::DeconvLayerSpec spec{"meas", 4, 4, 8, 6, 3, 3, 2, 1, 0};
+  arch::DesignConfig cfg;
+  const auto design = core::make_design(core::DesignKind::kRed, cfg);
+  Rng rng(83);
+  const auto input = workloads::make_input(spec, rng, -127, 127);
+  const auto kernel = workloads::make_kernel(spec, rng, -127, 127);
+  arch::RunStats stats;
+  (void)design->run(spec, input, kernel, &stats);
+  const auto analytic = design->cost(spec);
+  const auto measured = arch::measured_cost(design->activity(spec), stats, cfg);
+  EXPECT_EQ(measured.cycles(), analytic.cycles());
+  const double ratio = measured.total_energy() / analytic.total_energy();
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(MeasuredCost, SparseDataCostsLess) {
+  const nn::DeconvLayerSpec spec{"meas2", 4, 4, 8, 6, 3, 3, 2, 1, 0};
+  arch::DesignConfig cfg;
+  const auto design = core::make_design(core::DesignKind::kRed, cfg);
+  Rng rng(84);
+  const auto kernel = workloads::make_kernel(spec, rng, -127, 127);
+  const auto dense = workloads::make_input(spec, rng, 100, 127);
+  auto sparse = dense;
+  for (std::int64_t i = 0; i < sparse.size(); i += 2) sparse.data()[i] = 0;
+  arch::RunStats s_dense, s_sparse;
+  (void)design->run(spec, dense, kernel, &s_dense);
+  (void)design->run(spec, sparse, kernel, &s_sparse);
+  const auto act = design->activity(spec);
+  EXPECT_LT(arch::measured_cost(act, s_sparse, cfg).total_energy().value(),
+            arch::measured_cost(act, s_dense, cfg).total_energy().value());
+}
+
+TEST(PipelinedLatency, BoundedByNonPipelined) {
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    for (const auto& design : core::make_all_designs()) {
+      const auto cost = design->cost(spec);
+      EXPECT_LE(cost.pipelined_latency().value(), cost.total_latency().value())
+          << design->name() << " " << spec.name;
+      // Pipeline can at best hide the smaller stage entirely: >= half.
+      EXPECT_GE(cost.pipelined_latency().value(), cost.total_latency().value() * 0.5 - 1e-9)
+          << design->name() << " " << spec.name;
+    }
+  }
+}
+
+TEST(PipelinedLatency, RedStillWinsPipelined) {
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    const auto zp = core::make_design(core::DesignKind::kZeroPadding)->cost(spec);
+    const auto red = core::make_design(core::DesignKind::kRed)->cost(spec);
+    EXPECT_GT(zp.pipelined_latency() / red.pipelined_latency(), 3.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace red

@@ -1,0 +1,167 @@
+// Property tests: Algorithm 1 (zero-padding) and Algorithm 2 (padding-free)
+// must equal the golden direct-scatter reference bit-exactly on every
+// configuration, including all Table I layer geometries (channel-reduced).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "red/common/rng.h"
+#include "red/nn/deconv_padding_free.h"
+#include "red/nn/deconv_reference.h"
+#include "red/nn/deconv_zero_padding.h"
+#include "red/tensor/tensor_ops.h"
+
+namespace red::nn {
+namespace {
+
+struct Case {
+  const char* tag;
+  DeconvLayerSpec spec;
+};
+
+// Table I geometries with channels reduced (C,M scaled down) so the full
+// matrix of algorithms runs in milliseconds; spatial/kernel/stride geometry —
+// which is what the algorithms disagree on if buggy — is preserved exactly.
+std::vector<Case> equivalence_cases() {
+  return {
+      {"dcgan_g1", {"dcgan_g1", 8, 8, 6, 5, 5, 5, 2, 2, 1}},
+      {"improved_g2", {"improved_g2", 4, 4, 6, 5, 5, 5, 2, 2, 1}},
+      {"sngan_g3", {"sngan_g3", 4, 4, 6, 5, 4, 4, 2, 1, 0}},
+      {"sngan_g4", {"sngan_g4", 6, 6, 6, 5, 4, 4, 2, 1, 0}},
+      {"fcn_d1", {"fcn_d1", 16, 16, 4, 3, 4, 4, 2, 0, 0}},
+      {"fcn_d2", {"fcn_d2", 9, 9, 4, 3, 16, 16, 8, 0, 0}},
+      {"stride1", {"stride1", 5, 5, 3, 2, 3, 3, 1, 1, 0}},
+      {"stride3", {"stride3", 4, 5, 2, 3, 5, 4, 3, 2, 1}},
+      {"k1", {"k1", 4, 4, 3, 3, 1, 1, 1, 0, 0}},
+      {"tall_kernel", {"tall_kernel", 3, 6, 2, 2, 7, 2, 2, 1, 0}},
+      {"nopad_s4", {"nopad_s4", 3, 3, 2, 2, 4, 4, 4, 0, 3}},
+      {"single_pixel", {"single_pixel", 1, 1, 3, 4, 3, 3, 2, 0, 0}},
+  };
+}
+
+class DeconvEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DeconvEquivalence, ZeroPaddingMatchesReference) {
+  const auto& spec = GetParam().spec;
+  Rng rng(2019);
+  Tensor<std::int32_t> input(spec.input_shape());
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(input, rng, -7, 7);
+  fill_random(kernel, rng, -7, 7);
+  const auto golden = deconv_reference(spec, input, kernel);
+  const auto zp = deconv_zero_padding(spec, input, kernel);
+  EXPECT_EQ(first_mismatch(golden, zp.output), "") << spec.to_string();
+}
+
+TEST_P(DeconvEquivalence, PaddingFreeMatchesReference) {
+  const auto& spec = GetParam().spec;
+  Rng rng(86);
+  Tensor<std::int32_t> input(spec.input_shape());
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(input, rng, -7, 7);
+  fill_random(kernel, rng, -7, 7);
+  const auto golden = deconv_reference(spec, input, kernel);
+  const auto pf = deconv_padding_free(spec, input, kernel);
+  EXPECT_EQ(first_mismatch(golden, pf.output), "") << spec.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, DeconvEquivalence, ::testing::ValuesIn(equivalence_cases()),
+                         [](const auto& info) { return std::string(info.param.tag); });
+
+TEST(DeconvEquivalenceRandom, RandomGeometrySweep) {
+  Rng rng(7777);
+  for (int trial = 0; trial < 60; ++trial) {
+    DeconvLayerSpec spec;
+    spec.name = "rand" + std::to_string(trial);
+    spec.stride = static_cast<int>(rng.uniform_int(1, 4));
+    spec.kh = static_cast<int>(rng.uniform_int(1, 6));
+    spec.kw = static_cast<int>(rng.uniform_int(1, 6));
+    spec.pad = static_cast<int>(rng.uniform_int(0, std::min(spec.kh, spec.kw) - 1));
+    spec.output_pad = spec.stride > 1 ? static_cast<int>(rng.uniform_int(0, spec.stride - 1)) : 0;
+    spec.ih = static_cast<int>(rng.uniform_int(1, 7));
+    spec.iw = static_cast<int>(rng.uniform_int(1, 7));
+    spec.c = static_cast<int>(rng.uniform_int(1, 4));
+    spec.m = static_cast<int>(rng.uniform_int(1, 4));
+    if (spec.oh() < 1 || spec.ow() < 1) continue;
+    spec.validate();
+
+    Tensor<std::int32_t> input(spec.input_shape());
+    Tensor<std::int32_t> kernel(spec.kernel_shape());
+    fill_random(input, rng, -9, 9);
+    fill_random(kernel, rng, -9, 9);
+    const auto golden = deconv_reference(spec, input, kernel);
+    ASSERT_EQ(first_mismatch(golden, deconv_zero_padding(spec, input, kernel).output), "")
+        << spec.to_string();
+    ASSERT_EQ(first_mismatch(golden, deconv_padding_free(spec, input, kernel).output), "")
+        << spec.to_string();
+  }
+}
+
+TEST(DeconvAlgorithms, UpsamplingNeverShrinks) {
+  // The paper notes deconvolution is an up-sampling op: OH >= IH for the
+  // benchmark-style configs (pad <= (K - s)/2 guarantees growth).
+  for (const auto& c : equivalence_cases()) {
+    if (c.spec.stride == 1) continue;
+    EXPECT_GE(c.spec.oh(), c.spec.ih) << c.spec.to_string();
+    EXPECT_GE(c.spec.ow(), c.spec.iw) << c.spec.to_string();
+  }
+}
+
+TEST(ZeroPaddingStats, RedundancyMatchesPaddedTensorZeroCount) {
+  // The structural redundancy computed analytically must match the fraction
+  // of zero pixels counted in an actual padded tensor built from an all-ones
+  // input (all-ones so value zeros == structural zeros).
+  const DeconvLayerSpec spec{"sngan", 4, 4, 1, 1, 4, 4, 2, 1, 0};
+  Tensor<std::int32_t> ones(spec.input_shape(), 1);
+  const auto padded = zero_pad_input(spec, ones);
+  const auto g = padded_geometry(spec);
+  const double zero_frac =
+      static_cast<double>(count_zeros(padded)) / static_cast<double>(padded.size());
+  EXPECT_NEAR(zero_frac, g.zero_fraction(spec.ih, spec.iw), 1e-12);
+  EXPECT_EQ(padded.shape(), (Shape4{1, 1, g.padded_h, g.padded_w}));
+}
+
+TEST(ZeroPaddingStats, MacCountsAreConsistent) {
+  const DeconvLayerSpec spec{"x", 4, 4, 3, 2, 4, 4, 2, 1, 0};
+  Rng rng(3);
+  Tensor<std::int32_t> input(spec.input_shape());
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(input, rng, 1, 5);  // strictly nonzero values
+  fill_random(kernel, rng, -5, 5);
+  const auto zp = deconv_zero_padding(spec, input, kernel);
+  EXPECT_EQ(zp.stats.total_macs,
+            std::int64_t{spec.oh()} * spec.ow() * spec.kh * spec.kw * spec.c * spec.m);
+  EXPECT_GT(zp.stats.structural_macs, 0);
+  EXPECT_LE(zp.stats.structural_macs, zp.stats.total_macs);
+  // Every (input pixel, weight) product lands in-range here (pad=1 edge-crops
+  // some), so structural MACs are bounded by the useful MAC count.
+  EXPECT_LE(zp.stats.structural_macs, spec.useful_macs());
+  EXPECT_GT(zp.stats.redundancy_ratio(), 0.5);  // stride-2: mostly zeros
+}
+
+TEST(PaddingFreeStats, CanvasOverlapAndCropCounts) {
+  const DeconvLayerSpec spec{"x", 3, 3, 2, 2, 3, 3, 2, 1, 0};
+  Rng rng(4);
+  Tensor<std::int32_t> input(spec.input_shape());
+  Tensor<std::int32_t> kernel(spec.kernel_shape());
+  fill_random(input, rng, -5, 5);
+  fill_random(kernel, rng, -5, 5);
+  const auto pf = deconv_padding_free(spec, input, kernel);
+  EXPECT_EQ(pf.stats.canvas_h, (spec.ih - 1) * spec.stride + spec.kh);  // 7
+  EXPECT_EQ(pf.stats.macs, spec.useful_macs());
+  // 3x3 kernel, stride 2: adjacent patches overlap in one row/col.
+  EXPECT_GT(pf.stats.overlap_adds, 0);
+  EXPECT_EQ(pf.stats.cropped_pixels,
+            std::int64_t{spec.m} * (7 * 7 - std::int64_t{spec.oh()} * spec.ow()));
+}
+
+TEST(PaddingFreeStats, NoOverlapWhenKernelEqualsStride) {
+  const DeconvLayerSpec spec{"x", 3, 3, 1, 1, 2, 2, 2, 0, 0};
+  Tensor<std::int32_t> input(spec.input_shape(), 1);
+  Tensor<std::int32_t> kernel(spec.kernel_shape(), 1);
+  const auto pf = deconv_padding_free(spec, input, kernel);
+  EXPECT_EQ(pf.stats.overlap_adds, 0);
+}
+
+}  // namespace
+}  // namespace red::nn

@@ -1,0 +1,199 @@
+// Tests of the design activity models and the cost model structure:
+// cycle-count formulas, activity invariants across designs, and the
+// qualitative cost relations the paper's analysis (Sec. III-A) states.
+#include <gtest/gtest.h>
+
+#include "red/arch/design.h"
+#include "red/arch/padding_free_design.h"
+#include "red/arch/zero_padding_design.h"
+#include "red/common/error.h"
+#include "red/core/designs.h"
+#include "red/core/red_design.h"
+#include "red/nn/redundancy.h"
+#include "red/workloads/benchmarks.h"
+
+namespace red::arch {
+namespace {
+
+DesignConfig cfg() { return DesignConfig{}; }
+
+nn::DeconvLayerSpec sngan() { return workloads::gan_deconv3(); }  // 4x4x512 -> 8x8x256, k4 s2 p1
+
+TEST(ZeroPaddingActivity, CycleAndShapeFormulas) {
+  const ZeroPaddingDesign d(cfg());
+  const auto a = d.activity(sngan());
+  EXPECT_EQ(a.cycles, 8 * 8);                    // OH*OW
+  EXPECT_EQ(a.total_rows, 4 * 4 * 512);          // KH*KW*C
+  EXPECT_EQ(a.out_phys_cols, 256 * 4);           // M x 4 slices
+  EXPECT_EQ(a.cells, std::int64_t{4 * 4 * 512} * 256 * 4);
+  EXPECT_EQ(a.dec_units, 1);
+  EXPECT_EQ(a.sc_units, 1);
+  EXPECT_EQ(a.conversions, a.cycles * a.out_phys_cols * 8);
+  EXPECT_EQ(a.row_drives, nn::structural_window_hits(sngan()) * 512);
+}
+
+TEST(PaddingFreeActivity, CycleAndShapeFormulas) {
+  const PaddingFreeDesign d(cfg());
+  const auto a = d.activity(sngan());
+  EXPECT_EQ(a.cycles, 4 * 4);                      // IH*IW
+  EXPECT_EQ(a.total_rows, 512);                    // C
+  EXPECT_EQ(a.out_phys_cols, 4 * 4 * 256 * 4);     // KH*KW*M x slices
+  EXPECT_EQ(a.patch_positions, 16);
+  EXPECT_EQ(a.overlap_adds, a.cycles * 16 * 256);
+  EXPECT_EQ(a.buffer_accesses, 2 * a.overlap_adds);
+  EXPECT_TRUE(a.has_crop);
+  EXPECT_EQ(a.row_drives, a.cycles * 512);  // dense inputs
+}
+
+TEST(RedActivity, CycleAndShapeFormulas) {
+  const core::RedDesign d(cfg());
+  const auto a = d.activity(sngan());
+  EXPECT_EQ(a.cycles, (8 / 2) * (8 / 2));  // ceil(OH/s)*ceil(OW/s), fold 1
+  EXPECT_EQ(a.fold, 1);
+  EXPECT_EQ(a.total_rows, 4 * 4 * 512);  // all KH*KW SCs of C rows
+  EXPECT_EQ(a.groups, 4);                // stride^2 modes
+  EXPECT_EQ(a.out_phys_cols, 4 * 256 * 4);
+  EXPECT_EQ(a.sc_units, 16);
+  EXPECT_TRUE(a.split_macro);
+  EXPECT_TRUE(a.sub_crossbar_decoders);
+}
+
+TEST(RedActivity, FcnLayerFoldsToPaperConfiguration) {
+  const core::RedDesign d(cfg());
+  const auto spec = workloads::fcn_deconv2();
+  EXPECT_EQ(d.fold_for(spec), 2);
+  const auto a = d.activity(spec);
+  EXPECT_EQ(a.sc_units, 128);      // Sec. III-C: 128 sub-arrays
+  EXPECT_EQ(a.dec_rows, 2 * 21);   // 2C rows after folding
+  EXPECT_EQ(a.cycles, 71 * 71 * 2);  // ceil(568/8)^2 x fold
+  EXPECT_EQ(a.fold, 2);
+}
+
+TEST(RedActivity, FoldOverrideRespected) {
+  auto c = cfg();
+  c.red_fold = 4;
+  const core::RedDesign d(c);
+  const auto a = d.activity(workloads::fcn_deconv2());
+  EXPECT_EQ(a.fold, 4);
+  EXPECT_EQ(a.cycles, 71 * 71 * 4);
+  EXPECT_EQ(a.dec_rows, 4 * 21);
+}
+
+TEST(ActivityInvariants, CellCountIdenticalAcrossDesigns) {
+  // "the three designs incur the same array area because of their identical
+  // kernel size" (Sec. IV-B3).
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    const auto zp = ZeroPaddingDesign(cfg()).activity(spec);
+    const auto pf = PaddingFreeDesign(cfg()).activity(spec);
+    const auto red = core::RedDesign(cfg()).activity(spec);
+    EXPECT_EQ(zp.cells, pf.cells) << spec.name;
+    EXPECT_EQ(zp.cells, red.cells) << spec.name;
+  }
+}
+
+TEST(ActivityInvariants, RedAndZeroPaddingDriveTheSameWordlines) {
+  // Zero-skipping removes exactly the structurally-zero drives, so RED's
+  // total wordline activations equal the zero-padding design's non-zero ones.
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    const auto zp = ZeroPaddingDesign(cfg()).activity(spec);
+    const auto red = core::RedDesign(cfg()).activity(spec);
+    EXPECT_EQ(zp.row_drives, red.row_drives) << spec.name;
+    EXPECT_DOUBLE_EQ(zp.mac_pulses, red.mac_pulses) << spec.name;
+  }
+}
+
+TEST(ActivityInvariants, RedCycleReductionIsStrideSquaredOverFold) {
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    const auto zp = ZeroPaddingDesign(cfg()).activity(spec);
+    const auto red = core::RedDesign(cfg()).activity(spec);
+    const double ratio = static_cast<double>(zp.cycles) / static_cast<double>(red.cycles);
+    const double ideal = static_cast<double>(spec.stride) * spec.stride / red.fold;
+    EXPECT_NEAR(ratio, ideal, ideal * 0.02) << spec.name;  // ceil effects only
+  }
+}
+
+TEST(CostModel, LatencyBreakdownFollowsEq3) {
+  // Total latency must equal the sum of the Table II component latencies.
+  const auto spec = sngan();
+  for (const auto& design : core::make_all_designs(cfg())) {
+    const auto r = design->cost(spec);
+    double sum = 0;
+    for (auto comp : circuits::all_components()) sum += r.latency(comp).value();
+    EXPECT_NEAR(r.total_latency().value(), sum, 1e-6) << design->name();
+    EXPECT_NEAR(r.array_latency().value() + r.periphery_latency().value(),
+                r.total_latency().value(), 1e-6);
+  }
+}
+
+TEST(CostModel, EnergyIncludesLeakageExactlyOnce) {
+  const auto r = core::RedDesign(cfg()).cost(sngan());
+  double dynamic = 0;
+  for (auto comp : circuits::all_components()) dynamic += r.energy(comp).value();
+  EXPECT_NEAR(r.total_energy().value(), dynamic + r.leakage().value(), 1e-6);
+  EXPECT_NEAR(r.array_energy().value() + r.periphery_energy().value(),
+              r.total_energy().value(), r.total_energy().value() * 1e-9);
+}
+
+TEST(CostModel, PaddingFreePaysQuadraticWordlineDriving) {
+  // Sec. III-A: padding-free expects much higher driving power due to its
+  // KH*KW*M columns.
+  const auto spec = workloads::gan_deconv1();
+  const auto zp = ZeroPaddingDesign(cfg()).cost(spec);
+  const auto pf = PaddingFreeDesign(cfg()).cost(spec);
+  EXPECT_GT(pf.energy(circuits::Component::kWordlineDriving).value(),
+            4.0 * zp.energy(circuits::Component::kWordlineDriving).value());
+}
+
+TEST(CostModel, RedDecoderEnergyWellBelowZeroPadding) {
+  // Sec. IV-B2: RED's smaller per-crossbar input reduces decoder energy.
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    const auto zp = ZeroPaddingDesign(cfg()).cost(spec);
+    const auto red = core::RedDesign(cfg()).cost(spec);
+    EXPECT_LT(red.energy(circuits::Component::kDecoder).value(),
+              zp.energy(circuits::Component::kDecoder).value() * 0.6)
+        << spec.name;
+  }
+}
+
+TEST(CostModel, ComputationEnergyEqualAcrossZpAndRed) {
+  // Both perform exactly the useful MACs (ZP's zero rows are not driven).
+  const auto spec = workloads::gan_deconv2();
+  const auto zp = ZeroPaddingDesign(cfg()).cost(spec);
+  const auto red = core::RedDesign(cfg()).cost(spec);
+  EXPECT_NEAR(zp.energy(circuits::Component::kComputation).value(),
+              red.energy(circuits::Component::kComputation).value(), 1e-6);
+}
+
+TEST(CostModel, AreaArrayIdenticalPeripheryDiffers) {
+  const auto spec = workloads::gan_deconv1();
+  const auto zp = ZeroPaddingDesign(cfg()).cost(spec);
+  const auto pf = PaddingFreeDesign(cfg()).cost(spec);
+  const auto red = core::RedDesign(cfg()).cost(spec);
+  EXPECT_NEAR(zp.area(circuits::Component::kComputation).value(),
+              pf.area(circuits::Component::kComputation).value(), 1e-6);
+  EXPECT_NEAR(zp.area(circuits::Component::kComputation).value(),
+              red.area(circuits::Component::kComputation).value(), 1e-6);
+  EXPECT_GT(pf.periphery_area().value(), zp.periphery_area().value());
+  EXPECT_GT(red.periphery_area().value(), zp.periphery_area().value());
+}
+
+TEST(CostModel, RejectsInvalidConfig) {
+  DesignConfig c;
+  c.mux_ratio = 0;
+  EXPECT_THROW(ZeroPaddingDesign{c}, ConfigError);
+  DesignConfig c2;
+  c2.quant.wbits = 1;
+  EXPECT_THROW(core::RedDesign{c2}, ContractViolation);
+}
+
+TEST(CostModel, SmallerTechNodeShrinksArea) {
+  auto c65 = cfg();
+  auto c32 = cfg();
+  c32.node = tech::TechNode::node32();
+  const auto spec = sngan();
+  EXPECT_LT(core::RedDesign(c32).cost(spec).area(circuits::Component::kComputation).value(),
+            core::RedDesign(c65).cost(spec).area(circuits::Component::kComputation).value());
+}
+
+}  // namespace
+}  // namespace red::arch

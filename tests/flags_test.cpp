@@ -1,0 +1,79 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/common/flags.h"
+
+namespace red {
+namespace {
+
+TEST(Flags, PositionalAndNamed) {
+  const auto f = Flags::parse({"layer", "--ih", "8", "--tiled", "--design", "red"});
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "layer");
+  EXPECT_EQ(f.get_int("ih", 0), 8);
+  EXPECT_TRUE(f.get_bool("tiled"));
+  EXPECT_EQ(f.get_string("design"), "red");
+}
+
+TEST(Flags, BooleanBeforeAnotherFlag) {
+  const auto f = Flags::parse({"--tiled", "--mux", "16"});
+  EXPECT_TRUE(f.get_bool("tiled"));
+  EXPECT_EQ(f.get_int("mux", 0), 16);
+}
+
+TEST(Flags, TrailingBoolean) {
+  const auto f = Flags::parse({"--breakdown"});
+  EXPECT_TRUE(f.get_bool("breakdown"));
+  EXPECT_FALSE(f.get_bool("absent"));
+}
+
+TEST(Flags, ExplicitFalse) {
+  const auto f = Flags::parse({"--tiled", "false"});
+  EXPECT_FALSE(f.get_bool("tiled"));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = Flags::parse({});
+  EXPECT_EQ(f.get_int("mux", 8), 8);
+  EXPECT_DOUBLE_EQ(f.get_double("sigma", 0.5), 0.5);
+  EXPECT_EQ(f.get_string("design", "red"), "red");
+  EXPECT_FALSE(f.has("anything"));
+}
+
+TEST(Flags, MissingRequiredThrows) {
+  const auto f = Flags::parse({});
+  EXPECT_THROW((void)f.get_string("layer"), ConfigError);
+}
+
+TEST(Flags, BadNumbersThrow) {
+  const auto f = Flags::parse({"--ih", "eight", "--sigma", "0.5x"});
+  EXPECT_THROW((void)f.get_int("ih", 0), ConfigError);
+  EXPECT_THROW((void)f.get_double("sigma", 0.0), ConfigError);
+}
+
+TEST(Flags, NegativeNumbersParse) {
+  const auto f = Flags::parse({"--offset", "-3"});
+  EXPECT_EQ(f.get_int("offset", 0), -3);
+}
+
+TEST(Flags, EmptyFlagNameRejected) {
+  EXPECT_THROW((void)Flags::parse({"--"}), ConfigError);
+}
+
+TEST(Flags, UnusedFlagsReported) {
+  const auto f = Flags::parse({"--typo", "1", "--used", "2"});
+  (void)f.get_int("used", 0);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, ArgcArgvOverload) {
+  const char* argv[] = {"--ih", "4"};
+  const auto f = Flags::parse(2, argv);
+  EXPECT_EQ(f.get_int("ih", 0), 4);
+}
+
+}  // namespace
+}  // namespace red

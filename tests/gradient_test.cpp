@@ -1,0 +1,105 @@
+// Tests for the deconvolution backward passes (training support).
+#include <gtest/gtest.h>
+
+#include "red/arch/conv_engine.h"
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/nn/conv.h"
+#include "red/nn/deconv_reference.h"
+#include "red/nn/gradient.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/generator.h"
+
+namespace red::nn {
+namespace {
+
+TEST(Gradient, InputGradientSpecInvertsGeometry) {
+  const DeconvLayerSpec spec{"g", 8, 8, 16, 32, 5, 5, 2, 2, 1};
+  const auto conv = input_gradient_spec(spec);
+  EXPECT_EQ(conv.ih, spec.oh());
+  EXPECT_EQ(conv.c, spec.m);
+  EXPECT_EQ(conv.m, spec.c);
+  EXPECT_EQ(conv.oh(), spec.ih);
+  EXPECT_EQ(conv.stride, spec.stride);
+}
+
+TEST(Gradient, AdjointIdentityHoldsOnRandomLayers) {
+  // <deconv(I, W), G> == <I, dInput(G, W)> — the defining property of the
+  // backward pass; a single off-by-one in either direction breaks it.
+  Rng rng(71);
+  for (int t = 0; t < 25; ++t) {
+    const auto spec = workloads::random_layer(rng);
+    Rng data(500 + t);
+    const auto input = workloads::make_input(spec, data, -9, 9);
+    const auto kernel = workloads::make_kernel(spec, data, -9, 9);
+    Tensor<std::int32_t> g(spec.output_shape());
+    fill_random(g, data, -9, 9);
+
+    const auto forward = deconv_reference(spec, input, kernel);
+    const auto back = deconv_input_gradient(spec, g, kernel);
+    ASSERT_EQ(inner_product(forward, g), inner_product(input, back)) << spec.to_string();
+  }
+}
+
+TEST(Gradient, KernelGradientAdjointIdentity) {
+  // <deconv(I, W), G> == <W, dKernel(I, G)> over the kernel slot.
+  Rng rng(72);
+  for (int t = 0; t < 15; ++t) {
+    const auto spec = workloads::random_layer(rng);
+    Rng data(600 + t);
+    const auto input = workloads::make_input(spec, data, -9, 9);
+    const auto kernel = workloads::make_kernel(spec, data, -9, 9);
+    Tensor<std::int32_t> g(spec.output_shape());
+    fill_random(g, data, -9, 9);
+
+    const auto forward = deconv_reference(spec, input, kernel);
+    const auto dk = deconv_kernel_gradient(spec, input, g);
+    ASSERT_EQ(inner_product(forward, g), inner_product(kernel, dk)) << spec.to_string();
+  }
+}
+
+TEST(Gradient, InputGradientRunsOnConvEngine) {
+  // The backward pass is a regular convolution, so the shared conv engine
+  // executes it bit-exactly: training needs no new array type.
+  const DeconvLayerSpec spec{"train", 5, 5, 4, 3, 4, 4, 2, 1, 0};
+  Rng rng(73);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  Tensor<std::int32_t> g(spec.output_shape());
+  fill_random(g, rng, -7, 7);
+
+  const auto conv_spec = input_gradient_spec(spec);
+  // Re-index the kernel into the conv layout: conv kernel (i, j, m, c)
+  // = deconv kernel (i, j, c, m).
+  Tensor<std::int32_t> conv_kernel(conv_spec.kernel_shape());
+  for (int i = 0; i < spec.kh; ++i)
+    for (int j = 0; j < spec.kw; ++j)
+      for (int c = 0; c < spec.c; ++c)
+        for (int m = 0; m < spec.m; ++m)
+          conv_kernel.at(i, j, m, c) = kernel.at(i, j, c, m);
+
+  const arch::ConvEngine engine{arch::DesignConfig{}};
+  const auto via_engine = engine.run(conv_spec, g, conv_kernel);
+  const auto direct = deconv_input_gradient(spec, g, kernel);
+  EXPECT_EQ(first_mismatch(direct, via_engine), "");
+}
+
+TEST(Gradient, ZeroGradientGivesZero) {
+  const DeconvLayerSpec spec{"z", 3, 3, 2, 2, 3, 3, 2, 1, 0};
+  Rng rng(74);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const Tensor<std::int32_t> zeros(spec.output_shape());
+  const auto back = deconv_input_gradient(spec, zeros, kernel);
+  EXPECT_EQ(count_zeros(back), back.size());
+}
+
+TEST(Gradient, ShapeValidation) {
+  const DeconvLayerSpec spec{"v", 3, 3, 2, 2, 3, 3, 2, 1, 0};
+  Rng rng(75);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  Tensor<std::int32_t> wrong(Shape4{1, 2, 3, 3});
+  EXPECT_THROW((void)deconv_input_gradient(spec, wrong, kernel), ContractViolation);
+  EXPECT_THROW((void)inner_product(wrong, kernel), ConfigError);
+}
+
+}  // namespace
+}  // namespace red::nn

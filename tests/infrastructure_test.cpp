@@ -1,0 +1,199 @@
+// Tests for the deployment-infrastructure modules: result export, weight
+// programming, interconnect, pipeline balancing, and the cross-design
+// verifier.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "red/arch/programming.h"
+#include "red/arch/zero_padding_design.h"
+#include "red/circuits/interconnect.h"
+#include "red/common/error.h"
+#include "red/core/red_design.h"
+#include "red/report/export.h"
+#include "red/sim/balance.h"
+#include "red/sim/verifier.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/networks.h"
+
+namespace red {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "red_export_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  fs::path dir_;
+};
+
+TEST_F(ExportTest, WritesSingleTable) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  const auto path = report::export_table(t, dir_, "probe", report::ExportFormat::kCsv);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_EQ(path.extension(), ".csv");
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "a,b");
+}
+
+TEST_F(ExportTest, AllFormatsRender) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  EXPECT_NE(report::render(t, report::ExportFormat::kCsv).find("x"), std::string::npos);
+  EXPECT_NE(report::render(t, report::ExportFormat::kMarkdown).find("| x |"),
+            std::string::npos);
+  EXPECT_NE(report::render(t, report::ExportFormat::kAscii).find('-'), std::string::npos);
+  EXPECT_EQ(report::format_extension(report::ExportFormat::kMarkdown), "md");
+}
+
+TEST_F(ExportTest, ExportAllFiguresWritesSevenFiles) {
+  const auto written = report::export_all_figures(dir_, report::ExportFormat::kCsv);
+  EXPECT_EQ(written.size(), 7u);
+  for (const auto& p : written) {
+    EXPECT_TRUE(fs::exists(p)) << p;
+    EXPECT_GT(fs::file_size(p), 10u) << p;
+  }
+  // Fig. 4 anchor must appear in the exported data.
+  std::ifstream fig4(dir_ / "fig4.csv");
+  std::string all((std::istreambuf_iterator<char>(fig4)), std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("86.78%"), std::string::npos);
+}
+
+TEST(Programming, EnergyScalesWithCells) {
+  arch::DesignConfig cfg;
+  const auto small = arch::ZeroPaddingDesign(cfg).activity(workloads::fcn_deconv1());
+  const auto large = arch::ZeroPaddingDesign(cfg).activity(workloads::gan_deconv1());
+  const auto ps = arch::programming_cost(small, cfg);
+  const auto pl = arch::programming_cost(large, cfg);
+  EXPECT_GT(pl.energy.value(), ps.energy.value());
+  EXPECT_NEAR(pl.energy.value() / ps.energy.value(),
+              static_cast<double>(large.cells) / static_cast<double>(small.cells), 1e-9);
+}
+
+TEST(Programming, RedProgramsFasterThanZeroPadding) {
+  // RED's macros are shallow (n_g*C rows vs KH*KW*C), and macros program in
+  // parallel, so programming latency drops with pixel-wise mapping.
+  arch::DesignConfig cfg;
+  const auto spec = workloads::gan_deconv1();
+  const auto zp = arch::programming_cost(arch::ZeroPaddingDesign(cfg).activity(spec), cfg);
+  const auto red = arch::programming_cost(core::RedDesign(cfg).activity(spec), cfg);
+  EXPECT_LT(red.latency.value(), zp.latency.value());
+  EXPECT_DOUBLE_EQ(red.energy.value(), zp.energy.value());  // same cells
+}
+
+TEST(Programming, BreakEvenImages) {
+  arch::ProgrammingCost cost;
+  cost.energy = Picojoules{1000.0};
+  EXPECT_EQ(cost.break_even_images(Picojoules{300.0}), 4);
+  EXPECT_THROW((void)cost.break_even_images(Picojoules{0.0}), ContractViolation);
+}
+
+TEST(HTree, GeometrySeries) {
+  const tech::Calibration cal;
+  const circuits::HTree tree(64, 2.0, cal);
+  EXPECT_EQ(tree.levels(), 6);
+  // Path: 1 + 0.5 + 0.25 + ... < 2 (bank edge).
+  EXPECT_GT(tree.path_mm(), 1.0);
+  EXPECT_LT(tree.path_mm(), 2.0);
+  EXPECT_GT(tree.total_wire_mm(), tree.path_mm());
+  EXPECT_GT(tree.area().value(), 0.0);
+  EXPECT_GT(tree.energy_per_bit().value(), 0.0);
+}
+
+TEST(HTree, SingleNodeIsFree) {
+  const tech::Calibration cal;
+  const circuits::HTree tree(1, 2.0, cal);
+  EXPECT_EQ(tree.levels(), 0);
+  EXPECT_DOUBLE_EQ(tree.path_mm(), 0.0);
+  EXPECT_DOUBLE_EQ(tree.area().value(), 0.0);
+}
+
+TEST(HTree, MoreNodesLongerPath) {
+  const tech::Calibration cal;
+  EXPECT_GT(circuits::HTree(256, 2.0, cal).path_mm(), circuits::HTree(16, 2.0, cal).path_mm());
+  EXPECT_THROW((circuits::HTree{0, 2.0, cal}), ContractViolation);
+}
+
+arch::ChipConfig balance_chip() {
+  arch::ChipConfig chip;
+  chip.banks = 8;
+  chip.subarrays_per_bank = 512;
+  return chip;
+}
+
+TEST(Balance, DuplicationReducesInterval) {
+  const auto stack = workloads::fcn8s_upsampling();  // heavily imbalanced
+  const auto r = sim::balance_pipeline(core::DesignKind::kRed, stack, balance_chip(),
+                                       /*subarray_budget=*/2048);
+  EXPECT_GT(r.speedup(), 1.5);
+  EXPECT_LE(r.subarrays_used, r.subarray_budget);
+  // The bottleneck (568x568 stage) got duplicated, not the cheap stages.
+  int max_dup = 0;
+  std::string max_layer;
+  for (const auto& s : r.stages)
+    if (s.duplication > max_dup) {
+      max_dup = s.duplication;
+      max_layer = s.spec.name;
+    }
+  EXPECT_EQ(max_layer, "fcn8s_up8");
+  EXPECT_GT(max_dup, 1);
+}
+
+TEST(Balance, TightBudgetMeansNoDuplication) {
+  const auto stack = workloads::sngan_generator();
+  const auto base = sim::balance_pipeline(core::DesignKind::kRed, stack, balance_chip(), 1);
+  // Budget below the stack's own demand: nothing can duplicate.
+  for (const auto& s : base.stages) EXPECT_EQ(s.duplication, 1);
+  EXPECT_DOUBLE_EQ(base.speedup(), 1.0);
+}
+
+TEST(Balance, DuplicationRespectsBudgetAboveBaseDemand) {
+  const auto stack = workloads::dcgan_generator();
+  // Base demand (duplication = 1) is what plan_chip assigns; the budget gates
+  // only the extra copies.
+  const auto base =
+      sim::balance_pipeline(core::DesignKind::kZeroPadding, stack, balance_chip(), 1);
+  const std::int64_t base_demand = base.subarrays_used;
+  for (const auto& s : base.stages) EXPECT_EQ(s.duplication, 1);
+  for (std::int64_t extra : {0, 500, 2000}) {
+    const auto r = sim::balance_pipeline(core::DesignKind::kZeroPadding, stack, balance_chip(),
+                                         base_demand + extra);
+    EXPECT_LE(r.subarrays_used, base_demand + extra);
+    EXPECT_GE(r.speedup(), 1.0);
+    if (extra >= 2000) {
+      EXPECT_GT(r.speedup(), 1.0);
+    }
+  }
+}
+
+TEST(Verifier, AllDesignsPassOnBenchmarks) {
+  for (const auto& spec : workloads::table1_reduced(128)) {
+    if (spec.name == "FCN_Deconv2_reduced") continue;  // covered reduced elsewhere
+    const auto report = sim::verify_layer(spec, /*seed=*/3);
+    EXPECT_TRUE(report.all_passed()) << report.summary();
+    EXPECT_EQ(report.verdicts.size(), 3u);
+    for (const auto& v : report.verdicts) {
+      EXPECT_EQ(v.max_abs_error, 0) << v.design;
+      EXPECT_TRUE(v.issues.empty()) << v.design << ": " << v.issues.front();
+    }
+  }
+}
+
+TEST(Verifier, SummaryMentionsEveryDesign) {
+  const auto report = sim::verify_layer(workloads::table1_reduced(128)[2], 5);
+  const auto s = report.summary();
+  EXPECT_NE(s.find("zero-padding=ok"), std::string::npos);
+  EXPECT_NE(s.find("padding-free=ok"), std::string::npos);
+  EXPECT_NE(s.find("RED=ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace red

@@ -1,0 +1,95 @@
+// End-to-end integration: full Table I geometries at full channel counts,
+// functional + analytic, plus a chained multi-layer generator pipeline.
+#include <gtest/gtest.h>
+
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/sim/engine.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+#include "red/workloads/networks.h"
+
+namespace red {
+namespace {
+
+TEST(Integration, FullSizeGanDeconv3AllDesignsBitExact) {
+  // Full 512->256 channels, the real Table I layer.
+  const auto spec = workloads::gan_deconv3();
+  Rng rng(123);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const auto golden = nn::deconv_reference(spec, input, kernel);
+  for (const auto& design : core::make_all_designs()) {
+    const auto result = sim::simulate(*design, spec, input, kernel, /*check=*/true);
+    ASSERT_EQ(first_mismatch(golden, result.output), "") << design->name();
+  }
+}
+
+TEST(Integration, FullSizeFcnDeconv1AllDesignsBitExact) {
+  const auto spec = workloads::fcn_deconv1();  // 21 channels, full size
+  Rng rng(321);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const auto golden = nn::deconv_reference(spec, input, kernel);
+  for (const auto& design : core::make_all_designs()) {
+    const auto result = sim::simulate(*design, spec, input, kernel, /*check=*/true);
+    ASSERT_EQ(first_mismatch(golden, result.output), "") << design->name();
+  }
+}
+
+TEST(Integration, RedCyclesMatchAnalyticOnAllTableILayers) {
+  // Activity-only full-size check for every benchmark, including FCN_Deconv2.
+  const auto red = core::make_design(core::DesignKind::kRed);
+  const auto zp = core::make_design(core::DesignKind::kZeroPadding);
+  const std::vector<std::int64_t> expected_red{64, 16, 16, 36, 289, 71 * 71 * 2};
+  const std::vector<std::int64_t> expected_zp{256, 64, 64, 144, 34 * 34, 568 * 568};
+  const auto specs = workloads::table1_benchmarks();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(red->activity(specs[i]).cycles, expected_red[i]) << specs[i].name;
+    EXPECT_EQ(zp->activity(specs[i]).cycles, expected_zp[i]) << specs[i].name;
+  }
+}
+
+TEST(Integration, GeneratorPipelineChainsThroughRed) {
+  // Run a reduced DCGAN generator end to end on RED: each stage's
+  // (requantized) output feeds the next stage.
+  const auto stack = workloads::dcgan_generator(/*channel_div=*/64);
+  workloads::validate_stack(stack);
+  const auto red = core::make_design(core::DesignKind::kRed);
+
+  Rng rng(11);
+  Tensor<std::int32_t> activation = workloads::make_input(stack[0], rng, 1, 7);
+  for (const auto& layer : stack) {
+    const auto kernel = workloads::make_kernel(layer, rng, -3, 3);
+    const auto golden = nn::deconv_reference(layer, activation, kernel);
+    const auto out = red->run(layer, activation, kernel);
+    ASSERT_EQ(first_mismatch(golden, out), "") << layer.name;
+    // Requantize to 7-bit positive activations for the next stage (stand-in
+    // for the networks' ReLU + scaling; keeps values structurally non-zero).
+    activation = Tensor<std::int32_t>(layer.output_shape());
+    const auto& shape = out.shape();
+    for (std::int64_t idx = 0; idx < out.size(); ++idx) {
+      const auto v = out.data()[idx];
+      activation.data()[idx] = static_cast<std::int32_t>(1 + (std::abs(v) % 7));
+    }
+    (void)shape;
+  }
+  EXPECT_EQ(activation.shape(), (Shape4{1, 3, 64, 64}));
+}
+
+TEST(Integration, CostReportsFiniteAndPositiveEverywhere) {
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    for (const auto& design : core::make_all_designs()) {
+      const auto r = design->cost(spec);
+      EXPECT_GT(r.total_latency().value(), 0.0) << design->name() << " " << spec.name;
+      EXPECT_GT(r.total_energy().value(), 0.0);
+      EXPECT_GT(r.total_area().value(), 0.0);
+      EXPECT_TRUE(std::isfinite(r.total_energy().value()));
+      EXPECT_GT(r.cycles(), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace red

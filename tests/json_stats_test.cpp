@@ -1,0 +1,68 @@
+// Tests for the JSON emitter and the statistics accumulator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "red/common/error.h"
+#include "red/common/stats.h"
+#include "red/report/json.h"
+#include "red/workloads/benchmarks.h"
+
+namespace red {
+namespace {
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(report::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(report::json_escape("plain"), "plain");
+}
+
+TEST(Json, CostReportContainsTotalsAndComponents) {
+  const auto cmp = report::compare_layer(workloads::gan_deconv3());
+  const auto j = report::to_json(cmp.red);
+  EXPECT_NE(j.find("\"design\": \"RED\""), std::string::npos);
+  EXPECT_NE(j.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(j.find("\"wd\""), std::string::npos);
+  EXPECT_NE(j.find("\"periphery\""), std::string::npos);
+  // Balanced braces (cheap structural sanity).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Json, ComparisonCarriesHeadlineNumbers) {
+  const auto cmp = report::compare_layer(workloads::gan_deconv3());
+  const auto j = report::to_json(cmp);
+  EXPECT_NE(j.find("\"red_speedup_vs_zp\""), std::string::npos);
+  EXPECT_NE(j.find("\"zero_padding\""), std::string::npos);
+  EXPECT_NE(j.find("\"padding_free\""), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(RunningStats, WelfordMatchesHandComputation) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, GuardsEmptyAndSingle) {
+  RunningStats s;
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 1.0);
+  EXPECT_THROW((void)s.variance(), ContractViolation);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(18.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace red

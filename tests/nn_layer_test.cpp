@@ -1,0 +1,147 @@
+// Tests for layer specs, padded geometry, and the conv helper.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/nn/conv.h"
+#include "red/nn/layer.h"
+#include "red/nn/quant.h"
+#include "red/tensor/tensor_ops.h"
+
+namespace red::nn {
+namespace {
+
+DeconvLayerSpec sngan_layer() {
+  // SNGAN deconv (Table I GAN_Deconv3): 4x4x512 -> 8x8x256, kernel 4, stride 2.
+  return DeconvLayerSpec{"sngan", 4, 4, 512, 256, 4, 4, 2, 1, 0};
+}
+
+TEST(DeconvLayerSpec, OutputSizeMatchesTableI) {
+  // All six Table I rows.
+  const DeconvLayerSpec dcgan{"g1", 8, 8, 512, 256, 5, 5, 2, 2, 1};
+  EXPECT_EQ(dcgan.oh(), 16);
+  EXPECT_EQ(dcgan.ow(), 16);
+  const DeconvLayerSpec improved{"g2", 4, 4, 512, 256, 5, 5, 2, 2, 1};
+  EXPECT_EQ(improved.oh(), 8);
+  const DeconvLayerSpec sngan1 = sngan_layer();
+  EXPECT_EQ(sngan1.oh(), 8);
+  const DeconvLayerSpec sngan2{"g4", 6, 6, 512, 256, 4, 4, 2, 1, 0};
+  EXPECT_EQ(sngan2.oh(), 12);
+  const DeconvLayerSpec fcn1{"f1", 16, 16, 21, 21, 4, 4, 2, 0, 0};
+  EXPECT_EQ(fcn1.oh(), 34);
+  const DeconvLayerSpec fcn2{"f2", 70, 70, 21, 21, 16, 16, 8, 0, 0};
+  EXPECT_EQ(fcn2.oh(), 568);
+}
+
+TEST(DeconvLayerSpec, ShapesAndMacs) {
+  const auto s = sngan_layer();
+  EXPECT_EQ(s.input_shape(), (Shape4{1, 512, 4, 4}));
+  EXPECT_EQ(s.kernel_shape(), (Shape4{4, 4, 512, 256}));
+  EXPECT_EQ(s.output_shape(), (Shape4{1, 256, 8, 8}));
+  EXPECT_EQ(s.useful_macs(), 4LL * 4 * 512 * 256 * 4 * 4);
+}
+
+TEST(DeconvLayerSpec, ValidationRejectsBadConfigs) {
+  DeconvLayerSpec s = sngan_layer();
+  s.stride = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = sngan_layer();
+  s.pad = -1;
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = sngan_layer();
+  s.pad = s.kh;  // pad > K-1
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = sngan_layer();
+  s.output_pad = s.stride;  // must be < stride
+  EXPECT_THROW(s.validate(), ConfigError);
+  s = sngan_layer();
+  s.c = 0;
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(PaddedGeometry, SnganStride2MatchesHandComputation) {
+  // 4x4 input, stride 2 -> zero-inserted 7x7; pad K-1-p = 2 per side -> 11x11.
+  const auto g = padded_geometry(sngan_layer());
+  EXPECT_EQ(g.padded_h, 11);
+  EXPECT_EQ(g.padded_w, 11);
+  EXPECT_EQ(g.offset_top, 2);
+  EXPECT_EQ(g.offset_left, 2);
+  // Paper Fig. 4 anchor: 86.8% zero redundancy at stride 2.
+  EXPECT_NEAR(g.zero_fraction(4, 4), 1.0 - 16.0 / 121.0, 1e-12);
+}
+
+TEST(PaddedGeometry, ConvOverPaddedInputYieldsOutputSize) {
+  for (const auto& spec :
+       {sngan_layer(), DeconvLayerSpec{"g1", 8, 8, 2, 3, 5, 5, 2, 2, 1},
+        DeconvLayerSpec{"f2", 7, 7, 2, 2, 16, 16, 8, 0, 0}}) {
+    const auto g = padded_geometry(spec);
+    EXPECT_EQ(g.padded_h - spec.kh + 1, spec.oh()) << spec.to_string();
+    EXPECT_EQ(g.padded_w - spec.kw + 1, spec.ow()) << spec.to_string();
+  }
+}
+
+TEST(Conv, IdentityKernelPassesThrough) {
+  // 1x1 kernel with weight 1 copies the input.
+  Tensor<std::int32_t> in(Shape4{1, 1, 3, 3});
+  Rng rng(5);
+  fill_random(in, rng, -4, 4);
+  Tensor<std::int32_t> k(Shape4{1, 1, 1, 1}, 1);
+  const auto out = conv2d_valid(in, k);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Conv, HandComputedExample) {
+  // input 1x1x2x2 = [[1,2],[3,4]], kernel 2x2 all ones -> single output 10.
+  Tensor<std::int32_t> in(Shape4{1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1;
+  in.at(0, 0, 0, 1) = 2;
+  in.at(0, 0, 1, 0) = 3;
+  in.at(0, 0, 1, 1) = 4;
+  Tensor<std::int32_t> k(Shape4{2, 2, 1, 1}, 1);
+  const auto out = conv2d_valid(in, k);
+  EXPECT_EQ(out.shape(), (Shape4{1, 1, 1, 1}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 10);
+}
+
+TEST(Conv, MultiChannelAccumulates) {
+  Tensor<std::int32_t> in(Shape4{1, 2, 1, 1});
+  in.at(0, 0, 0, 0) = 3;
+  in.at(0, 1, 0, 0) = 4;
+  Tensor<std::int32_t> k(Shape4{1, 1, 2, 2});
+  k.at(0, 0, 0, 0) = 1;
+  k.at(0, 0, 1, 0) = 10;   // map 0: 3*1 + 4*10 = 43
+  k.at(0, 0, 0, 1) = -1;
+  k.at(0, 0, 1, 1) = 2;    // map 1: -3 + 8 = 5
+  const auto out = conv2d_valid(in, k);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 43);
+  EXPECT_EQ(out.at(0, 1, 0, 0), 5);
+}
+
+TEST(Conv, Rotate180IsInvolution) {
+  Tensor<std::int32_t> k(Shape4{3, 5, 2, 2});
+  Rng rng(11);
+  fill_random(k, rng, -9, 9);
+  EXPECT_EQ(rotate180(rotate180(k)), k);
+  // Spot-check one element.
+  EXPECT_EQ(rotate180(k).at(0, 0, 1, 1), k.at(2, 4, 1, 1));
+}
+
+TEST(Quant, SignedRangeAndSaturate) {
+  const auto r8 = signed_range(8);
+  EXPECT_EQ(r8.lo, -128);
+  EXPECT_EQ(r8.hi, 127);
+  EXPECT_EQ(saturate(1000, 8), 127);
+  EXPECT_EQ(saturate(-1000, 8), -128);
+  EXPECT_EQ(saturate(5, 8), 5);
+}
+
+TEST(Quant, CheckRangeThrowsOutside) {
+  Tensor<std::int32_t> t(Shape4{1, 1, 1, 2});
+  t.at(0, 0, 0, 0) = 127;
+  EXPECT_NO_THROW(check_range(t, 8, "w"));
+  t.at(0, 0, 0, 1) = 128;
+  EXPECT_THROW(check_range(t, 8, "w"), ConfigError);
+}
+
+}  // namespace
+}  // namespace red::nn

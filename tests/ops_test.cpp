@@ -1,0 +1,107 @@
+// Tests for the digital glue ops (ReLU, pooling, FCN skip fusion, argmax).
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/nn/ops.h"
+#include "red/tensor/tensor_ops.h"
+
+namespace red::nn {
+namespace {
+
+Tensor<std::int32_t> ramp(int c, int h, int w) {
+  Tensor<std::int32_t> t(Shape4{1, c, h, w});
+  std::int32_t v = -4;
+  for (auto& x : t) x = v++;
+  return t;
+}
+
+TEST(Ops, ReluClampsNegatives) {
+  const auto out = relu(ramp(1, 2, 3));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 0);  // was -4
+  EXPECT_EQ(out.at(0, 0, 1, 2), 1);  // was 1
+  for (auto v : out) EXPECT_GE(v, 0);
+}
+
+TEST(Ops, RequantizeShiftAndSaturate) {
+  Tensor<std::int32_t> t(Shape4{1, 1, 1, 3});
+  t.at(0, 0, 0, 0) = 1024;
+  t.at(0, 0, 0, 1) = -64;
+  t.at(0, 0, 0, 2) = 5;
+  const auto out = requantize_shift(t, 4, -8, 7);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 7);   // 1024 >> 4 = 64 saturates to 7
+  EXPECT_EQ(out.at(0, 0, 0, 1), -4);  // arithmetic shift: -64 >> 4 = -4, in range
+  EXPECT_EQ(out.at(0, 0, 0, 2), 0);
+  EXPECT_THROW((void)requantize_shift(t, -1, 0, 1), ContractViolation);
+}
+
+TEST(Ops, MaxPoolPicksWindowMax) {
+  const auto t = ramp(1, 4, 4);  // -4..11 row-major
+  const auto out = max_pool(t, 2);
+  EXPECT_EQ(out.shape(), (Shape4{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1);   // max(-4,-3,0,1)
+  EXPECT_EQ(out.at(0, 0, 1, 1), 11);  // bottom-right window
+}
+
+TEST(Ops, AvgPoolAverages) {
+  Tensor<std::int32_t> t(Shape4{1, 1, 2, 2});
+  t.at(0, 0, 0, 0) = 1;
+  t.at(0, 0, 0, 1) = 3;
+  t.at(0, 0, 1, 0) = 5;
+  t.at(0, 0, 1, 1) = 7;
+  const auto out = avg_pool(t, 2);
+  EXPECT_EQ(out.at(0, 0, 0, 0), 4);
+}
+
+TEST(Ops, PoolRequiresExactTiling) {
+  const auto t = ramp(1, 3, 4);
+  EXPECT_THROW((void)max_pool(t, 2), ContractViolation);
+}
+
+TEST(Ops, CropAddFusesSkip) {
+  // big 1x1x4x4 ramp; small 1x1x2x2 of ones; crop at (1,1).
+  const auto big = ramp(1, 4, 4);
+  Tensor<std::int32_t> small(Shape4{1, 1, 2, 2}, 1);
+  const auto out = crop_add(big, small, 1, 1);
+  EXPECT_EQ(out.shape(), small.shape());
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1 + big.at(0, 0, 1, 1));
+  EXPECT_EQ(out.at(0, 0, 1, 1), 1 + big.at(0, 0, 2, 2));
+}
+
+TEST(Ops, CropAddValidatesGeometry) {
+  const auto big = ramp(2, 4, 4);
+  Tensor<std::int32_t> wrong_c(Shape4{1, 1, 2, 2});
+  EXPECT_THROW((void)crop_add(big, wrong_c, 0, 0), ConfigError);
+  Tensor<std::int32_t> small(Shape4{1, 2, 2, 2});
+  EXPECT_THROW((void)crop_add(big, small, 3, 3), ContractViolation);  // window out of range
+}
+
+TEST(Ops, ArgmaxChannels) {
+  Tensor<std::int32_t> t(Shape4{1, 3, 1, 2});
+  t.at(0, 0, 0, 0) = 5;
+  t.at(0, 1, 0, 0) = 9;
+  t.at(0, 2, 0, 0) = 1;
+  t.at(0, 0, 0, 1) = -1;
+  t.at(0, 1, 0, 1) = -1;
+  t.at(0, 2, 0, 1) = 0;
+  const auto out = argmax_channels(t);
+  EXPECT_EQ(out.shape(), (Shape4{1, 1, 1, 2}));
+  EXPECT_EQ(out.at(0, 0, 0, 0), 1);
+  EXPECT_EQ(out.at(0, 0, 0, 1), 2);
+}
+
+TEST(Ops, Fcn8sSkipPattern) {
+  // Emulate the fcn8s fusion: upsampled scores (34x34) + cropped skip (34x34
+  // region of a 38x38 backbone map).
+  Rng rng(3);
+  Tensor<std::int32_t> up(Shape4{1, 21, 34, 34});
+  Tensor<std::int32_t> skip(Shape4{1, 21, 38, 38});
+  fill_random(up, rng, -9, 9);
+  fill_random(skip, rng, -9, 9);
+  const auto fused = crop_add(skip, up, 2, 2);
+  EXPECT_EQ(fused.shape(), up.shape());
+  EXPECT_EQ(fused.at(0, 7, 0, 0), up.at(0, 7, 0, 0) + skip.at(0, 7, 2, 2));
+}
+
+}  // namespace
+}  // namespace red::nn

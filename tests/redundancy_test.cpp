@@ -1,0 +1,71 @@
+// Fig. 4 reproduction tests: zero-redundancy ratio vs stride.
+#include <gtest/gtest.h>
+
+#include "red/nn/redundancy.h"
+
+namespace red::nn {
+namespace {
+
+DeconvLayerSpec sngan_fig4() {
+  // SNGAN curve of Fig. 4: 4x4 input, 4x4 kernel, pad 1 (Table I GAN_Deconv3).
+  return DeconvLayerSpec{"sngan_fig4", 4, 4, 1, 1, 4, 4, 2, 1, 0};
+}
+
+DeconvLayerSpec fcn_fig4() {
+  // FCN curve of Fig. 4: 16x16 input (Table I FCN_Deconv1 geometry), pad 0.
+  return DeconvLayerSpec{"fcn_fig4", 16, 16, 1, 1, 4, 4, 2, 0, 0};
+}
+
+TEST(Redundancy, PaperAnchorStride2Is86_8Percent) {
+  // Paper: "the zero redundancy ratio is already 86.8% when stride = 2".
+  EXPECT_NEAR(zero_redundancy_ratio(sngan_fig4()), 0.868, 0.001);
+}
+
+TEST(Redundancy, PaperAnchorStride32Is99_8Percent) {
+  auto spec = sngan_fig4();
+  spec.stride = 32;
+  EXPECT_NEAR(zero_redundancy_ratio(spec), 0.998, 0.001);
+}
+
+TEST(Redundancy, MonotonicallyIncreasesWithStride) {
+  for (auto base : {sngan_fig4(), fcn_fig4()}) {
+    const auto pts = redundancy_vs_stride(base, {1, 2, 4, 8, 16, 32});
+    ASSERT_EQ(pts.size(), 6u);
+    for (std::size_t i = 1; i < pts.size(); ++i)
+      EXPECT_GT(pts[i].ratio, pts[i - 1].ratio) << base.name << " stride " << pts[i].stride;
+  }
+}
+
+TEST(Redundancy, AllRatiosWithinFig4Axis) {
+  // Fig. 4 plots both curves between 70% and 100%.
+  for (auto base : {sngan_fig4(), fcn_fig4()}) {
+    for (const auto& p : redundancy_vs_stride(base, {2, 4, 8, 16, 32})) {
+      EXPECT_GE(p.ratio, 0.70) << base.name << " stride " << p.stride;
+      EXPECT_LT(p.ratio, 1.00) << base.name << " stride " << p.stride;
+    }
+  }
+}
+
+TEST(Redundancy, Stride1HasOnlyEdgePaddingZeros) {
+  auto spec = sngan_fig4();
+  spec.stride = 1;
+  // 4x4 input, pad K-1-p = 2 per side -> 8x8 padded, 16 nonzero.
+  EXPECT_NEAR(zero_redundancy_ratio(spec), 1.0 - 16.0 / 64.0, 1e-12);
+}
+
+TEST(Redundancy, LargeStrideApproachesOne) {
+  auto spec = fcn_fig4();
+  spec.stride = 64;
+  EXPECT_GT(zero_redundancy_ratio(spec), 0.999);
+  EXPECT_LT(zero_redundancy_ratio(spec), 1.0);
+}
+
+TEST(Redundancy, AgreesWithZeroPaddingAlgorithmGeometry) {
+  // The ratio derives from the same PaddedGeometry that Algorithm 1 builds.
+  const auto spec = sngan_fig4();
+  const auto g = padded_geometry(spec);
+  EXPECT_DOUBLE_EQ(zero_redundancy_ratio(spec), g.zero_fraction(spec.ih, spec.iw));
+}
+
+}  // namespace
+}  // namespace red::nn

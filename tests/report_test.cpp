@@ -1,0 +1,76 @@
+// Tests for the evaluation/figure-builder layer.
+#include <gtest/gtest.h>
+
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/workloads/benchmarks.h"
+
+namespace red::report {
+namespace {
+
+TEST(Evaluation, CompareLayerProducesAllThreeDesigns) {
+  const auto cmp = compare_layer(workloads::gan_deconv3());
+  EXPECT_EQ(cmp.zero_padding.design(), "zero-padding");
+  EXPECT_EQ(cmp.padding_free.design(), "padding-free");
+  EXPECT_EQ(cmp.red.design(), "RED");
+  EXPECT_GT(cmp.red_speedup_vs_zp(), 1.0);
+  EXPECT_GT(cmp.red_energy_saving_vs_zp(), 0.0);
+  EXPECT_GT(cmp.red_area_overhead_vs_zp(), 0.0);
+}
+
+TEST(Evaluation, SpeedupAndReductionAreConsistent) {
+  const auto cmp = compare_layer(workloads::gan_deconv1());
+  EXPECT_NEAR(cmp.red_latency_reduction_vs_zp(), 1.0 - 1.0 / cmp.red_speedup_vs_zp(), 1e-9);
+}
+
+TEST(Evaluation, CompareLayersKeepsOrder) {
+  const auto cmps = compare_layers(workloads::table1_benchmarks());
+  ASSERT_EQ(cmps.size(), 6u);
+  EXPECT_EQ(cmps[0].spec.name, "GAN_Deconv1");
+  EXPECT_EQ(cmps[5].spec.name, "FCN_Deconv2");
+}
+
+TEST(Figures, Table1HasSixRowsAndCycleColumns) {
+  const auto t = table1(workloads::table1_benchmarks());
+  EXPECT_EQ(t.num_rows(), 6u);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("GAN_Deconv1"), std::string::npos);
+  EXPECT_NE(csv.find("ZP cycles"), std::string::npos);
+  // FCN_Deconv2 zero-padding cycles = 568*568.
+  EXPECT_NE(csv.find("322624"), std::string::npos);
+}
+
+TEST(Figures, Fig4TableReproducesAnchors) {
+  const auto t = fig4_redundancy({1, 2, 4, 8, 16, 32});
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("86.78%"), std::string::npos);  // stride 2, SNGAN curve
+  EXPECT_NE(csv.find("99.84%"), std::string::npos);  // stride 32
+}
+
+TEST(Figures, Fig7TablesRenderAllLayers) {
+  const auto cmps = compare_layers(workloads::table1_benchmarks());
+  EXPECT_EQ(fig7a_speedup(cmps).num_rows(), 6u);
+  EXPECT_EQ(fig7b_latency_breakdown(cmps).num_rows(), 6u);
+  const auto csv = fig7a_speedup(cmps).to_csv();
+  EXPECT_NE(csv.find("RED"), std::string::npos);
+}
+
+TEST(Figures, Fig8And9TablesRender) {
+  const auto cmps = compare_layers({workloads::gan_deconv1(), workloads::fcn_deconv2()});
+  EXPECT_EQ(fig8a_energy_saving(cmps).num_rows(), 2u);
+  EXPECT_EQ(fig8b_energy_breakdown(cmps).num_rows(), 2u);
+  EXPECT_EQ(fig9_area(cmps).num_rows(), 6u);  // 3 designs x 2 layers
+}
+
+TEST(Figures, ComponentBreakdownListsTableII) {
+  const auto cmp = compare_layer(workloads::gan_deconv3());
+  const auto t = component_breakdown(cmp.red);
+  const auto ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("Wordline Driving"), std::string::npos);
+  EXPECT_NE(ascii.find("Shift Adder"), std::string::npos);
+  EXPECT_NE(ascii.find("TOTAL"), std::string::npos);
+  EXPECT_NE(ascii.find("Leakage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace red::report

@@ -1,0 +1,166 @@
+// Tests of the explicit zero-skipping schedule: the data-flow properties the
+// paper claims in Sec. III-B2 and Fig. 5(c), checked literally.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/core/schedule.h"
+#include "red/nn/redundancy.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+
+namespace red::core {
+namespace {
+
+nn::DeconvLayerSpec paper_example() {
+  // 3x3 kernel, stride 2 — the Fig. 5 running example (4x4 input).
+  return nn::DeconvLayerSpec{"fig5", 4, 4, 2, 3, 3, 3, 2, 1, 0};
+}
+
+TEST(Schedule, CycleCountMatchesPaperFormula) {
+  const ZeroSkipSchedule sched(paper_example(), /*fold=*/1);
+  // OH = OW = 7 -> ceil(7/2)^2 = 16 cycles ("OhOw/4" in Fig. 5(c), up to
+  // edge rounding).
+  EXPECT_EQ(sched.num_cycles(), 16);
+  EXPECT_EQ(sched.blocks_y(), 4);
+  EXPECT_EQ(sched.blocks_x(), 4);
+}
+
+TEST(Schedule, EveryOutputPixelProducedExactlyOnce) {
+  for (int fold : {1, 2}) {
+    const auto spec = paper_example();
+    const ZeroSkipSchedule sched(spec, fold);
+    std::map<std::pair<int, int>, int> produced;
+    for (std::int64_t i = 0; i < sched.num_cycles(); ++i)
+      for (const auto& g : sched.cycle(i).groups)
+        if (g.produces_output) ++produced[{g.out_y, g.out_x}];
+    // Non-empty modes cover a subset of pixels; with k=3 >= s=2 every pixel
+    // has a mode, so coverage is complete.
+    EXPECT_EQ(produced.size(), static_cast<std::size_t>(spec.oh()) * spec.ow()) << fold;
+    for (const auto& [pix, count] : produced) EXPECT_EQ(count, 1) << fold;
+  }
+}
+
+TEST(Schedule, StrideSquaredPixelsPerFullCycle) {
+  // Fig. 5(c): each (interior) cycle produces an s x s block of output pixels.
+  const ZeroSkipSchedule sched(paper_example(), 1);
+  const auto cyc = sched.cycle(0);  // interior block
+  int produced = 0;
+  for (const auto& g : cyc.groups) produced += g.produces_output ? 1 : 0;
+  EXPECT_EQ(produced, 4);  // stride^2
+}
+
+TEST(Schedule, OnlyRealInputPixelsAreStreamed) {
+  // Zero-skipping: every active assignment must reference an in-range input
+  // pixel; padded zeros never appear.
+  Rng rng(31);
+  for (int t = 0; t < 25; ++t) {
+    const auto spec = workloads::random_layer(rng);
+    const ZeroSkipSchedule sched(spec, 1);
+    for (std::int64_t i = 0; i < sched.num_cycles(); ++i)
+      for (const auto& g : sched.cycle(i).groups)
+        for (const auto& in : g.inputs)
+          if (in.active) {
+            ASSERT_GE(in.h, 0);
+            ASSERT_LT(in.h, spec.ih);
+            ASSERT_GE(in.w, 0);
+            ASSERT_LT(in.w, spec.iw);
+          }
+  }
+}
+
+TEST(Schedule, ActiveAssignmentsEqualStructuralHits) {
+  // Each (input pixel, kernel tap) pair is consumed exactly once across the
+  // whole schedule — the zero-padding design's non-zero window entries.
+  for (const auto& spec :
+       {paper_example(), nn::DeconvLayerSpec{"k5", 5, 4, 1, 1, 5, 5, 2, 2, 1},
+        nn::DeconvLayerSpec{"k16s8", 6, 6, 1, 1, 16, 16, 8, 0, 0}}) {
+    for (int fold : {1, 2}) {
+      const ZeroSkipSchedule sched(spec, fold);
+      std::int64_t active = 0;
+      std::set<std::tuple<int, int, int, int>> seen;  // (h, w, i, j)
+      for (std::int64_t i = 0; i < sched.num_cycles(); ++i)
+        for (const auto& g : sched.cycle(i).groups)
+          for (const auto& in : g.inputs)
+            if (in.active) {
+              ++active;
+              const auto key = std::make_tuple(in.h, in.w, in.sc.i, in.sc.j);
+              EXPECT_TRUE(seen.insert(key).second)
+                  << "duplicate consumption of input (" << in.h << "," << in.w << ") by tap ("
+                  << in.sc.i << "," << in.sc.j << ")";
+            }
+      EXPECT_EQ(active, nn::structural_window_hits(spec)) << spec.name << " fold " << fold;
+    }
+  }
+}
+
+TEST(Schedule, FoldPhasesPartitionGroupScs) {
+  // Eq. 2: across the fold phases of one block, each SC is active exactly
+  // once (for in-range pixels).
+  const nn::DeconvLayerSpec spec{"k16s8", 8, 8, 1, 1, 16, 16, 8, 0, 0};
+  const int fold = 2;
+  const ZeroSkipSchedule sched(spec, fold);
+  // Interior block: block (1,1) -> cycles (1*blocks_x+1)*fold + phase.
+  const std::int64_t base = (std::int64_t{1} * sched.blocks_x() + 1) * fold;
+  std::map<int, std::set<int>> active_by_group;  // group -> sc indices seen
+  for (int p = 0; p < fold; ++p) {
+    const auto cyc = sched.cycle(base + p);
+    EXPECT_EQ(cyc.phase, p);
+    for (const auto& g : cyc.groups)
+      for (const auto& in : g.inputs)
+        if (in.active) {
+          EXPECT_EQ(in.sc_index % fold, p);  // phase selects its band
+          EXPECT_TRUE(active_by_group[g.group_index].insert(in.sc_index).second);
+        }
+  }
+  // Every SC of every group fired exactly once over the two phases.
+  const auto& groups = sched.groups();
+  for (const auto& [gi, scs] : active_by_group)
+    EXPECT_EQ(scs.size(), groups[static_cast<std::size_t>(gi)].scs.size());
+}
+
+TEST(Schedule, OutputProducedOnLastPhaseOnly) {
+  const ZeroSkipSchedule sched(paper_example(), 2);
+  for (std::int64_t i = 0; i < sched.num_cycles(); ++i) {
+    const auto cyc = sched.cycle(i);
+    for (const auto& g : cyc.groups)
+      if (g.produces_output) {
+        EXPECT_EQ(cyc.phase, 1);
+      }
+  }
+}
+
+TEST(Schedule, Fig5CycleOneAssignments) {
+  // The paper's Cycle-1 narrative: the first block feeds the corner group's
+  // four SCs from up to four distinct input pixels, with edge taps masked.
+  const ZeroSkipSchedule sched(paper_example(), 1);
+  const auto cyc = sched.cycle(0);
+  ASSERT_EQ(cyc.groups.size(), 4u);
+  // Find the 4-SC group (taps {(0,0),(0,2),(2,0),(2,2)}).
+  for (const auto& g : cyc.groups) {
+    if (g.inputs.size() != 4) continue;
+    std::set<std::pair<int, int>> pixels;
+    for (const auto& in : g.inputs)
+      if (in.active) pixels.insert({in.h, in.w});
+    // At the (0,0) block with pad 1, the taps reaching h = -1 are masked:
+    // only input pixels with h, w in {0} x ... remain.
+    for (const auto& [h, w] : pixels) {
+      EXPECT_GE(h, 0);
+      EXPECT_LE(h, 1);
+    }
+    EXPECT_FALSE(pixels.empty());
+  }
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW((ZeroSkipSchedule{paper_example(), 0}), ContractViolation);
+  const ZeroSkipSchedule sched(paper_example(), 1);
+  EXPECT_THROW((void)sched.cycle(-1), ContractViolation);
+  EXPECT_THROW((void)sched.cycle(sched.num_cycles()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red::core

@@ -1,0 +1,107 @@
+// Tests of the simulation engine: measured-vs-predicted activity
+// consistency across designs, folds, and layer geometries.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/sim/engine.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+
+namespace red::sim {
+namespace {
+
+TEST(Simulate, AllDesignsConsistentOnReducedTableI) {
+  auto specs = workloads::table1_reduced(/*factor=*/128);
+  for (auto& spec : specs) {
+    if (spec.name == "FCN_Deconv2_reduced") {
+      spec.ih = 7;  // keep the golden check cheap; fold/stride preserved
+      spec.iw = 7;
+    }
+    Rng rng(1);
+    const auto input = workloads::make_input(spec, rng, 1, 7);  // strictly non-zero
+    const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+    for (const auto& design : core::make_all_designs()) {
+      // simulate() throws MismatchError if measured counts deviate from the
+      // analytic activity model.
+      const auto result = simulate(*design, spec, input, kernel, /*check=*/true);
+      EXPECT_EQ(first_mismatch(nn::deconv_reference(spec, input, kernel), result.output), "")
+          << design->name() << " " << spec.name;
+      EXPECT_EQ(result.cost.cycles(), result.measured.cycles);
+    }
+  }
+}
+
+TEST(Simulate, ZeroValuedPixelsOnlyReduceDrives) {
+  // With zeros in the input, measured drives may fall below the structural
+  // bound but must never exceed it.
+  nn::DeconvLayerSpec spec{"zeros", 5, 5, 3, 2, 3, 3, 2, 1, 0};
+  Rng rng(2);
+  auto input = workloads::make_input(spec, rng, 0, 3);  // many zeros
+  const auto kernel = workloads::make_kernel(spec, rng, -5, 5);
+  for (const auto& design : core::make_all_designs()) {
+    const auto result = simulate(*design, spec, input, kernel, /*check=*/true);
+    EXPECT_LE(result.measured.mvm.row_drives, result.predicted.row_drives) << design->name();
+  }
+}
+
+TEST(Simulate, ConsistencyIssuesListsDeviations) {
+  arch::LayerActivity predicted;
+  predicted.cycles = 10;
+  predicted.conversions = 100;
+  predicted.row_drives = 50;
+  arch::RunStats measured;
+  measured.cycles = 9;
+  measured.mvm.conversions = 100;
+  measured.mvm.row_drives = 51;
+  const auto issues = consistency_issues(predicted, measured, /*expect_exact_drives=*/false);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_NE(issues[0].find("cycles"), std::string::npos);
+  EXPECT_NE(issues[1].find("row_drives"), std::string::npos);
+}
+
+TEST(Simulate, ExactDrivesRequestedDetectsMismatch) {
+  arch::LayerActivity predicted;
+  predicted.cycles = 1;
+  predicted.conversions = 1;
+  predicted.row_drives = 50;
+  arch::RunStats measured;
+  measured.cycles = 1;
+  measured.mvm.conversions = 1;
+  measured.mvm.row_drives = 49;
+  EXPECT_TRUE(consistency_issues(predicted, measured, false).empty());
+  EXPECT_EQ(consistency_issues(predicted, measured, true).size(), 1u);
+}
+
+TEST(Simulate, FoldedRedStaysConsistent) {
+  nn::DeconvLayerSpec spec{"fold", 4, 4, 2, 2, 8, 8, 4, 2, 0};
+  Rng rng(3);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  for (int fold : {1, 2, 4}) {
+    arch::DesignConfig cfg;
+    cfg.red_fold = fold;
+    const auto red = core::make_design(core::DesignKind::kRed, cfg);
+    const auto result = simulate(*red, spec, input, kernel, /*check=*/true);
+    EXPECT_EQ(result.predicted.fold, fold);
+    EXPECT_EQ(result.measured.cycles, result.predicted.cycles);
+  }
+}
+
+TEST(Simulate, RandomizedConsistencySweep) {
+  Rng rng(44);
+  for (int t = 0; t < 20; ++t) {
+    const auto spec = workloads::random_layer(rng);
+    Rng data_rng(200 + t);
+    const auto input = workloads::make_input(spec, data_rng, 1, 9);
+    const auto kernel = workloads::make_kernel(spec, data_rng, -9, 9);
+    for (const auto& design : core::make_all_designs())
+      EXPECT_NO_THROW((void)simulate(*design, spec, input, kernel, true))
+          << design->name() << " " << spec.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace red::sim

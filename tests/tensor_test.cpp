@@ -1,0 +1,95 @@
+// Tests for red/tensor: shapes, indexing, tensors, ops.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/tensor/shape.h"
+#include "red/tensor/tensor.h"
+#include "red/tensor/tensor_ops.h"
+
+namespace red {
+namespace {
+
+TEST(Shape4, SizeAndIndexAreRowMajor) {
+  const Shape4 s{2, 3, 4, 5};
+  EXPECT_EQ(s.size(), 120);
+  EXPECT_EQ(s.index(0, 0, 0, 0), 0);
+  EXPECT_EQ(s.index(0, 0, 0, 1), 1);
+  EXPECT_EQ(s.index(0, 0, 1, 0), 5);
+  EXPECT_EQ(s.index(0, 1, 0, 0), 20);
+  EXPECT_EQ(s.index(1, 0, 0, 0), 60);
+  EXPECT_EQ(s.index(1, 2, 3, 4), 119);
+}
+
+TEST(Shape4, BoundsChecked) {
+  const Shape4 s{2, 3, 4, 5};
+  EXPECT_THROW((void)s.index(2, 0, 0, 0), ContractViolation);
+  EXPECT_THROW((void)s.index(0, 0, 0, 5), ContractViolation);
+  EXPECT_THROW((void)s.index(0, -1, 0, 0), ContractViolation);
+}
+
+TEST(Shape4, RejectsNonPositiveDims) { EXPECT_THROW((Shape4{0, 1, 1, 1}), ContractViolation); }
+
+TEST(Shape4, EqualityAndToString) {
+  EXPECT_EQ((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 3, 4}));
+  EXPECT_NE((Shape4{1, 2, 3, 4}), (Shape4{1, 2, 4, 3}));
+  EXPECT_EQ((Shape4{1, 2, 3, 4}).to_string(), "(1, 2, 3, 4)");
+}
+
+TEST(Tensor, DefaultIsScalarZero) {
+  const Tensor<std::int32_t> t;
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.at(0, 0, 0, 0), 0);
+}
+
+TEST(Tensor, FillConstructorAndAccess) {
+  Tensor<std::int32_t> t(Shape4{1, 2, 2, 2}, 7);
+  EXPECT_EQ(t.at(0, 1, 1, 1), 7);
+  t.at(0, 1, 0, 1) = -3;
+  EXPECT_EQ(t.at(0, 1, 0, 1), -3);
+  EXPECT_EQ(t.data()[t.shape().index(0, 1, 0, 1)], -3);
+}
+
+TEST(Tensor, ValueSemantics) {
+  Tensor<std::int32_t> a(Shape4{1, 1, 2, 2}, 1);
+  Tensor<std::int32_t> b = a;
+  b.at(0, 0, 0, 0) = 9;
+  EXPECT_EQ(a.at(0, 0, 0, 0), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(TensorOps, FillRandomDeterministicAndBounded) {
+  Tensor<std::int32_t> a(Shape4{1, 3, 5, 5});
+  Tensor<std::int32_t> b(Shape4{1, 3, 5, 5});
+  Rng r1(123), r2(123);
+  fill_random(a, r1, -8, 8);
+  fill_random(b, r2, -8, 8);
+  EXPECT_EQ(a, b);
+  for (auto v : a) {
+    EXPECT_GE(v, -8);
+    EXPECT_LE(v, 8);
+  }
+}
+
+TEST(TensorOps, CountZerosAndSum) {
+  Tensor<std::int32_t> t(Shape4{1, 1, 2, 2});
+  t.at(0, 0, 0, 0) = 3;
+  t.at(0, 0, 1, 1) = -1;
+  EXPECT_EQ(count_zeros(t), 2);
+  EXPECT_EQ(sum(t), 2);
+}
+
+TEST(TensorOps, MaxAbsDiffAndMismatch) {
+  Tensor<std::int32_t> a(Shape4{1, 1, 2, 2});
+  Tensor<std::int32_t> b(Shape4{1, 1, 2, 2});
+  EXPECT_EQ(max_abs_diff(a, b), 0);
+  EXPECT_EQ(first_mismatch(a, b), "");
+  b.at(0, 0, 1, 0) = 5;
+  EXPECT_EQ(max_abs_diff(a, b), 5);
+  EXPECT_NE(first_mismatch(a, b).find("(0,0,1,0)"), std::string::npos);
+  Tensor<std::int32_t> c(Shape4{1, 1, 1, 4});
+  EXPECT_THROW((void)max_abs_diff(a, c), ConfigError);
+}
+
+}  // namespace
+}  // namespace red

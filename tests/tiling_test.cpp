@@ -1,0 +1,149 @@
+// Tests for physical subarray tiling and the tiled cost mode.
+#include <gtest/gtest.h>
+
+#include "red/arch/design.h"
+#include "red/arch/zero_padding_design.h"
+#include "red/common/error.h"
+#include "red/core/designs.h"
+#include "red/core/red_design.h"
+#include "red/workloads/benchmarks.h"
+#include "red/xbar/tiling.h"
+
+namespace red::xbar {
+namespace {
+
+TEST(TilePlan, ExactFitHasFullUtilization) {
+  const auto plan = plan_tiling(256, 512, TilingConfig{128, 128});
+  EXPECT_EQ(plan.row_tiles, 2);
+  EXPECT_EQ(plan.col_tiles, 4);
+  EXPECT_EQ(plan.tiles(), 8);
+  EXPECT_DOUBLE_EQ(plan.utilization(), 1.0);
+  EXPECT_EQ(plan.merge_stages(), 1);
+}
+
+TEST(TilePlan, RemainderTilesLowerUtilization) {
+  const auto plan = plan_tiling(130, 100, TilingConfig{128, 128});
+  EXPECT_EQ(plan.row_tiles, 2);
+  EXPECT_EQ(plan.col_tiles, 1);
+  EXPECT_EQ(plan.allocated_cells(), 2 * 128 * 128);
+  EXPECT_EQ(plan.utilized_cells(), 130 * 100);
+  EXPECT_LT(plan.utilization(), 0.5);
+}
+
+TEST(TilePlan, SingleTileNeedsNoMerge) {
+  const auto plan = plan_tiling(100, 100, TilingConfig{128, 128});
+  EXPECT_EQ(plan.tiles(), 1);
+  EXPECT_EQ(plan.merge_stages(), 0);
+}
+
+TEST(TilePlan, TableIZeroPaddingMacros) {
+  // GAN_Deconv1 ZP macro: 12800 x 1024 phys -> 100 x 8 subarrays of 128x128.
+  const auto plan = plan_tiling(12800, 1024, TilingConfig{128, 128});
+  EXPECT_EQ(plan.row_tiles, 100);
+  EXPECT_EQ(plan.col_tiles, 8);
+  EXPECT_EQ(plan.merge_stages(), 7);  // ceil(log2(100))
+  EXPECT_DOUBLE_EQ(plan.utilization(), 1.0);
+}
+
+TEST(TilePlan, RejectsBadInput) {
+  EXPECT_THROW((void)plan_tiling(0, 4, TilingConfig{}), ContractViolation);
+  EXPECT_THROW((void)plan_tiling(4, 4, TilingConfig{0, 128}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red::xbar
+
+namespace red::arch {
+namespace {
+
+TEST(TiledActivity, MacroShapesCoverEveryDesign) {
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    for (const auto& design : core::make_all_designs()) {
+      const auto a = design->activity(spec);
+      ASSERT_FALSE(a.macros.empty()) << design->name();
+      std::int64_t rows = 0, cells = 0;
+      for (const auto& m : a.macros) {
+        rows += m.rows * m.count;
+        cells += m.rows * m.phys_cols * m.count;
+      }
+      EXPECT_EQ(rows, a.total_rows) << design->name() << " " << spec.name;
+      EXPECT_EQ(cells, a.cells) << design->name() << " " << spec.name;
+    }
+  }
+}
+
+TEST(TiledActivity, TilingPreservesCyclesAndComputation) {
+  DesignConfig cfg;
+  const auto spec = workloads::gan_deconv3();
+  const ZeroPaddingDesign zp(cfg);
+  const auto base = zp.activity(spec);
+  const auto tiled = apply_tiling(base, cfg);
+  EXPECT_EQ(tiled.cycles, base.cycles);
+  EXPECT_DOUBLE_EQ(tiled.mac_pulses, base.mac_pulses);
+  EXPECT_GE(tiled.cells, base.cells);          // edge tiles allocate spare cells
+  EXPECT_GE(tiled.conversions, base.conversions);  // per-row-tile conversions
+  EXPECT_GT(tiled.dec_units, base.dec_units);
+}
+
+TEST(TiledActivity, ConversionsScaleWithRowTiles) {
+  DesignConfig cfg;
+  cfg.tiling = {128, 128};
+  const auto spec = workloads::gan_deconv3();  // ZP macro 8192 x 1024
+  const auto base = ZeroPaddingDesign(cfg).activity(spec);
+  const auto tiled = apply_tiling(base, cfg);
+  EXPECT_EQ(tiled.conversions, base.conversions * (8192 / 128));
+}
+
+TEST(TiledCost, TiledModeChargesMergesAndSpareCells) {
+  const auto spec = workloads::gan_deconv1();
+  DesignConfig mono;
+  DesignConfig tiled = mono;
+  tiled.tiled = true;
+  const auto r_mono = ZeroPaddingDesign(mono).cost(spec);
+  const auto r_tiled = ZeroPaddingDesign(tiled).cost(spec);
+  // Tiling adds read-out work (per-tile conversions + merge adders).
+  EXPECT_GT(r_tiled.energy(circuits::Component::kReadCircuit).value(),
+            r_mono.energy(circuits::Component::kReadCircuit).value());
+  EXPECT_GT(r_tiled.energy(circuits::Component::kShiftAdder).value(),
+            r_mono.energy(circuits::Component::kShiftAdder).value());
+  // But shortens the analog wires (per-cycle array latency drops).
+  EXPECT_LT(r_tiled.latency(circuits::Component::kBitlineDriving).value(),
+            r_mono.latency(circuits::Component::kBitlineDriving).value());
+}
+
+TEST(TiledCost, RedStillWinsUnderTiling) {
+  // The paper's conclusion must be robust to physical tiling: RED keeps its
+  // cycle advantage; tiling affects all designs' periphery alike.
+  for (const auto& spec : workloads::table1_benchmarks()) {
+    DesignConfig cfg;
+    cfg.tiled = true;
+    const auto zp = core::make_design(core::DesignKind::kZeroPadding, cfg)->cost(spec);
+    const auto red = core::make_design(core::DesignKind::kRed, cfg)->cost(spec);
+    EXPECT_GT(zp.total_latency() / red.total_latency(), 2.5) << spec.name;
+  }
+}
+
+TEST(TiledCost, SubarraySizeSweepIsWellFormed) {
+  const auto spec = workloads::fcn_deconv2();
+  double prev_area = 0;
+  for (std::int64_t side : {64, 128, 256, 512}) {
+    DesignConfig cfg;
+    cfg.tiled = true;
+    cfg.tiling = {side, side};
+    const auto r = core::RedDesign(cfg).cost(spec);
+    EXPECT_GT(r.total_area().value(), 0.0);
+    EXPECT_GT(r.total_latency().value(), 0.0);
+    (void)prev_area;
+    prev_area = r.total_area().value();
+  }
+}
+
+TEST(TiledActivity, RequiresMacroShapes) {
+  LayerActivity empty;
+  empty.cycles = 1;
+  DesignConfig cfg;
+  EXPECT_THROW((void)apply_tiling(empty, cfg), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red::arch

@@ -1,0 +1,60 @@
+// Tests for the Fig. 5(c)-style schedule trace renderer.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/sim/trace.h"
+
+namespace red::sim {
+namespace {
+
+core::ZeroSkipSchedule fig5_schedule(int fold = 1) {
+  // The paper's running example: 3x3 kernel, stride 2.
+  return core::ZeroSkipSchedule(nn::DeconvLayerSpec{"fig5", 4, 4, 2, 3, 3, 3, 2, 1, 0}, fold);
+}
+
+TEST(Trace, RendersCycleOneInPaperStyle) {
+  const auto trace = render_schedule_trace(fig5_schedule(), {4, true});
+  EXPECT_NE(trace.find("Cycle 1:"), std::string::npos);
+  EXPECT_NE(trace.find("I(0,0) -> "), std::string::npos);
+  EXPECT_NE(trace.find("SC"), std::string::npos);
+  EXPECT_NE(trace.find("=> O(0,0)"), std::string::npos);
+}
+
+TEST(Trace, SharedInputPixelFeedsMultipleScs) {
+  // Zero-skipping hallmark (Fig. 5(c)): one input pixel fans out to several
+  // sub-crossbars in the same cycle ("I(2,2) is applied to SC5, SC6, ...").
+  const auto trace = render_schedule_trace(fig5_schedule(), {16, false});
+  bool found_fanout = false;
+  std::size_t pos = 0;
+  while ((pos = trace.find("-> ", pos)) != std::string::npos) {
+    const auto end = trace.find_first_of("|\n", pos);
+    if (trace.substr(pos, end - pos).find(',') != std::string::npos) {
+      found_fanout = true;
+      break;
+    }
+    pos = end;
+  }
+  EXPECT_TRUE(found_fanout) << trace;
+}
+
+TEST(Trace, TruncatesLongSchedules) {
+  const auto sched = fig5_schedule();
+  const auto trace = render_schedule_trace(sched, {2, true});
+  EXPECT_NE(trace.find("more cycles"), std::string::npos);
+  EXPECT_EQ(trace.find("Cycle 3:"), std::string::npos);
+}
+
+TEST(Trace, FoldPhasesAnnotated) {
+  const auto trace = render_schedule_trace(fig5_schedule(2), {4, true});
+  EXPECT_NE(trace.find("(phase 1)"), std::string::npos);
+  EXPECT_NE(trace.find("(phase 2)"), std::string::npos);
+  // Accumulation cycles (phase 1 of 2) produce no output yet.
+  EXPECT_NE(trace.find("(accumulating)"), std::string::npos);
+}
+
+TEST(Trace, RejectsNonPositiveLimit) {
+  EXPECT_THROW((void)render_schedule_trace(fig5_schedule(), {0, true}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red::sim

@@ -1,0 +1,132 @@
+// Tests for Table I benchmark definitions and the network stacks.
+#include <gtest/gtest.h>
+
+#include "red/common/error.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+#include "red/workloads/networks.h"
+
+namespace red::workloads {
+namespace {
+
+TEST(TableI, AllSixLayersPresent) {
+  const auto all = table1_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "GAN_Deconv1");
+  EXPECT_EQ(all[5].name, "FCN_Deconv2");
+  for (const auto& l : all) EXPECT_NO_THROW(l.validate());
+}
+
+TEST(TableI, ShapesMatchThePaperExactly) {
+  // Input size / output size / kernel size / stride columns of Table I.
+  const auto check = [](const nn::DeconvLayerSpec& l, int ih, int c, int oh, int m, int k,
+                        int s) {
+    EXPECT_EQ(l.ih, ih) << l.name;
+    EXPECT_EQ(l.iw, ih) << l.name;
+    EXPECT_EQ(l.c, c) << l.name;
+    EXPECT_EQ(l.oh(), oh) << l.name;
+    EXPECT_EQ(l.ow(), oh) << l.name;
+    EXPECT_EQ(l.m, m) << l.name;
+    EXPECT_EQ(l.kh, k) << l.name;
+    EXPECT_EQ(l.kw, k) << l.name;
+    EXPECT_EQ(l.stride, s) << l.name;
+  };
+  check(gan_deconv1(), 8, 512, 16, 256, 5, 2);
+  check(gan_deconv2(), 4, 512, 8, 256, 5, 2);
+  check(gan_deconv3(), 4, 512, 8, 256, 4, 2);
+  check(gan_deconv4(), 6, 512, 12, 256, 4, 2);
+  check(fcn_deconv1(), 16, 21, 34, 21, 4, 2);
+  check(fcn_deconv2(), 70, 21, 568, 21, 16, 8);
+}
+
+TEST(TableI, GanFcnSplit) {
+  int gans = 0;
+  for (const auto& l : table1_benchmarks()) gans += is_gan_layer(l) ? 1 : 0;
+  EXPECT_EQ(gans, 4);
+  EXPECT_FALSE(is_gan_layer(fcn_deconv1()));
+}
+
+TEST(TableI, ReducedPreservesGeometry) {
+  const auto reduced = table1_reduced(64);
+  ASSERT_EQ(reduced.size(), 6u);
+  for (std::size_t i = 0; i < reduced.size(); ++i) {
+    const auto full = table1_benchmarks()[i];
+    EXPECT_EQ(reduced[i].kh, full.kh);
+    EXPECT_EQ(reduced[i].stride, full.stride);
+    EXPECT_EQ(reduced[i].pad, full.pad);
+    EXPECT_EQ(reduced[i].ih, full.ih);
+    EXPECT_LE(reduced[i].c, full.c);
+    EXPECT_GE(reduced[i].c, 1);
+    EXPECT_NO_THROW(reduced[i].validate());
+  }
+  EXPECT_THROW((void)table1_reduced(0), ContractViolation);
+}
+
+TEST(Networks, DcganStackChains4To64) {
+  const auto stack = dcgan_generator();
+  ASSERT_EQ(stack.size(), 4u);
+  EXPECT_NO_THROW(validate_stack(stack));
+  EXPECT_EQ(stack.front().ih, 4);
+  EXPECT_EQ(stack.back().oh(), 64);
+  EXPECT_EQ(stack.back().m, 3);  // RGB output
+  // Layer 2 is Table I's GAN_Deconv1 geometry.
+  EXPECT_EQ(stack[1].ih, 8);
+  EXPECT_EQ(stack[1].oh(), 16);
+  EXPECT_EQ(stack[1].kh, 5);
+}
+
+TEST(Networks, SnganStackChains4To32) {
+  const auto stack = sngan_generator();
+  EXPECT_NO_THROW(validate_stack(stack));
+  EXPECT_EQ(stack.back().oh(), 32);
+}
+
+TEST(Networks, Fcn8sStackReaches568) {
+  const auto stack = fcn8s_upsampling();
+  EXPECT_NO_THROW(validate_stack(stack));
+  EXPECT_EQ(stack.back().oh(), 568);
+  EXPECT_EQ(stack.back().stride, 8);
+  for (const auto& l : stack) EXPECT_EQ(l.c, 21);  // PASCAL VOC classes
+}
+
+TEST(Networks, ChannelDivScalesDown) {
+  const auto full = dcgan_generator(1);
+  const auto small = dcgan_generator(64);
+  EXPECT_NO_THROW(validate_stack(small));
+  EXPECT_EQ(small[0].c, full[0].c / 64);
+  EXPECT_EQ(small.back().m, 3);  // output channels pinned to RGB
+}
+
+TEST(Networks, ValidateStackRejectsBrokenChain) {
+  auto stack = dcgan_generator();
+  stack[1].ih = 9;  // breaks 8 -> 9
+  EXPECT_THROW(validate_stack(stack), ConfigError);
+}
+
+TEST(Generator, ProducesValidDiverseLayers) {
+  Rng rng(5);
+  int strided = 0;
+  for (int t = 0; t < 50; ++t) {
+    const auto spec = random_layer(rng);
+    EXPECT_NO_THROW(spec.validate());
+    EXPECT_GE(spec.oh(), 1);
+    strided += spec.stride > 1 ? 1 : 0;
+  }
+  EXPECT_GT(strided, 10);  // the sweep actually exercises up-sampling
+}
+
+TEST(Generator, TensorsHonorRanges) {
+  Rng rng(6);
+  const auto spec = gan_deconv3();
+  const auto input = make_input(spec, rng, 1, 7);
+  EXPECT_EQ(input.shape(), spec.input_shape());
+  for (auto v : input) {
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 7);
+  }
+  const auto kernel = make_kernel(spec, rng, -3, 3);
+  EXPECT_EQ(kernel.shape(), spec.kernel_shape());
+}
+
+}  // namespace
+}  // namespace red::workloads

@@ -1,0 +1,184 @@
+// Tests for the crossbar functional layer: codecs, exact MVM, bit-accurate
+// path, ADC clipping.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "red/common/error.h"
+#include "red/common/rng.h"
+#include "red/xbar/codec.h"
+#include "red/xbar/crossbar.h"
+
+namespace red::xbar {
+namespace {
+
+QuantConfig default_q() { return QuantConfig{}; }
+
+TEST(QuantConfig, SlicesAndOffset) {
+  QuantConfig q;
+  EXPECT_EQ(q.slices(), 4);  // 8-bit weights on 2-bit cells
+  EXPECT_EQ(q.weight_offset(), 128);
+  EXPECT_EQ(q.max_level(), 3);
+  q.cell_bits = 3;
+  EXPECT_EQ(q.slices(), 3);  // ceil(8/3)
+}
+
+TEST(Codec, WeightRoundTripAllValues) {
+  const QuantConfig q = default_q();
+  for (std::int32_t w = -128; w <= 127; ++w) {
+    const auto lv = encode_weight(w, q);
+    ASSERT_EQ(lv.size(), 4u);
+    for (auto d : lv) ASSERT_LE(d, 3);
+    EXPECT_EQ(decode_weight(lv, q), w);
+  }
+}
+
+TEST(Codec, WeightRangeChecked) {
+  const QuantConfig q = default_q();
+  EXPECT_THROW((void)encode_weight(128, q), ContractViolation);
+  EXPECT_THROW((void)encode_weight(-129, q), ContractViolation);
+}
+
+TEST(Codec, InputBitPlaneRoundTripAllValues) {
+  const QuantConfig q = default_q();
+  for (std::int32_t a = -128; a <= 127; ++a) {
+    const auto planes = input_bit_planes(a, q);
+    ASSERT_EQ(planes.size(), 8u);
+    EXPECT_EQ(decode_input_planes(planes, q), a);
+  }
+}
+
+TEST(Codec, PulseCountMatchesPopcount) {
+  const QuantConfig q = default_q();
+  EXPECT_EQ(pulse_count(0, q), 0);
+  EXPECT_EQ(pulse_count(1, q), 1);
+  EXPECT_EQ(pulse_count(3, q), 2);
+  EXPECT_EQ(pulse_count(-1, q), 8);  // 0xFF in two's complement
+  EXPECT_EQ(pulse_count(127, q), 7);
+}
+
+LogicalXbar make_random_xbar(std::int64_t rows, std::int64_t cols, Rng& rng, QuantConfig q) {
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows * cols));
+  for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+  return LogicalXbar(rows, cols, w, q);
+}
+
+TEST(LogicalXbar, StoredWeightsAreLossless) {
+  Rng rng(1);
+  const auto xb = make_random_xbar(5, 4, rng, default_q());
+  Rng rng2(1);
+  for (std::int64_t r = 0; r < 5; ++r)
+    for (std::int64_t c = 0; c < 4; ++c)
+      EXPECT_EQ(xb.stored_weight(r, c), static_cast<std::int32_t>(rng2.uniform_int(-128, 127)));
+}
+
+TEST(LogicalXbar, MvmMatchesDirectDotProduct) {
+  Rng rng(2);
+  const std::int64_t rows = 17, cols = 5;
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows * cols));
+  for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+  const LogicalXbar xb(rows, cols, w, default_q());
+  std::vector<std::int32_t> in(static_cast<std::size_t>(rows));
+  for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+
+  const auto out = xb.mvm(in);
+  for (std::int64_t c = 0; c < cols; ++c) {
+    std::int64_t expect = 0;
+    for (std::int64_t r = 0; r < rows; ++r)
+      expect += std::int64_t{in[static_cast<std::size_t>(r)]} *
+                w[static_cast<std::size_t>(r * cols + c)];
+    EXPECT_EQ(out[static_cast<std::size_t>(c)], expect);
+  }
+}
+
+TEST(LogicalXbar, BitAccurateEqualsFastPathWithIdealAdc) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t rows = rng.uniform_int(1, 24);
+    const std::int64_t cols = rng.uniform_int(1, 6);
+    const auto xb = make_random_xbar(rows, cols, rng, default_q());
+    std::vector<std::int32_t> in(static_cast<std::size_t>(rows));
+    for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+    EXPECT_EQ(xb.mvm(in), xb.mvm_bit_accurate(in)) << "rows=" << rows << " cols=" << cols;
+  }
+}
+
+TEST(LogicalXbar, BitAccurateHandlesNegativeInputsViaSignPlane) {
+  // Single weight 1, input -5: two's-complement planes must recombine to -5.
+  const std::vector<std::int32_t> w{1};
+  const LogicalXbar xb(1, 1, w, default_q());
+  const std::vector<std::int32_t> in{-5};
+  EXPECT_EQ(xb.mvm_bit_accurate(in)[0], -5);
+}
+
+TEST(LogicalXbar, ClippedAdcSaturatesAndIsCounted) {
+  // 64 rows of max weight driven with +3 (two positive bit planes): each
+  // 2-bit slice column sums to up to 64*3 = 192 > 2^4-1, so a 4-bit ADC
+  // clips. With only positive plane weights, saturation can only shrink the
+  // recombined result toward the offset-corrected minimum.
+  const std::int64_t rows = 64;
+  std::vector<std::int32_t> w(static_cast<std::size_t>(rows), 127);
+  QuantConfig q;
+  q.adc = {AdcMode::kClipped, 4};
+  const LogicalXbar xb(rows, 1, w, q);
+  std::vector<std::int32_t> in(static_cast<std::size_t>(rows), 3);
+
+  MvmStats stats;
+  const auto clipped = xb.mvm_bit_accurate(in, &stats);
+  EXPECT_GT(stats.adc_clips, 0);
+  const auto exact = xb.mvm(in);
+  EXPECT_EQ(exact[0], 64 * 127 * 3);
+  EXPECT_LT(clipped[0], exact[0]);  // clipping loses positive plane current
+}
+
+TEST(LogicalXbar, LosslessAdcBitsIsSufficient) {
+  Rng rng(4);
+  const auto probe = make_random_xbar(48, 3, rng, default_q());
+  const int bits = probe.lossless_adc_bits();
+  QuantConfig q;
+  q.adc = {AdcMode::kClipped, bits};
+  Rng rng2(4);
+  const auto xb = make_random_xbar(48, 3, rng2, q);
+  std::vector<std::int32_t> in(48);
+  for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
+  EXPECT_EQ(xb.mvm_bit_accurate(in), xb.mvm(in));
+
+  // One bit fewer must clip for the all-ones worst case.
+  QuantConfig q2;
+  q2.adc = {AdcMode::kClipped, bits - 1};
+  Rng rng3(4);
+  const auto xb2 = make_random_xbar(48, 3, rng3, q2);
+  std::vector<std::int32_t> worst(48, -1);
+  MvmStats stats;
+  (void)xb2.mvm_bit_accurate(worst, &stats);
+  EXPECT_GT(stats.adc_clips, 0);
+}
+
+TEST(LogicalXbar, StatsCountDrivesPulsesConversions) {
+  const QuantConfig q = default_q();
+  const std::vector<std::int32_t> w{1, 2, 3, 4};  // 2x2
+  const LogicalXbar xb(2, 2, w, q);
+  MvmStats stats;
+  // Input row 0: value 3 (2 pulses); row 1: zero (skipped).
+  (void)xb.mvm(std::vector<std::int32_t>{3, 0}, &stats);
+  EXPECT_EQ(stats.mvm_ops, 1);
+  EXPECT_EQ(stats.row_drives, 1);
+  EXPECT_EQ(stats.conversions, xb.phys_cols() * q.abits);
+  EXPECT_EQ(stats.mac_pulses, 2 * xb.phys_cols());
+  // Bit-accurate path must report identical structural counts.
+  MvmStats stats2;
+  (void)xb.mvm_bit_accurate(std::vector<std::int32_t>{3, 0}, &stats2);
+  EXPECT_EQ(stats2.row_drives, stats.row_drives);
+  EXPECT_EQ(stats2.conversions, stats.conversions);
+  EXPECT_EQ(stats2.mac_pulses, stats.mac_pulses);
+}
+
+TEST(LogicalXbar, RejectsBadGeometry) {
+  const std::vector<std::int32_t> w{1, 2};
+  EXPECT_THROW((LogicalXbar{2, 2, w, default_q()}), ContractViolation);  // wrong size
+  const LogicalXbar xb(2, 1, w, default_q());
+  EXPECT_THROW((void)xb.mvm(std::vector<std::int32_t>{1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace red::xbar

@@ -1,0 +1,269 @@
+// red_cli — command-line front end to the RED simulator.
+//
+//   red_cli layer   --ih 8 --iw 8 --c 512 --m 256 --k 4 --stride 2 --pad 1
+//                   [--opad N] [--design zp|pf|red] [--fold N] [--mux N]
+//                   [--tiled] [--subarray N] [--breakdown] [--run]
+//   red_cli compare --layer GAN_Deconv1 | --ih ... (all three designs)
+//   red_cli conv    --ih 64 --iw 64 --c 3 --m 128 --k 5 --stride 2 --pad 2
+//   red_cli network --net dcgan|sngan|fcn8s [--design ...]
+//   red_cli table1 | fig4
+#include <iostream>
+#include <optional>
+
+#include "red/arch/conv_engine.h"
+#include "red/common/error.h"
+#include "red/common/flags.h"
+#include "red/common/rng.h"
+#include "red/common/string_util.h"
+#include "red/core/designs.h"
+#include "red/nn/deconv_reference.h"
+#include "red/report/evaluation.h"
+#include "red/report/figures.h"
+#include "red/core/red_design.h"
+#include "red/report/export.h"
+#include "red/report/json.h"
+#include "red/sim/engine.h"
+#include "red/sim/pipeline.h"
+#include "red/sim/trace.h"
+#include "red/sim/verifier.h"
+#include "red/tensor/tensor_ops.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+#include "red/workloads/networks.h"
+
+namespace {
+
+using namespace red;
+
+void usage() {
+  std::cout <<
+      R"(red_cli — RED deconvolution-accelerator simulator
+
+commands:
+  layer     evaluate one deconv layer on one design
+  compare   evaluate one deconv layer on all three designs
+  conv      evaluate a regular conv layer on the shared conv engine
+  network   evaluate a whole deconv stack (dcgan | sngan | fcn8s)
+  verify    run all designs functionally and check vs golden + activity model
+  trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
+  export    write every table/figure to files [--out DIR] [--format csv|md|txt]
+  table1    print the Table I benchmarks
+  fig4      print the Fig. 4 redundancy curves
+
+common flags:
+  --ih --iw --c --m --k (--kh --kw) --stride --pad --opad   layer geometry
+  --layer <Table-I name>                                    use a benchmark layer
+  --design zp|pf|red      design to evaluate (default red)
+  --fold N --mux N        RED fold override / mux ratio
+  --tiled [--subarray N]  price bounded physical subarrays
+  --breakdown             per-component Table II breakdown
+  --run                   also execute functionally and verify vs golden
+)";
+}
+
+arch::DesignConfig config_from(const Flags& flags) {
+  arch::DesignConfig cfg;
+  cfg.mux_ratio = static_cast<int>(flags.get_int("mux", cfg.mux_ratio));
+  cfg.red_fold = static_cast<int>(flags.get_int("fold", 0));
+  cfg.tiled = flags.get_bool("tiled");
+  const auto side = flags.get_int("subarray", 128);
+  cfg.tiling = {side, side};
+  cfg.quant.abits = static_cast<int>(flags.get_int("abits", cfg.quant.abits));
+  cfg.quant.wbits = static_cast<int>(flags.get_int("wbits", cfg.quant.wbits));
+  return cfg;
+}
+
+core::DesignKind kind_from(const Flags& flags) {
+  const std::string d = flags.get_string("design", "red");
+  if (d == "zp" || d == "zero-padding") return core::DesignKind::kZeroPadding;
+  if (d == "pf" || d == "padding-free") return core::DesignKind::kPaddingFree;
+  if (d == "red") return core::DesignKind::kRed;
+  throw ConfigError("unknown --design '" + d + "' (zp | pf | red)");
+}
+
+nn::DeconvLayerSpec layer_from(const Flags& flags) {
+  if (flags.has("layer")) {
+    const std::string name = flags.get_string("layer");
+    for (const auto& l : workloads::table1_benchmarks())
+      if (l.name == name) return l;
+    throw ConfigError("unknown --layer '" + name + "' (see `red_cli table1`)");
+  }
+  nn::DeconvLayerSpec spec;
+  spec.name = "cli_layer";
+  spec.ih = static_cast<int>(flags.get_int("ih", 8));
+  spec.iw = static_cast<int>(flags.get_int("iw", spec.ih));
+  spec.c = static_cast<int>(flags.get_int("c", 64));
+  spec.m = static_cast<int>(flags.get_int("m", 64));
+  spec.kh = static_cast<int>(flags.get_int("kh", flags.get_int("k", 4)));
+  spec.kw = static_cast<int>(flags.get_int("kw", flags.get_int("k", 4)));
+  spec.stride = static_cast<int>(flags.get_int("stride", 2));
+  spec.pad = static_cast<int>(flags.get_int("pad", 1));
+  spec.output_pad = static_cast<int>(flags.get_int("opad", 0));
+  spec.validate();
+  return spec;
+}
+
+void print_cost(const arch::CostReport& cost, bool breakdown) {
+  std::cout << cost.design() << ": " << cost.cycles() << " cycles, "
+            << format_double(cost.total_latency().value() / 1e3, 3) << " us, "
+            << format_double(cost.total_energy().value() / 1e6, 4) << " uJ, "
+            << format_double(cost.total_area().value() / 1e6, 4) << " mm^2\n";
+  if (breakdown) std::cout << report::component_breakdown(cost).to_ascii();
+}
+
+int cmd_layer(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto cfg = config_from(flags);
+  const auto design = core::make_design(kind_from(flags), cfg);
+  std::cout << spec.to_string() << '\n';
+  print_cost(design->cost(spec), flags.get_bool("breakdown"));
+  if (flags.get_bool("run")) {
+    Rng rng(1);
+    const auto input = workloads::make_input(spec, rng, 1, 7);
+    const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+    const auto result = sim::simulate(*design, spec, input, kernel, /*check=*/true);
+    const bool exact =
+        first_mismatch(nn::deconv_reference(spec, input, kernel), result.output).empty();
+    std::cout << "functional: " << (exact ? "bit-exact vs golden" : "MISMATCH") << ", measured "
+              << result.measured.cycles << " cycles\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto cfg = config_from(flags);
+  const auto cmp = report::compare_layer(spec, cfg);
+  if (flags.get_bool("json")) {
+    std::cout << report::to_json(cmp);
+    return 0;
+  }
+  std::cout << spec.to_string() << '\n';
+  print_cost(cmp.zero_padding, false);
+  print_cost(cmp.padding_free, false);
+  print_cost(cmp.red, flags.get_bool("breakdown"));
+  std::cout << "RED vs zero-padding: " << format_speedup(cmp.red_speedup_vs_zp())
+            << " speedup, " << format_percent(cmp.red_energy_saving_vs_zp(), 1)
+            << " energy saving, " << format_percent(cmp.red_area_overhead_vs_zp(), 1)
+            << " area overhead\n";
+  return 0;
+}
+
+int cmd_conv(const Flags& flags) {
+  nn::ConvLayerSpec spec;
+  spec.name = "cli_conv";
+  spec.ih = static_cast<int>(flags.get_int("ih", 32));
+  spec.iw = static_cast<int>(flags.get_int("iw", spec.ih));
+  spec.c = static_cast<int>(flags.get_int("c", 64));
+  spec.m = static_cast<int>(flags.get_int("m", 64));
+  spec.kh = static_cast<int>(flags.get_int("kh", flags.get_int("k", 3)));
+  spec.kw = static_cast<int>(flags.get_int("kw", flags.get_int("k", 3)));
+  spec.stride = static_cast<int>(flags.get_int("stride", 1));
+  spec.pad = static_cast<int>(flags.get_int("pad", 1));
+  spec.validate();
+  const arch::ConvEngine engine(config_from(flags));
+  std::cout << spec.to_string() << '\n';
+  print_cost(engine.cost(spec), flags.get_bool("breakdown"));
+  return 0;
+}
+
+int cmd_verify(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto cfg = config_from(flags);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto report = sim::verify_layer(spec, seed, cfg);
+  std::cout << report.summary() << '\n';
+  for (const auto& v : report.verdicts)
+    for (const auto& issue : v.issues) std::cout << "  " << v.design << ": " << issue << '\n';
+  return report.all_passed() ? 0 : 3;
+}
+
+int cmd_trace(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto cfg = config_from(flags);
+  const core::RedDesign red(cfg);
+  const core::ZeroSkipSchedule schedule(spec, red.fold_for(spec));
+  sim::TraceOptions opts;
+  opts.max_cycles = flags.get_int("cycles", 16);
+  std::cout << spec.to_string() << "\nZero-skipping schedule (fold " << schedule.fold()
+            << ", " << schedule.num_cycles() << " cycles):\n"
+            << sim::render_schedule_trace(schedule, opts);
+  return 0;
+}
+
+int cmd_export(const Flags& flags) {
+  const std::string dir = flags.get_string("out", "results");
+  const std::string fmt_name = flags.get_string("format", "csv");
+  report::ExportFormat fmt = report::ExportFormat::kCsv;
+  if (fmt_name == "md") fmt = report::ExportFormat::kMarkdown;
+  else if (fmt_name == "txt") fmt = report::ExportFormat::kAscii;
+  else if (fmt_name != "csv") throw ConfigError("unknown --format (csv | md | txt)");
+  const auto written = report::export_all_figures(dir, fmt);
+  for (const auto& p : written) std::cout << "wrote " << p.string() << '\n';
+  return 0;
+}
+
+int cmd_network(const Flags& flags) {
+  const std::string net = flags.get_string("net", "dcgan");
+  std::vector<nn::DeconvLayerSpec> stack;
+  if (net == "dcgan")
+    stack = workloads::dcgan_generator();
+  else if (net == "sngan")
+    stack = workloads::sngan_generator();
+  else if (net == "fcn8s")
+    stack = workloads::fcn8s_upsampling();
+  else
+    throw ConfigError("unknown --net '" + net + "' (dcgan | sngan | fcn8s)");
+  const auto r = sim::evaluate_pipeline(kind_from(flags), stack, config_from(flags));
+  std::cout << net << " on " << r.design_name << ":\n";
+  for (const auto& s : r.stages)
+    std::cout << "  " << s.spec.name << ": " << s.cost.cycles() << " cycles, "
+              << format_double(s.cost.total_latency().value() / 1e3, 2) << " us\n";
+  std::cout << "sequential " << format_double(r.sequential_latency.value() / 1e3, 2)
+            << " us, interval " << format_double(r.initiation_interval.value() / 1e3, 2)
+            << " us, " << format_double(r.throughput_img_per_s(), 0) << " img/s, "
+            << format_double(r.energy_per_image.value() / 1e6, 3) << " uJ/img\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags = Flags::parse(argc - 1, argv + 1);
+    if (flags.positional().empty()) {
+      usage();
+      return 1;
+    }
+    const std::string& cmd = flags.positional().front();
+    int rc = 0;
+    if (cmd == "layer")
+      rc = cmd_layer(flags);
+    else if (cmd == "compare")
+      rc = cmd_compare(flags);
+    else if (cmd == "conv")
+      rc = cmd_conv(flags);
+    else if (cmd == "network")
+      rc = cmd_network(flags);
+    else if (cmd == "verify")
+      rc = cmd_verify(flags);
+    else if (cmd == "trace")
+      rc = cmd_trace(flags);
+    else if (cmd == "export")
+      rc = cmd_export(flags);
+    else if (cmd == "table1")
+      std::cout << red::report::table1(red::workloads::table1_benchmarks()).to_ascii();
+    else if (cmd == "fig4")
+      std::cout << red::report::fig4_redundancy({1, 2, 4, 8, 16, 32}).to_ascii();
+    else {
+      usage();
+      return 1;
+    }
+    for (const auto& name : flags.unused())
+      std::cerr << "warning: unused flag --" << name << '\n';
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
