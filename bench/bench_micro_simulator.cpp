@@ -7,10 +7,13 @@
 
 #include "red/common/rng.h"
 #include "red/core/designs.h"
+#include "red/perf/workspace.h"
 #include "red/report/evaluation.h"
 #include "red/core/schedule.h"
+#include "red/sim/engine.h"
 #include "red/workloads/benchmarks.h"
 #include "red/workloads/generator.h"
+#include "red/workloads/networks.h"
 #include "red/xbar/analog.h"
 #include "red/xbar/crossbar.h"
 
@@ -18,11 +21,12 @@ namespace {
 
 using namespace red;
 
-xbar::LogicalXbar make_xbar(std::int64_t rows, std::int64_t cols) {
+xbar::LogicalXbar make_xbar(std::int64_t rows, std::int64_t cols,
+                            xbar::QuantConfig q = xbar::QuantConfig{}) {
   Rng rng(1);
   std::vector<std::int32_t> w(static_cast<std::size_t>(rows * cols));
   for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
-  return xbar::LogicalXbar(rows, cols, w, xbar::QuantConfig{});
+  return xbar::LogicalXbar(rows, cols, w, q);
 }
 
 std::vector<std::int32_t> make_input(std::int64_t rows) {
@@ -30,6 +34,13 @@ std::vector<std::int32_t> make_input(std::int64_t rows) {
   std::vector<std::int32_t> in(static_cast<std::size_t>(rows));
   for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(-128, 127));
   return in;
+}
+
+xbar::QuantConfig clipped_config() {
+  xbar::QuantConfig q;
+  q.adc.mode = xbar::AdcMode::kClipped;
+  q.adc.bits = 6;
+  return q;
 }
 
 void BM_MvmFastPath(benchmark::State& state) {
@@ -41,6 +52,17 @@ void BM_MvmFastPath(benchmark::State& state) {
 }
 BENCHMARK(BM_MvmFastPath)->Arg(128)->Arg(512)->Arg(2048);
 
+// The "before" of BENCH_mvm.json: the original column-major slice/bit-plane
+// walk the fast kernels are equivalence-gated against.
+void BM_MvmBitAccurateReference(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows);
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate_reference(in));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmBitAccurateReference)->Arg(128)->Arg(512);
+
 void BM_MvmBitAccurate(benchmark::State& state) {
   const auto rows = state.range(0);
   const auto xb = make_xbar(rows, 64);
@@ -49,6 +71,51 @@ void BM_MvmBitAccurate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * rows * 64);
 }
 BENCHMARK(BM_MvmBitAccurate)->Arg(128)->Arg(512);
+
+// Zero-allocation workspace overload (the hot-loop form the designs use).
+void BM_MvmBitAccurateWorkspace(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows);
+  perf::MvmWorkspace ws;
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate(in, ws));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmBitAccurateWorkspace)->Arg(128)->Arg(512);
+
+// Saturating-ADC regime: exercises the per-pulse compacted clipped kernel
+// (reference and fast variants, for the before/after report).
+void BM_MvmClippedReference(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64, clipped_config());
+  const auto in = make_input(rows);
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate_reference(in));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmClippedReference)->Arg(128)->Arg(512);
+
+void BM_MvmClipped(benchmark::State& state) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64, clipped_config());
+  const auto in = make_input(rows);
+  perf::MvmWorkspace ws;
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate(in, ws));
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK(BM_MvmClipped)->Arg(128)->Arg(512);
+
+// Batched API over one crossbar (amortized encoding setup + buffers).
+void BM_MvmBatch(benchmark::State& state) {
+  const std::int64_t rows = 128;
+  const auto batch = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows * batch);
+  perf::MvmWorkspace ws;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(xb.mvm_batch(in, batch, /*bit_accurate=*/true, ws));
+  state.SetItemsProcessed(state.iterations() * rows * 64 * batch);
+}
+BENCHMARK(BM_MvmBatch)->Arg(8)->Arg(64);
 
 void BM_DesignRun(benchmark::State& state) {
   const auto kind = static_cast<core::DesignKind>(state.range(0));
@@ -64,6 +131,27 @@ BENCHMARK(BM_DesignRun)
     ->Arg(static_cast<int>(core::DesignKind::kZeroPadding))
     ->Arg(static_cast<int>(core::DesignKind::kPaddingFree))
     ->Arg(static_cast<int>(core::DesignKind::kRed));
+
+// Whole-network functional simulation (SNGAN generator, reduced channels)
+// at 1..N worker lanes: the network-level scaling the threading layer buys.
+void BM_SimulateNetwork(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto stack = workloads::sngan_generator(/*channel_div=*/8);
+  Rng rng(5);
+  std::vector<Tensor<std::int32_t>> inputs, kernels;
+  for (const auto& layer : stack) {
+    inputs.push_back(workloads::make_input(layer, rng, 1, 7));
+    kernels.push_back(workloads::make_kernel(layer, rng, -7, 7));
+  }
+  arch::DesignConfig cfg;
+  cfg.threads = threads;
+  const auto design = core::make_design(core::DesignKind::kZeroPadding, cfg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sim::simulate_network(*design, stack, inputs, kernels, /*check=*/false, threads));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(stack.size()));
+}
+BENCHMARK(BM_SimulateNetwork)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_AnalyticCostTable1(benchmark::State& state) {
   const auto specs = workloads::table1_benchmarks();

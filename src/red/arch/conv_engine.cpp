@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "red/common/contracts.h"
+#include "red/perf/thread_pool.h"
+#include "red/perf/workspace.h"
 #include "red/xbar/crossbar.h"
 
 namespace red::arch {
@@ -63,28 +65,41 @@ Tensor<std::int32_t> ConvEngine::run(const nn::ConvLayerSpec& spec,
   const xbar::LogicalXbar macro(rows, spec.m, w, cfg_.quant);
 
   Tensor<std::int32_t> out(spec.output_shape());
-  std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
-  RunStats local;
-  for (int y = 0; y < spec.oh(); ++y)
-    for (int x = 0; x < spec.ow(); ++x) {
-      std::fill(window.begin(), window.end(), 0);
-      for (int i = 0; i < spec.kh; ++i) {
-        const int h = y * spec.stride + i - spec.pad;
-        if (h < 0 || h >= spec.ih) continue;
-        for (int j = 0; j < spec.kw; ++j) {
-          const int wx = x * spec.stride + j - spec.pad;
-          if (wx < 0 || wx >= spec.iw) continue;
-          for (int c = 0; c < spec.c; ++c)
-            window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
-                input.at(0, c, h, wx);
+  const int oh = spec.oh(), ow = spec.ow();
+  const std::int64_t out_plane = std::int64_t{oh} * ow;
+
+  // Independent output-row tiles with per-tile stats, merged after the join
+  // (bit-exact for any thread count; see ZeroPaddingDesign::run).
+  const std::int64_t tiles = perf::chunk_count(cfg_.threads, oh);
+  std::vector<RunStats> tile_stats(static_cast<std::size_t>(tiles));
+  perf::parallel_chunks(tiles, oh, [&](std::int64_t t, std::int64_t y0, std::int64_t y1) {
+    RunStats& local = tile_stats[static_cast<std::size_t>(t)];
+    perf::MvmWorkspace ws;
+    std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
+    for (std::int64_t y = y0; y < y1; ++y)
+      for (int x = 0; x < ow; ++x) {
+        std::fill(window.begin(), window.end(), 0);
+        for (int i = 0; i < spec.kh; ++i) {
+          const int h = y * spec.stride + i - spec.pad;
+          if (h < 0 || h >= spec.ih) continue;
+          for (int j = 0; j < spec.kw; ++j) {
+            const int wx = x * spec.stride + j - spec.pad;
+            if (wx < 0 || wx >= spec.iw) continue;
+            for (int c = 0; c < spec.c; ++c)
+              window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
+                  input.ptr(0, c)[std::int64_t{h} * spec.iw + wx];
+          }
         }
+        const auto res = cfg_.bit_accurate ? macro.mvm_bit_accurate(window, ws, &local.mvm)
+                                           : macro.mvm(window, ws, &local.mvm);
+        ++local.cycles;
+        std::int32_t* orow = out.data() + std::int64_t{y} * ow + x;
+        for (int m = 0; m < spec.m; ++m)
+          orow[m * out_plane] = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
       }
-      const auto res = cfg_.bit_accurate ? macro.mvm_bit_accurate(window, &local.mvm)
-                                         : macro.mvm(window, &local.mvm);
-      ++local.cycles;
-      for (int m = 0; m < spec.m; ++m)
-        out.at(0, m, y, x) = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
-    }
+  });
+  RunStats local;
+  for (const auto& ts : tile_stats) local += ts;
   if (stats != nullptr) *stats = local;
   return out;
 }

@@ -13,6 +13,7 @@ void DesignConfig::validate() const {
   if (mux_ratio < 1) throw ConfigError("mux_ratio must be >= 1");
   if (red_max_subcrossbars < 1) throw ConfigError("red_max_subcrossbars must be >= 1");
   if (red_fold < 0) throw ConfigError("red_fold must be >= 0 (0 = auto)");
+  if (threads < 1) throw ConfigError("threads must be >= 1");
 }
 
 Design::Design(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
@@ -26,6 +27,14 @@ std::vector<std::int64_t> Design::execute_mvm(const xbar::LogicalXbar& xbar,
                                               std::span<const std::int32_t> input,
                                               xbar::MvmStats* stats) const {
   return cfg_.bit_accurate ? xbar.mvm_bit_accurate(input, stats) : xbar.mvm(input, stats);
+}
+
+std::span<const std::int64_t> Design::execute_mvm(const xbar::LogicalXbar& xbar,
+                                                  std::span<const std::int32_t> input,
+                                                  perf::MvmWorkspace& ws,
+                                                  xbar::MvmStats* stats) const {
+  return cfg_.bit_accurate ? xbar.mvm_bit_accurate(input, ws, stats)
+                           : xbar.mvm(input, ws, stats);
 }
 
 }  // namespace red::arch

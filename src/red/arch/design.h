@@ -33,6 +33,13 @@ struct DesignConfig {
   /// typically ~0.5). Scales the data-dependent energy terms analytically;
   /// the structural latency (cycles) is unaffected.
   double activation_sparsity = 0.0;
+  /// Worker lanes for the tiled functional run() paths — zero-padding, conv
+  /// engine, and RED group execution (1 = serial; the padding-free scatter is
+  /// inherently serial and ignores this). Tiles/groups are executed on the
+  /// process-wide perf::ThreadPool and per-lane stats are merged
+  /// deterministically after the join, so any thread count produces
+  /// bit-identical outputs and RunStats.
+  int threads = 1;
   xbar::TilingConfig tiling;       ///< subarray geometry for tiled mode
   tech::Calibration calib = tech::Calibration::defaults();
   tech::TechNode node = tech::TechNode::node65();
@@ -46,6 +53,16 @@ struct RunStats {
   xbar::MvmStats mvm;
   std::int64_t overlap_adds = 0;
   std::int64_t buffer_accesses = 0;
+
+  RunStats& operator+=(const RunStats& o) {
+    cycles += o.cycles;
+    mvm += o.mvm;
+    overlap_adds += o.overlap_adds;
+    buffer_accesses += o.buffer_accesses;
+    return *this;
+  }
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 class Design {
@@ -77,6 +94,12 @@ class Design {
   [[nodiscard]] std::vector<std::int64_t> execute_mvm(const xbar::LogicalXbar& xbar,
                                                       std::span<const std::int32_t> input,
                                                       xbar::MvmStats* stats) const;
+
+  /// Allocation-free MVM helper into a reusable workspace (hot loops).
+  [[nodiscard]] std::span<const std::int64_t> execute_mvm(const xbar::LogicalXbar& xbar,
+                                                          std::span<const std::int32_t> input,
+                                                          perf::MvmWorkspace& ws,
+                                                          xbar::MvmStats* stats) const;
 
   DesignConfig cfg_;
 };

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "red/common/contracts.h"
+#include "red/perf/workspace.h"
 
 namespace red::arch {
 
@@ -65,28 +66,41 @@ Tensor<std::int32_t> PaddingFreeDesign::run(const nn::DeconvLayerSpec& spec,
 
   const int canvas_h = (spec.ih - 1) * spec.stride + spec.kh;
   const int canvas_w = (spec.iw - 1) * spec.stride + spec.kw;
-  Tensor<std::int32_t> canvas(Shape4{1, spec.m, canvas_h, canvas_w});
-  std::vector<std::int32_t> pixel(static_cast<std::size_t>(spec.c));
+  const std::int64_t canvas_plane = std::int64_t{canvas_h} * canvas_w;
+  std::vector<std::int32_t> row_pixels(static_cast<std::size_t>(spec.iw) * spec.c);
+  perf::MvmWorkspace ws;
+  // Workspace-backed scatter canvas, [m][canvas_h][canvas_w].
+  ws.canvas.assign(static_cast<std::size_t>(spec.m) * static_cast<std::size_t>(canvas_plane), 0);
+  std::int32_t* canvas = ws.canvas.data();
 
   RunStats local;
-  for (int h = 0; h < spec.ih; ++h)
-    for (int wpix = 0; wpix < spec.iw; ++wpix) {
+  for (int h = 0; h < spec.ih; ++h) {
+    // One batched MVM per input row amortizes encoding setup and buffers
+    // across the row's pixels (stats accumulate exactly as per-pixel calls).
+    for (int wpix = 0; wpix < spec.iw; ++wpix)
       for (int c = 0; c < spec.c; ++c)
-        pixel[static_cast<std::size_t>(c)] = input.at(0, c, h, wpix);
-      const auto res = execute_mvm(macro, pixel, &local.mvm);
-      ++local.cycles;
-      // Overlap accumulation (step c of Algorithm 2).
+        row_pixels[static_cast<std::size_t>(wpix) * spec.c + c] =
+            input.ptr(0, c)[std::int64_t{h} * spec.iw + wpix];
+    const auto res_row =
+        macro.mvm_batch(row_pixels, spec.iw, cfg_.bit_accurate, ws, &local.mvm);
+    local.cycles += spec.iw;
+
+    // Overlap accumulation (step c of Algorithm 2).
+    for (int wpix = 0; wpix < spec.iw; ++wpix) {
+      const std::int64_t* res = res_row.data() + std::int64_t{wpix} * lcols;
       for (int i = 0; i < spec.kh; ++i)
-        for (int j = 0; j < spec.kw; ++j)
+        for (int j = 0; j < spec.kw; ++j) {
+          const std::int64_t* rblock = res + (std::int64_t{i} * spec.kw + j) * spec.m;
+          const std::int64_t cy = h * spec.stride + i;
+          const std::int64_t cx = std::int64_t{wpix} * spec.stride + j;
           for (int m = 0; m < spec.m; ++m) {
-            const auto v = res[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.m +
-                                                        m)];
-            canvas.at(0, m, h * spec.stride + i, wpix * spec.stride + j) +=
-                static_cast<std::int32_t>(v);
+            canvas[m * canvas_plane + cy * canvas_w + cx] += static_cast<std::int32_t>(rblock[m]);
             ++local.overlap_adds;
             local.buffer_accesses += 2;
           }
+        }
     }
+  }
 
   // Crop (step d).
   const int oh = spec.oh(), ow = spec.ow();
@@ -96,7 +110,8 @@ Tensor<std::int32_t> PaddingFreeDesign::run(const nn::DeconvLayerSpec& spec,
       for (int x = 0; x < ow; ++x) {
         const int cy = y + spec.pad;
         const int cx = x + spec.pad;
-        if (cy < canvas_h && cx < canvas_w) out.at(0, m, y, x) = canvas.at(0, m, cy, cx);
+        if (cy < canvas_h && cx < canvas_w)
+          out.at(0, m, y, x) = canvas[m * canvas_plane + std::int64_t{cy} * canvas_w + cx];
       }
   if (stats != nullptr) *stats = local;
   return out;

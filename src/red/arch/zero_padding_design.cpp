@@ -1,11 +1,14 @@
 #include "red/arch/zero_padding_design.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "red/common/contracts.h"
 #include "red/nn/conv.h"
 #include "red/nn/deconv_zero_padding.h"
 #include "red/nn/redundancy.h"
+#include "red/perf/thread_pool.h"
+#include "red/perf/workspace.h"
 
 namespace red::arch {
 
@@ -63,21 +66,38 @@ Tensor<std::int32_t> ZeroPaddingDesign::run(const nn::DeconvLayerSpec& spec,
   const Tensor<std::int32_t> padded = nn::zero_pad_input(spec, input);
   const int oh = spec.oh(), ow = spec.ow();
   Tensor<std::int32_t> out(spec.output_shape());
-  std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
+  const std::int64_t pw = padded.shape().dim(3);
+  const std::int64_t out_plane = std::int64_t{oh} * ow;
 
+  // Output rows are independent: tile them across the pool. Each tile owns
+  // its window buffer, workspace, and RunStats slot; slots are merged in tile
+  // order after the join, so any thread count is bit-exact vs serial.
+  const std::int64_t tiles = perf::chunk_count(cfg_.threads, oh);
+  std::vector<RunStats> tile_stats(static_cast<std::size_t>(tiles));
+  perf::parallel_chunks(tiles, oh, [&](std::int64_t t, std::int64_t y0, std::int64_t y1) {
+    RunStats& local = tile_stats[static_cast<std::size_t>(t)];
+    perf::MvmWorkspace ws;
+    std::vector<std::int32_t> window(static_cast<std::size_t>(rows));
+    for (std::int64_t y = y0; y < y1; ++y)
+      for (int x = 0; x < ow; ++x) {
+        for (int c = 0; c < spec.c; ++c) {
+          const std::int32_t* plane = padded.ptr(0, c);
+          for (int i = 0; i < spec.kh; ++i) {
+            const std::int32_t* prow = plane + (y + i) * pw + x;
+            for (int j = 0; j < spec.kw; ++j)
+              window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
+                  prow[j];
+          }
+        }
+        const auto res = execute_mvm(macro, window, ws, &local.mvm);
+        ++local.cycles;
+        std::int32_t* orow = out.data() + std::int64_t{y} * ow + x;
+        for (int m = 0; m < spec.m; ++m)
+          orow[m * out_plane] = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
+      }
+  });
   RunStats local;
-  for (int y = 0; y < oh; ++y)
-    for (int x = 0; x < ow; ++x) {
-      for (int i = 0; i < spec.kh; ++i)
-        for (int j = 0; j < spec.kw; ++j)
-          for (int c = 0; c < spec.c; ++c)
-            window[static_cast<std::size_t>((std::int64_t{i} * spec.kw + j) * spec.c + c)] =
-                padded.at(0, c, y + i, x + j);
-      const auto res = execute_mvm(macro, window, &local.mvm);
-      ++local.cycles;
-      for (int m = 0; m < spec.m; ++m)
-        out.at(0, m, y, x) = static_cast<std::int32_t>(res[static_cast<std::size_t>(m)]);
-    }
+  for (const auto& ts : tile_stats) local += ts;
   if (stats != nullptr) *stats = local;
   return out;
 }

@@ -1,5 +1,7 @@
 #include "red/core/pixel_wise_mapping.h"
 
+#include <algorithm>
+
 #include "red/common/contracts.h"
 #include "red/common/math_util.h"
 
@@ -10,13 +12,14 @@ SubCrossbarTensor::SubCrossbarTensor(const nn::DeconvLayerSpec& spec,
     : kh_(spec.kh), kw_(spec.kw), c_(spec.c), m_(spec.m) {
   RED_EXPECTS_MSG(kernel.shape() == spec.kernel_shape(), "kernel shape mismatch");
   blocks_.resize(static_cast<std::size_t>(sc_count()));
+  // Eq. (1): sub-crossbar (i, j) is exactly the kernel's contiguous c x m
+  // block at tap (i, j) — one block copy each, no per-element indexing.
+  const std::int64_t block = std::int64_t{c_} * m_;
   for (int i = 0; i < kh_; ++i)
     for (int j = 0; j < kw_; ++j) {
       auto& blk = blocks_[static_cast<std::size_t>(i * kw_ + j)];
-      blk.resize(static_cast<std::size_t>(c_) * m_);
-      for (int c = 0; c < c_; ++c)
-        for (int m = 0; m < m_; ++m)
-          blk[static_cast<std::size_t>(c) * m_ + m] = kernel.at(i, j, c, m);  // Eq. (1)
+      blk.resize(static_cast<std::size_t>(block));
+      std::copy_n(kernel.data() + (std::int64_t{i} * kw_ + j) * block, block, blk.data());
     }
 }
 

@@ -8,6 +8,8 @@
 #include "red/core/pixel_wise_mapping.h"
 #include "red/core/schedule.h"
 #include "red/nn/redundancy.h"
+#include "red/perf/thread_pool.h"
+#include "red/perf/workspace.h"
 
 namespace red::core {
 
@@ -88,40 +90,55 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
   }
 
   Tensor<std::int32_t> out(spec.output_shape());
-  arch::RunStats local;
+  const std::int64_t num_cycles = schedule.num_cycles();
+  const int num_groups = static_cast<int>(groups.size());
+  const std::int64_t out_plane = std::int64_t{spec.oh()} * spec.ow();
+  const int fold = schedule.fold();
 
-  std::vector<std::int32_t> group_input;
-  // Per-group accumulators carry partial sums across fold phases (Eq. 2);
-  // phases of one block are adjacent in the schedule.
-  std::vector<std::vector<std::int64_t>> acc(
-      groups.size(), std::vector<std::int64_t>(static_cast<std::size_t>(spec.m)));
+  // Mode groups are independent executors: each owns its crossbar, its fold
+  // accumulator, and a disjoint set of output pixels (one (a, b) output
+  // residue class per group). Chunk them across the pool; per-chunk stats are
+  // merged in chunk order after the join, so any thread count reproduces the
+  // serial cycle-major walk bit-exactly.
+  const std::int64_t chunks = perf::chunk_count(cfg_.threads, num_groups);
+  std::vector<arch::RunStats> chunk_stats(static_cast<std::size_t>(chunks));
+  perf::parallel_chunks(chunks, num_groups, [&](std::int64_t t, std::int64_t g0,
+                                                std::int64_t g1) {
+    arch::RunStats& local = chunk_stats[static_cast<std::size_t>(t)];
+    perf::MvmWorkspace ws;
+    std::vector<std::int32_t> group_input;
+    // Per-group accumulator carrying partial sums across fold phases (Eq. 2);
+    // phases of one block are adjacent in the schedule.
+    std::vector<std::int64_t> group_acc(static_cast<std::size_t>(spec.m));
+    GroupWork work;  // rebuilt in place each cycle, reusing inputs capacity
+    for (int gi = static_cast<int>(g0); gi < g1; ++gi) {
+      for (std::int64_t ci = 0; ci < num_cycles; ++ci) {
+        schedule.group_work(ci, gi, work);
+        if (ci % fold == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
 
-  for (std::int64_t ci = 0; ci < schedule.num_cycles(); ++ci) {
-    const ScheduleCycle cyc = schedule.cycle(ci);
-    ++local.cycles;
-    for (const auto& work : cyc.groups) {
-      auto& group_acc = acc[static_cast<std::size_t>(work.group_index)];
-      if (cyc.phase == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
-
-      group_input.assign(work.inputs.size() * static_cast<std::size_t>(spec.c), 0);
-      for (const auto& in : work.inputs) {
-        if (!in.active) continue;  // zero-skip: padded zeros are never streamed
-        for (int c = 0; c < spec.c; ++c)
-          group_input[static_cast<std::size_t>(in.sc_index) * spec.c +
-                      static_cast<std::size_t>(c)] = input.at(0, c, in.h, in.w);
-      }
-      const auto partial =
-          execute_mvm(group_xbars[static_cast<std::size_t>(work.group_index)], group_input,
-                      &local.mvm);
-      for (int m = 0; m < spec.m; ++m)
-        group_acc[static_cast<std::size_t>(m)] += partial[static_cast<std::size_t>(m)];
-
-      if (work.produces_output)
+        group_input.assign(work.inputs.size() * static_cast<std::size_t>(spec.c), 0);
+        for (const auto& in : work.inputs) {
+          if (!in.active) continue;  // zero-skip: padded zeros are never streamed
+          for (int c = 0; c < spec.c; ++c)
+            group_input[static_cast<std::size_t>(in.sc_index) * spec.c +
+                        static_cast<std::size_t>(c)] =
+                input.ptr(0, c)[std::int64_t{in.h} * spec.iw + in.w];
+        }
+        const auto partial =
+            execute_mvm(group_xbars[static_cast<std::size_t>(gi)], group_input, ws, &local.mvm);
         for (int m = 0; m < spec.m; ++m)
-          out.at(0, m, work.out_y, work.out_x) =
-              static_cast<std::int32_t>(group_acc[static_cast<std::size_t>(m)]);
+          group_acc[static_cast<std::size_t>(m)] += partial[static_cast<std::size_t>(m)];
+
+        if (work.produces_output)
+          for (int m = 0; m < spec.m; ++m)
+            out.data()[m * out_plane + std::int64_t{work.out_y} * spec.ow() + work.out_x] =
+                static_cast<std::int32_t>(group_acc[static_cast<std::size_t>(m)]);
+      }
     }
-  }
+  });
+  arch::RunStats local;
+  for (const auto& cs : chunk_stats) local += cs;
+  local.cycles = num_cycles;  // cycles are a schedule property, counted once
   if (stats != nullptr) *stats = local;
   return out;
 }

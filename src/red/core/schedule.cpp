@@ -27,41 +27,60 @@ ScheduleCycle ZeroSkipSchedule::cycle(std::int64_t index) const {
   out.block_y = static_cast<int>(block / blocks_x_);
   out.block_x = static_cast<int>(block % blocks_x_);
 
-  const int s = spec_.stride;
   out.groups.reserve(groups_.size());
   for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-    const auto& g = groups_[gi];
     GroupWork work;
-    work.group_index = static_cast<int>(gi);
-    work.out_y = out.block_y * s + g.a;
-    work.out_x = out.block_x * s + g.b;
-    // The output pixel completes on the block's last fold phase, once all
-    // row bands have contributed (Eq. 2 accumulation).
-    work.produces_output =
-        work.out_y < spec_.oh() && work.out_x < spec_.ow() && out.phase == fold_ - 1;
-    const bool pixel_in_range = work.out_y < spec_.oh() && work.out_x < spec_.ow();
-
-    work.inputs.reserve(g.scs.size());
-    for (std::size_t k = 0; k < g.scs.size(); ++k) {
-      ScInput in;
-      in.sc = g.scs[k];
-      in.sc_index = static_cast<int>(k);
-      // Eq. 2: fold phase p activates the SCs at positions k ≡ p (mod fold).
-      const bool phase_active = static_cast<int>(k) % fold_ == out.phase;
-      if (pixel_in_range && phase_active) {
-        const int h = out.block_y + ModeGroup::input_offset(g.a, spec_.pad, in.sc.i, s);
-        const int w = out.block_x + ModeGroup::input_offset(g.b, spec_.pad, in.sc.j, s);
-        if (h >= 0 && h < spec_.ih && w >= 0 && w < spec_.iw) {
-          in.h = h;
-          in.w = w;
-          in.active = true;  // a real (non-zero-inserted) pixel: zero-skipping
-        }
-      }
-      work.inputs.push_back(in);
-    }
+    group_work_at(out.phase, out.block_y, out.block_x, static_cast<int>(gi), work);
     out.groups.push_back(std::move(work));
   }
   return out;
+}
+
+GroupWork ZeroSkipSchedule::group_work(std::int64_t index, int gi) const {
+  GroupWork work;
+  group_work(index, gi, work);
+  return work;
+}
+
+void ZeroSkipSchedule::group_work(std::int64_t index, int gi, GroupWork& out) const {
+  RED_EXPECTS(index >= 0 && index < num_cycles());
+  RED_EXPECTS(gi >= 0 && gi < static_cast<int>(groups_.size()));
+  const std::int64_t block = index / fold_;
+  group_work_at(static_cast<int>(index % fold_), static_cast<int>(block / blocks_x_),
+                static_cast<int>(block % blocks_x_), gi, out);
+}
+
+void ZeroSkipSchedule::group_work_at(int phase, int block_y, int block_x, int gi,
+                                     GroupWork& work) const {
+  const int s = spec_.stride;
+  const auto& g = groups_[static_cast<std::size_t>(gi)];
+  work.group_index = gi;
+  work.out_y = block_y * s + g.a;
+  work.out_x = block_x * s + g.b;
+  // The output pixel completes on the block's last fold phase, once all
+  // row bands have contributed (Eq. 2 accumulation).
+  const bool pixel_in_range = work.out_y < spec_.oh() && work.out_x < spec_.ow();
+  work.produces_output = pixel_in_range && phase == fold_ - 1;
+
+  work.inputs.clear();  // reuse of `work` keeps the vector's capacity
+  work.inputs.reserve(g.scs.size());
+  for (std::size_t k = 0; k < g.scs.size(); ++k) {
+    ScInput in;
+    in.sc = g.scs[k];
+    in.sc_index = static_cast<int>(k);
+    // Eq. 2: fold phase p activates the SCs at positions k ≡ p (mod fold).
+    const bool phase_active = static_cast<int>(k) % fold_ == phase;
+    if (pixel_in_range && phase_active) {
+      const int h = block_y + ModeGroup::input_offset(g.a, spec_.pad, in.sc.i, s);
+      const int w = block_x + ModeGroup::input_offset(g.b, spec_.pad, in.sc.j, s);
+      if (h >= 0 && h < spec_.ih && w >= 0 && w < spec_.iw) {
+        in.h = h;
+        in.w = w;
+        in.active = true;  // a real (non-zero-inserted) pixel: zero-skipping
+      }
+    }
+    work.inputs.push_back(in);
+  }
 }
 
 }  // namespace red::core

@@ -61,7 +61,21 @@ class ZeroSkipSchedule {
   /// blocks row-major, with the `fold` phases of a block adjacent.
   [[nodiscard]] ScheduleCycle cycle(std::int64_t index) const;
 
+  /// Generate only group `gi`'s work in cycle `index` — identical to
+  /// cycle(index).groups[gi] but without materializing the other groups.
+  /// Group-parallel executors (RedDesign::run) walk the schedule per group
+  /// through this instead of regenerating whole cycles per lane.
+  [[nodiscard]] GroupWork group_work(std::int64_t index, int gi) const;
+
+  /// Allocation-free variant: rebuilds `out` in place, reusing its `inputs`
+  /// capacity (the hot-loop form RedDesign::run uses).
+  void group_work(std::int64_t index, int gi, GroupWork& out) const;
+
  private:
+  /// Build group `gi`'s work in place from an already-decoded (phase, block)
+  /// position, reusing `work.inputs` capacity.
+  void group_work_at(int phase, int block_y, int block_x, int gi, GroupWork& work) const;
+
   nn::DeconvLayerSpec spec_;
   std::vector<ModeGroup> groups_;
   int fold_;

@@ -1,5 +1,7 @@
 #include "red/nn/conv.h"
 
+#include <algorithm>
+
 #include "red/common/contracts.h"
 
 namespace red::nn {
@@ -15,17 +17,26 @@ Tensor<std::int32_t> conv2d_valid(const Tensor<std::int32_t>& input,
   RED_EXPECTS(h >= kh && w >= kw);
 
   Tensor<std::int32_t> out(Shape4{1, m, h - kh + 1, w - kw + 1});
-  for (std::int64_t om = 0; om < m; ++om)
+  const std::int64_t ow = w - kw + 1;
+  const std::int64_t cm = c * m;  // kernel (i, j) block size
+  for (std::int64_t om = 0; om < m; ++om) {
+    std::int32_t* out_plane = out.ptr(0, om);
     for (std::int64_t y = 0; y + kh <= h; ++y)
       for (std::int64_t x = 0; x + kw <= w; ++x) {
         std::int64_t acc = 0;
-        for (std::int64_t ch = 0; ch < c; ++ch)
-          for (std::int64_t i = 0; i < kh; ++i)
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          const std::int32_t* in_plane = input.ptr(0, ch);
+          const std::int32_t* kbase = kernel.data() + ch * m + om;
+          for (std::int64_t i = 0; i < kh; ++i) {
+            const std::int32_t* irow = in_plane + (y + i) * w + x;
+            const std::int32_t* krow = kbase + i * kw * cm;
             for (std::int64_t j = 0; j < kw; ++j)
-              acc += std::int64_t{input.at(0, ch, y + i, x + j)} *
-                     std::int64_t{kernel.at(i, j, ch, om)};
-        out.at(0, om, y, x) = static_cast<std::int32_t>(acc);
+              acc += std::int64_t{irow[j]} * std::int64_t{krow[j * cm]};
+          }
+        }
+        out_plane[y * ow + x] = static_cast<std::int32_t>(acc);
       }
+  }
   return out;
 }
 
@@ -33,11 +44,12 @@ Tensor<std::int32_t> rotate180(const Tensor<std::int32_t>& kernel) {
   const auto& ks = kernel.shape();
   const std::int64_t kh = ks.dim(0), kw = ks.dim(1), c = ks.dim(2), m = ks.dim(3);
   Tensor<std::int32_t> rot(ks);
+  // Only the spatial taps flip; each (i, j) tap's c x m block is contiguous.
+  const std::int64_t block = c * m;
   for (std::int64_t i = 0; i < kh; ++i)
     for (std::int64_t j = 0; j < kw; ++j)
-      for (std::int64_t ch = 0; ch < c; ++ch)
-        for (std::int64_t om = 0; om < m; ++om)
-          rot.at(i, j, ch, om) = kernel.at(kh - 1 - i, kw - 1 - j, ch, om);
+      std::copy_n(kernel.data() + ((kh - 1 - i) * kw + (kw - 1 - j)) * block, block,
+                  rot.data() + (i * kw + j) * block);
   return rot;
 }
 

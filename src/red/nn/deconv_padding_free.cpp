@@ -1,5 +1,8 @@
 #include "red/nn/deconv_padding_free.h"
 
+#include <cstdint>
+#include <vector>
+
 #include "red/common/contracts.h"
 #include "red/nn/conv.h"
 
@@ -18,7 +21,9 @@ PaddingFreeResult deconv_padding_free(const DeconvLayerSpec& spec,
   const int canvas_h = (spec.ih - 1) * spec.stride + spec.kh;
   const int canvas_w = (spec.iw - 1) * spec.stride + spec.kw;
   Tensor<std::int32_t> canvas(Shape4{1, spec.m, canvas_h, canvas_w});
-  Tensor<std::int32_t> touched(Shape4{1, 1, canvas_h, canvas_w});
+  // Byte mask of canvas pixels already written (only overlap accounting needs
+  // it; a full int32 tensor would waste cache on a boolean).
+  std::vector<std::uint8_t> touched(static_cast<std::size_t>(canvas_h) * canvas_w, 0);
 
   PaddingFreeStats stats;
   stats.canvas_h = canvas_h;
@@ -29,20 +34,30 @@ PaddingFreeResult deconv_padding_free(const DeconvLayerSpec& spec,
   // because our stored weights are already transposed-conv (scatter) weights.
   for (int h = 0; h < spec.ih; ++h)
     for (int w = 0; w < spec.iw; ++w) {
-      for (int i = 0; i < spec.kh; ++i)
+      // Overlap accounting is pure patch geometry — do it once per pixel
+      // instead of re-testing inside the channel loops.
+      for (int i = 0; i < spec.kh; ++i) {
+        std::uint8_t* trow = touched.data() + std::int64_t{h * spec.stride + i} * canvas_w +
+                             std::int64_t{w} * spec.stride;
         for (int j = 0; j < spec.kw; ++j) {
-          const int y = h * spec.stride + i;
-          const int x = w * spec.stride + j;
-          if (touched.at(0, 0, y, x) != 0) stats.overlap_adds += spec.m;
-          touched.at(0, 0, y, x) = 1;
-          for (int c = 0; c < spec.c; ++c) {
-            const std::int64_t in = input.at(0, c, h, w);
-            if (in == 0) continue;
-            for (int m = 0; m < spec.m; ++m)
-              canvas.at(0, m, y, x) += static_cast<std::int32_t>(
-                  in * rotated.at(spec.kh - 1 - i, spec.kw - 1 - j, c, m));
-          }
+          if (trow[j] != 0) stats.overlap_adds += spec.m;
+          trow[j] = 1;
         }
+      }
+      for (int c = 0; c < spec.c; ++c) {
+        const std::int64_t in = input.ptr(0, c)[std::int64_t{h} * spec.iw + w];
+        if (in == 0) continue;
+        for (int i = 0; i < spec.kh; ++i)
+          for (int j = 0; j < spec.kw; ++j) {
+            // Rotated block (KH-1-i, KW-1-j), channel row c: m contiguous.
+            const std::int32_t* krow =
+                rotated.row_ptr(spec.kh - 1 - i, spec.kw - 1 - j, c);
+            const std::int64_t y = h * spec.stride + i;
+            const std::int64_t x = std::int64_t{w} * spec.stride + j;
+            for (int m = 0; m < spec.m; ++m)
+              canvas.ptr(0, m)[y * canvas_w + x] += static_cast<std::int32_t>(in * krow[m]);
+          }
+      }
       stats.macs += std::int64_t{spec.kh} * spec.kw * spec.c * spec.m;
     }
 

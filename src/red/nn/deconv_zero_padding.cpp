@@ -12,11 +12,16 @@ Tensor<std::int32_t> zero_pad_input(const DeconvLayerSpec& spec,
   RED_EXPECTS_MSG(input.shape() == spec.input_shape(), "input shape mismatch");
   const PaddedGeometry g = padded_geometry(spec);
   Tensor<std::int32_t> padded(Shape4{1, spec.c, g.padded_h, g.padded_w});
-  for (int c = 0; c < spec.c; ++c)
-    for (int h = 0; h < spec.ih; ++h)
-      for (int w = 0; w < spec.iw; ++w)
-        padded.at(0, c, g.offset_top + h * spec.stride, g.offset_left + w * spec.stride) =
-            input.at(0, c, h, w);
+  for (int c = 0; c < spec.c; ++c) {
+    const std::int32_t* src = input.ptr(0, c);
+    std::int32_t* dst = padded.ptr(0, c);
+    for (int h = 0; h < spec.ih; ++h) {
+      const std::int32_t* srow = src + std::int64_t{h} * spec.iw;
+      std::int32_t* drow = dst + std::int64_t{g.offset_top + h * spec.stride} * g.padded_w +
+                           g.offset_left;
+      for (int w = 0; w < spec.iw; ++w) drow[std::int64_t{w} * spec.stride] = srow[w];
+    }
+  }
   return padded;
 }
 

@@ -1,0 +1,282 @@
+#include "red/perf/mvm_kernel.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "red/common/contracts.h"
+
+namespace red::perf {
+
+namespace {
+
+using xbar::AdcMode;
+using xbar::LogicalXbar;
+using xbar::MvmStats;
+using xbar::QuantConfig;
+
+/// Wordline pulses transmitting `a` ('1' bits, or non-zero DAC digits).
+/// Range-checked equivalent of xbar::pulse_count without the per-call
+/// config validation and heap traffic.
+int fast_pulse_count(std::int32_t a, const QuantConfig& q) {
+  if (q.dac_bits == 1) {
+    const std::int64_t half = std::int64_t{1} << (q.abits - 1);
+    RED_EXPECTS_MSG(a >= -half && a < half, "activation outside abits signed range");
+    const std::uint64_t u =
+        static_cast<std::uint64_t>(a) & ((std::uint64_t{1} << q.abits) - 1);
+    return std::popcount(u);
+  }
+  RED_EXPECTS_MSG(a >= 0, "multi-bit DAC streaming requires non-negative activations");
+  RED_EXPECTS_MSG(a < (std::int64_t{1} << q.abits), "activation exceeds abits unsigned range");
+  const int digit_max = (1 << q.dac_bits) - 1;
+  int n = 0;
+  std::int64_t u = a;
+  for (int b = 0; b < q.pulses(); ++b) {
+    n += (u & digit_max) != 0 ? 1 : 0;
+    u >>= q.dac_bits;
+  }
+  return n;
+}
+
+struct EncodeSummary {
+  std::int64_t input_sum = 0;
+  std::int64_t drives = 0;      ///< rows with a non-zero input
+  std::int64_t pulse_rows = 0;  ///< sum over rows of per-row pulse counts
+};
+
+/// Range-check the inputs and accumulate the activity summary shared by all
+/// kernel variants (matching the reference's per-row accounting exactly).
+EncodeSummary summarize_input(std::span<const std::int32_t> input, const QuantConfig& q) {
+  EncodeSummary s;
+  for (auto v : input) {
+    s.input_sum += v;
+    if (v == 0) {
+      // Still range-check: the reference encodes zero rows too.
+      (void)fast_pulse_count(v, q);
+      continue;
+    }
+    ++s.drives;
+    s.pulse_rows += fast_pulse_count(v, q);
+  }
+  return s;
+}
+
+/// Write the pulse-plane-major streams: streams[b * rows + r] = digit b of
+/// input[r]. Inputs must already be range-checked (summarize_input).
+void encode_streams(std::span<const std::int32_t> input, const QuantConfig& q,
+                    std::uint8_t* streams) {
+  const auto rows = static_cast<std::int64_t>(input.size());
+  const int num_pulses = q.pulses();
+  if (q.dac_bits == 1) {
+    const std::uint64_t mask = (std::uint64_t{1} << q.abits) - 1;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::uint64_t u = static_cast<std::uint64_t>(input[static_cast<std::size_t>(r)]) &
+                              mask;
+      for (int b = 0; b < num_pulses; ++b)
+        streams[static_cast<std::size_t>(b) * rows + r] =
+            static_cast<std::uint8_t>((u >> b) & 1u);
+    }
+    return;
+  }
+  const int digit_max = (1 << q.dac_bits) - 1;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t u = input[static_cast<std::size_t>(r)];
+    for (int b = 0; b < num_pulses; ++b) {
+      streams[static_cast<std::size_t>(b) * rows + r] =
+          static_cast<std::uint8_t>(u & digit_max);
+      u >>= q.dac_bits;
+    }
+  }
+}
+
+/// Ideal-ADC bit-accurate MVM: with no clipping the pulse/slice decomposition
+/// collapses algebraically, so one signed row-sweep per slice suffices:
+/// out[c] = sum_s (sum_r in[r] * plane_s[r][c]) << (cell_bits * s) minus the
+/// offset-encoding correction. Bit-exact vs the reference by construction.
+void ideal_kernel(const LogicalXbar& xbar, std::span<const std::int32_t> input,
+                  const EncodeSummary& sum, MvmWorkspace& ws, std::int64_t* out) {
+  const std::int64_t rows = xbar.rows();
+  const std::int64_t cols = xbar.cols();
+  const QuantConfig& q = xbar.config();
+  const int slices = q.slices();
+
+  std::int64_t* acc = ws.acc.data();
+  std::int64_t* current = ws.current.data();
+  std::fill(acc, acc + cols, std::int64_t{0});
+  for (int s = 0; s < slices; ++s) {
+    std::fill(current, current + cols, std::int64_t{0});
+    const std::uint8_t* plane = xbar.level_plane(s);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t in = input[static_cast<std::size_t>(r)];
+      if (in == 0) continue;
+      const std::uint8_t* row = plane + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) current[c] += in * row[c];
+    }
+    const int shift = q.cell_bits * s;
+    for (std::int64_t c = 0; c < cols; ++c) acc[c] += current[c] << shift;
+  }
+  const std::int64_t correction = std::int64_t{q.weight_offset()} * sum.input_sum;
+  for (std::int64_t c = 0; c < cols; ++c) out[c] = acc[c] - correction;
+}
+
+/// Clipped-ADC bit-accurate MVM: integrates every (pulse, slice) plane
+/// through the saturating ADC exactly like the reference, but sweeps
+/// contiguous level-plane rows over a per-pulse compacted driven-row list.
+/// Returns the number of saturated conversions.
+std::int64_t clipped_kernel(const LogicalXbar& xbar, MvmWorkspace& ws, std::int64_t input_sum,
+                            std::int64_t* out) {
+  const std::int64_t rows = xbar.rows();
+  const std::int64_t cols = xbar.cols();
+  const QuantConfig& q = xbar.config();
+  const int slices = q.slices();
+  const int num_pulses = q.pulses();
+  const std::int64_t clip_max = (std::int64_t{1} << q.adc.bits) - 1;
+
+  std::int64_t* acc = ws.acc.data();
+  std::int64_t* current = ws.current.data();
+  std::fill(out, out + cols, std::int64_t{0});
+  std::int64_t clips = 0;
+  for (int b = 0; b < num_pulses; ++b) {
+    // Compact the driven wordlines of this pulse once, reused per slice.
+    const std::uint8_t* sp = ws.streams.data() + static_cast<std::size_t>(b) * rows;
+    std::int64_t nd = 0;
+    for (std::int64_t r = 0; r < rows; ++r)
+      if (sp[r] != 0) {
+        ws.driven_rows[static_cast<std::size_t>(nd)] = static_cast<std::int32_t>(r);
+        ws.driven_vals[static_cast<std::size_t>(nd)] = sp[r];
+        ++nd;
+      }
+    // An undriven pulse integrates zero current on every column: no output
+    // contribution and (since clip_max >= 1) no clips. Skip it.
+    if (nd == 0) continue;
+
+    // Bit-serial: the MSB plane carries the two's-complement negative weight.
+    // Multi-bit DAC: digits are unsigned (non-negative activations only).
+    const std::int64_t pulse_weight = (q.dac_bits == 1 && b == q.abits - 1)
+                                          ? -(std::int64_t{1} << b)
+                                          : (std::int64_t{1} << (q.dac_bits * b));
+    std::fill(acc, acc + cols, std::int64_t{0});
+    for (int s = 0; s < slices; ++s) {
+      std::fill(current, current + cols, std::int64_t{0});
+      const std::uint8_t* plane = xbar.level_plane(s);
+      if (q.dac_bits == 1) {
+        for (std::int64_t k = 0; k < nd; ++k) {
+          const std::uint8_t* row = plane + std::int64_t{ws.driven_rows[static_cast<std::size_t>(k)]} * cols;
+          for (std::int64_t c = 0; c < cols; ++c) current[c] += row[c];
+        }
+      } else {
+        for (std::int64_t k = 0; k < nd; ++k) {
+          const std::int64_t d = ws.driven_vals[static_cast<std::size_t>(k)];
+          const std::uint8_t* row = plane + std::int64_t{ws.driven_rows[static_cast<std::size_t>(k)]} * cols;
+          for (std::int64_t c = 0; c < cols; ++c) current[c] += d * row[c];
+        }
+      }
+      const int shift = q.cell_bits * s;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        std::int64_t cur = current[c];
+        if (cur > clip_max) {
+          cur = clip_max;
+          ++clips;
+        }
+        acc[c] += cur << shift;
+      }
+    }
+    for (std::int64_t c = 0; c < cols; ++c) out[c] += pulse_weight * acc[c];
+  }
+  const std::int64_t correction = std::int64_t{q.weight_offset()} * input_sum;
+  for (std::int64_t c = 0; c < cols; ++c) out[c] -= correction;
+  return clips;
+}
+
+/// One bit-accurate MVM into `out` (cols() values). Assumes ws is prepared.
+void bit_accurate_into(const LogicalXbar& xbar, std::span<const std::int32_t> input,
+                       MvmWorkspace& ws, std::int64_t* out, MvmStats* stats) {
+  RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(xbar.rows()),
+                  "input size mismatch");
+  const QuantConfig& q = xbar.config();
+  const EncodeSummary sum = summarize_input(input, q);
+
+  std::int64_t clips = 0;
+  if (q.adc.mode == AdcMode::kIdeal) {
+    ideal_kernel(xbar, input, sum, ws, out);
+  } else {
+    encode_streams(input, q, ws.streams.data());
+    clips = clipped_kernel(xbar, ws, sum.input_sum, out);
+  }
+
+  if (stats != nullptr) {
+    stats->mvm_ops += 1;
+    stats->row_drives += sum.drives;
+    stats->mac_pulses += sum.pulse_rows * xbar.phys_cols();
+    stats->conversions += xbar.phys_cols() * q.pulses();
+    stats->adc_clips += clips;
+  }
+}
+
+/// One exact MVM (ideal-ADC semantics) into `out`. Assumes ws is prepared.
+void exact_into(const LogicalXbar& xbar, std::span<const std::int32_t> input, std::int64_t* out,
+                MvmStats* stats) {
+  RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(xbar.rows()),
+                  "input size mismatch");
+  const std::int64_t rows = xbar.rows();
+  const std::int64_t cols = xbar.cols();
+  const QuantConfig& q = xbar.config();
+  const std::int32_t* weights = xbar.stored_weights().data();
+
+  std::fill(out, out + cols, std::int64_t{0});
+  std::int64_t drives = 0;
+  std::int64_t pulse_rows = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t in = input[static_cast<std::size_t>(r)];
+    if (in == 0) continue;
+    ++drives;
+    pulse_rows += fast_pulse_count(static_cast<std::int32_t>(in), q);
+    const std::int32_t* wrow = weights + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) out[c] += in * wrow[c];
+  }
+  if (stats != nullptr) {
+    stats->mvm_ops += 1;
+    stats->row_drives += drives;
+    stats->mac_pulses += pulse_rows * xbar.phys_cols();
+    stats->conversions += xbar.phys_cols() * q.pulses();
+  }
+}
+
+}  // namespace
+
+std::span<const std::int64_t> mvm_bit_accurate(const LogicalXbar& xbar,
+                                               std::span<const std::int32_t> input,
+                                               MvmWorkspace& ws, MvmStats* stats) {
+  ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses());
+  bit_accurate_into(xbar, input, ws, ws.out.data(), stats);
+  return {ws.out.data(), static_cast<std::size_t>(xbar.cols())};
+}
+
+std::span<const std::int64_t> mvm_exact(const LogicalXbar& xbar,
+                                        std::span<const std::int32_t> input, MvmWorkspace& ws,
+                                        MvmStats* stats) {
+  ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses());
+  exact_into(xbar, input, ws.out.data(), stats);
+  return {ws.out.data(), static_cast<std::size_t>(xbar.cols())};
+}
+
+std::span<const std::int64_t> mvm_batch(const LogicalXbar& xbar,
+                                        std::span<const std::int32_t> inputs, std::int64_t batch,
+                                        bool bit_accurate, MvmWorkspace& ws, MvmStats* stats) {
+  RED_EXPECTS(batch >= 0);
+  RED_EXPECTS_MSG(inputs.size() == static_cast<std::size_t>(batch * xbar.rows()),
+                  "batch input size mismatch");
+  ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses(), batch);
+  const auto rows = static_cast<std::size_t>(xbar.rows());
+  for (std::int64_t v = 0; v < batch; ++v) {
+    const auto input = inputs.subspan(static_cast<std::size_t>(v) * rows, rows);
+    std::int64_t* out = ws.out.data() + v * xbar.cols();
+    if (bit_accurate)
+      bit_accurate_into(xbar, input, ws, out, stats);
+    else
+      exact_into(xbar, input, out, stats);
+  }
+  return {ws.out.data(), static_cast<std::size_t>(batch * xbar.cols())};
+}
+
+}  // namespace red::perf

@@ -1,0 +1,50 @@
+// Layout-optimized bit-serial MVM kernels.
+//
+// These are the fast counterparts of LogicalXbar::mvm_bit_accurate()'s
+// original column-major walk. They exploit the crossbar's plane-major level
+// layout (one contiguous rows x cols matrix per weight slice) to turn the
+// inner loop into contiguous row sweeps, and take an MvmWorkspace so a
+// warmed-up call performs no heap allocation. Two regimes:
+//
+//  * ideal ADC — the pulse/slice decomposition is algebraically collapsible
+//    (no clipping can occur), so the kernel reduces to one integer row-sweep
+//    per slice: out[c] = sum_s (sum_r in[r] * plane_s[r][c]) << cell_bits*s.
+//  * clipped ADC — every (pulse, slice) plane is integrated and clipped
+//    exactly like the reference, but rows are pre-compacted into a driven-row
+//    list per pulse and swept contiguously.
+//
+// Both are bit-exact against LogicalXbar::mvm_bit_accurate_reference() in
+// outputs AND MvmStats (tests/fast_path_equivalence_test.cpp gates this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "red/perf/workspace.h"
+#include "red/xbar/crossbar.h"
+
+namespace red::perf {
+
+/// Bit-accurate MVM through the configured ADC. Returns a span of cols()
+/// results living in `ws.out` (invalidated by the next kernel call on `ws`).
+std::span<const std::int64_t> mvm_bit_accurate(const xbar::LogicalXbar& xbar,
+                                               std::span<const std::int32_t> input,
+                                               MvmWorkspace& ws,
+                                               xbar::MvmStats* stats = nullptr);
+
+/// Exact integer MVM (ideal-ADC semantics; the workspace twin of
+/// LogicalXbar::mvm). Returns a span of cols() results in `ws.out`.
+std::span<const std::int64_t> mvm_exact(const xbar::LogicalXbar& xbar,
+                                        std::span<const std::int32_t> input, MvmWorkspace& ws,
+                                        xbar::MvmStats* stats = nullptr);
+
+/// Batched MVM: `inputs` holds `batch` concatenated input vectors of
+/// rows() elements each. Encoding setup and workspace buffers are amortized
+/// across the batch. Returns batch * cols() results, vector-major, in
+/// `ws.out`; stats accumulate exactly as `batch` single calls would.
+std::span<const std::int64_t> mvm_batch(const xbar::LogicalXbar& xbar,
+                                        std::span<const std::int32_t> inputs, std::int64_t batch,
+                                        bool bit_accurate, MvmWorkspace& ws,
+                                        xbar::MvmStats* stats = nullptr);
+
+}  // namespace red::perf

@@ -1,0 +1,140 @@
+#include "red/perf/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "red/common/contracts.h"
+
+namespace red::perf {
+
+namespace {
+
+/// One parallel_for invocation: indices are claimed via `next`; the job is
+/// finished when `completed` reaches `n`.
+struct Job {
+  std::int64_t n = 0;
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};  // set once an index threw: skip the rest
+  std::int64_t completed = 0;       // guarded by the pool mutex
+  std::exception_ptr error;         // first failure, guarded by the pool mutex
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers: a job was posted / shutdown
+  std::condition_variable done_cv;   // callers: some job completed indices
+  std::deque<std::shared_ptr<Job>> jobs;  // jobs with unclaimed indices
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+  int lanes = 1;
+
+  /// Claim and run indices of `job` until none remain. Returns with the pool
+  /// lock NOT held. Each finished index bumps `completed` under the lock.
+  void drain(const std::shared_ptr<Job>& job) {
+    for (;;) {
+      const std::int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->n) return;
+      std::exception_ptr err;
+      // Once any index threw, remaining indices are claimed but not run
+      // (matching the serial loop's stop-at-first-exception semantics as
+      // closely as cancellation allows) — they still count as completed so
+      // the caller's join accounting terminates.
+      if (!job->failed.load(std::memory_order_acquire)) {
+        try {
+          (*job->fn)(i);
+        } catch (...) {
+          err = std::current_exception();
+          job->failed.store(true, std::memory_order_release);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (err && !job->error) job->error = err;
+        if (++job->completed == job->n) done_cv.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [&] { return shutdown || !jobs.empty(); });
+        if (shutdown && jobs.empty()) return;
+        job = jobs.front();
+        // Pop exhausted jobs so workers don't spin on them; drain() below
+        // re-checks `next` itself, so racing on this is harmless.
+        if (job->next.load(std::memory_order_relaxed) >= job->n) {
+          jobs.pop_front();
+          continue;
+        }
+      }
+      drain(job);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(std::make_unique<Impl>()) {
+  RED_EXPECTS(threads >= 1);
+  impl_->lanes = threads;
+  for (int i = 0; i < threads - 1; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+int ThreadPool::threads() const { return impl_->lanes; }
+
+void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  RED_EXPECTS(n >= 0);
+  if (n == 0) return;
+  if (impl_->workers.empty() || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->jobs.push_back(job);
+  }
+  impl_->work_cv.notify_all();
+  impl_->drain(job);  // the caller is a lane too
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return job->completed == job->n; });
+  const auto it = std::find(impl_->jobs.begin(), impl_->jobs.end(), job);
+  if (it != impl_->jobs.end()) impl_->jobs.erase(it);
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("RED_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(std::min(hw, 16u));
+  }());
+  return pool;
+}
+
+}  // namespace red::perf

@@ -1,10 +1,13 @@
 #include "red/sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
+#include "red/common/contracts.h"
 #include "red/common/error.h"
 #include "red/common/string_util.h"
+#include "red/perf/thread_pool.h"
 #include "red/tensor/tensor_ops.h"
 
 namespace red::sim {
@@ -57,6 +60,51 @@ SimulationResult simulate(const arch::Design& design, const nn::DeconvLayerSpec&
                           "' is inconsistent: " + join(issues, "; "));
   }
   return result;
+}
+
+NetworkSimulationResult simulate_network(const arch::Design& design,
+                                         const std::vector<nn::DeconvLayerSpec>& stack,
+                                         const std::vector<Tensor<std::int32_t>>& inputs,
+                                         const std::vector<Tensor<std::int32_t>>& kernels,
+                                         bool check, int threads) {
+  RED_EXPECTS_MSG(stack.size() == inputs.size() && stack.size() == kernels.size(),
+                  "stack, inputs, and kernels must align");
+  RED_EXPECTS(threads >= 1);
+
+  NetworkSimulationResult net;
+  net.layers.resize(stack.size());
+  if (threads == 1) {
+    for (std::size_t i = 0; i < stack.size(); ++i)
+      net.layers[i] = simulate(design, stack[i], inputs[i], kernels[i], check);
+  } else {
+    // Layers are independent: fan them out over at most `threads` lanes
+    // (chunked, so the requested lane count — not the global pool size —
+    // bounds this call's layer-level concurrency) and let per-layer slots
+    // keep the reduction deterministic. Once any layer fails, remaining
+    // layers are skipped (best effort) and the first error in layer order is
+    // rethrown, mirroring the serial stop-at-first-exception behavior.
+    const auto n = static_cast<std::int64_t>(stack.size());
+    std::vector<std::exception_ptr> errors(stack.size());
+    std::atomic<bool> failed{false};
+    perf::parallel_chunks(perf::chunk_count(threads, n), n,
+                          [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              if (failed.load(std::memory_order_acquire)) return;
+                              const auto idx = static_cast<std::size_t>(i);
+                              try {
+                                net.layers[idx] = simulate(design, stack[idx], inputs[idx],
+                                                           kernels[idx], check);
+                              } catch (...) {
+                                errors[idx] = std::current_exception();
+                                failed.store(true, std::memory_order_release);
+                              }
+                            }
+                          });
+    for (const auto& err : errors)
+      if (err) std::rethrow_exception(err);
+  }
+  for (const auto& layer : net.layers) net.total += layer.measured;
+  return net;
 }
 
 }  // namespace red::sim

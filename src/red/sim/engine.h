@@ -40,4 +40,26 @@ struct SimulationResult {
                                         const Tensor<std::int32_t>& input,
                                         const Tensor<std::int32_t>& kernel, bool check = true);
 
+/// A whole network's functional simulation: one SimulationResult per layer
+/// plus the deterministic sum of all measured activity.
+struct NetworkSimulationResult {
+  std::vector<SimulationResult> layers;
+  arch::RunStats total;  ///< measured activity summed in layer order
+};
+
+/// Simulate every layer of a stack (layer i consumes inputs[i]/kernels[i];
+/// the layers are independent simulations, not chained activations). With
+/// `threads > 1` the layers run concurrently on the process-wide
+/// perf::ThreadPool; results land in per-layer slots and the activity total
+/// is reduced in layer order after the join, so any successful run returns
+/// bit-identical outputs and stats for any thread count. On failure a
+/// MismatchError is thrown just like per-layer simulate() calls, but with
+/// threads > 1 remaining layers stop best-effort and, when several layers
+/// fail near-simultaneously, which layer's error surfaces may differ from
+/// the serial (first-layer) choice.
+[[nodiscard]] NetworkSimulationResult simulate_network(
+    const arch::Design& design, const std::vector<nn::DeconvLayerSpec>& stack,
+    const std::vector<Tensor<std::int32_t>>& inputs,
+    const std::vector<Tensor<std::int32_t>>& kernels, bool check = true, int threads = 1);
+
 }  // namespace red::sim

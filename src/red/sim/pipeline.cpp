@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "red/common/contracts.h"
+#include "red/perf/thread_pool.h"
 #include "red/workloads/networks.h"
 
 namespace red::sim {
@@ -19,23 +20,42 @@ Nanoseconds PipelineResult::pipelined_latency(std::int64_t n) const {
 
 PipelineResult evaluate_pipeline(core::DesignKind kind,
                                  const std::vector<nn::DeconvLayerSpec>& stack,
-                                 const arch::DesignConfig& cfg) {
+                                 const arch::DesignConfig& cfg, int threads) {
+  RED_EXPECTS(threads >= 1);
   workloads::validate_stack(stack);
   const auto design = core::make_design(kind, cfg);
 
   PipelineResult result;
   result.design_name = design->name();
-  double seq = 0.0, slowest = 0.0, energy = 0.0, area = 0.0;
-  for (const auto& layer : stack) {
-    StageCost stage{layer, design->cost(layer), 0};
-    stage.activation_bits =
+
+  // Stage costs are independent analytic evaluations: fan them out into
+  // per-index slots, then reduce sequentially in stage order (deterministic
+  // regardless of thread count).
+  std::vector<StageCost> stages(stack.size());
+  const auto price_stage = [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const auto& layer = stack[idx];
+    stages[idx] = StageCost{layer, design->cost(layer), 0};
+    stages[idx].activation_bits =
         std::int64_t{layer.oh()} * layer.ow() * layer.m * cfg.quant.abits;
+  };
+  // Chunked to `threads` lanes so the requested count (not the global pool
+  // size) bounds this call's concurrency.
+  const auto n = static_cast<std::int64_t>(stack.size());
+  perf::parallel_chunks(perf::chunk_count(threads, n), n,
+                        [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) price_stage(i);
+                        });
+
+  double seq = 0.0, slowest = 0.0, energy = 0.0, area = 0.0;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    StageCost& stage = stages[i];
     seq += stage.cost.total_latency().value();
     slowest = std::max(slowest, stage.cost.total_latency().value());
     energy += stage.cost.total_energy().value();
     area += stage.cost.total_area().value();
     // Double-buffered hand-off to the next stage.
-    if (&layer != &stack.back()) result.buffer_bits += 2 * stage.activation_bits;
+    if (i + 1 != stages.size()) result.buffer_bits += 2 * stage.activation_bits;
     result.stages.push_back(std::move(stage));
   }
   result.sequential_latency = Nanoseconds{seq};

@@ -43,9 +43,13 @@ struct PipelineResult {
 };
 
 /// Price a deconvolution stack on one design. The stack must chain
-/// (workloads::validate_stack).
+/// (workloads::validate_stack). With `threads > 1` the per-stage cost models
+/// evaluate concurrently on the process-wide perf::ThreadPool; stage results
+/// land in per-index slots and the totals are reduced in stage order, so any
+/// thread count produces bit-identical results.
 [[nodiscard]] PipelineResult evaluate_pipeline(core::DesignKind kind,
                                                const std::vector<nn::DeconvLayerSpec>& stack,
-                                               const arch::DesignConfig& cfg = {});
+                                               const arch::DesignConfig& cfg = {},
+                                               int threads = 1);
 
 }  // namespace red::sim

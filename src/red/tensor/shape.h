@@ -41,6 +41,19 @@ class Shape4 {
     return ((i0 * dims_[1] + i1) * dims_[2] + i2) * dims_[3] + i3;
   }
 
+  /// Unchecked row-major offset of (i0, i1, 0, 0): the start of one (i2, i3)
+  /// plane. Hot loops pair this with Tensor::ptr to sweep planes contiguously
+  /// instead of recomputing the checked 4-index per element.
+  [[nodiscard]] constexpr std::int64_t plane_offset(std::int64_t i0, std::int64_t i1) const {
+    return (i0 * dims_[1] + i1) * dims_[2] * dims_[3];
+  }
+
+  /// Unchecked row-major offset of (i0, i1, i2, 0): the start of one i3 row.
+  [[nodiscard]] constexpr std::int64_t row_offset(std::int64_t i0, std::int64_t i1,
+                                                  std::int64_t i2) const {
+    return ((i0 * dims_[1] + i1) * dims_[2] + i2) * dims_[3];
+  }
+
   friend constexpr bool operator==(const Shape4& a, const Shape4& b) { return a.dims_ == b.dims_; }
   friend constexpr bool operator!=(const Shape4& a, const Shape4& b) { return !(a == b); }
 

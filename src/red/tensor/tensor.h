@@ -33,6 +33,24 @@ class Tensor {
   [[nodiscard]] T* data() { return data_.data(); }
   [[nodiscard]] const T* data() const { return data_.data(); }
 
+  /// Unchecked pointer to the contiguous (i2, i3) plane at (i0, i1). The fast
+  /// counterpart of at() for hot loops that sweep whole rows/planes; callers
+  /// own the bounds reasoning (indices must be in range).
+  [[nodiscard]] T* ptr(std::int64_t i0, std::int64_t i1) {
+    return data_.data() + shape_.plane_offset(i0, i1);
+  }
+  [[nodiscard]] const T* ptr(std::int64_t i0, std::int64_t i1) const {
+    return data_.data() + shape_.plane_offset(i0, i1);
+  }
+
+  /// Unchecked pointer to the contiguous i3 row at (i0, i1, i2).
+  [[nodiscard]] T* row_ptr(std::int64_t i0, std::int64_t i1, std::int64_t i2) {
+    return data_.data() + shape_.row_offset(i0, i1, i2);
+  }
+  [[nodiscard]] const T* row_ptr(std::int64_t i0, std::int64_t i1, std::int64_t i2) const {
+    return data_.data() + shape_.row_offset(i0, i1, i2);
+  }
+
   [[nodiscard]] auto begin() { return data_.begin(); }
   [[nodiscard]] auto end() { return data_.end(); }
   [[nodiscard]] auto begin() const { return data_.begin(); }

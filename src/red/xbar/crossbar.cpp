@@ -7,9 +7,21 @@
 
 #include "red/common/contracts.h"
 #include "red/common/math_util.h"
+#include "red/perf/mvm_kernel.h"
 #include "red/xbar/codec.h"
 
 namespace red::xbar {
+
+namespace {
+
+// Per-thread scratch for the signature-compatible entry points, so legacy
+// call sites get the allocation-free kernels without plumbing a workspace.
+perf::MvmWorkspace& thread_workspace() {
+  thread_local perf::MvmWorkspace ws;
+  return ws;
+}
+
+}  // namespace
 
 MvmStats& MvmStats::operator+=(const MvmStats& o) {
   mvm_ops += o.mvm_ops;
@@ -28,8 +40,9 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
   RED_EXPECTS_MSG(weights.size() == static_cast<std::size_t>(rows * cols),
                   "weights must be rows*cols");
   const int slices = config_.slices();
-  weights_.resize(weights.size());
-  levels_.resize(weights.size() * static_cast<std::size_t>(slices));
+  const std::size_t plane = weights.size();
+  weights_.resize(plane);
+  levels_.resize(plane * static_cast<std::size_t>(slices));
 
   // Device non-idealities are applied at program time, per stored level, so
   // both MVM paths see the same (perturbed) weights.
@@ -38,9 +51,14 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
   std::normal_distribution<double> noise(0.0, var.level_sigma);
   std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::uniform_int_distribution<int> coin(0, 1);
-  variation_stats_.cells = static_cast<std::int64_t>(weights.size()) * slices;
+  variation_stats_.cells = static_cast<std::int64_t>(plane) * slices;
 
-  for (std::size_t i = 0; i < weights.size(); ++i) {
+  // Running per-(col, slice) column sums of the programmed levels feed the
+  // lossless-ADC-bits cache below (previously an O(rows*cols*slices)
+  // recompute on every lossless_adc_bits() call).
+  std::vector<std::int64_t> col_sums(static_cast<std::size_t>(cols) * slices, 0);
+
+  for (std::size_t i = 0; i < plane; ++i) {
     auto lv = encode_weight(weights[i], config_);
     if (var.enabled()) {
       for (auto& level : lv) {
@@ -57,11 +75,19 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
         if (level != original) ++variation_stats_.perturbed_cells;
       }
     }
-    std::copy(lv.begin(), lv.end(), levels_.begin() + static_cast<std::ptrdiff_t>(i * slices));
+    const std::size_t c = i % static_cast<std::size_t>(cols);
+    for (int s = 0; s < slices; ++s) {
+      levels_[static_cast<std::size_t>(s) * plane + i] = lv[static_cast<std::size_t>(s)];
+      col_sums[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(s)] +=
+          lv[static_cast<std::size_t>(s)];
+    }
     weights_[i] = decode_weight(lv, config_);
     // Without non-idealities the offset encoding is lossless in-range.
     if (!var.enabled()) RED_ENSURES(weights_[i] == weights[i]);
   }
+
+  const std::int64_t worst = *std::max_element(col_sums.begin(), col_sums.end());
+  lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
 }
 
 std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {
@@ -71,29 +97,36 @@ std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {
 
 std::vector<std::int64_t> LogicalXbar::mvm(std::span<const std::int32_t> input,
                                            MvmStats* stats) const {
-  RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(rows_), "input size mismatch");
-  std::vector<std::int64_t> out(static_cast<std::size_t>(cols_), 0);
-  std::int64_t drives = 0;
-  std::int64_t pulses = 0;
-  for (std::int64_t r = 0; r < rows_; ++r) {
-    const std::int64_t in = input[static_cast<std::size_t>(r)];
-    if (in == 0) continue;
-    ++drives;
-    pulses += std::int64_t{pulse_count(static_cast<std::int32_t>(in), config_)} * phys_cols();
-    const std::int32_t* wrow = weights_.data() + r * cols_;
-    for (std::int64_t c = 0; c < cols_; ++c) out[static_cast<std::size_t>(c)] += in * wrow[c];
-  }
-  if (stats != nullptr) {
-    stats->mvm_ops += 1;
-    stats->row_drives += drives;
-    stats->mac_pulses += pulses;
-    stats->conversions += phys_cols() * config_.pulses();
-  }
-  return out;
+  const auto out = perf::mvm_exact(*this, input, thread_workspace(), stats);
+  return {out.begin(), out.end()};
+}
+
+std::span<const std::int64_t> LogicalXbar::mvm(std::span<const std::int32_t> input,
+                                               perf::MvmWorkspace& ws, MvmStats* stats) const {
+  return perf::mvm_exact(*this, input, ws, stats);
 }
 
 std::vector<std::int64_t> LogicalXbar::mvm_bit_accurate(std::span<const std::int32_t> input,
                                                         MvmStats* stats) const {
+  const auto out = perf::mvm_bit_accurate(*this, input, thread_workspace(), stats);
+  return {out.begin(), out.end()};
+}
+
+std::span<const std::int64_t> LogicalXbar::mvm_bit_accurate(std::span<const std::int32_t> input,
+                                                            perf::MvmWorkspace& ws,
+                                                            MvmStats* stats) const {
+  return perf::mvm_bit_accurate(*this, input, ws, stats);
+}
+
+std::span<const std::int64_t> LogicalXbar::mvm_batch(std::span<const std::int32_t> inputs,
+                                                     std::int64_t batch, bool bit_accurate,
+                                                     perf::MvmWorkspace& ws,
+                                                     MvmStats* stats) const {
+  return perf::mvm_batch(*this, inputs, batch, bit_accurate, ws, stats);
+}
+
+std::vector<std::int64_t> LogicalXbar::mvm_bit_accurate_reference(
+    std::span<const std::int32_t> input, MvmStats* stats) const {
   RED_EXPECTS_MSG(input.size() == static_cast<std::size_t>(rows_), "input size mismatch");
   const int slices = config_.slices();
   const int num_pulses = config_.pulses();
@@ -134,8 +167,7 @@ std::vector<std::int64_t> LogicalXbar::mvm_bit_accurate(std::span<const std::int
         for (std::int64_t r = 0; r < rows_; ++r) {
           const auto drive = streams[static_cast<std::size_t>(r)][static_cast<std::size_t>(b)];
           if (drive == 0) continue;
-          current += std::int64_t{drive} *
-                     levels_[static_cast<std::size_t>((r * cols_ + c) * slices + s)];
+          current += std::int64_t{drive} * level(r, c, s);
         }
         if (current > clip_max) {
           current = clip_max;
@@ -157,19 +189,6 @@ std::vector<std::int64_t> LogicalXbar::mvm_bit_accurate(std::span<const std::int
     stats->adc_clips += clips;
   }
   return out;
-}
-
-int LogicalXbar::lossless_adc_bits() const {
-  const int slices = config_.slices();
-  std::int64_t worst = 0;
-  for (std::int64_t c = 0; c < cols_; ++c)
-    for (int s = 0; s < slices; ++s) {
-      std::int64_t sum = 0;
-      for (std::int64_t r = 0; r < rows_; ++r)
-        sum += levels_[static_cast<std::size_t>((r * cols_ + c) * slices + s)];
-      worst = std::max(worst, sum);
-    }
-  return worst == 0 ? 1 : ilog2_ceil(worst + 1);
 }
 
 }  // namespace red::xbar

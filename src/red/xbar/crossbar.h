@@ -1,7 +1,7 @@
 // Logical ReRAM crossbar: a rows x cols signed-weight matrix stored as
 // offset-encoded, bit-sliced cell levels, executing bit-serial MVM.
 //
-// Two execution paths:
+// Execution paths:
 //  * mvm()      — fast path. With an ideal ADC the analog pipeline is
 //                 lossless, so the MVM equals an exact integer dot product
 //                 on the encode/decode round-tripped weights. Activity
@@ -10,13 +10,22 @@
 //  * mvm_bit_accurate() — simulates every slice column and every input bit
 //                 plane through the ADC transfer function. This is the path
 //                 that models a clipped ADC; with an ideal ADC it must equal
-//                 mvm() bit-exactly (asserted by tests).
+//                 mvm() bit-exactly (asserted by tests). Implemented by the
+//                 layout-optimized kernels in red/perf/mvm_kernel.h.
+//  * mvm_bit_accurate_reference() — the original straight-line simulation of
+//                 the same semantics, kept as the equivalence oracle for the
+//                 fast kernels (and as the "before" in bench_micro_simulator).
+//
+// Cell levels are stored plane-major: levels()[s] is one contiguous
+// rows x cols row-major matrix holding weight slice s, so the bit-serial
+// inner loop is a contiguous row sweep instead of a strided gather.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "red/perf/workspace.h"
 #include "red/xbar/quant_config.h"
 
 namespace red::xbar {
@@ -30,6 +39,8 @@ struct MvmStats {
   std::int64_t adc_clips = 0;     ///< conversions that saturated (clipped ADC)
 
   MvmStats& operator+=(const MvmStats& o);
+
+  friend bool operator==(const MvmStats&, const MvmStats&) = default;
 };
 
 class LogicalXbar {
@@ -47,17 +58,55 @@ class LogicalXbar {
   /// in-range weights; exposed for tests).
   [[nodiscard]] std::int32_t stored_weight(std::int64_t r, std::int64_t c) const;
 
+  /// Round-tripped weights, row-major (the matrix mvm() multiplies by).
+  [[nodiscard]] std::span<const std::int32_t> stored_weights() const { return weights_; }
+
+  /// Contiguous rows x cols row-major matrix of cell levels for slice `s`.
+  [[nodiscard]] const std::uint8_t* level_plane(int s) const {
+    return levels_.data() + static_cast<std::size_t>(s) * static_cast<std::size_t>(rows_ * cols_);
+  }
+
+  /// Cell level at (r, c, slice s).
+  [[nodiscard]] std::uint8_t level(std::int64_t r, std::int64_t c, int s) const {
+    return level_plane(s)[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
   /// Fast exact MVM (ideal ADC semantics). input.size() == rows().
   [[nodiscard]] std::vector<std::int64_t> mvm(std::span<const std::int32_t> input,
                                               MvmStats* stats = nullptr) const;
+
+  /// Allocation-free exact MVM into a reusable workspace; the returned span
+  /// (cols() results) lives in `ws` until the next kernel call on it.
+  [[nodiscard]] std::span<const std::int64_t> mvm(std::span<const std::int32_t> input,
+                                                  perf::MvmWorkspace& ws,
+                                                  MvmStats* stats = nullptr) const;
 
   /// Slice/bit-plane-level simulation honoring the configured ADC.
   [[nodiscard]] std::vector<std::int64_t> mvm_bit_accurate(std::span<const std::int32_t> input,
                                                            MvmStats* stats = nullptr) const;
 
+  /// Allocation-free bit-accurate MVM into a reusable workspace.
+  [[nodiscard]] std::span<const std::int64_t> mvm_bit_accurate(
+      std::span<const std::int32_t> input, perf::MvmWorkspace& ws,
+      MvmStats* stats = nullptr) const;
+
+  /// Batched MVM over `batch` concatenated input vectors (amortizes encoding
+  /// setup and buffers). Returns batch * cols() results, vector-major, in
+  /// `ws`; stats accumulate exactly as `batch` single calls would.
+  [[nodiscard]] std::span<const std::int64_t> mvm_batch(std::span<const std::int32_t> inputs,
+                                                        std::int64_t batch, bool bit_accurate,
+                                                        perf::MvmWorkspace& ws,
+                                                        MvmStats* stats = nullptr) const;
+
+  /// Original unoptimized slice/bit-plane walk: the equivalence oracle for
+  /// the fast kernels. Identical outputs and stats to mvm_bit_accurate().
+  [[nodiscard]] std::vector<std::int64_t> mvm_bit_accurate_reference(
+      std::span<const std::int32_t> input, MvmStats* stats = nullptr) const;
+
   /// Smallest clipped-ADC resolution that keeps mvm_bit_accurate lossless for
-  /// this crossbar (worst-case column sum of one bit plane).
-  [[nodiscard]] int lossless_adc_bits() const;
+  /// this crossbar (worst-case column sum of one bit plane). Cached at
+  /// program time; O(1) per call.
+  [[nodiscard]] int lossless_adc_bits() const { return lossless_adc_bits_; }
 
   /// What the configured VariationModel did at program time.
   [[nodiscard]] const VariationStats& variation_stats() const { return variation_stats_; }
@@ -67,7 +116,8 @@ class LogicalXbar {
   std::int64_t cols_;
   QuantConfig config_;
   std::vector<std::int32_t> weights_;      ///< stored signed weights, row-major
-  std::vector<std::uint8_t> levels_;       ///< cell levels, [row][col][slice]
+  std::vector<std::uint8_t> levels_;       ///< cell levels, plane-major [slice][row][col]
+  int lossless_adc_bits_ = 1;
   VariationStats variation_stats_;
 };
 

@@ -1,0 +1,290 @@
+// Equivalence gate for the perf subsystem: every fast path (layout-optimized
+// bit-accurate kernel, workspace overloads, mvm_batch, threaded design runs,
+// parallel network simulation) must produce bit-identical outputs AND
+// bit-identical activity stats vs the untouched reference implementations,
+// across QuantConfig, variation, and ADC-clip configurations.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "red/common/math_util.h"
+#include "red/common/rng.h"
+#include "red/core/designs.h"
+#include "red/perf/mvm_kernel.h"
+#include "red/perf/thread_pool.h"
+#include "red/perf/workspace.h"
+#include "red/sim/engine.h"
+#include "red/sim/pipeline.h"
+#include "red/workloads/generator.h"
+#include "red/workloads/networks.h"
+#include "red/xbar/crossbar.h"
+
+namespace red {
+namespace {
+
+using xbar::AdcMode;
+using xbar::LogicalXbar;
+using xbar::MvmStats;
+using xbar::QuantConfig;
+
+std::vector<std::int32_t> random_weights(Rng& rng, std::int64_t n, const QuantConfig& q) {
+  const std::int32_t half = q.weight_offset();
+  std::vector<std::int32_t> w(static_cast<std::size_t>(n));
+  for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform_int(-half, half - 1));
+  return w;
+}
+
+std::vector<std::int32_t> random_input(Rng& rng, std::int64_t n, const QuantConfig& q,
+                                       bool include_zeros) {
+  // Multi-bit DAC streaming requires non-negative activations.
+  const std::int64_t lo = q.dac_bits == 1 ? -(std::int64_t{1} << (q.abits - 1)) : 0;
+  const std::int64_t hi = q.dac_bits == 1 ? (std::int64_t{1} << (q.abits - 1)) - 1
+                                          : (std::int64_t{1} << q.abits) - 1;
+  std::vector<std::int32_t> in(static_cast<std::size_t>(n));
+  for (auto& v : in) {
+    v = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+    if (include_zeros && rng.bernoulli(0.25)) v = 0;
+  }
+  return in;
+}
+
+/// The configuration matrix the kernels are gated over.
+std::vector<QuantConfig> config_matrix() {
+  std::vector<QuantConfig> configs;
+  configs.push_back(QuantConfig{});  // defaults: 8/8, 2-bit cells, ideal ADC
+  {
+    QuantConfig q;
+    q.wbits = 6;
+    q.abits = 5;
+    q.cell_bits = 3;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // clipped ADC tight enough to actually saturate
+    q.adc.mode = AdcMode::kClipped;
+    q.adc.bits = 4;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // clipped but roomy (clips rare/absent)
+    q.adc.mode = AdcMode::kClipped;
+    q.adc.bits = 12;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // multi-bit DAC streaming
+    q.dac_bits = 2;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // multi-bit DAC + clipped ADC
+    q.dac_bits = 4;
+    q.adc.mode = AdcMode::kClipped;
+    q.adc.bits = 5;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // device variation (program-time perturbation)
+    q.variation.level_sigma = 0.3;
+    q.variation.stuck_at_rate = 0.02;
+    q.variation.seed = 7;
+    configs.push_back(q);
+  }
+  {
+    QuantConfig q;  // variation + clipped ADC
+    q.variation.level_sigma = 0.2;
+    q.variation.seed = 11;
+    q.adc.mode = AdcMode::kClipped;
+    q.adc.bits = 5;
+    configs.push_back(q);
+  }
+  return configs;
+}
+
+TEST(FastPathEquivalence, BitAccurateMatchesReferenceAcrossConfigs) {
+  Rng rng(1234);
+  int clipped_cases = 0;
+  for (const auto& q : config_matrix()) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::int64_t rows = rng.uniform_int(1, 96);
+      const std::int64_t cols = rng.uniform_int(1, 24);
+      const LogicalXbar xb(rows, cols, random_weights(rng, rows * cols, q), q);
+      const auto in = random_input(rng, rows, q, /*include_zeros=*/true);
+
+      MvmStats ref_stats, fast_stats, ws_stats;
+      const auto ref = xb.mvm_bit_accurate_reference(in, &ref_stats);
+      const auto fast = xb.mvm_bit_accurate(in, &fast_stats);
+      EXPECT_EQ(fast, ref);
+      EXPECT_EQ(fast_stats, ref_stats);
+
+      perf::MvmWorkspace ws;
+      const auto span = xb.mvm_bit_accurate(in, ws, &ws_stats);
+      EXPECT_EQ(std::vector<std::int64_t>(span.begin(), span.end()), ref);
+      EXPECT_EQ(ws_stats, ref_stats);
+
+      if (ref_stats.adc_clips > 0) ++clipped_cases;
+    }
+  }
+  // The matrix must actually exercise the saturating-ADC kernel.
+  EXPECT_GT(clipped_cases, 0);
+}
+
+TEST(FastPathEquivalence, WorkspaceMvmMatchesLegacyMvm) {
+  Rng rng(99);
+  for (const auto& q : config_matrix()) {
+    const std::int64_t rows = rng.uniform_int(1, 64);
+    const std::int64_t cols = rng.uniform_int(1, 32);
+    const LogicalXbar xb(rows, cols, random_weights(rng, rows * cols, q), q);
+    const auto in = random_input(rng, rows, q, true);
+
+    MvmStats legacy_stats, ws_stats;
+    const auto legacy = xb.mvm(in, &legacy_stats);
+    perf::MvmWorkspace ws;
+    const auto span = xb.mvm(in, ws, &ws_stats);
+    EXPECT_EQ(std::vector<std::int64_t>(span.begin(), span.end()), legacy);
+    EXPECT_EQ(ws_stats, legacy_stats);
+  }
+}
+
+TEST(FastPathEquivalence, BatchMatchesSingleCalls) {
+  Rng rng(4321);
+  for (const auto& q : config_matrix()) {
+    const std::int64_t rows = rng.uniform_int(1, 48);
+    const std::int64_t cols = rng.uniform_int(1, 16);
+    const std::int64_t batch = rng.uniform_int(1, 9);
+    const LogicalXbar xb(rows, cols, random_weights(rng, rows * cols, q), q);
+    const auto inputs = random_input(rng, batch * rows, q, true);
+
+    for (const bool bit_accurate : {false, true}) {
+      MvmStats single_stats, batch_stats;
+      std::vector<std::int64_t> expected;
+      for (std::int64_t v = 0; v < batch; ++v) {
+        const std::span<const std::int32_t> one(inputs.data() + v * rows,
+                                                static_cast<std::size_t>(rows));
+        const auto r = bit_accurate ? xb.mvm_bit_accurate(one, &single_stats)
+                                    : xb.mvm(one, &single_stats);
+        expected.insert(expected.end(), r.begin(), r.end());
+      }
+      perf::MvmWorkspace ws;
+      const auto got = xb.mvm_batch(inputs, batch, bit_accurate, ws, &batch_stats);
+      EXPECT_EQ(std::vector<std::int64_t>(got.begin(), got.end()), expected);
+      EXPECT_EQ(batch_stats, single_stats);
+    }
+  }
+}
+
+TEST(FastPathEquivalence, LosslessAdcBitsCacheMatchesBruteForce) {
+  Rng rng(55);
+  for (const auto& q : config_matrix()) {
+    const std::int64_t rows = rng.uniform_int(1, 40);
+    const std::int64_t cols = rng.uniform_int(1, 12);
+    const LogicalXbar xb(rows, cols, random_weights(rng, rows * cols, q), q);
+    // Brute-force worst-case one-plane column sum from the level accessors.
+    std::int64_t worst = 0;
+    for (std::int64_t c = 0; c < cols; ++c)
+      for (int s = 0; s < q.slices(); ++s) {
+        std::int64_t sum = 0;
+        for (std::int64_t r = 0; r < rows; ++r) sum += xb.level(r, c, s);
+        worst = std::max(worst, sum);
+      }
+    const int expected = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+    EXPECT_EQ(xb.lossless_adc_bits(), expected);
+  }
+}
+
+/// Threaded design runs must be bit-exact vs serial: identical output
+/// tensors and identical RunStats for every design and both MVM paths.
+TEST(FastPathEquivalence, ThreadedDesignRunsMatchSerial) {
+  Rng rng(2025);
+  workloads::GeneratorOptions opts;
+  opts.max_spatial = 6;
+  opts.max_kernel = 5;
+  opts.max_channels = 3;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto spec = workloads::random_layer(rng, opts);
+    const auto input = workloads::make_input(spec, rng, 1, 7);
+    const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+    for (const bool bit_accurate : {false, true}) {
+      for (const auto kind : {core::DesignKind::kZeroPadding, core::DesignKind::kPaddingFree,
+                              core::DesignKind::kRed}) {
+        arch::DesignConfig serial_cfg;
+        serial_cfg.bit_accurate = bit_accurate;
+        arch::DesignConfig par_cfg = serial_cfg;
+        par_cfg.threads = 4;
+
+        arch::RunStats serial_stats, par_stats;
+        const auto serial_out =
+            core::make_design(kind, serial_cfg)->run(spec, input, kernel, &serial_stats);
+        const auto par_out =
+            core::make_design(kind, par_cfg)->run(spec, input, kernel, &par_stats);
+        EXPECT_EQ(par_out, serial_out) << spec.name;
+        EXPECT_EQ(par_stats, serial_stats) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(FastPathEquivalence, ParallelNetworkSimulationMatchesSerial) {
+  const auto stack = workloads::sngan_generator(/*channel_div=*/32);
+  Rng rng(7);
+  std::vector<Tensor<std::int32_t>> inputs, kernels;
+  for (const auto& layer : stack) {
+    inputs.push_back(workloads::make_input(layer, rng, 1, 7));
+    kernels.push_back(workloads::make_kernel(layer, rng, -7, 7));
+  }
+  const auto design = core::make_design(core::DesignKind::kRed);
+  const auto serial = sim::simulate_network(*design, stack, inputs, kernels, true, 1);
+  const auto parallel = sim::simulate_network(*design, stack, inputs, kernels, true, 4);
+  ASSERT_EQ(parallel.layers.size(), serial.layers.size());
+  for (std::size_t i = 0; i < serial.layers.size(); ++i) {
+    EXPECT_EQ(parallel.layers[i].output, serial.layers[i].output);
+    EXPECT_EQ(parallel.layers[i].measured, serial.layers[i].measured);
+  }
+  EXPECT_EQ(parallel.total, serial.total);
+}
+
+TEST(FastPathEquivalence, ParallelPipelineEvaluationMatchesSerial) {
+  const auto stack = workloads::dcgan_generator();
+  for (const auto kind : {core::DesignKind::kZeroPadding, core::DesignKind::kPaddingFree,
+                          core::DesignKind::kRed}) {
+    const auto serial = sim::evaluate_pipeline(kind, stack, {}, 1);
+    const auto parallel = sim::evaluate_pipeline(kind, stack, {}, 4);
+    EXPECT_EQ(parallel.sequential_latency.value(), serial.sequential_latency.value());
+    EXPECT_EQ(parallel.initiation_interval.value(), serial.initiation_interval.value());
+    EXPECT_EQ(parallel.energy_per_image.value(), serial.energy_per_image.value());
+    EXPECT_EQ(parallel.total_area.value(), serial.total_area.value());
+    EXPECT_EQ(parallel.buffer_bits, serial.buffer_bits);
+    ASSERT_EQ(parallel.stages.size(), serial.stages.size());
+    for (std::size_t i = 0; i < serial.stages.size(); ++i)
+      EXPECT_EQ(parallel.stages[i].cost.total_latency().value(),
+                serial.stages[i].cost.total_latency().value());
+  }
+}
+
+TEST(FastPathEquivalence, ThreadPoolRunsEveryIndexOnceAndPropagatesErrors) {
+  perf::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<int> hits(257, 0);
+  pool.parallel_for(257, [&](std::int64_t i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::int64_t i) {
+                                   if (i == 7) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+
+  // Nested use (layer-parallel outer, tile-parallel inner) must not deadlock.
+  std::vector<std::vector<int>> nested(8, std::vector<int>(33, 0));
+  pool.parallel_for(8, [&](std::int64_t outer) {
+    pool.parallel_for(33, [&](std::int64_t inner) {
+      ++nested[static_cast<std::size_t>(outer)][static_cast<std::size_t>(inner)];
+    });
+  });
+  for (const auto& row : nested)
+    for (int h : row) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace red

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Run the simulator micro-benchmarks and emit BENCH_mvm.json (Google
+# Benchmark JSON) with the before/after MVM kernel pairs. See
+# docs/PERFORMANCE.md for how to read the report.
+#
+# Usage: tools/run_bench.sh [--quick] [build_dir] [output.json]
+#   --quick    one-iteration smoke run (what the bench_smoke CTest label uses)
+set -eu
+
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  quick=1
+  shift
+fi
+build_dir="${1:-build}"
+out="${2:-BENCH_mvm.json}"
+
+if [ ! -x "${build_dir}/bench_micro_simulator" ]; then
+  echo "error: ${build_dir}/bench_micro_simulator not found." >&2
+  echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+min_time_flag=""
+if [ "${quick}" = "1" ]; then
+  min_time_flag="--benchmark_min_time=0.001"
+fi
+
+"${build_dir}/bench_micro_simulator" \
+  --benchmark_filter='BM_Mvm|BM_SimulateNetwork' \
+  ${min_time_flag} \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json
+
+echo ""
+echo "Wrote ${out}"
+echo "Before/after pairs: BM_MvmBitAccurateReference vs BM_MvmBitAccurate,"
+echo "BM_MvmClippedReference vs BM_MvmClipped, BM_SimulateNetwork/1 vs /4."
