@@ -4,13 +4,16 @@
 // contrast) and reports sub-crossbar count, cycles, latency, energy, and
 // area. The paper's chosen point (128 sub-arrays, 2 cycles) should sit on
 // the knee: half the sub-crossbars of fold 1 for only 2x the cycle count.
+// The grid (folds x layers, plus the per-layer zero-padding baseline)
+// evaluates through the explore::SweepDriver, so the points of each table
+// run in parallel on the thread pool.
 #include <iostream>
 
 #include "bench_util.h"
 #include "red/common/string_util.h"
 #include "red/common/table.h"
-#include "red/core/designs.h"
 #include "red/core/red_design.h"
+#include "red/explore/sweep.h"
 #include "red/workloads/benchmarks.h"
 
 int main() {
@@ -18,22 +21,34 @@ int main() {
   bench::print_header("Ablation: area-efficient fold factor (Sec. III-C, Eq. 2)",
                       "stride 8 / kernel 16x16 -> 128 sub-arrays in 2 cycles");
 
+  const int folds[] = {1, 2, 4, 8};
+  explore::SweepDriver driver(/*threads=*/4);
   for (const auto& spec : {workloads::fcn_deconv2(), workloads::gan_deconv1()}) {
     bench::print_section(spec.name);
     TextTable t({"fold", "sub-crossbars", "decoder rows", "cycles", "latency (us)",
                  "energy (uJ)", "area (mm^2)", "speedup vs ZP"});
-    arch::DesignConfig zp_cfg;
-    const double zp_lat =
-        core::make_design(core::DesignKind::kZeroPadding, zp_cfg)->cost(spec).total_latency()
-            .value();
-    for (int fold : {1, 2, 4, 8}) {
-      arch::DesignConfig cfg;
-      cfg.red_fold = fold;
-      const core::RedDesign red(cfg);
-      const auto a = red.activity(spec);
-      const auto r = red.cost(spec);
-      t.add_row({std::to_string(fold), std::to_string(a.sc_units), std::to_string(a.dec_rows),
-                 std::to_string(a.cycles), format_double(r.total_latency().value() / 1e3, 2),
+    std::vector<explore::SweepPoint> grid;
+    {
+      explore::SweepPoint zp;
+      zp.kind = core::DesignKind::kZeroPadding;
+      zp.spec = spec;
+      grid.push_back(zp);
+    }
+    for (int fold : folds) {
+      explore::SweepPoint p;
+      p.kind = core::DesignKind::kRed;
+      p.cfg.red_fold = fold;
+      p.spec = spec;
+      grid.push_back(p);
+    }
+    const auto outcomes = driver.evaluate(grid);
+    const double zp_lat = outcomes[0].cost.total_latency().value();
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+      const auto& a = outcomes[i].activity;
+      const auto& r = outcomes[i].cost;
+      t.add_row({std::to_string(folds[i - 1]), std::to_string(a.sc_units),
+                 std::to_string(a.dec_rows), std::to_string(a.cycles),
+                 format_double(r.total_latency().value() / 1e3, 2),
                  format_double(r.total_energy().value() / 1e6, 3),
                  format_double(r.total_area().value() / 1e6, 4),
                  format_speedup(zp_lat / r.total_latency().value())});

@@ -2,34 +2,64 @@
 // assumption): solves the resistive network and reports the column-current
 // error, justifying the bounded-subarray tiling (128x128) used by the
 // physical deployment model.
+//
+// Default solver is the ADI line-relaxation fast path (perf/analog_kernel.h);
+// --reference switches back to the point-SOR oracle. Thread scaling of the
+// line solves and the swept array sizes are CLI-controllable:
+//
+//   bench_ablation_irdrop [--sides 32,64,128] [--rwires 0.5,1.0,2.0]
+//                         [--threads N] [--reference]
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.h"
+#include "red/common/flags.h"
 #include "red/common/rng.h"
 #include "red/common/string_util.h"
 #include "red/common/table.h"
+#include "red/perf/analog_kernel.h"
 #include "red/xbar/analog.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace red;
+  const Flags flags = Flags::parse(argc - 1, argv + 1);
+  const int threads = static_cast<int>(flags.get_int("threads", 1));
+  const bool reference = flags.get_bool("reference");
+  const auto sides = parse_int_list(flags.get_string("sides", "32,64,128"), "sides");
+  const auto rwires = parse_double_list(flags.get_string("rwires", "0.5,1.0,2.0"), "rwires");
+
   bench::print_header("Ablation: analog IR drop vs crossbar size",
                       "extension — why physical subarrays stay near 128x128");
+  std::cout << "solver: "
+            << (reference ? "reference point-SOR (single-threaded)"
+                          : "ADI line relaxation, threads " + std::to_string(threads))
+            << "\n";
 
   Rng rng(12);
+  perf::AnalogWorkspace ws;
   bench::print_section("worst/mean column-current error (random 2-bit pattern, all rows on)");
-  TextTable t({"array", "r_wire (ohm)", "worst err", "mean err", "iterations"});
-  for (std::int64_t side : {32, 64, 128}) {
+  TextTable t({"array", "r_wire (ohm)", "worst err", "mean err", "sweeps", "solve (ms)"});
+  for (std::int64_t side : sides) {
     std::vector<std::uint8_t> levels(static_cast<std::size_t>(side * side));
     for (auto& l : levels) l = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
     std::vector<std::uint8_t> inputs(static_cast<std::size_t>(side), 1);
-    for (double rw : {0.5, 1.0, 2.0}) {
+    for (double rw : rwires) {
       xbar::AnalogConfig cfg;
       cfg.r_wire_ohm = rw;
-      const auto r = xbar::solve_crossbar_read(levels, side, side, 3, inputs, cfg);
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto r = reference
+                         ? xbar::solve_crossbar_read(levels, side, side, 3, inputs, cfg)
+                         : perf::solve_crossbar_read_fast(levels, side, side, 3, inputs, cfg,
+                                                          ws, threads);
+      const double ms =
+          std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+              .count();
       t.add_row({std::to_string(side) + "x" + std::to_string(side), format_double(rw, 1),
                  format_percent(r.worst_relative_error(), 2),
                  format_percent(r.mean_relative_error(), 2),
-                 std::to_string(r.iterations) + (r.converged ? "" : " (not converged)")});
+                 std::to_string(r.iterations) + (r.converged ? "" : " (not converged)"),
+                 format_double(ms, 3)});
     }
   }
   std::cout << t.to_ascii();

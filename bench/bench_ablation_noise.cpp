@@ -1,19 +1,34 @@
 // Ablation — device non-idealities (beyond the paper, which assumes ideal
 // cells): output error of the RED data flow vs programming noise, stuck-at
 // fault rate, and ADC resolution.
+//
+// The per-seed sweeps run through the Monte Carlo variation engine
+// (sim/montecarlo.h): the clean design is programmed once, trials reprogram
+// only the variation deltas and fan out across the thread pool, and the
+// engine surfaces the real VariationStats (perturbed / stuck cell counts)
+// of every trial's programmed crossbars.
+//
+// Flags: --trials N (default 5)  --threads N (default 4)  --smoke (tiny grid)
 #include <iostream>
 
 #include "bench_util.h"
+#include "red/common/flags.h"
 #include "red/common/rng.h"
 #include "red/common/string_util.h"
 #include "red/common/table.h"
 #include "red/core/designs.h"
 #include "red/nn/deconv_reference.h"
+#include "red/sim/montecarlo.h"
 #include "red/tensor/tensor_ops.h"
 #include "red/workloads/generator.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace red;
+  const Flags flags = Flags::parse(argc - 1, argv + 1);
+  const bool smoke = flags.get_bool("smoke");
+  const int trials = static_cast<int>(flags.get_int("trials", smoke ? 2 : 5));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+
   bench::print_header("Ablation: device variation / faults / ADC resolution",
                       "extension — the paper assumes ideal devices");
 
@@ -23,53 +38,64 @@ int main() {
   const auto kernel = workloads::make_kernel(spec, rng, -30, 30);
   const auto golden = nn::deconv_reference(spec, input, kernel);
 
-  bench::print_section("programming noise (level sigma), RED, normalized RMSE over 5 seeds");
+  sim::MonteCarloOptions opts;
+  opts.trials = trials;
+  opts.base_seed = 1;
+  opts.threads = threads;
+
+  bench::print_section("programming noise (level sigma), RED, normalized RMSE over " +
+                       std::to_string(trials) + " trials");
   {
-    TextTable t({"sigma", "NRMSE", "perturbed cells"});
-    for (double sigma : {0.0, 0.1, 0.2, 0.4, 0.8, 1.6}) {
-      double err = 0;
-      std::int64_t perturbed = 0;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        arch::DesignConfig cfg;
-        cfg.quant.variation.level_sigma = sigma;
-        cfg.quant.variation.seed = seed;
-        const auto red = core::make_design(core::DesignKind::kRed, cfg);
-        err += normalized_rmse(golden, red->run(spec, input, kernel)) / 5.0;
-        (void)perturbed;
-      }
-      t.add_row({format_double(sigma, 2), format_percent(err, 2), sigma == 0.0 ? "0" : "-"});
+    TextTable t({"sigma", "NRMSE", "perturbed cells/trial", "of cells"});
+    const std::vector<double> sigmas =
+        smoke ? std::vector<double>{0.0, 0.4} : std::vector<double>{0.0, 0.1, 0.2, 0.4, 0.8, 1.6};
+    std::vector<xbar::VariationModel> grid;
+    for (double sigma : sigmas) {
+      xbar::VariationModel var;
+      var.level_sigma = sigma;
+      grid.push_back(var);
+    }
+    const auto sweep = sim::run_monte_carlo_grid(core::DesignKind::kRed, {}, grid, spec,
+                                                 input, kernel, golden, opts);
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+      const auto& mc = sweep[i];
+      const auto cells_per_trial =
+          static_cast<double>(mc.variation_total().cells) / static_cast<double>(trials);
+      t.add_row({format_double(sigmas[i], 2), format_percent(mc.mean_nrmse(), 2),
+                 format_double(mc.mean_perturbed_cells(), 1),
+                 format_percent(mc.mean_perturbed_cells() / cells_per_trial, 1)});
     }
     std::cout << t.to_ascii();
   }
 
-  bench::print_section("stuck-at fault rate, RED vs zero-padding (same devices)");
+  bench::print_section("stuck-at fault rate, RED vs zero-padding (same fault process)");
   {
-    TextTable t({"fault rate", "RED NRMSE", "ZP NRMSE"});
-    for (double rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
-      double err_red = 0, err_zp = 0;
-      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-        arch::DesignConfig cfg;
-        cfg.quant.variation.stuck_at_rate = rate;
-        cfg.quant.variation.seed = seed;
-        err_red += normalized_rmse(golden,
-                                   core::make_design(core::DesignKind::kRed, cfg)
-                                       ->run(spec, input, kernel)) /
-                   5.0;
-        err_zp += normalized_rmse(golden,
-                                  core::make_design(core::DesignKind::kZeroPadding, cfg)
-                                      ->run(spec, input, kernel)) /
-                  5.0;
-      }
-      t.add_row({format_percent(rate, 1), format_percent(err_red, 2),
-                 format_percent(err_zp, 2)});
+    TextTable t({"fault rate", "RED NRMSE", "ZP NRMSE", "RED stuck cells/trial"});
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{0.0, 0.01} : std::vector<double>{0.0, 0.001, 0.01, 0.05, 0.1};
+    std::vector<xbar::VariationModel> grid;
+    for (double rate : rates) {
+      xbar::VariationModel var;
+      var.stuck_at_rate = rate;
+      grid.push_back(var);
     }
+    const auto red = sim::run_monte_carlo_grid(core::DesignKind::kRed, {}, grid, spec, input,
+                                               kernel, golden, opts);
+    const auto zp = sim::run_monte_carlo_grid(core::DesignKind::kZeroPadding, {}, grid, spec,
+                                              input, kernel, golden, opts);
+    for (std::size_t i = 0; i < rates.size(); ++i)
+      t.add_row({format_percent(rates[i], 1), format_percent(red[i].mean_nrmse(), 2),
+                 format_percent(zp[i].mean_nrmse(), 2),
+                 format_double(red[i].mean_stuck_cells(), 1)});
     std::cout << t.to_ascii();
   }
 
   bench::print_section("clipped ADC resolution (bit-accurate path), RED");
   {
     TextTable t({"ADC bits", "NRMSE", "exact?"});
-    for (int bits : {4, 5, 6, 7, 8, 9, 10}) {
+    const std::vector<int> bit_grid =
+        smoke ? std::vector<int>{5, 8} : std::vector<int>{4, 5, 6, 7, 8, 9, 10};
+    for (int bits : bit_grid) {
       arch::DesignConfig cfg;
       cfg.bit_accurate = true;
       cfg.quant.adc = {xbar::AdcMode::kClipped, bits};

@@ -1,21 +1,38 @@
 // Design-space exploration: the Sec. III-C area/parallelism trade-off as a
 // Pareto sweep over the fold factor and mux ratio for FCN_Deconv2.
 //
-// Demonstrates using the cost model programmatically to pick a configuration
-// under an area budget (the paper picks fold 2 = 128 sub-arrays).
+// Demonstrates the explore::SweepDriver — the full grid evaluates in
+// parallel on the thread pool, and the follow-up sweep around the chosen
+// point is served from the driver's memo — and using the cost model
+// programmatically to pick a configuration under an area budget (the paper
+// picks fold 2 = 128 sub-arrays).
 #include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "red/common/string_util.h"
 #include "red/common/table.h"
-#include "red/core/red_design.h"
+#include "red/explore/sweep.h"
 #include "red/workloads/benchmarks.h"
 
 int main() {
   using namespace red;
   const auto layer = workloads::fcn_deconv2();
   std::cout << "Design space for " << layer.to_string() << "\n\n";
+
+  std::vector<explore::SweepPoint> grid;
+  for (int fold : {1, 2, 4, 8}) {
+    for (int mux : {4, 8, 16}) {
+      explore::SweepPoint p;
+      p.kind = core::DesignKind::kRed;
+      p.cfg.red_fold = fold;
+      p.cfg.mux_ratio = mux;
+      p.spec = layer;
+      grid.push_back(p);
+    }
+  }
+  explore::SweepDriver driver(/*threads=*/4);
+  const auto outcomes = driver.evaluate(grid);
 
   struct Point {
     int fold;
@@ -26,18 +43,11 @@ int main() {
     std::int64_t sub_arrays;
   };
   std::vector<Point> points;
-  for (int fold : {1, 2, 4, 8}) {
-    for (int mux : {4, 8, 16}) {
-      arch::DesignConfig cfg;
-      cfg.red_fold = fold;
-      cfg.mux_ratio = mux;
-      const core::RedDesign red(cfg);
-      const auto cost = red.cost(layer);
-      const auto act = red.activity(layer);
-      points.push_back({fold, mux, cost.total_latency().value() / 1e3,
-                        cost.total_energy().value() / 1e6, cost.total_area().value() / 1e6,
-                        act.sc_units});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& cost = outcomes[i].cost;
+    points.push_back({grid[i].cfg.red_fold, grid[i].cfg.mux_ratio,
+                      cost.total_latency().value() / 1e3, cost.total_energy().value() / 1e6,
+                      cost.total_area().value() / 1e6, outcomes[i].activity.sc_units});
   }
 
   TextTable t({"fold", "mux", "sub-arrays", "latency (us)", "energy (uJ)", "area (mm^2)",
@@ -58,9 +68,29 @@ int main() {
   const Point* best = nullptr;
   for (const auto& p : points)
     if (p.sub_arrays <= 128 && (best == nullptr || p.latency_us < best->latency_us)) best = &p;
-  if (best != nullptr)
+  if (best != nullptr) {
     std::cout << "\nFastest config within the paper's 128-sub-array budget: fold " << best->fold
               << ", mux " << best->mux << " -> " << format_double(best->latency_us, 1)
               << " us, " << format_double(best->area_mm2, 4) << " mm^2\n";
+
+    // Zoom into the chosen fold: the mux sub-sweep overlaps the full grid,
+    // so the driver serves it entirely from the memo.
+    std::vector<explore::SweepPoint> zoom;
+    for (int mux : {4, 8, 16}) {
+      explore::SweepPoint p;
+      p.kind = core::DesignKind::kRed;
+      p.cfg.red_fold = best->fold;
+      p.cfg.mux_ratio = mux;
+      p.spec = layer;
+      zoom.push_back(p);
+    }
+    std::cout << "\nmux sub-sweep at fold " << best->fold << ":";
+    for (const auto& o : driver.evaluate(zoom))
+      std::cout << " " << format_double(o.cost.total_latency().value() / 1e3, 1) << "us"
+                << (o.from_cache ? " (cached)" : "");
+    std::cout << '\n';
+  }
+  std::cout << "sweep: " << driver.stats().evaluated << " evaluated, "
+            << driver.stats().cache_hits << " served from cache\n";
   return 0;
 }

@@ -18,6 +18,13 @@ void DesignConfig::validate() const {
 
 Design::Design(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
 
+std::unique_ptr<ProgrammedLayer> Design::program(const nn::DeconvLayerSpec& spec,
+                                                 const Tensor<std::int32_t>& kernel) const {
+  (void)spec;
+  (void)kernel;
+  return nullptr;  // no programmed fast path; callers fall back to run()
+}
+
 CostReport Design::cost(const nn::DeconvLayerSpec& spec) const {
   const LayerActivity act = activity(spec);
   return compute_cost(cfg_.tiled ? apply_tiling(act, cfg_) : act, cfg_);

@@ -65,6 +65,41 @@ struct RunStats {
   friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
+/// A layer whose crossbars are already programmed. Splits Design::run into a
+/// pay-once phase (weight extraction, scheduling, cell-level encoding) and a
+/// repeatable execution phase, so statistical sweeps stop rebuilding and
+/// reprogramming the design per trial. perturbed() reprograms only the
+/// device-variation deltas on the clean cell levels using the accelerated
+/// sampler (LogicalXbar's FastDeltaTag constructor): the exact variation law
+/// of from-scratch programming, deterministic in the seed and thread-count
+/// invariant, sampled sparsely instead of per-cell-normal-variate.
+/// Instances are immutable after construction: run() is const and safe to
+/// call from concurrent trials (distinct instances; the shared input-binding
+/// cache is internally synchronized).
+class ProgrammedLayer {
+ public:
+  virtual ~ProgrammedLayer() = default;
+
+  ProgrammedLayer(const ProgrammedLayer&) = delete;
+  ProgrammedLayer& operator=(const ProgrammedLayer&) = delete;
+
+  /// Execute on the programmed crossbars. Outputs and RunStats are
+  /// bit-identical to Design::run(spec, input, kernel, stats).
+  [[nodiscard]] virtual Tensor<std::int32_t> run(const Tensor<std::int32_t>& input,
+                                                 RunStats* stats = nullptr) const = 0;
+
+  /// Sibling layer with `var` applied to the clean programmed levels. Only
+  /// valid on a variation-free instance (the one Design::program returns).
+  [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> perturbed(
+      const xbar::VariationModel& var) const = 0;
+
+  /// What the variation model did to this instance's crossbars (summed).
+  [[nodiscard]] virtual xbar::VariationStats variation_stats() const = 0;
+
+ protected:
+  ProgrammedLayer() = default;
+};
+
 class Design {
  public:
   explicit Design(DesignConfig cfg);
@@ -86,6 +121,13 @@ class Design {
 
   /// Calibrated cost of this layer (analytic; does not touch tensor data).
   [[nodiscard]] CostReport cost(const nn::DeconvLayerSpec& spec) const;
+
+  /// Program the layer's crossbars once for repeated execution / Monte Carlo
+  /// re-perturbation. Returns nullptr when the design has no programmed fast
+  /// path (callers fall back to per-trial run()). The config's own variation
+  /// model must be disabled — trials inject variation via perturbed().
+  [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> program(
+      const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const;
 
   [[nodiscard]] const DesignConfig& config() const { return cfg_; }
 

@@ -22,6 +22,12 @@ class ZeroPaddingDesign final : public Design {
                                          const Tensor<std::int32_t>& input,
                                          const Tensor<std::int32_t>& kernel,
                                          RunStats* stats = nullptr) const override;
+
+  /// Programmed fast path: the rotated-kernel macro built once; repeated runs
+  /// reuse it (and a cached padded-window binding), Monte Carlo trials
+  /// reprogram only the variation deltas. Bit-identical to run().
+  [[nodiscard]] std::unique_ptr<ProgrammedLayer> program(
+      const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const override;
 };
 
 }  // namespace red::arch

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "red/common/contracts.h"
+#include "red/common/error.h"
 
 namespace red {
 
@@ -38,6 +40,51 @@ std::string join(const std::vector<std::string>& parts, const std::string& sep) 
     out += parts[i];
   }
   return out;
+}
+
+namespace {
+
+template <typename T, typename Parse>
+std::vector<T> parse_list(const std::string& s, const std::string& flag, Parse&& parse) {
+  std::vector<T> values;
+  for (const auto& token : split(s, ',')) {
+    try {
+      std::size_t consumed = 0;
+      values.push_back(parse(token, &consumed));
+      if (consumed != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      throw ConfigError("--" + flag + ": '" + token + "' is not a number");
+    }
+  }
+  if (values.empty()) throw ConfigError("--" + flag + " must be a non-empty list");
+  return values;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> parse_int_list(const std::string& s, const std::string& flag) {
+  return parse_list<std::int64_t>(
+      s, flag, [](const std::string& t, std::size_t* n) { return std::stoll(t, n); });
+}
+
+std::vector<double> parse_double_list(const std::string& s, const std::string& flag) {
+  return parse_list<double>(
+      s, flag, [](const std::string& t, std::size_t* n) { return std::stod(t, n); });
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string token;
+  for (char ch : s) {
+    if (ch == sep) {
+      if (!token.empty()) parts.push_back(std::move(token));
+      token.clear();
+    } else {
+      token += ch;
+    }
+  }
+  if (!token.empty()) parts.push_back(std::move(token));
+  return parts;
 }
 
 }  // namespace red

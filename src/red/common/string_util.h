@@ -1,6 +1,7 @@
 // String formatting helpers for reports and benches.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,5 +22,18 @@ namespace red {
 
 /// Join strings with a separator.
 [[nodiscard]] std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Split on a separator character; empty tokens are dropped ("1,,2" -> {"1","2"}).
+[[nodiscard]] std::vector<std::string> split(const std::string& s, char sep);
+
+/// Parse a comma-separated integer list, e.g. "32,64,128". Throws ConfigError
+/// (naming `flag`) when the list is empty or a token is not a number.
+[[nodiscard]] std::vector<std::int64_t> parse_int_list(const std::string& s,
+                                                       const std::string& flag);
+
+/// Parse a comma-separated double list, e.g. "0.5,1.0,2.0". Throws
+/// ConfigError (naming `flag`) when the list is empty or a token is invalid.
+[[nodiscard]] std::vector<double> parse_double_list(const std::string& s,
+                                                    const std::string& flag);
 
 }  // namespace red

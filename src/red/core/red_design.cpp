@@ -1,6 +1,9 @@
 #include "red/core/red_design.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "red/common/contracts.h"
@@ -12,6 +15,171 @@
 #include "red/perf/workspace.h"
 
 namespace red::core {
+
+namespace {
+
+// One logical crossbar per mode group: the group's sub-crossbars stacked on
+// shared bitlines (vertical sum-up), C rows each, M logical columns.
+std::vector<xbar::LogicalXbar> build_group_xbars(const nn::DeconvLayerSpec& spec,
+                                                 const std::vector<ModeGroup>& groups,
+                                                 const Tensor<std::int32_t>& kernel,
+                                                 const xbar::QuantConfig& quant) {
+  const SubCrossbarTensor sct(spec, kernel);
+  std::vector<xbar::LogicalXbar> xbars;
+  xbars.reserve(groups.size());
+  for (const auto& g : groups) {
+    std::vector<std::int32_t> w;
+    w.reserve(g.scs.size() * static_cast<std::size_t>(spec.c) * spec.m);
+    for (const auto& sc : g.scs) {
+      const auto& blk = sct.sc_weights(sc);
+      w.insert(w.end(), blk.begin(), blk.end());
+    }
+    xbars.emplace_back(static_cast<std::int64_t>(g.scs.size()) * spec.c, spec.m, w, quant);
+  }
+  return xbars;
+}
+
+// Trial-invariant half of the programmed fast path: config, schedule, and a
+// cached binding of one input tensor to per-group batched cycle inputs plus
+// per-cycle output placement. Shared (const) across every perturbed sibling,
+// so Monte Carlo trials pay the schedule walk and input gather exactly once.
+struct RedProgram {
+  struct CycleMeta {
+    std::int32_t out_y = 0;
+    std::int32_t out_x = 0;
+    bool produces_output = false;
+  };
+
+  struct BoundInput {
+    Tensor<std::int32_t> input;  ///< the bound tensor (cache validity check)
+    std::vector<std::vector<std::int32_t>> group_inputs;  ///< [group]: cycles x rows
+    std::vector<std::vector<CycleMeta>> group_meta;       ///< [group][cycle]
+  };
+
+  arch::DesignConfig cfg;
+  nn::DeconvLayerSpec spec;
+  ZeroSkipSchedule schedule;
+  mutable std::mutex mu;
+  mutable std::shared_ptr<const BoundInput> bound;
+
+  RedProgram(arch::DesignConfig c, const nn::DeconvLayerSpec& s, int fold)
+      : cfg(std::move(c)), spec(s), schedule(s, fold) {}
+
+  /// Gather the per-cycle group inputs of `input` (or return the cached
+  /// binding when it is the same tensor). Serialized: concurrent first
+  /// callers wait while one builds.
+  std::shared_ptr<const BoundInput> bind(const Tensor<std::int32_t>& input) const {
+    std::lock_guard<std::mutex> lock(mu);
+    if (bound != nullptr && bound->input == input) return bound;
+    auto b = std::make_shared<BoundInput>();
+    b->input = input;
+    const auto& groups = schedule.groups();
+    const std::int64_t num_cycles = schedule.num_cycles();
+    b->group_inputs.resize(groups.size());
+    b->group_meta.resize(groups.size());
+    GroupWork work;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::int64_t rows = static_cast<std::int64_t>(groups[gi].scs.size()) * spec.c;
+      auto& gin = b->group_inputs[gi];
+      gin.assign(static_cast<std::size_t>(num_cycles * rows), 0);
+      auto& gm = b->group_meta[gi];
+      gm.resize(static_cast<std::size_t>(num_cycles));
+      for (std::int64_t ci = 0; ci < num_cycles; ++ci) {
+        schedule.group_work(ci, static_cast<int>(gi), work);
+        std::int32_t* dst = gin.data() + ci * rows;
+        for (const auto& in : work.inputs) {
+          if (!in.active) continue;  // zero-skip: padded zeros are never streamed
+          for (int c = 0; c < spec.c; ++c)
+            dst[static_cast<std::size_t>(in.sc_index) * spec.c + static_cast<std::size_t>(c)] =
+                input.ptr(0, c)[std::int64_t{in.h} * spec.iw + in.w];
+        }
+        gm[static_cast<std::size_t>(ci)] = {work.out_y, work.out_x, work.produces_output};
+      }
+    }
+    bound = b;
+    return b;
+  }
+};
+
+class RedProgrammedLayer final : public arch::ProgrammedLayer {
+ public:
+  RedProgrammedLayer(std::shared_ptr<const RedProgram> prog,
+                     std::vector<xbar::LogicalXbar> xbars)
+      : prog_(std::move(prog)), xbars_(std::move(xbars)) {}
+
+  Tensor<std::int32_t> run(const Tensor<std::int32_t>& input,
+                           arch::RunStats* stats) const override {
+    const auto& spec = prog_->spec;
+    RED_EXPECTS(input.shape() == spec.input_shape());
+    const auto bound = prog_->bind(input);
+    const auto& schedule = prog_->schedule;
+    const std::int64_t num_cycles = schedule.num_cycles();
+    const int num_groups = static_cast<int>(schedule.groups().size());
+    const std::int64_t out_plane = std::int64_t{spec.oh()} * spec.ow();
+    const int fold = schedule.fold();
+
+    Tensor<std::int32_t> out(spec.output_shape());
+    // Same chunked group walk as RedDesign::run, but each group executes its
+    // whole cycle sequence as one batched MVM over the pre-gathered inputs.
+    const std::int64_t chunks = perf::chunk_count(prog_->cfg.threads, num_groups);
+    std::vector<arch::RunStats> chunk_stats(static_cast<std::size_t>(chunks));
+    perf::parallel_chunks(chunks, num_groups, [&](std::int64_t t, std::int64_t g0,
+                                                  std::int64_t g1) {
+      arch::RunStats& local = chunk_stats[static_cast<std::size_t>(t)];
+      // Thread-local workspace: Monte Carlo trials call run() thousands of
+      // times, so the per-call construction cost matters here (unlike the
+      // one-shot RedDesign::run).
+      thread_local perf::MvmWorkspace ws;
+      std::vector<std::int64_t> group_acc(static_cast<std::size_t>(spec.m));
+      for (std::int64_t gi = g0; gi < g1; ++gi) {
+        const auto partials =
+            xbars_[static_cast<std::size_t>(gi)].mvm_batch(bound->group_inputs[static_cast<std::size_t>(gi)],
+                                                           num_cycles, prog_->cfg.bit_accurate,
+                                                           ws, &local.mvm);
+        for (std::int64_t ci = 0; ci < num_cycles; ++ci) {
+          if (ci % fold == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
+          const std::int64_t* p = partials.data() + ci * spec.m;
+          for (int m = 0; m < spec.m; ++m) group_acc[static_cast<std::size_t>(m)] += p[m];
+          const auto& meta = bound->group_meta[static_cast<std::size_t>(gi)]
+                                             [static_cast<std::size_t>(ci)];
+          if (meta.produces_output)
+            for (int m = 0; m < spec.m; ++m)
+              out.data()[m * out_plane + std::int64_t{meta.out_y} * spec.ow() + meta.out_x] =
+                  static_cast<std::int32_t>(group_acc[static_cast<std::size_t>(m)]);
+        }
+      }
+    });
+    arch::RunStats local;
+    for (const auto& cs : chunk_stats) local += cs;
+    local.cycles = num_cycles;  // cycles are a schedule property, counted once
+    if (stats != nullptr) *stats = local;
+    return out;
+  }
+
+  std::unique_ptr<arch::ProgrammedLayer> perturbed(
+      const xbar::VariationModel& var) const override {
+    std::vector<xbar::LogicalXbar> perturbed_xbars;
+    perturbed_xbars.reserve(xbars_.size());
+    for (const auto& xb : xbars_) perturbed_xbars.emplace_back(xb, var, xbar::FastDeltaTag{});
+    return std::make_unique<RedProgrammedLayer>(prog_, std::move(perturbed_xbars));
+  }
+
+  xbar::VariationStats variation_stats() const override {
+    xbar::VariationStats total;
+    for (const auto& xb : xbars_) {
+      total.cells += xb.variation_stats().cells;
+      total.perturbed_cells += xb.variation_stats().perturbed_cells;
+      total.stuck_cells += xb.variation_stats().stuck_cells;
+    }
+    return total;
+  }
+
+ private:
+  std::shared_ptr<const RedProgram> prog_;
+  std::vector<xbar::LogicalXbar> xbars_;
+};
+
+}  // namespace
 
 int RedDesign::fold_for(const nn::DeconvLayerSpec& spec) const {
   if (cfg_.red_fold > 0) return cfg_.red_fold;
@@ -72,22 +240,8 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
 
   const ZeroSkipSchedule schedule(spec, fold_for(spec));
   const auto& groups = schedule.groups();
-  const SubCrossbarTensor sct(spec, kernel);
-
-  // One logical crossbar per mode group: the group's sub-crossbars stacked on
-  // shared bitlines (vertical sum-up), C rows each, M logical columns.
-  std::vector<xbar::LogicalXbar> group_xbars;
-  group_xbars.reserve(groups.size());
-  for (const auto& g : groups) {
-    std::vector<std::int32_t> w;
-    w.reserve(g.scs.size() * static_cast<std::size_t>(spec.c) * spec.m);
-    for (const auto& sc : g.scs) {
-      const auto& blk = sct.sc_weights(sc);
-      w.insert(w.end(), blk.begin(), blk.end());
-    }
-    group_xbars.emplace_back(static_cast<std::int64_t>(g.scs.size()) * spec.c, spec.m, w,
-                             cfg_.quant);
-  }
+  const std::vector<xbar::LogicalXbar> group_xbars =
+      build_group_xbars(spec, groups, kernel, cfg_.quant);
 
   Tensor<std::int32_t> out(spec.output_shape());
   const std::int64_t num_cycles = schedule.num_cycles();
@@ -141,6 +295,17 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
   local.cycles = num_cycles;  // cycles are a schedule property, counted once
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+std::unique_ptr<arch::ProgrammedLayer> RedDesign::program(
+    const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const {
+  spec.validate();
+  RED_EXPECTS(kernel.shape() == spec.kernel_shape());
+  RED_EXPECTS_MSG(!cfg_.quant.variation.enabled(),
+                  "program() takes a clean config; inject variation via perturbed()");
+  auto prog = std::make_shared<RedProgram>(cfg_, spec, fold_for(spec));
+  auto xbars = build_group_xbars(spec, prog->schedule.groups(), kernel, cfg_.quant);
+  return std::make_unique<RedProgrammedLayer>(std::move(prog), std::move(xbars));
 }
 
 }  // namespace red::core

@@ -29,6 +29,12 @@ class RedDesign final : public arch::Design {
                                          const Tensor<std::int32_t>& kernel,
                                          arch::RunStats* stats = nullptr) const override;
 
+  /// Programmed fast path: schedule + group crossbars built once; repeated
+  /// runs reuse them (and a cached per-cycle input binding), Monte Carlo
+  /// trials reprogram only the variation deltas. Bit-identical to run().
+  [[nodiscard]] std::unique_ptr<arch::ProgrammedLayer> program(
+      const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const override;
+
   /// Fold factor used for this layer (config override or auto).
   [[nodiscard]] int fold_for(const nn::DeconvLayerSpec& spec) const;
 };

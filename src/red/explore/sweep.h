@@ -1,0 +1,76 @@
+// Design-space sweep driver: parallel grid evaluation with memoization.
+//
+// Every exploration surface in this repo — the Pareto sweep in
+// examples/design_space.cpp, the fold/tiling ablation benches, and the
+// red_cli `sweep` command — evaluates a grid of (design kind, DesignConfig,
+// layer) points through the analytic activity and cost models. Those
+// evaluations are pure functions of the point, grids routinely repeat
+// points (baselines re-priced per row, nested sweeps sharing an axis), and
+// the points are independent — the classic shape for memoized parallel
+// dispatch. The driver deduplicates the grid by a structural fingerprint,
+// fans the unique evaluations across the process-wide perf::ThreadPool into
+// per-index slots (deterministic: identical results for any thread count),
+// and serves repeats from a cache that persists across evaluate() calls.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "red/arch/cost_report.h"
+#include "red/arch/design.h"
+#include "red/core/designs.h"
+#include "red/nn/layer.h"
+
+namespace red::explore {
+
+/// One grid point: a design kind and configuration evaluated on one layer.
+struct SweepPoint {
+  core::DesignKind kind = core::DesignKind::kRed;
+  arch::DesignConfig cfg;
+  nn::DeconvLayerSpec spec;
+};
+
+/// Analytic results of one grid point.
+struct SweepOutcome {
+  arch::LayerActivity activity;
+  arch::CostReport cost;
+  bool from_cache = false;  ///< served from the memo instead of evaluated
+};
+
+struct SweepStats {
+  std::int64_t points = 0;      ///< grid points requested in total
+  std::int64_t evaluated = 0;   ///< unique evaluations actually executed
+  std::int64_t cache_hits = 0;  ///< points served from the memo
+};
+
+/// Structural fingerprint of one grid point: design kind, every
+/// result-relevant DesignConfig field (calibration and tech node included;
+/// `threads` excluded — results are thread-invariant), and the layer
+/// geometry (name excluded). Exposed for tests.
+[[nodiscard]] std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
+                                    const nn::DeconvLayerSpec& spec);
+
+class SweepDriver {
+ public:
+  /// `threads` bounds the fan-out of each evaluate() call (1 = serial).
+  explicit SweepDriver(int threads = 1);
+
+  /// Evaluate a grid, one outcome per point in point order. Duplicate points
+  /// (and points seen by earlier evaluate() calls on this driver) are served
+  /// from the memo; the rest run in parallel. Deterministic for any thread
+  /// count.
+  [[nodiscard]] std::vector<SweepOutcome> evaluate(const std::vector<SweepPoint>& grid);
+
+  /// Cumulative counters across evaluate() calls.
+  [[nodiscard]] const SweepStats& stats() const { return stats_; }
+
+ private:
+  int threads_;
+  SweepStats stats_;
+  std::unordered_map<std::string, std::shared_ptr<const SweepOutcome>> cache_;
+};
+
+}  // namespace red::explore

@@ -1,0 +1,150 @@
+#include "red/perf/analog_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "red/perf/thread_pool.h"
+
+namespace red::perf {
+
+namespace {
+
+// Solve one line's tridiagonal system in place: sub/super-diagonal -g_wire,
+// per-node diagonal diag[i], right-hand side rhs[i]. On return rhs holds the
+// solution (diag is destroyed). The system is strictly diagonally dominant
+// (diag exceeds the off-diagonal sum by at least g_cell), so the Thomas
+// algorithm is stable without pivoting.
+void thomas_line(std::int64_t n, double g_wire, double* diag, double* rhs) {
+  double inv = 1.0 / diag[0];
+  rhs[0] *= inv;            // dp[0]
+  diag[0] = -g_wire * inv;  // cp[0]
+  for (std::int64_t i = 1; i < n; ++i) {
+    inv = 1.0 / (diag[i] + g_wire * diag[i - 1]);
+    rhs[i] = (rhs[i] + g_wire * rhs[i - 1]) * inv;
+    diag[i] = -g_wire * inv;
+  }
+  for (std::int64_t i = n - 2; i >= 0; --i) rhs[i] -= diag[i] * rhs[i + 1];
+}
+
+}  // namespace
+
+xbar::AnalogResult solve_crossbar_read_fast(const std::vector<std::uint8_t>& levels,
+                                            std::int64_t rows, std::int64_t cols, int max_level,
+                                            const std::vector<std::uint8_t>& inputs,
+                                            const xbar::AnalogConfig& cfg, AnalogWorkspace& ws,
+                                            int threads) {
+  cfg.validate();
+  RED_EXPECTS(rows >= 1 && cols >= 1 && max_level >= 1);
+  RED_EXPECTS(levels.size() == static_cast<std::size_t>(rows * cols));
+  RED_EXPECTS(inputs.size() == static_cast<std::size_t>(rows));
+  RED_EXPECTS(threads >= 1);
+
+  const std::int64_t row_lanes = chunk_count(threads, rows);
+  const std::int64_t col_lanes = chunk_count(threads, cols);
+  ws.prepare(rows, cols, max_level, std::max(row_lanes, col_lanes));
+
+  // Conductance lookup table: level -> g, computed once per call instead of
+  // re-evaluating the linear map for every one of rows * cols cells.
+  for (int l = 0; l <= max_level; ++l)
+    ws.g_lut[static_cast<std::size_t>(l)] = cfg.level_conductance(l, max_level);
+
+  xbar::AnalogResult result;
+  result.ideal_current_a.assign(static_cast<std::size_t>(cols), 0.0);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (inputs[static_cast<std::size_t>(r)] == 0) continue;
+    const std::uint8_t* lrow = levels.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c)
+      result.ideal_current_a[static_cast<std::size_t>(c)] += cfg.v_read * ws.g_lut[lrow[c]];
+  }
+
+  if (cfg.r_wire_ohm == 0.0) {
+    // No parasitics: the network degenerates to the ideal MVM.
+    result.column_current_a = result.ideal_current_a;
+    result.converged = true;
+    return result;
+  }
+
+  const double g_wire = 1.0 / cfg.r_wire_ohm;
+  double* g_cell = ws.g_cell.data();
+  for (std::size_t i = 0; i < levels.size(); ++i) g_cell[i] = ws.g_lut[levels[i]];
+
+  double* vw = ws.vw.data();
+  double* vb = ws.vb.data();
+  std::fill(vw, vw + rows * cols, 0.0);
+  std::fill(vb, vb + rows * cols, 0.0);
+  const std::int64_t line = std::max(rows, cols);
+
+  int it = 0;
+  for (; it < cfg.max_iterations; ++it) {
+    // Row pass: solve every wordline chain exactly with the bitline plane
+    // frozen. Node (r, c): g_cell coupling to vb(r, c), wire segments to the
+    // row neighbours, and the drive source behind the c == 0 segment.
+    std::fill(ws.lane_delta.begin(), ws.lane_delta.begin() + row_lanes, 0.0);
+    parallel_chunks(row_lanes, rows, [&](std::int64_t lane, std::int64_t r0, std::int64_t r1) {
+      double* diag = ws.thomas_c.data() + lane * line;
+      double* rhs = ws.thomas_d.data() + lane * line;
+      double local_delta = 0.0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        const double drive = inputs[static_cast<std::size_t>(r)] != 0 ? cfg.v_read : 0.0;
+        const double* grow = g_cell + r * cols;
+        const double* vbrow = vb + r * cols;
+        double* vwrow = vw + r * cols;
+        for (std::int64_t c = 0; c < cols; ++c) {
+          diag[c] = grow[c] + g_wire + (c + 1 < cols ? g_wire : 0.0);
+          rhs[c] = grow[c] * vbrow[c];
+        }
+        rhs[0] += g_wire * drive;
+        thomas_line(cols, g_wire, diag, rhs);
+        for (std::int64_t c = 0; c < cols; ++c) {
+          local_delta = std::max(local_delta, std::abs(rhs[c] - vwrow[c]));
+          vwrow[c] = rhs[c];
+        }
+      }
+      ws.lane_delta[static_cast<std::size_t>(lane)] = local_delta;
+    });
+    double max_delta = 0.0;
+    for (std::int64_t l = 0; l < row_lanes; ++l)
+      max_delta = std::max(max_delta, ws.lane_delta[static_cast<std::size_t>(l)]);
+
+    // Column pass: solve every bitline chain exactly with the wordline plane
+    // frozen. Node (r, c): g_cell coupling to vw(r, c), wire segments to the
+    // column neighbours, and the virtual-ground sense segment below the last
+    // row (0 V, so it adds conductance but no right-hand-side term).
+    std::fill(ws.lane_delta.begin(), ws.lane_delta.begin() + col_lanes, 0.0);
+    parallel_chunks(col_lanes, cols, [&](std::int64_t lane, std::int64_t c0, std::int64_t c1) {
+      double* diag = ws.thomas_c.data() + lane * line;
+      double* rhs = ws.thomas_d.data() + lane * line;
+      double local_delta = 0.0;
+      for (std::int64_t c = c0; c < c1; ++c) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const double g = g_cell[r * cols + c];
+          diag[r] = g + (r > 0 ? g_wire : 0.0) + g_wire;
+          rhs[r] = g * vw[r * cols + c];
+        }
+        thomas_line(rows, g_wire, diag, rhs);
+        for (std::int64_t r = 0; r < rows; ++r) {
+          local_delta = std::max(local_delta, std::abs(rhs[r] - vb[r * cols + c]));
+          vb[r * cols + c] = rhs[r];
+        }
+      }
+      ws.lane_delta[static_cast<std::size_t>(lane)] = local_delta;
+    });
+    for (std::int64_t l = 0; l < col_lanes; ++l)
+      max_delta = std::max(max_delta, ws.lane_delta[static_cast<std::size_t>(l)]);
+
+    if (max_delta < cfg.tolerance_v) {
+      result.converged = true;
+      break;
+    }
+  }
+  // `it + 1` sweeps ran when the loop broke at convergence; exactly
+  // max_iterations ran when it fell through without converging.
+  result.iterations = result.converged ? it + 1 : cfg.max_iterations;
+
+  result.column_current_a.assign(static_cast<std::size_t>(cols), 0.0);
+  for (std::int64_t c = 0; c < cols; ++c)
+    result.column_current_a[static_cast<std::size_t>(c)] = g_wire * vb[(rows - 1) * cols + c];
+  return result;
+}
+
+}  // namespace red::perf

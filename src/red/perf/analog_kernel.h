@@ -1,0 +1,75 @@
+// Fast IR-drop solver: ADI line relaxation over the crossbar nodal system.
+//
+// The reference solver (xbar/analog.cpp) runs point-SOR over the
+// 2 * rows * cols coupled node voltages; its convergence is limited by the
+// wire-resistance coupling *along* each wordline/bitline, which point
+// updates propagate one cell per sweep. This kernel re-lays the system into
+// contiguous per-wordline and per-bitline planes and replaces the point
+// updates with alternating-direction line relaxation: each sweep solves
+// every wordline row exactly (bitline plane frozen), then every bitline
+// column exactly (wordline plane frozen), via the Thomas tridiagonal
+// algorithm. The stiff in-line coupling is eliminated per sweep, leaving
+// only the weak cell-conductance coupling between the two planes
+// (g_cell << g_wire for realistic devices), so the sweep count drops from
+// thousands to a handful.
+//
+// Line solves within one pass are independent — rows only read the frozen
+// bitline plane and vice versa — so they fan out across the process-wide
+// perf::ThreadPool in deterministic chunks: any thread count produces
+// bit-identical voltages, because no line ever reads another line's
+// same-pass update (the pass is Jacobi *between* lines, exact *within* a
+// line).
+//
+// The reference SOR stays in xbar/analog.cpp as the equivalence oracle;
+// tests/analog_fast_path_test.cpp gates this kernel against it within the
+// solver tolerance across array sizes, wire resistances, and drive patterns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "red/xbar/analog.h"
+
+namespace red::perf {
+
+/// Reusable scratch of the ADI solver. prepare() only ever grows buffers, so
+/// a warmed-up workspace makes repeated solve calls allocation-free.
+/// Workspaces are value types; never share one across concurrent solves.
+struct AnalogWorkspace {
+  std::vector<double> g_lut;       ///< level -> cell conductance (S)
+  std::vector<double> g_cell;      ///< per-cell conductances, row-major
+  std::vector<double> vw;          ///< wordline node voltages, row-major
+  std::vector<double> vb;          ///< bitline node voltages, row-major
+  std::vector<double> thomas_c;    ///< per-lane forward-elimination scratch
+  std::vector<double> thomas_d;    ///< per-lane forward-elimination scratch
+  std::vector<double> lane_delta;  ///< per-lane max-update slots (reduced after join)
+
+  /// Grow the buffers for a rows x cols solve fanning lines over `lanes`
+  /// thread-pool chunks.
+  void prepare(std::int64_t rows, std::int64_t cols, int max_level, std::int64_t lanes) {
+    const auto need_lut = static_cast<std::size_t>(max_level) + 1;
+    if (g_lut.size() < need_lut) g_lut.resize(need_lut);
+    const auto plane = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+    if (g_cell.size() < plane) g_cell.resize(plane);
+    if (vw.size() < plane) vw.resize(plane);
+    if (vb.size() < plane) vb.resize(plane);
+    const auto line = static_cast<std::size_t>(rows > cols ? rows : cols);
+    const auto need_scratch = line * static_cast<std::size_t>(lanes);
+    if (thomas_c.size() < need_scratch) thomas_c.resize(need_scratch);
+    if (thomas_d.size() < need_scratch) thomas_d.resize(need_scratch);
+    if (lane_delta.size() < static_cast<std::size_t>(lanes))
+      lane_delta.resize(static_cast<std::size_t>(lanes));
+  }
+};
+
+/// Fast drop-in equivalent of xbar::solve_crossbar_read: identical inputs,
+/// identical result semantics (column/ideal currents, converged flag;
+/// `iterations` counts ADI sweeps instead of SOR sweeps). With `threads > 1`
+/// the independent line solves of each pass run on the process-wide
+/// ThreadPool; results are bit-identical for any thread count.
+[[nodiscard]] xbar::AnalogResult solve_crossbar_read_fast(
+    const std::vector<std::uint8_t>& levels, std::int64_t rows, std::int64_t cols,
+    int max_level, const std::vector<std::uint8_t>& inputs, const xbar::AnalogConfig& cfg,
+    AnalogWorkspace& ws, int threads = 1);
+
+}  // namespace red::perf

@@ -38,15 +38,17 @@ AnalogResult solve_crossbar_read(const std::vector<std::uint8_t>& levels, std::i
 
   AnalogResult result;
   result.ideal_current_a.assign(static_cast<std::size_t>(cols), 0.0);
-  std::vector<double> g_cell(levels.size());
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t c = 0; c < cols; ++c) {
-      const double g =
-          cfg.level_conductance(levels[static_cast<std::size_t>(r * cols + c)], max_level);
-      g_cell[static_cast<std::size_t>(r * cols + c)] = g;
-      if (inputs[static_cast<std::size_t>(r)] != 0)
-        result.ideal_current_a[static_cast<std::size_t>(c)] += cfg.v_read * g;
-    }
+  // Level -> conductance lookup table: the linear map is evaluated once per
+  // level instead of once per cell (and not at all per sweep).
+  std::vector<double> g_lut(static_cast<std::size_t>(max_level) + 1);
+  for (int l = 0; l <= max_level; ++l)
+    g_lut[static_cast<std::size_t>(l)] = cfg.level_conductance(l, max_level);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    if (inputs[static_cast<std::size_t>(r)] == 0) continue;
+    for (std::int64_t c = 0; c < cols; ++c)
+      result.ideal_current_a[static_cast<std::size_t>(c)] +=
+          cfg.v_read * g_lut[levels[static_cast<std::size_t>(r * cols + c)]];
+  }
 
   if (cfg.r_wire_ohm == 0.0) {
     // No parasitics: the network degenerates to the ideal MVM.
@@ -54,6 +56,9 @@ AnalogResult solve_crossbar_read(const std::vector<std::uint8_t>& levels, std::i
     result.converged = true;
     return result;
   }
+
+  std::vector<double> g_cell(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) g_cell[i] = g_lut[levels[i]];
 
   const double g_wire = 1.0 / cfg.r_wire_ohm;
   const auto idx = [cols](std::int64_t r, std::int64_t c) {
@@ -111,7 +116,9 @@ AnalogResult solve_crossbar_read(const std::vector<std::uint8_t>& levels, std::i
       break;
     }
   }
-  result.iterations = it + 1;
+  // `it + 1` sweeps ran when the loop broke at convergence; exactly
+  // max_iterations ran when it fell through without converging.
+  result.iterations = result.converged ? it + 1 : cfg.max_iterations;
 
   result.column_current_a.assign(static_cast<std::size_t>(cols), 0.0);
   for (std::int64_t c = 0; c < cols; ++c)

@@ -1,6 +1,7 @@
 #include "red/xbar/crossbar.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <random>
@@ -20,6 +21,99 @@ perf::MvmWorkspace& thread_workspace() {
   thread_local perf::MvmWorkspace ws;
   return ws;
 }
+
+// SplitMix64: tiny counter-style generator for the accelerated delta
+// sampler. One multiply-xorshift step per draw — roughly an order of
+// magnitude cheaper than a std::normal_distribution variate on mt19937_64,
+// which is what makes sparse Monte Carlo reprogramming fast.
+struct SplitMix64 {
+  std::uint64_t state;
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+  std::uint64_t next() {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+};
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Exact discrete law of the programming-noise perturbation: for a clean
+// level l, the stored result is clamp(lround(l + N(0, sigma)), 0, m), i.e. a
+// categorical distribution over levels with Gaussian-quantized bucket
+// probabilities. Tabulated once per reprogram call so the sampler only draws
+// uniforms. (Half-integer rounding boundaries are measure-zero, so lround's
+// away-from-zero tie rule does not affect the law.)
+struct NoiseLaw {
+  // prob[l][k] = P(result == k | clean level l); change[l] = 1 - prob[l][l].
+  std::array<std::array<double, 16>, 16> prob{};
+  std::array<double, 16> change{};
+
+  NoiseLaw(double sigma, int max_level) {
+    for (int l = 0; l <= max_level; ++l) {
+      double sum = 0.0;
+      for (int k = 0; k < max_level; ++k) {
+        const double hi = normal_cdf((static_cast<double>(k - l) + 0.5) / sigma);
+        prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)] = hi - sum;
+        sum = hi;
+      }
+      prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(max_level)] = 1.0 - sum;
+      change[static_cast<std::size_t>(l)] =
+          1.0 - prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(l)];
+    }
+  }
+
+  /// Sample the perturbed level given a change occurred: v uniform in
+  /// [0, change[l]) walks the conditional CDF over k != l.
+  [[nodiscard]] std::uint8_t sample_changed(int l, double v, int max_level) const {
+    for (int k = 0; k < max_level; ++k) {
+      if (k == l) continue;
+      v -= prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)];
+      if (v < 0.0) return static_cast<std::uint8_t>(k);
+    }
+    return static_cast<std::uint8_t>(max_level == l ? max_level - 1 : max_level);
+  }
+};
+
+// Applies a VariationModel to cell levels with one RNG stream walked in cell
+// order. Shared by the programming constructor and the reprogram-with-
+// variation constructor so both consume the stream identically — the
+// perturbed-copy path is bit-exact vs programming from scratch.
+class VariationSampler {
+ public:
+  VariationSampler(const VariationModel& var, int max_level, VariationStats* stats)
+      : var_(var), max_level_(max_level), stats_(stats), engine_(var.seed),
+        noise_(0.0, var.level_sigma) {}
+
+  /// Perturb `n` levels in place, counting stuck/perturbed cells.
+  void apply(std::uint8_t* levels, std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      std::uint8_t& level = levels[k];
+      const std::uint8_t original = level;
+      if (var_.stuck_at_rate > 0.0 && unit_(engine_) < var_.stuck_at_rate) {
+        level = coin_(engine_) == 0 ? 0 : static_cast<std::uint8_t>(max_level_);
+        ++stats_->stuck_cells;
+      } else if (var_.level_sigma > 0.0) {
+        const double perturbed = static_cast<double>(level) + noise_(engine_);
+        level = static_cast<std::uint8_t>(
+            std::clamp<long>(std::lround(perturbed), 0L, static_cast<long>(max_level_)));
+      }
+      if (level != original) ++stats_->perturbed_cells;
+    }
+  }
+
+ private:
+  const VariationModel& var_;
+  int max_level_;
+  VariationStats* stats_;
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> noise_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::uniform_int_distribution<int> coin_{0, 1};
+};
 
 }  // namespace
 
@@ -47,38 +141,22 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
   // Device non-idealities are applied at program time, per stored level, so
   // both MVM paths see the same (perturbed) weights.
   const auto& var = config_.variation;
-  std::mt19937_64 engine(var.seed);
-  std::normal_distribution<double> noise(0.0, var.level_sigma);
-  std::uniform_real_distribution<double> unit(0.0, 1.0);
-  std::uniform_int_distribution<int> coin(0, 1);
+  VariationSampler sampler(var, config_.max_level(), &variation_stats_);
   variation_stats_.cells = static_cast<std::int64_t>(plane) * slices;
 
   // Running per-(col, slice) column sums of the programmed levels feed the
   // lossless-ADC-bits cache below (previously an O(rows*cols*slices)
-  // recompute on every lossless_adc_bits() call).
-  std::vector<std::int64_t> col_sums(static_cast<std::size_t>(cols) * slices, 0);
+  // recompute on every lossless_adc_bits() call); kept as a member so delta
+  // reprogramming can update the cache incrementally.
+  col_level_sums_.assign(static_cast<std::size_t>(cols) * slices, 0);
 
   for (std::size_t i = 0; i < plane; ++i) {
     auto lv = encode_weight(weights[i], config_);
-    if (var.enabled()) {
-      for (auto& level : lv) {
-        const std::uint8_t original = level;
-        if (var.stuck_at_rate > 0.0 && unit(engine) < var.stuck_at_rate) {
-          level = coin(engine) == 0 ? 0
-                                    : static_cast<std::uint8_t>(config_.max_level());
-          ++variation_stats_.stuck_cells;
-        } else if (var.level_sigma > 0.0) {
-          const double perturbed = static_cast<double>(level) + noise(engine);
-          level = static_cast<std::uint8_t>(std::clamp<long>(
-              std::lround(perturbed), 0L, static_cast<long>(config_.max_level())));
-        }
-        if (level != original) ++variation_stats_.perturbed_cells;
-      }
-    }
+    if (var.enabled()) sampler.apply(lv.data(), lv.size());
     const std::size_t c = i % static_cast<std::size_t>(cols);
     for (int s = 0; s < slices; ++s) {
       levels_[static_cast<std::size_t>(s) * plane + i] = lv[static_cast<std::size_t>(s)];
-      col_sums[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(s)] +=
+      col_level_sums_[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(s)] +=
           lv[static_cast<std::size_t>(s)];
     }
     weights_[i] = decode_weight(lv, config_);
@@ -86,8 +164,142 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
     if (!var.enabled()) RED_ENSURES(weights_[i] == weights[i]);
   }
 
-  const std::int64_t worst = *std::max_element(col_sums.begin(), col_sums.end());
+  const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
   lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+}
+
+LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var)
+    : rows_(clean.rows_), cols_(clean.cols_), config_(clean.config_) {
+  RED_EXPECTS_MSG(!clean.config_.variation.enabled(),
+                  "perturbed copies must derive from a variation-free crossbar");
+  var.validate();
+  config_.variation = var;
+  if (!var.enabled()) {
+    weights_ = clean.weights_;
+    levels_ = clean.levels_;
+    col_level_sums_ = clean.col_level_sums_;
+    lossless_adc_bits_ = clean.lossless_adc_bits_;
+    variation_stats_.cells = static_cast<std::int64_t>(weights_.size()) * config_.slices();
+    return;
+  }
+
+  const int slices = config_.slices();
+  const std::size_t plane = clean.weights_.size();
+  weights_.resize(plane);
+  levels_.resize(plane * static_cast<std::size_t>(slices));
+  variation_stats_.cells = static_cast<std::int64_t>(plane) * slices;
+  VariationSampler sampler(var, config_.max_level(), &variation_stats_);
+  col_level_sums_.assign(static_cast<std::size_t>(cols_) * slices, 0);
+
+  // Clean levels are exactly encode_weight(original weights), so perturbing
+  // them in the same cell order with the same RNG stream reproduces the
+  // from-scratch programming bit-exactly — without re-encoding any weight.
+  std::array<std::uint8_t, 16> lv{};  // slices <= ceil(16 wbits / 1 cell bit)
+  for (std::size_t i = 0; i < plane; ++i) {
+    for (int s = 0; s < slices; ++s)
+      lv[static_cast<std::size_t>(s)] = clean.levels_[static_cast<std::size_t>(s) * plane + i];
+    sampler.apply(lv.data(), static_cast<std::size_t>(slices));
+    std::int64_t u = 0;
+    for (int s = slices; s-- > 0;) u = (u << config_.cell_bits) | lv[static_cast<std::size_t>(s)];
+    weights_[i] = static_cast<std::int32_t>(u - config_.weight_offset());
+    const std::size_t c = i % static_cast<std::size_t>(cols_);
+    for (int s = 0; s < slices; ++s) {
+      levels_[static_cast<std::size_t>(s) * plane + i] = lv[static_cast<std::size_t>(s)];
+      col_level_sums_[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(s)] +=
+          lv[static_cast<std::size_t>(s)];
+    }
+  }
+  const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
+  lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+}
+
+LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, FastDeltaTag)
+    : rows_(clean.rows_),
+      cols_(clean.cols_),
+      config_(clean.config_),
+      weights_(clean.weights_),
+      levels_(clean.levels_),
+      col_level_sums_(clean.col_level_sums_),
+      lossless_adc_bits_(clean.lossless_adc_bits_) {
+  RED_EXPECTS_MSG(!clean.config_.variation.enabled(),
+                  "perturbed copies must derive from a variation-free crossbar");
+  var.validate();
+  config_.variation = var;
+  const int slices = config_.slices();
+  const std::size_t plane = weights_.size();
+  variation_stats_.cells = static_cast<std::int64_t>(plane) * slices;
+  if (!var.enabled()) return;
+
+  const int max_level = config_.max_level();
+  const NoiseLaw law(var.level_sigma > 0.0 ? var.level_sigma : 1.0, max_level);
+  SplitMix64 rng(var.seed);
+  bool dirty = false;
+
+  // Sparse deltas over the copied clean state: only actual changes touch the
+  // stored weight (decode is linear, so the weight delta is just the level
+  // delta shifted into its slice position) and the column level sums.
+  // levels_ is one contiguous [slice][row][col] array, so `idx` walks all
+  // cells flat; (idx / plane) recovers the slice, (idx % plane) the cell.
+  const auto apply_change = [&](std::size_t idx, std::uint8_t level) {
+    const std::uint8_t original = levels_[idx];
+    const std::size_t s = idx / plane;
+    const std::size_t i = idx % plane;
+    ++variation_stats_.perturbed_cells;
+    levels_[idx] = level;
+    weights_[i] += (static_cast<std::int32_t>(level) - static_cast<std::int32_t>(original))
+                   << (config_.cell_bits * static_cast<int>(s));
+    col_level_sums_[(i % static_cast<std::size_t>(cols_)) * static_cast<std::size_t>(slices) +
+                    s] += static_cast<std::int64_t>(level) - static_cast<std::int64_t>(original);
+    dirty = true;
+  };
+
+  double p_star = 0.0;  // upper bound on any cell's change probability
+  for (int l = 0; l <= max_level; ++l)
+    p_star = std::max(p_star, law.change[static_cast<std::size_t>(l)]);
+  const std::size_t total = plane * static_cast<std::size_t>(slices);
+
+  if (var.stuck_at_rate == 0.0 && p_star < 0.25) {
+    // Noise-only, low change probability: geometric skip-sampling. Candidate
+    // cells fire as a Bernoulli(p_star) process walked by geometric gaps and
+    // are accepted with probability change[level] / p_star — exact rejection
+    // sampling of the same per-cell law, in O(changed cells) draws instead
+    // of O(cells). (Stuck-at needs the per-cell walk: a stuck event counts
+    // in the stats even when it lands on the unchanged level.)
+    if (p_star > 0.0) {
+      const double log1m = std::log1p(-p_star);
+      std::size_t idx = 0;
+      while (idx < total) {
+        const double gap = std::floor(std::log1p(-rng.uniform()) / log1m);
+        if (gap >= static_cast<double>(total - idx)) break;
+        idx += static_cast<std::size_t>(gap);
+        const std::uint8_t original = levels_[idx];
+        const double change = law.change[original];
+        if (rng.uniform() * p_star < change)
+          apply_change(idx, law.sample_changed(original, rng.uniform() * change, max_level));
+        ++idx;
+      }
+    }
+  } else {
+    for (std::size_t idx = 0; idx < total; ++idx) {
+      const std::uint8_t original = levels_[idx];
+      std::uint8_t level = original;
+      if (var.stuck_at_rate > 0.0 && rng.uniform() < var.stuck_at_rate) {
+        level = (rng.next() & 1) == 0 ? 0 : static_cast<std::uint8_t>(max_level);
+        ++variation_stats_.stuck_cells;
+      } else if (var.level_sigma > 0.0) {
+        const double u = rng.uniform();
+        if (u < law.change[original]) {
+          level = law.sample_changed(original, rng.uniform() * law.change[original], max_level);
+        }
+      }
+      if (level != original) apply_change(idx, level);
+    }
+  }
+  if (dirty) {
+    const std::int64_t worst =
+        *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
+    lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+  }
 }
 
 std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {

@@ -49,6 +49,24 @@ class LogicalXbar {
   LogicalXbar(std::int64_t rows, std::int64_t cols, std::span<const std::int32_t> weights,
               QuantConfig config);
 
+  /// Reprogram-with-variation: build a perturbed copy of `clean` (which must
+  /// itself have variation disabled) by applying `var` to the clean cell
+  /// levels as deltas. Bit-identical to constructing the crossbar from the
+  /// original weights with `var` in its QuantConfig — the RNG stream walks
+  /// the cells in the same order — but skips the per-cell weight encoding.
+  LogicalXbar(const LogicalXbar& clean, const VariationModel& var);
+
+  /// Accelerated delta reprogramming for Monte Carlo trial fan-out
+  /// (sim/montecarlo.h): same variation *law* as from-scratch programming —
+  /// per-cell stuck probability, and the exact discrete distribution of
+  /// clamp(round(level + N(0, sigma))) per clean level — but sampled with a
+  /// cheap counter-based generator and applied as sparse deltas over copied
+  /// clean state, so a trial costs a few cheap draws per cell instead of a
+  /// std::normal_distribution variate. Deterministic in var.seed; the trial
+  /// patterns differ from the legacy std::mt19937_64 stream (same
+  /// distribution, different draws).
+  LogicalXbar(const LogicalXbar& clean, const VariationModel& var, FastDeltaTag);
+
   [[nodiscard]] std::int64_t rows() const { return rows_; }
   [[nodiscard]] std::int64_t cols() const { return cols_; }
   [[nodiscard]] std::int64_t phys_cols() const { return cols_ * config_.slices(); }
@@ -117,6 +135,9 @@ class LogicalXbar {
   QuantConfig config_;
   std::vector<std::int32_t> weights_;      ///< stored signed weights, row-major
   std::vector<std::uint8_t> levels_;       ///< cell levels, plane-major [slice][row][col]
+  /// Per-(col, slice) programmed-level sums backing lossless_adc_bits_; kept
+  /// so delta reprogramming can update the cache incrementally.
+  std::vector<std::int64_t> col_level_sums_;
   int lossless_adc_bits_ = 1;
   VariationStats variation_stats_;
 };

@@ -38,4 +38,8 @@ struct VariationStats {
   std::int64_t stuck_cells = 0;
 };
 
+/// Tag dispatching LogicalXbar's accelerated delta-sampling reprogram
+/// constructor (same variation law, fast sparse sampler — see crossbar.h).
+struct FastDeltaTag {};
+
 }  // namespace red::xbar

@@ -7,8 +7,10 @@
 //   red_cli conv    --ih 64 --iw 64 --c 3 --m 128 --k 5 --stride 2 --pad 2
 //   red_cli network --net dcgan|sngan|fcn8s [--design ...]
 //   red_cli table1 | fig4
+#include <algorithm>
 #include <iostream>
 #include <optional>
+#include <vector>
 
 #include "red/arch/conv_engine.h"
 #include "red/common/error.h"
@@ -16,6 +18,7 @@
 #include "red/common/rng.h"
 #include "red/common/string_util.h"
 #include "red/core/designs.h"
+#include "red/explore/sweep.h"
 #include "red/nn/deconv_reference.h"
 #include "red/report/evaluation.h"
 #include "red/report/figures.h"
@@ -44,6 +47,7 @@ commands:
   compare   evaluate one deconv layer on all three designs
   conv      evaluate a regular conv layer on the shared conv engine
   network   evaluate a whole deconv stack (dcgan | sngan | fcn8s)
+  sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
   verify    run all designs functionally and check vs golden + activity model
   trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
   export    write every table/figure to files [--out DIR] [--format csv|md|txt]
@@ -167,6 +171,52 @@ int cmd_conv(const Flags& flags) {
   return 0;
 }
 
+int cmd_sweep(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto base_cfg = config_from(flags);
+  const auto kind = kind_from(flags);
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+
+  const auto folds = parse_int_list(flags.get_string("folds", "1,2,4,8"), "folds");
+  const auto muxes = parse_int_list(flags.get_string("muxes", "4,8,16"), "muxes");
+
+  std::vector<explore::SweepPoint> grid;
+  for (std::int64_t fold : folds)
+    for (std::int64_t mux : muxes) {
+      explore::SweepPoint p;
+      p.kind = kind;
+      p.cfg = base_cfg;
+      p.cfg.red_fold = static_cast<int>(fold);
+      p.cfg.mux_ratio = static_cast<int>(mux);
+      p.spec = spec;
+      grid.push_back(p);
+    }
+  explore::SweepDriver driver(threads);
+  const auto outcomes = driver.evaluate(grid);
+
+  std::cout << spec.to_string() << '\n';
+  TextTable t({"fold", "mux", "sub-arrays", "cycles", "latency (us)", "energy (uJ)",
+               "area (mm^2)", "Pareto"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& c = outcomes[i].cost;
+    const bool dominated = std::any_of(
+        outcomes.begin(), outcomes.end(), [&](const explore::SweepOutcome& q) {
+          const double lat = c.total_latency().value(), area = c.total_area().value();
+          const double qlat = q.cost.total_latency().value(), qarea = q.cost.total_area().value();
+          return (qlat < lat && qarea <= area) || (qlat <= lat && qarea < area);
+        });
+    t.add_row({std::to_string(grid[i].cfg.red_fold), std::to_string(grid[i].cfg.mux_ratio),
+               std::to_string(outcomes[i].activity.sc_units),
+               std::to_string(outcomes[i].cost.cycles()),
+               format_double(c.total_latency().value() / 1e3, 2),
+               format_double(c.total_energy().value() / 1e6, 3),
+               format_double(c.total_area().value() / 1e6, 4), dominated ? "" : "*"});
+  }
+  std::cout << t.to_ascii() << "sweep: " << driver.stats().evaluated << " evaluated, "
+            << driver.stats().cache_hits << " from cache, " << threads << " threads\n";
+  return 0;
+}
+
 int cmd_verify(const Flags& flags) {
   const auto spec = layer_from(flags);
   const auto cfg = config_from(flags);
@@ -245,6 +295,8 @@ int main(int argc, char** argv) {
       rc = cmd_conv(flags);
     else if (cmd == "network")
       rc = cmd_network(flags);
+    else if (cmd == "sweep")
+      rc = cmd_sweep(flags);
     else if (cmd == "verify")
       rc = cmd_verify(flags);
     else if (cmd == "trace")

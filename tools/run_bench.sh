@@ -1,38 +1,63 @@
 #!/usr/bin/env sh
-# Run the simulator micro-benchmarks and emit BENCH_mvm.json (Google
-# Benchmark JSON) with the before/after MVM kernel pairs. See
-# docs/PERFORMANCE.md for how to read the report.
+# Run the simulator benchmarks and emit the machine-readable reports:
+#   BENCH_mvm.json    — Google Benchmark JSON with the before/after MVM
+#                       kernel pairs (needs google-benchmark at build time)
+#   BENCH_analog.json — before/after IR-drop solver and noise-sweep timings
+# See docs/PERFORMANCE.md for how to read both.
 #
-# Usage: tools/run_bench.sh [--quick] [build_dir] [output.json]
-#   --quick    one-iteration smoke run (what the bench_smoke CTest label uses)
+# Usage: tools/run_bench.sh [--quick] [--mvm-only] [build_dir] [mvm_out.json] [analog_out.json]
+#   --quick     one-iteration smoke run (what the bench_smoke CTest label uses)
+#   --mvm-only  skip the analog benchmark (bench_smoke_micro uses this so the
+#               analog smoke coverage stays with bench_smoke_analog alone)
 set -eu
 
 quick=0
-if [ "${1:-}" = "--quick" ]; then
-  quick=1
-  shift
-fi
+mvm_only=0
+while true; do
+  case "${1:-}" in
+    --quick) quick=1; shift ;;
+    --mvm-only) mvm_only=1; shift ;;
+    *) break ;;
+  esac
+done
 build_dir="${1:-build}"
-out="${2:-BENCH_mvm.json}"
+mvm_out="${2:-BENCH_mvm.json}"
+analog_out="${3:-BENCH_analog.json}"
 
-if [ ! -x "${build_dir}/bench_micro_simulator" ]; then
-  echo "error: ${build_dir}/bench_micro_simulator not found." >&2
+if [ -x "${build_dir}/bench_micro_simulator" ]; then
+  min_time_flag=""
+  if [ "${quick}" = "1" ]; then
+    min_time_flag="--benchmark_min_time=0.001"
+  fi
+  "${build_dir}/bench_micro_simulator" \
+    --benchmark_filter='BM_Mvm|BM_SimulateNetwork' \
+    ${min_time_flag} \
+    --benchmark_out="${mvm_out}" \
+    --benchmark_out_format=json
+  echo ""
+  echo "Wrote ${mvm_out}"
+  echo "Before/after pairs: BM_MvmBitAccurateReference vs BM_MvmBitAccurate,"
+  echo "BM_MvmClippedReference vs BM_MvmClipped, BM_SimulateNetwork/1 vs /4."
+else
+  echo "warning: ${build_dir}/bench_micro_simulator not found (google-benchmark" >&2
+  echo "missing at configure time?); skipping ${mvm_out}." >&2
+fi
+
+if [ "${mvm_only}" = "1" ]; then
+  exit 0
+fi
+
+if [ ! -x "${build_dir}/bench_analog" ]; then
+  echo "error: ${build_dir}/bench_analog not found." >&2
   echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
   exit 1
 fi
 
-min_time_flag=""
-if [ "${quick}" = "1" ]; then
-  min_time_flag="--benchmark_min_time=0.001"
-fi
-
-"${build_dir}/bench_micro_simulator" \
-  --benchmark_filter='BM_Mvm|BM_SimulateNetwork' \
-  ${min_time_flag} \
-  --benchmark_out="${out}" \
-  --benchmark_out_format=json
-
 echo ""
-echo "Wrote ${out}"
-echo "Before/after pairs: BM_MvmBitAccurateReference vs BM_MvmBitAccurate,"
-echo "BM_MvmClippedReference vs BM_MvmClipped, BM_SimulateNetwork/1 vs /4."
+quick_flag=""
+if [ "${quick}" = "1" ]; then
+  quick_flag="--quick"
+fi
+"${build_dir}/bench_analog" ${quick_flag} --out "${analog_out}"
+echo "Before/after pairs: BM_IrDropReferenceSor vs BM_IrDropAdiFast,"
+echo "BM_NoiseSweepPerSeedRebuild vs BM_NoiseSweepMonteCarlo."
