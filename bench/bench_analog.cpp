@@ -23,29 +23,17 @@
 #include "red/core/designs.h"
 #include "red/nn/deconv_reference.h"
 #include "red/perf/analog_kernel.h"
+#include "red/report/json.h"
 #include "red/sim/montecarlo.h"
 #include "red/tensor/tensor_ops.h"
 #include "red/workloads/generator.h"
 #include "red/xbar/analog.h"
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
-
-struct Entry {
-  std::string name;
-  double real_time_ms = 0.0;    ///< best (minimum) time over `iterations` runs
-  std::int64_t iterations = 1;  ///< timed repetitions real_time_ms is the best of
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace red;
+  using bench::Clock;
+  using bench::Entry;
+  using bench::ms_since;
   const Flags flags = Flags::parse(argc - 1, argv + 1);
   const bool quick = flags.get_bool("quick");
   const std::string out_path = flags.get_string("out", "BENCH_analog.json");
@@ -176,15 +164,12 @@ int main(int argc, char** argv) {
   }
   out << "{\n  \"context\": {\"side\": " << side << ", \"trials\": " << trials
       << ", \"threads\": " << threads << ", \"quick\": " << (quick ? "true" : "false")
-      << "},\n  \"benchmarks\": [\n";
-  for (std::size_t i = 0; i < entries.size(); ++i)
-    out << "    {\"name\": \"" << entries[i].name << "\", \"real_time_ms\": "
-        << entries[i].real_time_ms << ", \"iterations\": " << entries[i].iterations << "}"
-        << (i + 1 < entries.size() ? ",\n" : "\n");
-  out << "  ],\n  \"speedups\": {\"irdrop_single_thread\": " << ir_speedup
-      << ", \"noise_sweep\": " << noise_speedup
-      << "},\n  \"equivalence\": {\"irdrop_worst_column_disagreement\": " << worst_disagree
-      << "}\n}\n";
+      << "},\n  \"benchmarks\": ";
+  bench::write_benchmark_array(out, entries);
+  out << ",\n  \"speedups\": {\"irdrop_single_thread\": " << report::json_number(ir_speedup)
+      << ", \"noise_sweep\": " << report::json_number(noise_speedup)
+      << "},\n  \"equivalence\": {\"irdrop_worst_column_disagreement\": "
+      << report::json_number(worst_disagree) << "}\n}\n";
   std::cout << "\nWrote " << out_path << "\n";
   return 0;
 }

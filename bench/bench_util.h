@@ -1,8 +1,14 @@
-// Shared header/footer helpers for the figure benches.
+// Shared helpers for the figure and perf benches: headers, wall-clock
+// timing, and the BENCH_*.json benchmark-entry scaffolding.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
+
+#include "red/report/json.h"
 
 namespace red::bench {
 
@@ -14,5 +20,30 @@ inline void print_header(const std::string& title, const std::string& paper_refe
 }
 
 inline void print_section(const std::string& name) { std::cout << "\n--- " << name << " ---\n"; }
+
+using Clock = std::chrono::steady_clock;
+
+inline double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// One timed benchmark row of a BENCH_*.json report.
+struct Entry {
+  std::string name;
+  double real_time_ms = 0.0;    ///< best (minimum) time over `iterations` runs
+  std::int64_t iterations = 1;  ///< timed repetitions real_time_ms is the best of
+};
+
+/// Emit the `"benchmarks": [...]` array (without the key) to `os`, doubles
+/// at full round-trip precision via report::json_number.
+inline void write_benchmark_array(std::ostream& os, const std::vector<Entry>& entries) {
+  os << "[\n";
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    os << "    {\"name\": \"" << entries[i].name << "\", \"real_time_ms\": "
+       << report::json_number(entries[i].real_time_ms)
+       << ", \"iterations\": " << entries[i].iterations << "}"
+       << (i + 1 < entries.size() ? ",\n" : "\n");
+  os << "  ]";
+}
 
 }  // namespace red::bench

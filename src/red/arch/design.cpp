@@ -18,6 +18,16 @@ void DesignConfig::validate() const {
 
 Design::Design(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
 
+std::vector<Tensor<std::int32_t>> ProgrammedLayer::run_batch(
+    std::span<const Tensor<std::int32_t>> inputs, std::vector<RunStats>* stats) const {
+  std::vector<Tensor<std::int32_t>> outputs;
+  outputs.reserve(inputs.size());
+  if (stats != nullptr) stats->assign(inputs.size(), RunStats{});
+  for (std::size_t k = 0; k < inputs.size(); ++k)
+    outputs.push_back(run(inputs[k], stats != nullptr ? &(*stats)[k] : nullptr));
+  return outputs;
+}
+
 std::unique_ptr<ProgrammedLayer> Design::program(const nn::DeconvLayerSpec& spec,
                                                  const Tensor<std::int32_t>& kernel) const {
   (void)spec;

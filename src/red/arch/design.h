@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "red/arch/activity.h"
 #include "red/arch/cost_report.h"
@@ -87,6 +89,15 @@ class ProgrammedLayer {
   /// bit-identical to Design::run(spec, input, kernel, stats).
   [[nodiscard]] virtual Tensor<std::int32_t> run(const Tensor<std::int32_t>& input,
                                                  RunStats* stats = nullptr) const = 0;
+
+  /// Batch entry point: stream `inputs` through the programmed crossbars
+  /// back to back. outputs[k] — and, when `stats` is non-null, (*stats)[k]
+  /// (resized to inputs.size()) — are bit-identical to run(inputs[k]) called
+  /// in sequence; the crossbars are programmed exactly once either way. The
+  /// default walks run() per image; overrides may amortize further.
+  [[nodiscard]] virtual std::vector<Tensor<std::int32_t>> run_batch(
+      std::span<const Tensor<std::int32_t>> inputs,
+      std::vector<RunStats>* stats = nullptr) const;
 
   /// Sibling layer with `var` applied to the clean programmed levels. Only
   /// valid on a variation-free instance (the one Design::program returns).

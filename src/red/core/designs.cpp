@@ -7,6 +7,13 @@
 
 namespace red::core {
 
+DesignKind kind_from_name(const std::string& name) {
+  if (name == "zp" || name == "zero-padding") return DesignKind::kZeroPadding;
+  if (name == "pf" || name == "padding-free") return DesignKind::kPaddingFree;
+  if (name == "red") return DesignKind::kRed;
+  throw ConfigError("unknown --design '" + name + "' (zp | pf | red)");
+}
+
 std::unique_ptr<arch::Design> make_design(DesignKind kind, arch::DesignConfig cfg) {
   switch (kind) {
     case DesignKind::kZeroPadding:

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "red/arch/design.h"
@@ -10,6 +11,11 @@
 namespace red::core {
 
 enum class DesignKind { kZeroPadding, kPaddingFree, kRed };
+
+/// The design kind a CLI/bench `--design` value names: "zp"/"zero-padding",
+/// "pf"/"padding-free", or "red". Throws ConfigError for anything else, so
+/// every surface shares one vocabulary and one error message.
+[[nodiscard]] DesignKind kind_from_name(const std::string& name);
 
 [[nodiscard]] std::unique_ptr<arch::Design> make_design(DesignKind kind,
                                                         arch::DesignConfig cfg = {});

@@ -67,6 +67,11 @@ std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
         cal.htree_um2_per_mm_link,    cal.avg_bit_density})
     append_raw(key, v);
   append_raw(key, cal.buf_bits_per_value);
+  // Variable-width fields must be length-framed: an unframed string between
+  // raw byte fields lets one key's name bytes masquerade as another key's
+  // following field bytes, silently aliasing distinct configs to one cached
+  // SweepOutcome the moment a second variable-width field joins the key.
+  append_raw(key, static_cast<std::uint64_t>(cfg.node.name.size()));
   key += cfg.node.name;
   append_raw(key, cfg.node.feature_nm);
   append_raw(key, cfg.node.vdd);

@@ -49,7 +49,10 @@ struct SweepStats {
 /// Structural fingerprint of one grid point: design kind, every
 /// result-relevant DesignConfig field (calibration and tech node included;
 /// `threads` excluded — results are thread-invariant), and the layer
-/// geometry (name excluded). Exposed for tests.
+/// geometry (name excluded). Injective: numeric fields are appended as
+/// fixed-width raw bytes and every variable-width field (the tech node name)
+/// is length-prefixed, so no two distinct points share a key. Exposed for
+/// tests.
 [[nodiscard]] std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
                                     const nn::DeconvLayerSpec& spec);
 

@@ -1,5 +1,7 @@
 #include "red/report/json.h"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace red::report {
@@ -28,7 +30,7 @@ class JsonWriter {
   void field(const std::string& key, double value) {
     sep();
     pad();
-    os_ << '"' << key << "\": " << value;
+    os_ << '"' << key << "\": " << json_number(value);
   }
   void field(const std::string& key, std::int64_t value) {
     sep();
@@ -111,6 +113,14 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
 }
 
 std::string to_json(const arch::CostReport& report, int indent) {

@@ -22,4 +22,11 @@ namespace red::report {
 /// Escape a string for embedding in JSON.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
+/// Format a double as a JSON token that parses back to the identical value:
+/// max_digits10 significant digits for finite values (the default 6-digit
+/// ostream precision silently truncates), and `null` for NaN/Inf, which have
+/// no JSON representation. Shared by every JSON emitter in the repo
+/// (JsonWriter and the BENCH_*.json benches).
+[[nodiscard]] std::string json_number(double value);
+
 }  // namespace red::report

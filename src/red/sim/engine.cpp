@@ -39,10 +39,11 @@ std::vector<std::string> consistency_issues(const arch::LayerActivity& predicted
        << " exceeds the structural bound " << predicted.row_drives;
     issues.push_back(os.str());
   }
-  if (predicted.overlap_adds != 0)
-    check_eq(issues, "overlap_adds", predicted.overlap_adds, measured.overlap_adds);
-  if (predicted.buffer_accesses != 0)
-    check_eq(issues, "buffer_accesses", predicted.buffer_accesses, measured.buffer_accesses);
+  // Unconditional: a zero prediction is as binding as a nonzero one — a
+  // design that overlap-adds or buffers when the model says it shouldn't is
+  // exactly the kind of disagreement this check exists to flag.
+  check_eq(issues, "overlap_adds", predicted.overlap_adds, measured.overlap_adds);
+  check_eq(issues, "buffer_accesses", predicted.buffer_accesses, measured.buffer_accesses);
   return issues;
 }
 

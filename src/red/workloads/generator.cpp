@@ -41,4 +41,28 @@ Tensor<std::int32_t> make_kernel(const nn::DeconvLayerSpec& spec, Rng& rng, std:
   return t;
 }
 
+std::vector<Tensor<std::int32_t>> make_stack_kernels(
+    const std::vector<nn::DeconvLayerSpec>& stack, std::uint64_t seed) {
+  std::vector<Tensor<std::int32_t>> kernels;
+  kernels.reserve(stack.size());
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    Rng rng(seed + 100 * (i + 1));
+    kernels.push_back(make_kernel(stack[i], rng, -7, 7));
+  }
+  return kernels;
+}
+
+std::vector<Tensor<std::int32_t>> make_input_batch(const nn::DeconvLayerSpec& spec, int n,
+                                                   std::uint64_t seed) {
+  std::vector<Tensor<std::int32_t>> images;
+  images.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    // High-half offset keeps the image streams disjoint from the kernel
+    // streams at seed + 100 * (stage + 1) for any realistic batch size.
+    Rng rng(seed + (static_cast<std::uint64_t>(k) << 32));
+    images.push_back(make_input(spec, rng, 1, 7));
+  }
+  return images;
+}
+
 }  // namespace red::workloads

@@ -1,6 +1,8 @@
 // Random workload generation for property tests and ablation sweeps.
 #pragma once
 
+#include <vector>
+
 #include "red/common/rng.h"
 #include "red/nn/layer.h"
 #include "red/tensor/tensor.h"
@@ -26,5 +28,19 @@ struct GeneratorOptions {
 /// Deterministic pseudo-random kernel tensor in [lo, hi].
 [[nodiscard]] Tensor<std::int32_t> make_kernel(const nn::DeconvLayerSpec& spec, Rng& rng,
                                                std::int32_t lo, std::int32_t hi);
+
+/// One kernel per stage of `stack`, each from its own seed-derived stream
+/// (stage i uses seed + 100 * (i + 1)), weights in [-7, 7]. The canonical
+/// streaming workload: the CLI, benches, and tests share it so a seed
+/// reproduces the same batch everywhere.
+[[nodiscard]] std::vector<Tensor<std::int32_t>> make_stack_kernels(
+    const std::vector<nn::DeconvLayerSpec>& stack, std::uint64_t seed);
+
+/// A batch of `n` input images for `spec`, image k drawn from its own
+/// seed-derived stream (seed + (k << 32), disjoint from the kernel streams
+/// above), values in [1, 7] (strictly positive: activity counts stay
+/// structurally exact at the first stage).
+[[nodiscard]] std::vector<Tensor<std::int32_t>> make_input_batch(
+    const nn::DeconvLayerSpec& spec, int n, std::uint64_t seed);
 
 }  // namespace red::workloads

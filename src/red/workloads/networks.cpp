@@ -66,6 +66,13 @@ void validate_conv_stack(const std::vector<nn::ConvLayerSpec>& stack) {
   }
 }
 
+std::vector<nn::DeconvLayerSpec> named_stack(const std::string& net, int channel_div) {
+  if (net == "dcgan") return dcgan_generator(channel_div);
+  if (net == "sngan") return sngan_generator(channel_div);
+  if (net == "fcn8s") return fcn8s_upsampling();
+  throw ConfigError("unknown --net '" + net + "' (dcgan | sngan | fcn8s)");
+}
+
 void validate_stack(const std::vector<nn::DeconvLayerSpec>& stack) {
   RED_EXPECTS(!stack.empty());
   for (auto& l : stack) l.validate();

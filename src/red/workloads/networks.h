@@ -2,6 +2,7 @@
 // for end-to-end example pipelines (each layer's output feeds the next).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "red/nn/conv_layer.h"
@@ -21,6 +22,13 @@ namespace red::workloads {
 /// voc-fcn8s up-sampling head: two 4x4/stride-2 stages + one 16x16/stride-8
 /// stage (the paper's FCN_Deconv1/2 geometries chained on 21 classes).
 [[nodiscard]] std::vector<nn::DeconvLayerSpec> fcn8s_upsampling();
+
+/// The stack for a network name the CLI and benches accept: "dcgan",
+/// "sngan" (both scaled by `channel_div`), or "fcn8s" (fixed 21-class head;
+/// ignores the divisor). Throws ConfigError for anything else, so every
+/// surface rejects unknown names with the same message.
+[[nodiscard]] std::vector<nn::DeconvLayerSpec> named_stack(const std::string& net,
+                                                           int channel_div = 1);
 
 /// Chain check: every layer's output must match the next layer's input.
 void validate_stack(const std::vector<nn::DeconvLayerSpec>& stack);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 #include "red/common/rng.h"
@@ -465,6 +466,48 @@ TEST(SweepDriver, KeySeparatesConfigsAndLayers) {
   nn::DeconvLayerSpec spec3 = spec;
   spec3.name = "renamed";
   EXPECT_EQ(base, explore::sweep_key(core::DesignKind::kRed, cfg4, spec3));
+}
+
+TEST(SweepDriver, KeyFramesVariableWidthFieldsAgainstCollision) {
+  // Crafted near-collision: cfg2's node name is cfg1's name with cfg1's raw
+  // feature_nm bytes spliced onto it, so under unframed concatenation the
+  // (name, feature_nm) byte streams interleave. The length prefix pins the
+  // field boundary, keeping the fingerprint injective even if more
+  // variable-width fields join the key later.
+  const nn::DeconvLayerSpec spec{"collide", 8, 8, 16, 8, 4, 4, 2, 1, 0};
+  arch::DesignConfig cfg1;
+  cfg1.node.name = "n";
+  cfg1.node.feature_nm = 65.0;
+  arch::DesignConfig cfg2 = cfg1;
+  char feature_bytes[sizeof(double)];
+  std::memcpy(feature_bytes, &cfg1.node.feature_nm, sizeof(double));
+  cfg2.node.name = cfg1.node.name + std::string(feature_bytes, sizeof(double));
+  cfg2.node.feature_nm = 45.0;
+  const auto k1 = explore::sweep_key(core::DesignKind::kRed, cfg1, spec);
+  const auto k2 = explore::sweep_key(core::DesignKind::kRed, cfg2, spec);
+  EXPECT_NE(k1, k2);
+  // And the boundary shift alone must never cancel: same name bytes split
+  // differently between name and the numeric tail.
+  arch::DesignConfig cfg3 = cfg1;
+  cfg3.node.name = "n65";
+  arch::DesignConfig cfg4 = cfg1;
+  cfg4.node.name = "n6";
+  EXPECT_NE(explore::sweep_key(core::DesignKind::kRed, cfg3, spec),
+            explore::sweep_key(core::DesignKind::kRed, cfg4, spec));
+
+  // Distinct fingerprints must stay distinct through the driver's memo: the
+  // crafted pair evaluates as two points, never one cached SweepOutcome.
+  explore::SweepDriver driver(2);
+  const auto outcomes = driver.evaluate({{core::DesignKind::kRed, cfg1, spec},
+                                         {core::DesignKind::kRed, cfg2, spec}});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(driver.stats().evaluated, 2);
+  EXPECT_EQ(driver.stats().cache_hits, 0);
+  EXPECT_FALSE(outcomes[0].from_cache);
+  EXPECT_FALSE(outcomes[1].from_cache);
+  // feature_nm scales area/latency, so the two points must also disagree
+  // numerically — a collision would have returned the same cached report.
+  EXPECT_NE(outcomes[0].cost.total_area().value(), outcomes[1].cost.total_area().value());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 
 #include "red/common/error.h"
 #include "red/common/stats.h"
@@ -35,6 +37,35 @@ TEST(Json, ComparisonCarriesHeadlineNumbers) {
   EXPECT_NE(j.find("\"zero_padding\""), std::string::npos);
   EXPECT_NE(j.find("\"padding_free\""), std::string::npos);
   EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(Json, NumberRoundTripsAtFullPrecision) {
+  // Regression: doubles were emitted at the default 6-significant-digit
+  // ostream precision, silently truncating every BENCH_*.json value.
+  for (double v : {0.1, 1.0 / 3.0, 6.62607015e-34, 1.0000000000000002,
+                   -12345.678901234567, 658726.63721499697}) {
+    const std::string tok = report::json_number(v);
+    EXPECT_EQ(std::strtod(tok.c_str(), nullptr), v) << tok;
+  }
+  EXPECT_EQ(report::json_number(0.0), "0");
+  EXPECT_EQ(report::json_number(42.0), "42");
+}
+
+TEST(Json, NonFiniteValuesEmitNull) {
+  // Regression: NaN/Inf used to stream as "nan"/"inf", which are not JSON.
+  EXPECT_EQ(report::json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(report::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(report::json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, CostReportDoublesRoundTripThroughTheWriter) {
+  const auto cmp = report::compare_layer(workloads::gan_deconv3());
+  const auto j = report::to_json(cmp.red);
+  const std::string key = "\"latency_ns\": ";
+  const auto pos = j.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  const double parsed = std::strtod(j.c_str() + pos + key.size(), nullptr);
+  EXPECT_EQ(parsed, cmp.red.total_latency().value());
 }
 
 TEST(RunningStats, WelfordMatchesHandComputation) {

@@ -62,6 +62,26 @@ TEST(Simulate, ConsistencyIssuesListsDeviations) {
   EXPECT_NE(issues[1].find("row_drives"), std::string::npos);
 }
 
+TEST(Simulate, ZeroPredictedBufferingIsFlagged) {
+  // Regression: a zero prediction used to disable the overlap_adds /
+  // buffer_accesses comparisons entirely, so a design that buffered when the
+  // model said it shouldn't passed silently.
+  arch::LayerActivity predicted;
+  predicted.cycles = 1;
+  predicted.conversions = 1;
+  predicted.row_drives = 1;  // overlap_adds and buffer_accesses predicted 0
+  arch::RunStats measured;
+  measured.cycles = 1;
+  measured.mvm.conversions = 1;
+  measured.mvm.row_drives = 1;
+  measured.overlap_adds = 5;
+  measured.buffer_accesses = 10;
+  const auto issues = consistency_issues(predicted, measured, /*expect_exact_drives=*/false);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_NE(issues[0].find("overlap_adds"), std::string::npos);
+  EXPECT_NE(issues[1].find("buffer_accesses"), std::string::npos);
+}
+
 TEST(Simulate, ExactDrivesRequestedDetectsMismatch) {
   arch::LayerActivity predicted;
   predicted.cycles = 1;

@@ -27,6 +27,7 @@
 #include "red/report/json.h"
 #include "red/sim/engine.h"
 #include "red/sim/pipeline.h"
+#include "red/sim/streaming.h"
 #include "red/sim/trace.h"
 #include "red/sim/verifier.h"
 #include "red/tensor/tensor_ops.h"
@@ -47,6 +48,8 @@ commands:
   compare   evaluate one deconv layer on all three designs
   conv      evaluate a regular conv layer on the shared conv engine
   network   evaluate a whole deconv stack (dcgan | sngan | fcn8s)
+  throughput  stream a batch through a programmed stack [--images N]
+              [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
   verify    run all designs functionally and check vs golden + activity model
   trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
@@ -78,11 +81,7 @@ arch::DesignConfig config_from(const Flags& flags) {
 }
 
 core::DesignKind kind_from(const Flags& flags) {
-  const std::string d = flags.get_string("design", "red");
-  if (d == "zp" || d == "zero-padding") return core::DesignKind::kZeroPadding;
-  if (d == "pf" || d == "padding-free") return core::DesignKind::kPaddingFree;
-  if (d == "red") return core::DesignKind::kRed;
-  throw ConfigError("unknown --design '" + d + "' (zp | pf | red)");
+  return core::kind_from_name(flags.get_string("design", "red"));
 }
 
 nn::DeconvLayerSpec layer_from(const Flags& flags) {
@@ -255,15 +254,7 @@ int cmd_export(const Flags& flags) {
 
 int cmd_network(const Flags& flags) {
   const std::string net = flags.get_string("net", "dcgan");
-  std::vector<nn::DeconvLayerSpec> stack;
-  if (net == "dcgan")
-    stack = workloads::dcgan_generator();
-  else if (net == "sngan")
-    stack = workloads::sngan_generator();
-  else if (net == "fcn8s")
-    stack = workloads::fcn8s_upsampling();
-  else
-    throw ConfigError("unknown --net '" + net + "' (dcgan | sngan | fcn8s)");
+  const auto stack = workloads::named_stack(net);
   const auto r = sim::evaluate_pipeline(kind_from(flags), stack, config_from(flags));
   std::cout << net << " on " << r.design_name << ":\n";
   for (const auto& s : r.stages)
@@ -273,6 +264,46 @@ int cmd_network(const Flags& flags) {
             << " us, interval " << format_double(r.initiation_interval.value() / 1e3, 2)
             << " us, " << format_double(r.throughput_img_per_s(), 0) << " img/s, "
             << format_double(r.energy_per_image.value() / 1e6, 3) << " uJ/img\n";
+  return 0;
+}
+
+int cmd_throughput(const Flags& flags) {
+  const std::string net = flags.get_string("net", "dcgan");
+  const int div = static_cast<int>(flags.get_int("div", 16));
+  const auto stack = workloads::named_stack(net, div);
+  const auto kind = kind_from(flags);
+  const auto cfg = config_from(flags);
+  const int images_n = static_cast<int>(flags.get_int("images", 8));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  if (images_n < 1) throw ConfigError("--images must be >= 1");
+
+  const sim::StreamingExecutor executor(kind, cfg, stack,
+                                        workloads::make_stack_kernels(stack, seed));
+  const auto images = workloads::make_input_batch(stack[0], images_n, seed);
+  sim::StreamingOptions opts;
+  opts.threads = static_cast<int>(flags.get_int("threads", 4));
+  if (opts.threads < 1) throw ConfigError("--threads must be >= 1");
+  opts.check = !flags.get_bool("no-check");
+  const auto result = executor.stream(images, opts);
+
+  const auto model = sim::evaluate_pipeline(kind, stack, cfg);
+  std::cout << net << " (div " << div << ") on " << result.design_name << ": "
+            << images_n << " images through " << result.depth << " stages, "
+            << opts.threads << " stage lanes"
+            << (result.programmed_fast_path ? ", programmed once"
+                                            : ", reprogram-per-image fallback")
+            << (opts.check ? ", activity-checked" : "") << '\n';
+  const double img_per_s = result.wall_ms > 0.0 ? 1e3 * images_n / result.wall_ms : 0.0;
+  std::cout << "measured: batch " << format_double(result.wall_ms, 2) << " ms, fill "
+            << format_double(result.fill_ms(), 2) << " ms, steady interval "
+            << format_double(result.steady_interval_ms(), 3) << " ms/img, "
+            << format_double(img_per_s, 0) << " img/s\n";
+  std::cout << "model: fill " << format_double(model.fill_latency.value() / 1e3, 2)
+            << " us, interval " << format_double(model.initiation_interval.value() / 1e3, 2)
+            << " us, " << format_double(model.throughput_img_per_s(), 0) << " img/s\n";
+  std::cout << "activity: " << result.total.cycles << " cycles, "
+            << result.total.mvm.conversions << " conversions, " << result.total.overlap_adds
+            << " overlap adds across the batch\n";
   return 0;
 }
 
@@ -295,6 +326,8 @@ int main(int argc, char** argv) {
       rc = cmd_conv(flags);
     else if (cmd == "network")
       rc = cmd_network(flags);
+    else if (cmd == "throughput")
+      rc = cmd_throughput(flags);
     else if (cmd == "sweep")
       rc = cmd_sweep(flags);
     else if (cmd == "verify")

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # Run the simulator benchmarks and emit the machine-readable reports:
-#   BENCH_mvm.json    — Google Benchmark JSON with the before/after MVM
-#                       kernel pairs (needs google-benchmark at build time)
-#   BENCH_analog.json — before/after IR-drop solver and noise-sweep timings
-# See docs/PERFORMANCE.md for how to read both.
+#   BENCH_mvm.json      — Google Benchmark JSON with the before/after MVM
+#                         kernel pairs (needs google-benchmark at build time)
+#   BENCH_analog.json   — before/after IR-drop solver and noise-sweep timings
+#   BENCH_pipeline.json — sequential per-image runs vs the streaming batched
+#                         executor (fill, steady-state interval, img/s)
+# See docs/PERFORMANCE.md for how to read them.
 #
-# Usage: tools/run_bench.sh [--quick] [--mvm-only] [build_dir] [mvm_out.json] [analog_out.json]
+# Usage: tools/run_bench.sh [--quick] [--mvm-only] [build_dir] [mvm_out.json]
+#                           [analog_out.json] [pipeline_out.json]
 #   --quick     one-iteration smoke run (what the bench_smoke CTest label uses)
 #   --mvm-only  skip the analog benchmark (bench_smoke_micro uses this so the
 #               analog smoke coverage stays with bench_smoke_analog alone)
@@ -23,6 +26,7 @@ done
 build_dir="${1:-build}"
 mvm_out="${2:-BENCH_mvm.json}"
 analog_out="${3:-BENCH_analog.json}"
+pipeline_out="${4:-BENCH_pipeline.json}"
 
 if [ -x "${build_dir}/bench_micro_simulator" ]; then
   min_time_flag=""
@@ -61,3 +65,13 @@ fi
 "${build_dir}/bench_analog" ${quick_flag} --out "${analog_out}"
 echo "Before/after pairs: BM_IrDropReferenceSor vs BM_IrDropAdiFast,"
 echo "BM_NoiseSweepPerSeedRebuild vs BM_NoiseSweepMonteCarlo."
+
+if [ ! -x "${build_dir}/bench_pipeline" ]; then
+  echo "error: ${build_dir}/bench_pipeline not found." >&2
+  echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+echo ""
+"${build_dir}/bench_pipeline" ${quick_flag} --out "${pipeline_out}"
+echo "Before/after pair: BM_SequentialPerImage vs BM_StreamingPipelined."
