@@ -19,6 +19,8 @@ struct MacroShape {
   std::int64_t rows = 0;
   std::int64_t phys_cols = 0;
   std::int64_t count = 1;
+
+  friend bool operator==(const MacroShape&, const MacroShape&) = default;
 };
 
 struct LayerActivity {
@@ -57,6 +59,8 @@ struct LayerActivity {
   std::int64_t overlap_adds = 0;
   std::int64_t buffer_accesses = 0;
   bool has_crop = false;
+
+  friend bool operator==(const LayerActivity&, const LayerActivity&) = default;
 };
 
 }  // namespace red::arch

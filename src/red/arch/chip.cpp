@@ -31,17 +31,20 @@ double ChipPlan::occupancy() const {
              : static_cast<double>(required_subarrays) / static_cast<double>(available_subarrays);
 }
 
-ChipPlan plan_chip(const Design& design, const std::vector<nn::DeconvLayerSpec>& stack,
-                   const ChipConfig& chip) {
+ChipPlan plan_chip(const plan::StackPlan& stack, const ChipConfig& chip) {
   chip.validate();
-  RED_EXPECTS(!stack.empty());
 
   ChipPlan plan;
   plan.available_subarrays = chip.total_subarrays();
-  for (const auto& spec : stack) {
-    const LayerActivity act = design.activity(spec);
+
+  // Next-fit bank assignment in layer order: `bank` is the bank currently
+  // filling and `cursor` its next free subarray slot.
+  int bank = 0;
+  std::int64_t cursor = 0;
+  for (const auto& lp : stack.layers) {
+    const LayerActivity& act = lp.activity;
     LayerPlacement placement;
-    placement.layer = spec.name;
+    placement.layer = lp.spec.name;
     for (const auto& m : act.macros) {
       const auto tiles = xbar::plan_tiling(m.rows, m.phys_cols, chip.subarray);
       placement.subarrays += m.count * tiles.tiles();
@@ -53,14 +56,38 @@ ChipPlan plan_chip(const Design& design, const std::vector<nn::DeconvLayerSpec>&
     if (act.split_macro && act.dec_units > placement.subarrays)
       placement.subarrays = act.dec_units;
     plan.required_subarrays += placement.subarrays;
+
+    if (placement.subarrays > chip.subarrays_per_bank) {
+      plan.diagnostics.push_back(
+          "layer '" + placement.layer + "' needs " + std::to_string(placement.subarrays) +
+          " subarrays but one bank holds only " + std::to_string(chip.subarrays_per_bank) +
+          " — a layer's weights must reside within a single bank");
+    } else {
+      if (cursor + placement.subarrays > chip.subarrays_per_bank) {
+        ++bank;
+        cursor = 0;
+      }
+      if (bank >= chip.banks) {
+        plan.diagnostics.push_back(
+            "no bank left for layer '" + placement.layer + "' (needs " +
+            std::to_string(placement.subarrays) + " subarrays; all " +
+            std::to_string(chip.banks) + " banks are full)");
+      } else {
+        placement.bank = bank;
+        placement.subarray_begin = cursor;
+        placement.subarray_end = cursor + placement.subarrays;
+        cursor = placement.subarray_end;
+        plan.banks_used = bank + 1;
+      }
+    }
     plan.layers.push_back(std::move(placement));
   }
-  plan.fits = plan.required_subarrays <= plan.available_subarrays;
+  plan.fits = plan.diagnostics.empty();
 
   // Chip area: per-bank control + global buffer + every subarray's cells and
-  // periphery (priced via the calibrated constants of the design's config).
-  const auto& cal = design.config().calib;
-  const auto& node = design.config().node;
+  // periphery (priced via the calibrated constants of the plan's config).
+  const auto& cal = stack.cfg.calib;
+  const auto& node = stack.cfg.node;
   const double cell_um2 = cal.cell_area_f2 * node.f2_um2();
   const double cells_per_sub =
       static_cast<double>(chip.subarray.subarray_rows) * chip.subarray.subarray_cols;
@@ -80,6 +107,12 @@ ChipPlan plan_chip(const Design& design, const std::vector<nn::DeconvLayerSpec>&
   bank_area += htree.area().value();
   plan.chip_area = SquareMicrons{bank_area * chip.banks};
   return plan;
+}
+
+ChipPlan plan_chip(const Design& design, const std::vector<nn::DeconvLayerSpec>& stack,
+                   const ChipConfig& chip) {
+  RED_EXPECTS(!stack.empty());
+  return plan_chip(plan::plan_stack(design.kind(), stack, design.config()), chip);
 }
 
 }  // namespace red::arch

@@ -2,6 +2,7 @@
 
 #include "red/common/contracts.h"
 #include "red/common/error.h"
+#include "red/plan/plan.h"
 
 namespace red::arch {
 
@@ -35,9 +36,33 @@ std::unique_ptr<ProgrammedLayer> Design::program(const nn::DeconvLayerSpec& spec
   return nullptr;  // no programmed fast path; callers fall back to run()
 }
 
+std::unique_ptr<ProgrammedLayer> Design::program(const plan::LayerPlan& plan,
+                                                 const Tensor<std::int32_t>& kernel) const {
+  check_plan(plan);
+  return program(plan.spec, kernel);
+}
+
+void Design::check_plan(const plan::LayerPlan& plan) const {
+  RED_EXPECTS_MSG(plan.key == plan::structural_key(kind(), cfg_, plan.spec),
+                  "plan was compiled for a different design kind or config");
+}
+
+LayerActivity Design::activity(const nn::DeconvLayerSpec& spec) const {
+  return plan::plan_layer(kind(), spec, cfg_).activity;
+}
+
+LayerActivity Design::activity(const plan::LayerPlan& plan) const {
+  check_plan(plan);
+  return plan.activity;
+}
+
 CostReport Design::cost(const nn::DeconvLayerSpec& spec) const {
-  const LayerActivity act = activity(spec);
-  return compute_cost(cfg_.tiled ? apply_tiling(act, cfg_) : act, cfg_);
+  return cost(plan::plan_layer(kind(), spec, cfg_));
+}
+
+CostReport Design::cost(const plan::LayerPlan& plan) const {
+  check_plan(plan);
+  return compute_cost(cfg_.tiled ? apply_tiling(plan.activity, cfg_) : plan.activity, cfg_);
 }
 
 std::vector<std::int64_t> Design::execute_mvm(const xbar::LogicalXbar& xbar,

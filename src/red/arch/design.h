@@ -5,6 +5,12 @@
 //   * run(spec, ...) — functional execution producing the output tensor plus
 //     measured activity (must match activity(spec), tested);
 //   * cost(spec)     — calibrated latency/energy/area via the cost model.
+//
+// The mapping decisions behind those answers (fold, mode groups, macro
+// shapes, the cycle model) are compiled once by red::plan::plan_layer into a
+// LayerPlan; the spec-taking entry points here are convenience wrappers that
+// compile a plan on the fly, and the plan-taking overloads consume an
+// already-compiled plan without re-deriving anything.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +28,16 @@
 #include "red/xbar/crossbar.h"
 #include "red/xbar/tiling.h"
 
+namespace red::plan {
+struct LayerPlan;
+}  // namespace red::plan
+
 namespace red::arch {
+
+/// The three evaluated designs (Sec. IV): the zero-padding baseline, the
+/// padding-free design, and RED. Lives here (not core/) so the compile layer
+/// and every Design can name its own kind; `core::DesignKind` aliases it.
+enum class DesignKind { kZeroPadding, kPaddingFree, kRed };
 
 struct DesignConfig {
   xbar::QuantConfig quant;         ///< data-path widths and ADC behaviour
@@ -121,8 +136,17 @@ class Design {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
+  /// Which of the three designs this is (drives plan compilation).
+  [[nodiscard]] virtual DesignKind kind() const = 0;
+
   /// Exact structural activity for this layer (no tech constants).
-  [[nodiscard]] virtual LayerActivity activity(const nn::DeconvLayerSpec& spec) const = 0;
+  /// Convenience wrapper: compiles a plan::LayerPlan and returns its
+  /// activity model — one code path for every consumer.
+  [[nodiscard]] LayerActivity activity(const nn::DeconvLayerSpec& spec) const;
+
+  /// Activity of an already-compiled plan. The plan must have been compiled
+  /// for this design's kind and config (checked via the structural key).
+  [[nodiscard]] LayerActivity activity(const plan::LayerPlan& plan) const;
 
   /// Execute the layer functionally through the crossbar pipeline.
   [[nodiscard]] virtual Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
@@ -131,7 +155,11 @@ class Design {
                                                  RunStats* stats = nullptr) const = 0;
 
   /// Calibrated cost of this layer (analytic; does not touch tensor data).
+  /// Convenience wrapper over cost(plan::LayerPlan).
   [[nodiscard]] CostReport cost(const nn::DeconvLayerSpec& spec) const;
+
+  /// Cost of an already-compiled plan (no re-derivation of the mapping).
+  [[nodiscard]] CostReport cost(const plan::LayerPlan& plan) const;
 
   /// Program the layer's crossbars once for repeated execution / Monte Carlo
   /// re-perturbation. Returns nullptr when the design has no programmed fast
@@ -140,9 +168,19 @@ class Design {
   [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> program(
       const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const;
 
+  /// Program from an already-compiled plan. The default delegates to
+  /// program(plan.spec, kernel); designs with plan-derived decisions (RED's
+  /// fold and mode groups) override to consume them directly.
+  [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> program(
+      const plan::LayerPlan& plan, const Tensor<std::int32_t>& kernel) const;
+
   [[nodiscard]] const DesignConfig& config() const { return cfg_; }
 
  protected:
+  /// Throw ContractViolation unless `plan` was compiled for this design's
+  /// kind and config on its own spec (structural-key comparison).
+  void check_plan(const plan::LayerPlan& plan) const;
+
   /// MVM helper honoring cfg_.bit_accurate.
   [[nodiscard]] std::vector<std::int64_t> execute_mvm(const xbar::LogicalXbar& xbar,
                                                       std::span<const std::int32_t> input,

@@ -7,40 +7,8 @@
 
 namespace red::arch {
 
-LayerActivity PaddingFreeDesign::activity(const nn::DeconvLayerSpec& spec) const {
-  spec.validate();
-  const int slices = cfg_.quant.slices();
-  const int pulses = cfg_.quant.pulses();
-  const std::int64_t patch = std::int64_t{spec.kh} * spec.kw;
-
-  LayerActivity a;
-  a.design_name = name();
-  a.total_rows = spec.c;
-  a.out_phys_cols = patch * spec.m * slices;
-  a.macros = {MacroShape{spec.c, a.out_phys_cols, 1}};
-  a.cells = a.total_rows * a.out_phys_cols;
-  a.dec_units = 1;
-  a.dec_rows = spec.c;
-  a.sc_units = 1;
-  a.groups = 1;
-  a.wl_load_cols = a.out_phys_cols;
-  a.bl_load_rows = spec.c;
-  a.bl_weighted_cols = a.out_phys_cols * a.total_rows;
-
-  a.cycles = std::int64_t{spec.ih} * spec.iw;
-  a.row_drives = a.cycles * spec.c;  // inputs are dense: every row, every cycle
-  a.conversions = a.cycles * a.out_phys_cols * pulses;
-  a.mux_switches = a.conversions;
-  a.sa_ops = a.conversions;
-  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
-                 static_cast<double>(a.out_phys_cols);
-
-  a.patch_positions = patch;
-  a.overlap_adds = a.cycles * patch * spec.m;
-  a.buffer_accesses = 2 * a.overlap_adds;  // read-modify-write of the canvas
-  a.has_crop = true;
-  return a;
-}
+// The activity model lives in plan.cpp (padding_free_activity): the compile
+// layer is the single home of the mapping arithmetic.
 
 Tensor<std::int32_t> PaddingFreeDesign::run(const nn::DeconvLayerSpec& spec,
                                             const Tensor<std::int32_t>& input,

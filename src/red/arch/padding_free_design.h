@@ -17,7 +17,7 @@ class PaddingFreeDesign final : public Design {
   explicit PaddingFreeDesign(DesignConfig cfg) : Design(std::move(cfg)) {}
 
   [[nodiscard]] std::string name() const override { return "padding-free"; }
-  [[nodiscard]] LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] DesignKind kind() const override { return DesignKind::kPaddingFree; }
   [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
                                          const Tensor<std::int32_t>& input,
                                          const Tensor<std::int32_t>& kernel,

@@ -137,34 +137,8 @@ class ZpProgrammedLayer final : public ProgrammedLayer {
 
 }  // namespace
 
-LayerActivity ZeroPaddingDesign::activity(const nn::DeconvLayerSpec& spec) const {
-  spec.validate();
-  const int slices = cfg_.quant.slices();
-  const int pulses = cfg_.quant.pulses();
-
-  LayerActivity a;
-  a.design_name = name();
-  a.total_rows = std::int64_t{spec.kh} * spec.kw * spec.c;
-  a.out_phys_cols = std::int64_t{spec.m} * slices;
-  a.macros = {MacroShape{a.total_rows, a.out_phys_cols, 1}};
-  a.cells = a.total_rows * a.out_phys_cols;
-  a.dec_units = 1;
-  a.dec_rows = a.total_rows;
-  a.sc_units = 1;
-  a.groups = 1;
-  a.wl_load_cols = a.out_phys_cols;
-  a.bl_load_rows = a.total_rows;
-  a.bl_weighted_cols = a.out_phys_cols * a.total_rows;
-
-  a.cycles = std::int64_t{spec.oh()} * spec.ow();
-  a.row_drives = nn::structural_window_hits(spec) * spec.c;
-  a.conversions = a.cycles * a.out_phys_cols * pulses;
-  a.mux_switches = a.conversions;
-  a.sa_ops = a.conversions;
-  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
-                 static_cast<double>(a.out_phys_cols);
-  return a;
-}
+// The activity model lives in plan.cpp (zero_padding_activity): the compile
+// layer is the single home of the mapping arithmetic.
 
 Tensor<std::int32_t> ZeroPaddingDesign::run(const nn::DeconvLayerSpec& spec,
                                             const Tensor<std::int32_t>& input,

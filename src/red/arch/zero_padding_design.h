@@ -17,7 +17,7 @@ class ZeroPaddingDesign final : public Design {
   explicit ZeroPaddingDesign(DesignConfig cfg) : Design(std::move(cfg)) {}
 
   [[nodiscard]] std::string name() const override { return "zero-padding"; }
-  [[nodiscard]] LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] DesignKind kind() const override { return DesignKind::kZeroPadding; }
   [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
                                          const Tensor<std::int32_t>& input,
                                          const Tensor<std::int32_t>& kernel,
@@ -26,6 +26,7 @@ class ZeroPaddingDesign final : public Design {
   /// Programmed fast path: the rotated-kernel macro built once; repeated runs
   /// reuse it (and a cached padded-window binding), Monte Carlo trials
   /// reprogram only the variation deltas. Bit-identical to run().
+  using Design::program;  // keep the plan-consuming overload visible
   [[nodiscard]] std::unique_ptr<ProgrammedLayer> program(
       const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const override;
 };

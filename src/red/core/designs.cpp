@@ -14,6 +14,18 @@ DesignKind kind_from_name(const std::string& name) {
   throw ConfigError("unknown --design '" + name + "' (zp | pf | red)");
 }
 
+std::string kind_to_name(DesignKind kind) {
+  switch (kind) {
+    case DesignKind::kZeroPadding:
+      return "zp";
+    case DesignKind::kPaddingFree:
+      return "pf";
+    case DesignKind::kRed:
+      return "red";
+  }
+  throw ConfigError("unknown design kind");
+}
+
 std::unique_ptr<arch::Design> make_design(DesignKind kind, arch::DesignConfig cfg) {
   switch (kind) {
     case DesignKind::kZeroPadding:

@@ -10,12 +10,19 @@
 
 namespace red::core {
 
-enum class DesignKind { kZeroPadding, kPaddingFree, kRed };
+/// The enum itself lives in arch/design.h so the compile layer (red::plan)
+/// and every Design can name its kind; this alias keeps the historical
+/// `core::DesignKind` spelling working everywhere.
+using DesignKind = arch::DesignKind;
 
 /// The design kind a CLI/bench `--design` value names: "zp"/"zero-padding",
 /// "pf"/"padding-free", or "red". Throws ConfigError for anything else, so
 /// every surface shares one vocabulary and one error message.
 [[nodiscard]] DesignKind kind_from_name(const std::string& name);
+
+/// Canonical short name of a kind ("zp" | "pf" | "red"); round-trips through
+/// kind_from_name. Used by the plan JSON serializer and the CLI.
+[[nodiscard]] std::string kind_to_name(DesignKind kind);
 
 [[nodiscard]] std::unique_ptr<arch::Design> make_design(DesignKind kind,
                                                         arch::DesignConfig cfg = {});

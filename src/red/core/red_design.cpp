@@ -7,12 +7,11 @@
 #include <vector>
 
 #include "red/common/contracts.h"
-#include "red/common/math_util.h"
 #include "red/core/pixel_wise_mapping.h"
 #include "red/core/schedule.h"
-#include "red/nn/redundancy.h"
 #include "red/perf/thread_pool.h"
 #include "red/perf/workspace.h"
+#include "red/plan/plan.h"
 
 namespace red::core {
 
@@ -64,6 +63,11 @@ struct RedProgram {
 
   RedProgram(arch::DesignConfig c, const nn::DeconvLayerSpec& s, int fold)
       : cfg(std::move(c)), spec(s), schedule(s, fold) {}
+
+  /// Plan-consuming form: the schedule reuses the plan's mode-group table.
+  RedProgram(arch::DesignConfig c, const nn::DeconvLayerSpec& s, int fold,
+             std::vector<ModeGroup> groups)
+      : cfg(std::move(c)), spec(s), schedule(s, fold, std::move(groups)) {}
 
   /// Gather the per-cycle group inputs of `input` (or return the cached
   /// binding when it is the same tensor). Serialized: concurrent first
@@ -182,52 +186,7 @@ class RedProgrammedLayer final : public arch::ProgrammedLayer {
 }  // namespace
 
 int RedDesign::fold_for(const nn::DeconvLayerSpec& spec) const {
-  if (cfg_.red_fold > 0) return cfg_.red_fold;
-  return auto_fold(compute_mode_groups(spec), cfg_.red_max_subcrossbars);
-}
-
-arch::LayerActivity RedDesign::activity(const nn::DeconvLayerSpec& spec) const {
-  spec.validate();
-  const auto groups = compute_mode_groups(spec);
-  const int fold = fold_for(spec);
-  const int slices = cfg_.quant.slices();
-  const int pulses = cfg_.quant.pulses();
-  const std::int64_t m_phys = std::int64_t{spec.m} * slices;
-
-  arch::LayerActivity a;
-  a.design_name = name();
-  a.total_rows = total_sub_crossbars(groups) * spec.c;  // == KH*KW*C
-  a.out_phys_cols = static_cast<std::int64_t>(groups.size()) * m_phys;
-  a.cells = a.total_rows * m_phys;  // every SC is C x M_phys
-  a.dec_units = folded_sc_count(groups, fold);
-  a.dec_rows = std::int64_t{fold} * spec.c;
-  a.sub_crossbar_decoders = true;
-  a.sc_units = a.dec_units;
-  a.groups = static_cast<std::int64_t>(groups.size());
-  a.wl_load_cols = m_phys;  // one wordline spans only its own sub-crossbar
-  a.bl_load_rows = max_group_size(groups) * spec.c;  // tallest shared bitline
-  a.bl_weighted_cols = 0;
-  for (const auto& g : groups) {
-    const std::int64_t group_rows = static_cast<std::int64_t>(g.scs.size()) * spec.c;
-    a.bl_weighted_cols += m_phys * group_rows;
-    a.macros.push_back(arch::MacroShape{group_rows, m_phys, 1});
-  }
-  a.split_macro = true;
-  a.sa_extra_stages = ilog2_ceil(max_group_size(groups)) + (fold > 1 ? 1 : 0);
-  a.fold = fold;
-
-  a.cycles = std::int64_t{ceil_div(spec.oh(), spec.stride)} *
-             ceil_div(spec.ow(), spec.stride) * fold;
-  // Zero-skipping drives exactly the wordlines carrying real data — the same
-  // (input pixel, kernel tap) pairings the zero-padding design's non-zero
-  // window entries make, so the totals coincide by construction.
-  a.row_drives = nn::structural_window_hits(spec) * spec.c;
-  a.conversions = a.cycles * a.out_phys_cols * pulses;
-  a.mux_switches = a.conversions;
-  a.sa_ops = a.conversions;
-  a.mac_pulses = static_cast<double>(a.row_drives) * pulses * cfg_.calib.avg_bit_density *
-                 static_cast<double>(m_phys);
-  return a;
+  return plan::resolve_fold(arch::DesignKind::kRed, spec, cfg_);
 }
 
 Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
@@ -305,6 +264,18 @@ std::unique_ptr<arch::ProgrammedLayer> RedDesign::program(
                   "program() takes a clean config; inject variation via perturbed()");
   auto prog = std::make_shared<RedProgram>(cfg_, spec, fold_for(spec));
   auto xbars = build_group_xbars(spec, prog->schedule.groups(), kernel, cfg_.quant);
+  return std::make_unique<RedProgrammedLayer>(std::move(prog), std::move(xbars));
+}
+
+std::unique_ptr<arch::ProgrammedLayer> RedDesign::program(
+    const plan::LayerPlan& plan, const Tensor<std::int32_t>& kernel) const {
+  check_plan(plan);
+  RED_EXPECTS(kernel.shape() == plan.spec.kernel_shape());
+  RED_EXPECTS_MSG(!cfg_.quant.variation.enabled(),
+                  "program() takes a clean config; inject variation via perturbed()");
+  // Consume the compiled mapping: fold and mode groups come from the plan.
+  auto prog = std::make_shared<RedProgram>(cfg_, plan.spec, plan.fold, plan.groups);
+  auto xbars = build_group_xbars(plan.spec, prog->schedule.groups(), kernel, cfg_.quant);
   return std::make_unique<RedProgrammedLayer>(std::move(prog), std::move(xbars));
 }
 

@@ -23,7 +23,7 @@ class RedDesign final : public arch::Design {
   explicit RedDesign(arch::DesignConfig cfg) : Design(std::move(cfg)) {}
 
   [[nodiscard]] std::string name() const override { return "RED"; }
-  [[nodiscard]] arch::LayerActivity activity(const nn::DeconvLayerSpec& spec) const override;
+  [[nodiscard]] arch::DesignKind kind() const override { return arch::DesignKind::kRed; }
   [[nodiscard]] Tensor<std::int32_t> run(const nn::DeconvLayerSpec& spec,
                                          const Tensor<std::int32_t>& input,
                                          const Tensor<std::int32_t>& kernel,
@@ -35,7 +35,13 @@ class RedDesign final : public arch::Design {
   [[nodiscard]] std::unique_ptr<arch::ProgrammedLayer> program(
       const nn::DeconvLayerSpec& spec, const Tensor<std::int32_t>& kernel) const override;
 
-  /// Fold factor used for this layer (config override or auto).
+  /// Plan-consuming programming: reuses the plan's resolved fold and
+  /// mode-group table instead of re-deriving them.
+  [[nodiscard]] std::unique_ptr<arch::ProgrammedLayer> program(
+      const plan::LayerPlan& plan, const Tensor<std::int32_t>& kernel) const override;
+
+  /// Fold factor used for this layer (config override or auto; the plan
+  /// layer's resolve_fold is the single source of truth).
   [[nodiscard]] int fold_for(const nn::DeconvLayerSpec& spec) const;
 };
 

@@ -6,12 +6,17 @@
 namespace red::core {
 
 ZeroSkipSchedule::ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold)
+    : ZeroSkipSchedule(spec, fold, compute_mode_groups(spec)) {}
+
+ZeroSkipSchedule::ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold,
+                                   std::vector<ModeGroup> groups)
     : spec_(std::move(spec)),
-      groups_(compute_mode_groups(spec_)),
+      groups_(std::move(groups)),
       fold_(fold),
       blocks_y_(ceil_div(spec_.oh(), spec_.stride)),
       blocks_x_(ceil_div(spec_.ow(), spec_.stride)) {
   RED_EXPECTS(fold_ >= 1);
+  RED_EXPECTS(!groups_.empty());
 }
 
 std::int64_t ZeroSkipSchedule::num_cycles() const {

@@ -50,6 +50,11 @@ class ZeroSkipSchedule {
  public:
   ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold);
 
+  /// Plan-consuming form: reuse an already-computed mode-group table (a
+  /// compiled plan::LayerPlan's) instead of re-deriving it. `groups` must be
+  /// compute_mode_groups(spec) — the plan layer guarantees this.
+  ZeroSkipSchedule(nn::DeconvLayerSpec spec, int fold, std::vector<ModeGroup> groups);
+
   [[nodiscard]] const nn::DeconvLayerSpec& spec() const { return spec_; }
   [[nodiscard]] const std::vector<ModeGroup>& groups() const { return groups_; }
   [[nodiscard]] int fold() const { return fold_; }

@@ -1,92 +1,14 @@
 #include "red/explore/sweep.h"
 
-#include <cstring>
-#include <type_traits>
-
 #include "red/common/contracts.h"
 #include "red/perf/thread_pool.h"
+#include "red/plan/plan.h"
 
 namespace red::explore {
 
-namespace {
-
-// Append a value's object representation to the key. Used for the numeric
-// config fields: exact (no decimal formatting loss) and cheap.
-template <typename T>
-void append_raw(std::string& key, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  char bytes[sizeof(T)];
-  std::memcpy(bytes, &value, sizeof(T));
-  key.append(bytes, sizeof(T));
-}
-
-}  // namespace
-
 std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
                       const nn::DeconvLayerSpec& spec) {
-  std::string key;
-  key.reserve(2 * sizeof(tech::Calibration));
-  append_raw(key, static_cast<int>(kind));
-  append_raw(key, cfg.mux_ratio);
-  append_raw(key, cfg.red_max_subcrossbars);
-  append_raw(key, cfg.red_fold);
-  append_raw(key, cfg.bit_accurate);
-  append_raw(key, cfg.tiled);
-  append_raw(key, cfg.activation_sparsity);
-  append_raw(key, cfg.tiling.subarray_rows);
-  append_raw(key, cfg.tiling.subarray_cols);
-  append_raw(key, cfg.quant.wbits);
-  append_raw(key, cfg.quant.abits);
-  append_raw(key, cfg.quant.cell_bits);
-  append_raw(key, cfg.quant.dac_bits);
-  append_raw(key, cfg.quant.adc.mode);
-  append_raw(key, cfg.quant.adc.bits);
-  append_raw(key, cfg.quant.variation.level_sigma);
-  append_raw(key, cfg.quant.variation.stuck_at_rate);
-  append_raw(key, cfg.quant.variation.seed);
-  // Calibration constants field by field (the struct has padding, so a whole-
-  // object fingerprint would split identical configs into distinct keys).
-  const tech::Calibration& cal = cfg.calib;
-  for (double v :
-       {cal.t_dec_base,      cal.t_dec_per_bit,   cal.t_broadcast_bit,
-        cal.t_wd_base,       cal.t_pulse_per_bit, cal.t_wd_wire_col2,
-        cal.t_bd_base,       cal.t_bd_wire_row2,  cal.t_mux,
-        cal.t_conv,          cal.t_sa,            cal.t_sa_stage,
-        cal.t_tree_stage,    cal.t_buf_serial,    cal.t_buf_access,
-        cal.e_mac_pulse,     cal.e_wd_base,       cal.e_wd_per_col,
-        cal.wd_upsize_cols,  cal.e_bd_per_row,    cal.e_dec_base,
-        cal.e_dec_per_row,   cal.e_mux,           cal.e_conv,
-        cal.e_sa,            cal.e_add,           cal.e_buf,
-        cal.p_leak_w_per_um2, cal.cell_area_f2,   cal.a_dec_base,
-        cal.a_sc_base,       cal.a_dec_per_row,   cal.a_wd_per_row,
-        cal.a_bd_per_col,    cal.a_mux_per_col,   cal.a_conv_unit,
-        cal.a_sa_unit,       cal.a_add_unit,      cal.a_buf_per_bit,
-        cal.a_crop_unit,     cal.split_area_fraction, cal.t_write_pulse,
-        cal.e_write_pulse,   cal.write_verify_pulses, cal.parallel_write_rows,
-        cal.htree_wire_pj_per_mm_bit, cal.htree_ns_per_mm,
-        cal.htree_um2_per_mm_link,    cal.avg_bit_density})
-    append_raw(key, v);
-  append_raw(key, cal.buf_bits_per_value);
-  // Variable-width fields must be length-framed: an unframed string between
-  // raw byte fields lets one key's name bytes masquerade as another key's
-  // following field bytes, silently aliasing distinct configs to one cached
-  // SweepOutcome the moment a second variable-width field joins the key.
-  append_raw(key, static_cast<std::uint64_t>(cfg.node.name.size()));
-  key += cfg.node.name;
-  append_raw(key, cfg.node.feature_nm);
-  append_raw(key, cfg.node.vdd);
-  append_raw(key, cfg.node.clock_ghz);
-  // Layer geometry; the name is presentation-only.
-  append_raw(key, spec.ih);
-  append_raw(key, spec.iw);
-  append_raw(key, spec.c);
-  append_raw(key, spec.m);
-  append_raw(key, spec.kh);
-  append_raw(key, spec.kw);
-  append_raw(key, spec.stride);
-  append_raw(key, spec.pad);
-  append_raw(key, spec.output_pad);
-  return key;
+  return plan::structural_key(kind, cfg, spec);
 }
 
 SweepDriver::SweepDriver(int threads) : threads_(threads) { RED_EXPECTS(threads >= 1); }
@@ -101,14 +23,15 @@ std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& g
   std::vector<std::size_t> fresh;  // grid indices to evaluate
   std::unordered_map<std::string, std::size_t> pending;
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    keys.push_back(sweep_key(grid[i].kind, grid[i].cfg, grid[i].spec));
+    keys.push_back(plan::structural_key(grid[i].kind, grid[i].cfg, grid[i].spec));
     if (cache_.contains(keys.back()) || pending.contains(keys.back())) continue;
     pending.emplace(keys.back(), fresh.size());
     fresh.push_back(i);
   }
 
   // Fan the unique evaluations out; per-index slots keep any thread count
-  // bit-identical to the serial walk.
+  // bit-identical to the serial walk. Each point compiles its plan once and
+  // prices activity and cost from it (cost used to re-derive the activity).
   std::vector<std::shared_ptr<const SweepOutcome>> slots(fresh.size());
   const std::int64_t n = static_cast<std::int64_t>(fresh.size());
   perf::parallel_chunks(perf::chunk_count(threads_, n), n,
@@ -116,9 +39,10 @@ std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& g
                           for (std::int64_t i = i0; i < i1; ++i) {
                             const SweepPoint& p = grid[fresh[static_cast<std::size_t>(i)]];
                             auto out = std::make_shared<SweepOutcome>();
+                            const auto lp = plan::plan_layer(p.kind, p.spec, p.cfg);
                             const auto design = core::make_design(p.kind, p.cfg);
-                            out->activity = design->activity(p.spec);
-                            out->cost = design->cost(p.spec);
+                            out->activity = lp.activity;
+                            out->cost = design->cost(lp);
                             slots[static_cast<std::size_t>(i)] = std::move(out);
                           }
                         });

@@ -46,13 +46,13 @@ struct SweepStats {
   std::int64_t cache_hits = 0;  ///< points served from the memo
 };
 
-/// Structural fingerprint of one grid point: design kind, every
-/// result-relevant DesignConfig field (calibration and tech node included;
-/// `threads` excluded — results are thread-invariant), and the layer
-/// geometry (name excluded). Injective: numeric fields are appended as
-/// fixed-width raw bytes and every variable-width field (the tech node name)
-/// is length-prefixed, so no two distinct points share a key. Exposed for
-/// tests.
+/// Structural fingerprint of one grid point. Thin alias of
+/// plan::structural_key — the compile layer's injective plan key is the one
+/// fingerprint every memo shares; the hand-rolled length-prefixed key this
+/// function used to build lives on only as the regression contract its tests
+/// enforce (stability, kind/config/geometry discrimination, `threads`
+/// exclusion, variable-width framing). Kept for those tests and for callers
+/// that predate the plan layer.
 [[nodiscard]] std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
                                     const nn::DeconvLayerSpec& spec);
 

@@ -1,8 +1,17 @@
 #include "red/report/json.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "red/common/error.h"
+#include "red/core/designs.h"
+#include "red/tech/calibration.h"
 
 namespace red::report {
 
@@ -37,14 +46,47 @@ class JsonWriter {
     pad();
     os_ << '"' << key << "\": " << value;
   }
+  void field(const std::string& key, std::uint64_t value) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": " << value;
+  }
+  void field(const std::string& key, bool value) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": " << (value ? "true" : "false");
+  }
   void field(const std::string& key, const std::string& value) {
     sep();
     pad();
     os_ << '"' << key << "\": \"" << json_escape(value) << '"';
   }
+  // Catches string literals, which would otherwise prefer the bool overload
+  // (pointer-to-bool is a standard conversion; const char* to std::string is
+  // user-defined).
+  void field(const std::string& key, const char* value) { field(key, std::string(value)); }
   void object(const std::string& key) {
     sep();
     open(key);
+  }
+  void array(const std::string& key) {
+    sep();
+    pad();
+    os_ << '"' << key << "\": [\n";
+    ++depth_;
+    first_ = true;
+  }
+  void close_array() {
+    os_ << '\n';
+    --depth_;
+    pad();
+    os_ << ']';
+    first_ = false;
+  }
+  /// Start an object element inside an open array.
+  void item_object() {
+    sep();
+    open();
   }
 
   [[nodiscard]] std::string str() const { return os_.str(); }
@@ -62,6 +104,435 @@ class JsonWriter {
   int depth_ = 0;
   bool first_ = true;
 };
+
+// ---- plan serialization -----------------------------------------------------
+
+void write_spec(JsonWriter& w, const nn::DeconvLayerSpec& spec) {
+  w.field("name", spec.name);
+  w.field("ih", std::int64_t{spec.ih});
+  w.field("iw", std::int64_t{spec.iw});
+  w.field("c", std::int64_t{spec.c});
+  w.field("m", std::int64_t{spec.m});
+  w.field("kh", std::int64_t{spec.kh});
+  w.field("kw", std::int64_t{spec.kw});
+  w.field("stride", std::int64_t{spec.stride});
+  w.field("pad", std::int64_t{spec.pad});
+  w.field("output_pad", std::int64_t{spec.output_pad});
+}
+
+void write_config(JsonWriter& w, const arch::DesignConfig& cfg) {
+  w.field("mux_ratio", std::int64_t{cfg.mux_ratio});
+  w.field("red_max_subcrossbars", std::int64_t{cfg.red_max_subcrossbars});
+  w.field("red_fold", std::int64_t{cfg.red_fold});
+  w.field("bit_accurate", cfg.bit_accurate);
+  w.field("tiled", cfg.tiled);
+  w.field("activation_sparsity", cfg.activation_sparsity);
+  w.field("threads", std::int64_t{cfg.threads});
+  w.object("tiling");
+  w.field("subarray_rows", cfg.tiling.subarray_rows);
+  w.field("subarray_cols", cfg.tiling.subarray_cols);
+  w.close(false);
+  w.object("quant");
+  w.field("wbits", std::int64_t{cfg.quant.wbits});
+  w.field("abits", std::int64_t{cfg.quant.abits});
+  w.field("cell_bits", std::int64_t{cfg.quant.cell_bits});
+  w.field("dac_bits", std::int64_t{cfg.quant.dac_bits});
+  w.field("adc_mode", cfg.quant.adc.mode == xbar::AdcMode::kIdeal ? "ideal" : "clipped");
+  w.field("adc_bits", std::int64_t{cfg.quant.adc.bits});
+  w.object("variation");
+  w.field("level_sigma", cfg.quant.variation.level_sigma);
+  w.field("stuck_at_rate", cfg.quant.variation.stuck_at_rate);
+  w.field("seed", std::uint64_t{cfg.quant.variation.seed});
+  w.close(false);
+  w.close(false);
+  w.object("calibration");
+  tech::visit_calibration(cfg.calib, [&w](const char* name, const auto& v) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(v)>, int>)
+      w.field(name, std::int64_t{v});
+    else
+      w.field(name, double{v});
+  });
+  w.close(false);
+  w.object("node");
+  w.field("name", cfg.node.name);
+  w.field("feature_nm", cfg.node.feature_nm);
+  w.field("vdd", cfg.node.vdd);
+  w.field("clock_ghz", cfg.node.clock_ghz);
+  w.close(false);
+}
+
+void write_mapping(JsonWriter& w, const plan::LayerPlan& lp) {
+  w.field("fold", std::int64_t{lp.fold});
+  w.object("layout");
+  w.field("block_rows", lp.layout.block_rows);
+  w.field("block_cols", lp.layout.block_cols);
+  w.field("blocks", lp.layout.blocks);
+  w.close(false);
+  w.array("groups");
+  for (const auto& g : lp.groups) {
+    w.item_object();
+    w.field("a", std::int64_t{g.a});
+    w.field("b", std::int64_t{g.b});
+    w.array("scs");
+    for (const auto& sc : g.scs) {
+      w.item_object();
+      w.field("i", std::int64_t{sc.i});
+      w.field("j", std::int64_t{sc.j});
+      w.close(false);
+    }
+    w.close_array();
+    w.close(false);
+  }
+  w.close_array();
+  w.array("macros");
+  for (const auto& m : lp.activity.macros) {
+    w.item_object();
+    w.field("rows", m.rows);
+    w.field("phys_cols", m.phys_cols);
+    w.field("count", m.count);
+    w.close(false);
+  }
+  w.close_array();
+  w.array("tiles");
+  for (const auto& t : lp.tiles) {
+    w.item_object();
+    w.field("row_tiles", t.row_tiles);
+    w.field("col_tiles", t.col_tiles);
+    w.field("subarray_rows", t.subarray_rows);
+    w.field("subarray_cols", t.subarray_cols);
+    w.close(false);
+  }
+  w.close_array();
+}
+
+// Informational summary (not parsed back; the plan recompiles from kind +
+// spec + config).
+void write_activity_summary(JsonWriter& w, const arch::LayerActivity& a) {
+  w.field("cycles", a.cycles);
+  w.field("row_drives", a.row_drives);
+  w.field("conversions", a.conversions);
+  w.field("cells", a.cells);
+  w.field("total_rows", a.total_rows);
+  w.field("out_phys_cols", a.out_phys_cols);
+  w.field("dec_units", a.dec_units);
+  w.field("sc_units", a.sc_units);
+  w.field("groups", a.groups);
+  w.field("split_macro", a.split_macro);
+  w.field("sa_extra_stages", std::int64_t{a.sa_extra_stages});
+  w.field("overlap_adds", a.overlap_adds);
+  w.field("buffer_accesses", a.buffer_accesses);
+  w.field("mac_pulses", a.mac_pulses);
+}
+
+void write_layer_plan_fields(JsonWriter& w, const plan::LayerPlan& lp, bool with_config) {
+  w.field("kind", core::kind_to_name(lp.kind));
+  w.field("design", lp.activity.design_name);
+  w.field("fingerprint", lp.fingerprint());
+  w.object("spec");
+  write_spec(w, lp.spec);
+  w.close(false);
+  if (with_config) {
+    w.object("config");
+    write_config(w, lp.cfg);
+    w.close(false);
+  }
+  w.object("mapping");
+  write_mapping(w, lp);
+  w.close(false);
+  w.object("activity");
+  write_activity_summary(w, lp.activity);
+  w.close(false);
+}
+
+// ---- JSON parsing -----------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string text;  ///< number lexeme or decoded string value
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    if (v == nullptr) throw ConfigError("plan JSON: missing key '" + key + "'");
+    return *v;
+  }
+  [[nodiscard]] double as_double() const {
+    require(Type::kNumber, "number");
+    return std::strtod(text.c_str(), nullptr);
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    require(Type::kNumber, "number");
+    return std::strtoll(text.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] std::uint64_t as_uint() const {
+    require(Type::kNumber, "number");
+    return std::strtoull(text.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] bool as_bool() const {
+    require(Type::kBool, "bool");
+    return boolean;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    require(Type::kString, "string");
+    return text;
+  }
+
+ private:
+  void require(Type t, const char* what) const {
+    if (type != t) throw ConfigError(std::string("plan JSON: expected a ") + what);
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  [[nodiscard]] JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("plan JSON: " + why + " (at offset " + std::to_string(pos_) + ")");
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    JsonValue v;
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.text = parse_string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.type = JsonValue::Type::kBool;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return v;  // kNull
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      if (peek() != '"') fail("expected an object key");
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (no surrogate-pair support; plan strings are ASCII).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unsupported escape");
+      }
+    }
+    fail("unterminated string");
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.text = s_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+nn::DeconvLayerSpec spec_from_json(const JsonValue& v) {
+  nn::DeconvLayerSpec spec;
+  spec.name = v.at("name").as_string();
+  spec.ih = static_cast<int>(v.at("ih").as_int());
+  spec.iw = static_cast<int>(v.at("iw").as_int());
+  spec.c = static_cast<int>(v.at("c").as_int());
+  spec.m = static_cast<int>(v.at("m").as_int());
+  spec.kh = static_cast<int>(v.at("kh").as_int());
+  spec.kw = static_cast<int>(v.at("kw").as_int());
+  spec.stride = static_cast<int>(v.at("stride").as_int());
+  spec.pad = static_cast<int>(v.at("pad").as_int());
+  spec.output_pad = static_cast<int>(v.at("output_pad").as_int());
+  return spec;
+}
+
+arch::DesignConfig config_from_json(const JsonValue& v) {
+  arch::DesignConfig cfg;
+  cfg.mux_ratio = static_cast<int>(v.at("mux_ratio").as_int());
+  cfg.red_max_subcrossbars = static_cast<int>(v.at("red_max_subcrossbars").as_int());
+  cfg.red_fold = static_cast<int>(v.at("red_fold").as_int());
+  cfg.bit_accurate = v.at("bit_accurate").as_bool();
+  cfg.tiled = v.at("tiled").as_bool();
+  cfg.activation_sparsity = v.at("activation_sparsity").as_double();
+  cfg.threads = static_cast<int>(v.at("threads").as_int());
+  const JsonValue& tiling = v.at("tiling");
+  cfg.tiling.subarray_rows = tiling.at("subarray_rows").as_int();
+  cfg.tiling.subarray_cols = tiling.at("subarray_cols").as_int();
+  const JsonValue& quant = v.at("quant");
+  cfg.quant.wbits = static_cast<int>(quant.at("wbits").as_int());
+  cfg.quant.abits = static_cast<int>(quant.at("abits").as_int());
+  cfg.quant.cell_bits = static_cast<int>(quant.at("cell_bits").as_int());
+  cfg.quant.dac_bits = static_cast<int>(quant.at("dac_bits").as_int());
+  const std::string& adc_mode = quant.at("adc_mode").as_string();
+  if (adc_mode == "ideal") cfg.quant.adc.mode = xbar::AdcMode::kIdeal;
+  else if (adc_mode == "clipped") cfg.quant.adc.mode = xbar::AdcMode::kClipped;
+  else throw ConfigError("plan JSON: unknown adc_mode '" + adc_mode + "'");
+  cfg.quant.adc.bits = static_cast<int>(quant.at("adc_bits").as_int());
+  const JsonValue& var = quant.at("variation");
+  cfg.quant.variation.level_sigma = var.at("level_sigma").as_double();
+  cfg.quant.variation.stuck_at_rate = var.at("stuck_at_rate").as_double();
+  cfg.quant.variation.seed = var.at("seed").as_uint();
+  const JsonValue& cal = v.at("calibration");
+  tech::visit_calibration(cfg.calib, [&cal](const char* name, auto& field) {
+    if constexpr (std::is_same_v<std::decay_t<decltype(field)>, int>)
+      field = static_cast<int>(cal.at(name).as_int());
+    else
+      field = cal.at(name).as_double();
+  });
+  const JsonValue& node = v.at("node");
+  cfg.node.name = node.at("name").as_string();
+  cfg.node.feature_nm = node.at("feature_nm").as_double();
+  cfg.node.vdd = node.at("vdd").as_double();
+  cfg.node.clock_ghz = node.at("clock_ghz").as_double();
+  return cfg;
+}
+
+// The fingerprint is the artifact's tamper evidence: a document without one
+// is as suspect as one with a wrong one, so absence is an error too (at()
+// throws ConfigError), keeping the always-verify contract of the header.
+void check_fingerprint(const JsonValue& stored_in, const std::string& recompiled,
+                       const std::string& what) {
+  const std::string& fp = stored_in.at("fingerprint").as_string();
+  if (fp != recompiled)
+    throw MismatchError(what + " fingerprint mismatch: file says '" + fp +
+                        "' but the recompiled plan is '" + recompiled + "'");
+}
 
 void write_report_fields(JsonWriter& w, const arch::CostReport& r) {
   w.field("design", r.design());
@@ -153,6 +624,72 @@ std::string to_json(const LayerComparison& cmp, int indent) {
   w.close(false);
   w.close();
   return w.str();
+}
+
+std::string to_json(const plan::LayerPlan& lp, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("type", "red_layer_plan");
+  w.field("version", std::int64_t{1});
+  write_layer_plan_fields(w, lp, /*with_config=*/true);
+  w.close();
+  return w.str();
+}
+
+std::string to_json(const plan::StackPlan& sp, int indent) {
+  JsonWriter w(indent);
+  w.open();
+  w.field("type", "red_stack_plan");
+  w.field("version", std::int64_t{1});
+  w.field("kind", core::kind_to_name(sp.kind));
+  w.field("fingerprint", sp.fingerprint());
+  w.object("config");
+  write_config(w, sp.cfg);
+  w.close(false);
+  w.array("layers");
+  for (const auto& lp : sp.layers) {
+    w.item_object();
+    // The config is shared at the top level; layers carry spec + mapping.
+    write_layer_plan_fields(w, lp, /*with_config=*/false);
+    w.close(false);
+  }
+  w.close_array();
+  w.close();
+  return w.str();
+}
+
+plan::LayerPlan layer_plan_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (const JsonValue* type = root.find("type");
+      type != nullptr && type->as_string() != "red_layer_plan")
+    throw ConfigError("plan JSON: expected a red_layer_plan document, got '" +
+                      type->as_string() + "'");
+  const auto kind = core::kind_from_name(root.at("kind").as_string());
+  const auto spec = spec_from_json(root.at("spec"));
+  const auto cfg = config_from_json(root.at("config"));
+  plan::LayerPlan lp = plan::plan_layer(kind, spec, cfg);
+  check_fingerprint(root, lp.fingerprint(), "layer plan '" + spec.name + "'");
+  return lp;
+}
+
+plan::StackPlan stack_plan_from_json(const std::string& json) {
+  const JsonValue root = JsonParser(json).parse();
+  if (const JsonValue* type = root.find("type");
+      type != nullptr && type->as_string() != "red_stack_plan")
+    throw ConfigError("plan JSON: expected a red_stack_plan document, got '" +
+                      type->as_string() + "'");
+  const auto kind = core::kind_from_name(root.at("kind").as_string());
+  const auto cfg = config_from_json(root.at("config"));
+  std::vector<nn::DeconvLayerSpec> stack;
+  const JsonValue& layers = root.at("layers");
+  stack.reserve(layers.items.size());
+  for (const JsonValue& layer : layers.items) stack.push_back(spec_from_json(layer.at("spec")));
+  plan::StackPlan sp = plan::plan_stack(kind, stack, cfg);
+  for (std::size_t i = 0; i < sp.layers.size(); ++i)
+    check_fingerprint(layers.items[i], sp.layers[i].fingerprint(),
+                      "layer plan '" + sp.layers[i].spec.name + "'");
+  check_fingerprint(root, sp.fingerprint(), "stack plan");
+  return sp;
 }
 
 }  // namespace red::report

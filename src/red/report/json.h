@@ -1,13 +1,16 @@
-// Minimal JSON serialization of cost reports and comparisons (for scripting
-// against the CLI without parsing tables).
+// Minimal JSON serialization of cost reports, comparisons, and compiled
+// plans (for scripting against the CLI without parsing tables, and for
+// caching/diffing mapping plans as artifacts).
 //
-// Hand-rolled writer: the output grammar is tiny (objects of numbers and
-// strings), so a dependency-free emitter keeps the project self-contained.
+// Hand-rolled writer and parser: the grammar is tiny (objects/arrays of
+// numbers and strings), so a dependency-free implementation keeps the
+// project self-contained.
 #pragma once
 
 #include <string>
 
 #include "red/arch/cost_report.h"
+#include "red/plan/plan.h"
 #include "red/report/evaluation.h"
 
 namespace red::report {
@@ -18,6 +21,29 @@ namespace red::report {
 /// A full three-design comparison as a JSON object with the headline
 /// Fig. 7/8/9 quantities.
 [[nodiscard]] std::string to_json(const LayerComparison& cmp, int indent = 0);
+
+/// A compiled layer plan as a JSON object: design kind, spec, the full
+/// result-relevant config (calibration and tech node included), the mapping
+/// decisions (fold, mode groups, weight layout, macro shapes, tile grid), an
+/// activity summary, and the structural fingerprint. Round-trips through
+/// layer_plan_from_json to an equal fingerprint.
+[[nodiscard]] std::string to_json(const plan::LayerPlan& lp, int indent = 0);
+
+/// A compiled stack plan: the shared kind/config once, then one object per
+/// layer (spec + mapping + activity + fingerprint). Round-trips through
+/// stack_plan_from_json to an equal fingerprint.
+[[nodiscard]] std::string to_json(const plan::StackPlan& sp, int indent = 0);
+
+/// Parse a layer plan written by to_json: reads kind, spec, and config,
+/// recompiles the plan through plan::plan_layer (so a parsed plan is always
+/// self-consistent), and verifies the stored fingerprint against the
+/// recompiled one. Throws ConfigError on malformed JSON or missing fields,
+/// MismatchError when the fingerprints disagree.
+[[nodiscard]] plan::LayerPlan layer_plan_from_json(const std::string& json);
+
+/// Parse a stack plan written by to_json (same recompile-and-verify
+/// contract, per layer and for the whole stack).
+[[nodiscard]] plan::StackPlan stack_plan_from_json(const std::string& json);
 
 /// Escape a string for embedding in JSON.
 [[nodiscard]] std::string json_escape(const std::string& s);

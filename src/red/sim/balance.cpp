@@ -14,7 +14,9 @@ BalanceResult balance_pipeline(core::DesignKind kind,
   workloads::validate_stack(stack);
   RED_EXPECTS(subarray_budget >= 1);
   const auto design = core::make_design(kind, cfg);
-  const auto placement = arch::plan_chip(*design, stack, chip);
+  // One compiled plan drives both the placement and the per-stage pricing.
+  const auto splan = plan::plan_stack(kind, stack, cfg);
+  const auto placement = arch::plan_chip(splan, chip);
 
   BalanceResult result;
   result.subarray_budget = subarray_budget;
@@ -23,7 +25,7 @@ BalanceResult balance_pipeline(core::DesignKind kind,
     BalancedStage stage;
     stage.spec = stack[i];
     stage.subarrays = placement.layers[i].subarrays;
-    stage.raw_latency = design->cost(stack[i]).total_latency();
+    stage.raw_latency = design->cost(splan.layers[i]).total_latency();
     slowest = std::max(slowest, stage.raw_latency.value());
     result.subarrays_used += stage.subarrays;
     result.stages.push_back(std::move(stage));

@@ -7,6 +7,7 @@
 #include "red/common/contracts.h"
 #include "red/common/error.h"
 #include "red/common/string_util.h"
+#include "red/core/designs.h"
 #include "red/perf/thread_pool.h"
 #include "red/tensor/tensor_ops.h"
 
@@ -50,33 +51,43 @@ std::vector<std::string> consistency_issues(const arch::LayerActivity& predicted
 SimulationResult simulate(const arch::Design& design, const nn::DeconvLayerSpec& spec,
                           const Tensor<std::int32_t>& input, const Tensor<std::int32_t>& kernel,
                           bool check) {
-  SimulationResult result{Tensor<std::int32_t>{}, {}, design.activity(spec),
-                          design.cost(spec)};
-  result.output = design.run(spec, input, kernel, &result.measured);
+  return simulate(design, plan::plan_layer(design.kind(), spec, design.config()), input,
+                  kernel, check);
+}
+
+SimulationResult simulate(const arch::Design& design, const plan::LayerPlan& lp,
+                          const Tensor<std::int32_t>& input, const Tensor<std::int32_t>& kernel,
+                          bool check) {
+  SimulationResult result{Tensor<std::int32_t>{}, {}, design.activity(lp), design.cost(lp)};
+  result.output = design.run(lp.spec, input, kernel, &result.measured);
   if (check) {
     const bool exact_drives = count_zeros(input) == 0;
     const auto issues = consistency_issues(result.predicted, result.measured, exact_drives);
     if (!issues.empty())
-      throw MismatchError("design '" + design.name() + "' on layer '" + spec.name +
+      throw MismatchError("design '" + design.name() + "' on layer '" + lp.spec.name +
                           "' is inconsistent: " + join(issues, "; "));
   }
   return result;
 }
 
-NetworkSimulationResult simulate_network(const arch::Design& design,
-                                         const std::vector<nn::DeconvLayerSpec>& stack,
-                                         const std::vector<Tensor<std::int32_t>>& inputs,
-                                         const std::vector<Tensor<std::int32_t>>& kernels,
-                                         bool check, int threads) {
-  RED_EXPECTS_MSG(stack.size() == inputs.size() && stack.size() == kernels.size(),
+namespace {
+
+// Shared body of the two simulate_network overloads: one compiled plan per
+// layer, executed serially or fanned out.
+NetworkSimulationResult simulate_planned_network(const arch::Design& design,
+                                                 const std::vector<plan::LayerPlan>& plans,
+                                                 const std::vector<Tensor<std::int32_t>>& inputs,
+                                                 const std::vector<Tensor<std::int32_t>>& kernels,
+                                                 bool check, int threads) {
+  RED_EXPECTS_MSG(plans.size() == inputs.size() && plans.size() == kernels.size(),
                   "stack, inputs, and kernels must align");
   RED_EXPECTS(threads >= 1);
 
   NetworkSimulationResult net;
-  net.layers.resize(stack.size());
+  net.layers.resize(plans.size());
   if (threads == 1) {
-    for (std::size_t i = 0; i < stack.size(); ++i)
-      net.layers[i] = simulate(design, stack[i], inputs[i], kernels[i], check);
+    for (std::size_t i = 0; i < plans.size(); ++i)
+      net.layers[i] = simulate(design, plans[i], inputs[i], kernels[i], check);
   } else {
     // Layers are independent: fan them out over at most `threads` lanes
     // (chunked, so the requested lane count — not the global pool size —
@@ -84,8 +95,8 @@ NetworkSimulationResult simulate_network(const arch::Design& design,
     // keep the reduction deterministic. Once any layer fails, remaining
     // layers are skipped (best effort) and the first error in layer order is
     // rethrown, mirroring the serial stop-at-first-exception behavior.
-    const auto n = static_cast<std::int64_t>(stack.size());
-    std::vector<std::exception_ptr> errors(stack.size());
+    const auto n = static_cast<std::int64_t>(plans.size());
+    std::vector<std::exception_ptr> errors(plans.size());
     std::atomic<bool> failed{false};
     perf::parallel_chunks(perf::chunk_count(threads, n), n,
                           [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
@@ -93,7 +104,7 @@ NetworkSimulationResult simulate_network(const arch::Design& design,
                               if (failed.load(std::memory_order_acquire)) return;
                               const auto idx = static_cast<std::size_t>(i);
                               try {
-                                net.layers[idx] = simulate(design, stack[idx], inputs[idx],
+                                net.layers[idx] = simulate(design, plans[idx], inputs[idx],
                                                            kernels[idx], check);
                               } catch (...) {
                                 errors[idx] = std::current_exception();
@@ -106,6 +117,28 @@ NetworkSimulationResult simulate_network(const arch::Design& design,
   }
   for (const auto& layer : net.layers) net.total += layer.measured;
   return net;
+}
+
+}  // namespace
+
+NetworkSimulationResult simulate_network(const arch::Design& design,
+                                         const std::vector<nn::DeconvLayerSpec>& stack,
+                                         const std::vector<Tensor<std::int32_t>>& inputs,
+                                         const std::vector<Tensor<std::int32_t>>& kernels,
+                                         bool check, int threads) {
+  std::vector<plan::LayerPlan> plans;
+  plans.reserve(stack.size());
+  for (const auto& spec : stack)
+    plans.push_back(plan::plan_layer(design.kind(), spec, design.config()));
+  return simulate_planned_network(design, plans, inputs, kernels, check, threads);
+}
+
+NetworkSimulationResult simulate_network(const plan::StackPlan& splan,
+                                         const std::vector<Tensor<std::int32_t>>& inputs,
+                                         const std::vector<Tensor<std::int32_t>>& kernels,
+                                         bool check, int threads) {
+  const auto design = core::make_design(splan.kind, splan.cfg);
+  return simulate_planned_network(*design, splan.layers, inputs, kernels, check, threads);
 }
 
 }  // namespace red::sim

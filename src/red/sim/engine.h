@@ -14,6 +14,7 @@
 
 #include "red/arch/design.h"
 #include "red/nn/layer.h"
+#include "red/plan/plan.h"
 #include "red/tensor/tensor.h"
 
 namespace red::sim {
@@ -34,9 +35,18 @@ struct SimulationResult {
 
 /// Run `design` on the layer and return output, stats, and analytic cost.
 /// If `check` is true, throws MismatchError when the functional run
-/// contradicts the analytic activity model.
+/// contradicts the analytic activity model. Convenience wrapper that
+/// compiles the layer's plan on the fly.
 [[nodiscard]] SimulationResult simulate(const arch::Design& design,
                                         const nn::DeconvLayerSpec& spec,
+                                        const Tensor<std::int32_t>& input,
+                                        const Tensor<std::int32_t>& kernel, bool check = true);
+
+/// Plan-consuming form: the predicted activity and cost come from the
+/// already-compiled plan (no re-derivation). The plan must match the
+/// design's kind and config.
+[[nodiscard]] SimulationResult simulate(const arch::Design& design,
+                                        const plan::LayerPlan& lp,
                                         const Tensor<std::int32_t>& input,
                                         const Tensor<std::int32_t>& kernel, bool check = true);
 
@@ -60,6 +70,14 @@ struct NetworkSimulationResult {
 [[nodiscard]] NetworkSimulationResult simulate_network(
     const arch::Design& design, const std::vector<nn::DeconvLayerSpec>& stack,
     const std::vector<Tensor<std::int32_t>>& inputs,
+    const std::vector<Tensor<std::int32_t>>& kernels, bool check = true, int threads = 1);
+
+/// Plan-consuming form: the design is built from the stack plan's kind and
+/// config, and every layer's predicted activity/cost comes from its compiled
+/// LayerPlan. Results are bit-identical to the spec-taking overload over the
+/// same layers.
+[[nodiscard]] NetworkSimulationResult simulate_network(
+    const plan::StackPlan& splan, const std::vector<Tensor<std::int32_t>>& inputs,
     const std::vector<Tensor<std::int32_t>>& kernels, bool check = true, int threads = 1);
 
 }  // namespace red::sim

@@ -4,6 +4,7 @@
 
 #include "red/common/contracts.h"
 #include "red/perf/thread_pool.h"
+#include "red/plan/plan.h"
 #include "red/workloads/networks.h"
 
 namespace red::sim {
@@ -35,7 +36,7 @@ PipelineResult evaluate_pipeline(core::DesignKind kind,
   const auto price_stage = [&](std::int64_t i) {
     const auto idx = static_cast<std::size_t>(i);
     const auto& layer = stack[idx];
-    stages[idx] = StageCost{layer, design->cost(layer), 0};
+    stages[idx] = StageCost{layer, design->cost(plan::plan_layer(kind, layer, cfg)), 0};
     stages[idx].activation_bits =
         std::int64_t{layer.oh()} * layer.ow() * layer.m * cfg.quant.abits;
   };

@@ -58,7 +58,13 @@ Tensor<std::int32_t> requantize_activations(const Tensor<std::int32_t>& t, int a
 StreamingExecutor::StreamingExecutor(core::DesignKind kind, const arch::DesignConfig& cfg,
                                      std::vector<nn::DeconvLayerSpec> stack,
                                      std::vector<Tensor<std::int32_t>> kernels)
-    : cfg_(cfg), stack_(std::move(stack)), kernels_(std::move(kernels)) {
+    : StreamingExecutor(plan::plan_stack(kind, stack, cfg), std::move(kernels)) {}
+
+StreamingExecutor::StreamingExecutor(plan::StackPlan stack_plan,
+                                     std::vector<Tensor<std::int32_t>> kernels)
+    : plan_(std::move(stack_plan)), kernels_(std::move(kernels)) {
+  stack_.reserve(plan_.layers.size());
+  for (const auto& lp : plan_.layers) stack_.push_back(lp.spec);
   RED_EXPECTS_MSG(!stack_.empty(), "streaming stack must have at least one stage");
   RED_EXPECTS_MSG(stack_.size() == kernels_.size(), "one kernel per stage");
   workloads::validate_stack(stack_);
@@ -66,17 +72,16 @@ StreamingExecutor::StreamingExecutor(core::DesignKind kind, const arch::DesignCo
     RED_EXPECTS_MSG(kernels_[i].shape() == stack_[i].kernel_shape(),
                     "kernel shape must match its stage's layer spec");
 
-  design_ = core::make_design(kind, cfg_);
+  design_ = core::make_design(plan_.kind, plan_.cfg);
   design_name_ = design_->name();
-  predicted_.reserve(stack_.size());
-  for (const auto& spec : stack_) predicted_.push_back(design_->activity(spec));
 
-  // Pay-once programming. A variation-enabled config must program per run
-  // (Design::program requires a clean config), so it keeps the fallback.
+  // Pay-once programming, consuming each stage's compiled plan. A
+  // variation-enabled config must program per run (Design::program requires
+  // a clean config), so it keeps the fallback.
   programmed_.resize(stack_.size());
-  if (!cfg_.quant.variation.enabled())
+  if (!plan_.cfg.quant.variation.enabled())
     for (std::size_t i = 0; i < stack_.size(); ++i)
-      programmed_[i] = design_->program(stack_[i], kernels_[i]);
+      programmed_[i] = design_->program(plan_.layers[i], kernels_[i]);
   programmed_fast_path_ =
       std::all_of(programmed_.begin(), programmed_.end(),
                   [](const auto& p) { return p != nullptr; });
@@ -85,14 +90,14 @@ StreamingExecutor::StreamingExecutor(core::DesignKind kind, const arch::DesignCo
 StreamingExecutor::~StreamingExecutor() = default;
 
 const arch::LayerActivity& StreamingExecutor::predicted(std::size_t stage) const {
-  RED_EXPECTS(stage < predicted_.size());
-  return predicted_[stage];
+  RED_EXPECTS(stage < plan_.layers.size());
+  return plan_.layers[stage].activity;
 }
 
 void StreamingExecutor::check_stage(std::size_t stage, const Tensor<std::int32_t>& input,
                                     const arch::RunStats& stats, std::int64_t image) const {
   const bool exact_drives = count_zeros(input) == 0;
-  const auto issues = consistency_issues(predicted_[stage], stats, exact_drives);
+  const auto issues = consistency_issues(plan_.layers[stage].activity, stats, exact_drives);
   if (!issues.empty())
     throw MismatchError("streaming stage '" + stack_[stage].name + "' of design '" +
                         design_name_ + "' on image " + std::to_string(image) +
@@ -153,7 +158,7 @@ StreamingBatchResult StreamingExecutor::stream(const std::vector<Tensor<std::int
                   i, in, result.images[static_cast<std::size_t>(k)].layer_stats[i],
                   opts.check, k);
               if (i + 1 < depth)
-                staged[i + 1] = requantize_activations(out, cfg_.quant.abits);
+                staged[i + 1] = requantize_activations(out, plan_.cfg.quant.abits);
               else
                 result.images[static_cast<std::size_t>(k)].output = std::move(out);
             } catch (...) {
@@ -219,7 +224,7 @@ StreamingBatchResult StreamingExecutor::stream_layer_major(
     if (i + 1 < depth) {
       std::vector<Tensor<std::int32_t>> next(n);
       for (std::size_t k = 0; k < n; ++k)
-        next[k] = requantize_activations(outs[k], cfg_.quant.abits);
+        next[k] = requantize_activations(outs[k], plan_.cfg.quant.abits);
       current = std::move(next);
     } else {
       for (std::size_t k = 0; k < n; ++k) result.images[k].output = std::move(outs[k]);

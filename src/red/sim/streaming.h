@@ -30,6 +30,7 @@
 #include "red/arch/design.h"
 #include "red/core/designs.h"
 #include "red/nn/layer.h"
+#include "red/plan/plan.h"
 #include "red/tensor/tensor.h"
 
 namespace red::sim {
@@ -93,10 +94,17 @@ class StreamingExecutor {
   /// have stack[i]'s kernel shape. Stages without a programmed fast path
   /// (or any stage when cfg enables device variation, which programs
   /// per-run) fall back to Design::run per image — same results, no
-  /// pay-once amortization.
+  /// pay-once amortization. Convenience wrapper: compiles the stack plan and
+  /// delegates to the plan-consuming constructor.
   StreamingExecutor(core::DesignKind kind, const arch::DesignConfig& cfg,
                     std::vector<nn::DeconvLayerSpec> stack,
                     std::vector<Tensor<std::int32_t>> kernels);
+
+  /// Construct from an already-compiled stack plan: every stage's predicted
+  /// activity comes from its LayerPlan and programming consumes the plan's
+  /// mapping decisions (RED's fold and mode groups) without re-deriving
+  /// them. Bit-identical behavior to the spec-taking constructor.
+  StreamingExecutor(plan::StackPlan stack_plan, std::vector<Tensor<std::int32_t>> kernels);
   ~StreamingExecutor();
 
   StreamingExecutor(const StreamingExecutor&) = delete;
@@ -106,7 +114,9 @@ class StreamingExecutor {
   [[nodiscard]] const std::string& design_name() const { return design_name_; }
   [[nodiscard]] bool programmed_fast_path() const { return programmed_fast_path_; }
   [[nodiscard]] const std::vector<nn::DeconvLayerSpec>& stack() const { return stack_; }
-  /// Analytic activity of one stage (computed once at construction).
+  /// The compiled mapping this executor runs.
+  [[nodiscard]] const plan::StackPlan& stack_plan() const { return plan_; }
+  /// Analytic activity of one stage (from the compiled plan).
   [[nodiscard]] const arch::LayerActivity& predicted(std::size_t stage) const;
 
   /// Drive `images` through the stack on the pipelined wavefront schedule.
@@ -140,13 +150,12 @@ class StreamingExecutor {
                                                arch::RunStats& stats, bool check,
                                                std::int64_t image) const;
 
-  arch::DesignConfig cfg_;
-  std::vector<nn::DeconvLayerSpec> stack_;
+  plan::StackPlan plan_;  ///< owns the config (plan_.cfg) and per-stage plans
+  std::vector<nn::DeconvLayerSpec> stack_;  ///< per-stage specs, for the stack() API
   std::vector<Tensor<std::int32_t>> kernels_;
   std::unique_ptr<arch::Design> design_;
   std::string design_name_;
   std::vector<std::unique_ptr<arch::ProgrammedLayer>> programmed_;  ///< null = fallback
-  std::vector<arch::LayerActivity> predicted_;
   bool programmed_fast_path_ = false;
 };
 

@@ -99,4 +99,64 @@ struct Calibration {
   [[nodiscard]] static Calibration defaults() { return {}; }
 };
 
+/// Visit every calibration constant, in declaration order, as
+/// f("field_name", field_ref). `Cal` is `Calibration` or `const Calibration`;
+/// the functor receives `double&` for every field except the final
+/// `buf_bits_per_value` (`int&`). The plan fingerprint and the plan JSON
+/// (de)serializers share this single field list, so a constant added here is
+/// automatically fingerprinted and serialized — the lists cannot drift apart.
+template <typename Cal, typename F>
+void visit_calibration(Cal& cal, F&& f) {
+  f("t_dec_base", cal.t_dec_base);
+  f("t_dec_per_bit", cal.t_dec_per_bit);
+  f("t_broadcast_bit", cal.t_broadcast_bit);
+  f("t_wd_base", cal.t_wd_base);
+  f("t_pulse_per_bit", cal.t_pulse_per_bit);
+  f("t_wd_wire_col2", cal.t_wd_wire_col2);
+  f("t_bd_base", cal.t_bd_base);
+  f("t_bd_wire_row2", cal.t_bd_wire_row2);
+  f("t_mux", cal.t_mux);
+  f("t_conv", cal.t_conv);
+  f("t_sa", cal.t_sa);
+  f("t_sa_stage", cal.t_sa_stage);
+  f("t_tree_stage", cal.t_tree_stage);
+  f("t_buf_serial", cal.t_buf_serial);
+  f("t_buf_access", cal.t_buf_access);
+  f("e_mac_pulse", cal.e_mac_pulse);
+  f("e_wd_base", cal.e_wd_base);
+  f("e_wd_per_col", cal.e_wd_per_col);
+  f("wd_upsize_cols", cal.wd_upsize_cols);
+  f("e_bd_per_row", cal.e_bd_per_row);
+  f("e_dec_base", cal.e_dec_base);
+  f("e_dec_per_row", cal.e_dec_per_row);
+  f("e_mux", cal.e_mux);
+  f("e_conv", cal.e_conv);
+  f("e_sa", cal.e_sa);
+  f("e_add", cal.e_add);
+  f("e_buf", cal.e_buf);
+  f("p_leak_w_per_um2", cal.p_leak_w_per_um2);
+  f("cell_area_f2", cal.cell_area_f2);
+  f("a_dec_base", cal.a_dec_base);
+  f("a_sc_base", cal.a_sc_base);
+  f("a_dec_per_row", cal.a_dec_per_row);
+  f("a_wd_per_row", cal.a_wd_per_row);
+  f("a_bd_per_col", cal.a_bd_per_col);
+  f("a_mux_per_col", cal.a_mux_per_col);
+  f("a_conv_unit", cal.a_conv_unit);
+  f("a_sa_unit", cal.a_sa_unit);
+  f("a_add_unit", cal.a_add_unit);
+  f("a_buf_per_bit", cal.a_buf_per_bit);
+  f("a_crop_unit", cal.a_crop_unit);
+  f("split_area_fraction", cal.split_area_fraction);
+  f("t_write_pulse", cal.t_write_pulse);
+  f("e_write_pulse", cal.e_write_pulse);
+  f("write_verify_pulses", cal.write_verify_pulses);
+  f("parallel_write_rows", cal.parallel_write_rows);
+  f("htree_wire_pj_per_mm_bit", cal.htree_wire_pj_per_mm_bit);
+  f("htree_ns_per_mm", cal.htree_ns_per_mm);
+  f("htree_um2_per_mm_link", cal.htree_um2_per_mm_link);
+  f("avg_bit_density", cal.avg_bit_density);
+  f("buf_bits_per_value", cal.buf_bits_per_value);
+}
+
 }  // namespace red::tech

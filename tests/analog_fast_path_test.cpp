@@ -17,6 +17,7 @@
 #include "red/explore/sweep.h"
 #include "red/nn/deconv_reference.h"
 #include "red/perf/analog_kernel.h"
+#include "red/plan/plan.h"
 #include "red/sim/montecarlo.h"
 #include "red/tensor/tensor_ops.h"
 #include "red/workloads/generator.h"
@@ -446,9 +447,14 @@ TEST(SweepDriver, MatchesDirectEvaluationAndMemoizes) {
 }
 
 TEST(SweepDriver, KeySeparatesConfigsAndLayers) {
+  // Equivalence regression: sweep_key is now a thin alias of the compile
+  // layer's plan::structural_key, so everything this test (and the framing
+  // test below) asserts about the legacy key binds the plan fingerprint too.
   const nn::DeconvLayerSpec spec{"k", 8, 8, 16, 8, 4, 4, 2, 1, 0};
   arch::DesignConfig cfg;
   const auto base = explore::sweep_key(core::DesignKind::kRed, cfg, spec);
+  EXPECT_EQ(base, plan::structural_key(core::DesignKind::kRed, cfg, spec));
+  EXPECT_EQ(base, plan::plan_layer(core::DesignKind::kRed, spec, cfg).key);
   EXPECT_EQ(base, explore::sweep_key(core::DesignKind::kRed, cfg, spec));  // stable
   EXPECT_NE(base, explore::sweep_key(core::DesignKind::kZeroPadding, cfg, spec));
   arch::DesignConfig cfg2 = cfg;

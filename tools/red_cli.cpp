@@ -6,14 +6,18 @@
 //   red_cli compare --layer GAN_Deconv1 | --ih ... (all three designs)
 //   red_cli conv    --ih 64 --iw 64 --c 3 --m 128 --k 5 --stride 2 --pad 2
 //   red_cli network --net dcgan|sngan|fcn8s [--design ...]
+//   red_cli plan    --net dcgan [--design ...] [--chip] [--json] [--out FILE]
 //   red_cli table1 | fig4
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <vector>
 
+#include "red/arch/chip.h"
 #include "red/arch/conv_engine.h"
 #include "red/common/error.h"
+#include "red/plan/plan.h"
 #include "red/common/flags.h"
 #include "red/common/rng.h"
 #include "red/common/string_util.h"
@@ -48,6 +52,10 @@ commands:
   compare   evaluate one deconv layer on all three designs
   conv      evaluate a regular conv layer on the shared conv engine
   network   evaluate a whole deconv stack (dcgan | sngan | fcn8s)
+  plan      compile the mapping plan of a stack (--net) or one layer and
+            print it; always round-trips through JSON and verifies the
+            fingerprint [--chip [--banks N] [--bank-subarrays N]]
+            [--json] [--out FILE]
   throughput  stream a batch through a programmed stack [--images N]
               [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
@@ -216,6 +224,93 @@ int cmd_sweep(const Flags& flags) {
   return 0;
 }
 
+int cmd_plan(const Flags& flags) {
+  const auto kind = kind_from(flags);
+  const auto cfg = config_from(flags);
+
+  // Stack from --net, or a single layer from --layer / geometry flags.
+  std::vector<nn::DeconvLayerSpec> stack;
+  std::string title;
+  if (flags.has("net")) {
+    const std::string net = flags.get_string("net");
+    const int div = static_cast<int>(flags.get_int("div", 1));
+    stack = workloads::named_stack(net, div);
+    title = net;
+  } else {
+    stack = {layer_from(flags)};
+    title = stack.front().name;
+  }
+  const auto splan = plan::plan_stack(kind, stack, cfg);
+  const auto json = report::to_json(splan);
+
+  if (flags.get_bool("json")) {
+    std::cout << json;
+  } else {
+    std::cout << "compiled plan: " << title << " on "
+              << splan.layers.front().activity.design_name << " (" << splan.layers.size()
+              << (splan.layers.size() == 1 ? " layer)\n" : " layers)\n");
+    TextTable t({"layer", "fold", "groups", "sub-arrays", "macro", "tiles", "cycles",
+                 "fingerprint"});
+    for (const auto& lp : splan.layers) {
+      const auto& a = lp.activity;
+      std::int64_t tile_count = 0;
+      for (std::size_t mi = 0; mi < lp.tiles.size(); ++mi)
+        tile_count += a.macros[mi].count * lp.tiles[mi].tiles();
+      const std::string macro = std::to_string(lp.layout.block_rows) + "x" +
+                                std::to_string(lp.layout.block_cols) +
+                                (lp.layout.blocks > 1
+                                     ? " x" + std::to_string(lp.layout.blocks) + " SC"
+                                     : "");
+      t.add_row({lp.spec.name, std::to_string(lp.fold), std::to_string(a.groups),
+                 std::to_string(a.sc_units), macro, std::to_string(tile_count),
+                 std::to_string(a.cycles), lp.fingerprint()});
+    }
+    std::cout << t.to_ascii();
+    std::cout << "stack fingerprint: " << splan.fingerprint() << '\n';
+  }
+
+  // Optional chip placement of the compiled plan (suppressed under --json:
+  // stdout must stay one parseable document).
+  if (flags.get_bool("chip") && !flags.get_bool("json")) {
+    arch::ChipConfig chip;
+    chip.banks = static_cast<int>(flags.get_int("banks", chip.banks));
+    chip.subarrays_per_bank = flags.get_int("bank-subarrays", chip.subarrays_per_bank);
+    const auto side = flags.get_int("subarray", 128);
+    chip.subarray = {side, side};
+    const auto cp = arch::plan_chip(splan, chip);
+    std::cout << "chip placement (" << chip.banks << " banks x " << chip.subarrays_per_bank
+              << " subarrays):\n";
+    TextTable t({"layer", "sub-arrays", "bank", "slots"});
+    for (const auto& l : cp.layers)
+      t.add_row({l.layer, std::to_string(l.subarrays),
+                 l.placed() ? std::to_string(l.bank) : "-",
+                 l.placed() ? std::to_string(l.subarray_begin) + ".." +
+                                  std::to_string(l.subarray_end - 1)
+                            : "unplaced"});
+    std::cout << t.to_ascii();
+    std::cout << (cp.fits ? "fits" : "DOES NOT FIT") << ": " << cp.required_subarrays << "/"
+              << cp.available_subarrays << " subarrays, " << cp.banks_used << " banks used, "
+              << format_percent(cp.cell_utilization(), 1) << " cell utilization\n";
+    for (const auto& d : cp.diagnostics) std::cout << "  ! " << d << '\n';
+  }
+
+  // Round-trip proof: the exported JSON parses back to an equal fingerprint.
+  const auto back = report::stack_plan_from_json(json);
+  if (back.fingerprint() != splan.fingerprint())
+    throw MismatchError("plan JSON round-trip changed the fingerprint");
+  if (!flags.get_bool("json"))
+    std::cout << "JSON round-trip: ok (fingerprint " << back.fingerprint() << ")\n";
+
+  if (flags.has("out")) {
+    const std::string path = flags.get_string("out");
+    std::ofstream out(path);
+    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
+    out << json;
+    (flags.get_bool("json") ? std::cerr : std::cout) << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
 int cmd_verify(const Flags& flags) {
   const auto spec = layer_from(flags);
   const auto cfg = config_from(flags);
@@ -326,6 +421,8 @@ int main(int argc, char** argv) {
       rc = cmd_conv(flags);
     else if (cmd == "network")
       rc = cmd_network(flags);
+    else if (cmd == "plan")
+      rc = cmd_plan(flags);
     else if (cmd == "throughput")
       rc = cmd_throughput(flags);
     else if (cmd == "sweep")
