@@ -1,0 +1,165 @@
+// Design-space optimizer benchmark: strategy-vs-exhaustive evaluations-to-
+// frontier and wall-clock, plus sweep-memo hit rates, emitted as
+// BENCH_opt.json. Run through tools/run_bench.sh, or directly:
+//
+//   bench_opt [--quick] [--out BENCH_opt.json] [--seed N] [--threads N]
+//
+// Each strategy searches the same kind x fold x mux grid to full coverage
+// (budget = grid size), so the bench is gated on every strategy recovering
+// the exact exhaustive Pareto frontier; the interesting numbers are how many
+// evaluations each needed before its running frontier first matched
+// (stochastic strategies that focus well find it early) and what the
+// memoized SweepDriver saved.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "red/common/flags.h"
+#include "red/common/string_util.h"
+#include "red/opt/optimizer.h"
+#include "red/workloads/benchmarks.h"
+
+int main(int argc, char** argv) {
+  using namespace red;
+  using bench::Clock;
+  using bench::Entry;
+  using bench::ms_since;
+  const Flags flags = Flags::parse(argc - 1, argv + 1);
+  const bool quick = flags.get_bool("quick");
+  const std::string out_path = flags.get_string("out", "BENCH_opt.json");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 7));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+
+  bench::print_header("Design-space optimizer: strategies vs the exhaustive frontier",
+                      "opt extension — see docs/PERFORMANCE.md");
+
+  const auto layer = quick ? workloads::table1_reduced(8)[0] : workloads::gan_deconv1();
+  auto make_space = [&] {
+    opt::SearchSpace space({layer}, core::DesignKind::kRed, arch::DesignConfig{});
+    space.add_axis({opt::AxisField::kKind, {0, 1, 2}});
+    space.add_axis({opt::AxisField::kRedFold, quick ? std::vector<std::int64_t>{1, 2}
+                                                    : std::vector<std::int64_t>{1, 2, 4, 8}});
+    space.add_axis({opt::AxisField::kMuxRatio, quick ? std::vector<std::int64_t>{4, 8}
+                                                     : std::vector<std::int64_t>{4, 8, 16}});
+    return space;
+  };
+
+  struct Run {
+    std::string strategy;
+    double wall_ms = 0.0;
+    double warm_ms = 0.0;  ///< identical search re-run on the warm sweep memo
+    std::int64_t evaluations = 0;
+    std::int64_t evals_to_frontier = 0;
+    std::int64_t frontier_size = 0;
+    std::int64_t repeats = 0;
+    std::int64_t cache_hits = 0;
+    double cache_hit_rate = 0.0;  ///< memo hit rate of the warm re-run
+    bool matched = false;
+  };
+  std::vector<Run> runs;
+  std::vector<Entry> entries;
+  std::set<std::vector<double>> target;  // exhaustive frontier objective set
+
+  for (const std::string strategy : {"exhaustive", "anneal", "evolve"}) {
+    opt::OptimizerOptions options;
+    options.strategy = strategy;
+    options.seed = seed;
+    options.threads = threads;
+    opt::Optimizer optimizer(make_space(), opt::Objective::parse("latency,area"), {}, options);
+
+    const auto t0 = Clock::now();
+    const auto result = optimizer.run();
+    Run run;
+    run.strategy = strategy;
+    run.wall_ms = ms_since(t0);
+    run.evaluations = result.stats.evaluations;
+    run.repeats = result.stats.repeats;
+    run.frontier_size = static_cast<std::int64_t>(result.frontier.size());
+
+    // The optimizer itself never re-prices a candidate, so a cold run cannot
+    // hit the sweep memo; the warm re-run (same optimizer, same trajectory,
+    // memo full) isolates what the memo is worth to repeated searches.
+    const std::int64_t points_before = optimizer.sweep_stats().points;
+    const std::int64_t hits_before = optimizer.sweep_stats().cache_hits;
+    const auto t1 = Clock::now();
+    const auto warm = optimizer.run();
+    run.warm_ms = ms_since(t1);
+    run.cache_hits = optimizer.sweep_stats().cache_hits - hits_before;
+    const std::int64_t warm_points = optimizer.sweep_stats().points - points_before;
+    run.cache_hit_rate =
+        warm_points > 0 ? static_cast<double>(run.cache_hits) / static_cast<double>(warm_points)
+                        : 0.0;
+    std::set<std::vector<double>> warm_set, cold_set;
+    for (const auto& e : warm.frontier) warm_set.insert(e.objectives);
+    for (const auto& e : result.frontier) cold_set.insert(e.objectives);
+    if (warm_set != cold_set) {
+      std::cerr << "error: warm re-run changed the frontier\n";
+      return 1;
+    }
+
+    std::set<std::vector<double>> frontier_set;
+    for (const auto& e : result.frontier) frontier_set.insert(e.objectives);
+    if (strategy == std::string("exhaustive")) target = frontier_set;
+    run.matched = frontier_set == target;
+
+    // Evaluations until the running frontier first contained exactly the
+    // final frontier's objective set.
+    opt::ParetoFrontier running(optimizer.objective().dims());
+    for (std::size_t i = 0; i < result.state.evaluated.size(); ++i) {
+      running.insert(result.state.evaluated[i].objectives, static_cast<std::int64_t>(i));
+      std::set<std::vector<double>> now;
+      for (const auto& p : running.points()) now.insert(p.objectives);
+      if (now == target) {
+        run.evals_to_frontier = static_cast<std::int64_t>(i) + 1;
+        break;
+      }
+    }
+
+    entries.push_back({"BM_Opt_" + run.strategy, run.wall_ms, 1});
+    entries.push_back({"BM_Opt_" + run.strategy + "_warm", run.warm_ms, 1});
+    std::cout << run.strategy << ": " << format_double(run.wall_ms, 2) << " ms cold / "
+              << format_double(run.warm_ms, 2) << " ms warm, " << run.evaluations
+              << " evaluations (" << run.evals_to_frontier << " to the frontier), "
+              << run.frontier_size << " frontier points, " << run.repeats
+              << " repeat proposals, warm memo hit rate "
+              << format_percent(run.cache_hit_rate, 1)
+              << (run.matched ? "" : "  [FRONTIER MISMATCH]") << '\n';
+    runs.push_back(run);
+  }
+
+  const bool all_matched =
+      std::all_of(runs.begin(), runs.end(), [](const Run& r) { return r.matched; });
+  if (!all_matched) {
+    std::cerr << "error: a strategy failed to recover the exhaustive Pareto frontier\n";
+    return 1;
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"context\": {\"seed\": " << seed << ", \"threads\": " << threads
+      << ", \"layer\": \"" << layer.name << "\", \"quick\": " << (quick ? "true" : "false")
+      << "},\n  \"benchmarks\": ";
+  bench::write_benchmark_array(out, entries);
+  out << ",\n  \"search\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    out << "    {\"strategy\": \"" << r.strategy
+        << "\", \"evaluations\": " << r.evaluations
+        << ", \"evals_to_frontier\": " << r.evals_to_frontier
+        << ", \"frontier_size\": " << r.frontier_size << ", \"repeats\": " << r.repeats
+        << ", \"cache_hits\": " << r.cache_hits
+        << ", \"cache_hit_rate\": " << report::json_number(r.cache_hit_rate)
+        << ", \"matched_exhaustive\": " << (r.matched ? "true" : "false") << "}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::cout << "\nWrote " << out_path << "\n";
+  return 0;
+}

@@ -6,13 +6,13 @@
 // point is served from the driver's memo — and using the cost model
 // programmatically to pick a configuration under an area budget (the paper
 // picks fold 2 = 128 sub-arrays).
-#include <algorithm>
 #include <iostream>
 #include <vector>
 
 #include "red/common/string_util.h"
 #include "red/common/table.h"
 #include "red/explore/sweep.h"
+#include "red/opt/pareto.h"
 #include "red/workloads/benchmarks.h"
 
 int main() {
@@ -52,14 +52,16 @@ int main() {
 
   TextTable t({"fold", "mux", "sub-arrays", "latency (us)", "energy (uJ)", "area (mm^2)",
                "Pareto"});
-  for (const auto& p : points) {
-    const bool dominated = std::any_of(points.begin(), points.end(), [&](const Point& q) {
-      return (q.latency_us < p.latency_us && q.area_mm2 <= p.area_mm2) ||
-             (q.latency_us <= p.latency_us && q.area_mm2 < p.area_mm2);
-    });
+  // The latency/area trade-off column comes from the shared n-dimensional
+  // dominance filter (opt::non_dominated_mask) instead of a hand-rolled loop.
+  std::vector<std::vector<double>> rows;
+  for (const auto& p : points) rows.push_back({p.latency_us, p.area_mm2});
+  const auto pareto = opt::non_dominated_mask(rows);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
     t.add_row({std::to_string(p.fold), std::to_string(p.mux), std::to_string(p.sub_arrays),
                format_double(p.latency_us, 1), format_double(p.energy_uj, 2),
-               format_double(p.area_mm2, 4), dominated ? "" : "*"});
+               format_double(p.area_mm2, 4), pareto[i] ? "*" : ""});
   }
   std::cout << t.to_ascii();
 

@@ -11,7 +11,17 @@ std::string sweep_key(core::DesignKind kind, const arch::DesignConfig& cfg,
   return plan::structural_key(kind, cfg, spec);
 }
 
-SweepDriver::SweepDriver(int threads) : threads_(threads) { RED_EXPECTS(threads >= 1); }
+SweepDriver::SweepDriver(int threads, std::int64_t max_cache_entries)
+    : threads_(threads), max_cache_entries_(max_cache_entries) {
+  RED_EXPECTS(threads >= 1);
+  RED_EXPECTS(max_cache_entries >= 0);
+}
+
+void SweepDriver::clear() {
+  cache_.clear();
+  insertion_order_.clear();
+  stats_.cached_entries = 0;
+}
 
 std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& grid) {
   stats_.points += static_cast<std::int64_t>(grid.size());
@@ -46,20 +56,36 @@ std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& g
                             slots[static_cast<std::size_t>(i)] = std::move(out);
                           }
                         });
-  for (std::size_t i = 0; i < fresh.size(); ++i)
-    cache_.emplace(keys[fresh[i]], slots[i]);
   stats_.evaluated += n;
 
+  // Serve results from this call's slots and the memo BEFORE eviction runs:
+  // a cap smaller than one grid's unique-point count must bound the memo,
+  // not the answer.
   std::vector<SweepOutcome> results;
   results.reserve(grid.size());
   std::size_t fresh_cursor = 0;
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    SweepOutcome out = *cache_.at(keys[i]);
+    const auto it = pending.find(keys[i]);
+    SweepOutcome out = it != pending.end() ? *slots[it->second] : *cache_.at(keys[i]);
     out.from_cache = !(fresh_cursor < fresh.size() && fresh[fresh_cursor] == i);
     if (!out.from_cache) ++fresh_cursor;
     if (out.from_cache) ++stats_.cache_hits;
     results.push_back(std::move(out));
   }
+
+  // Admit this call's evaluations, oldest entries out first once capped.
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    cache_.emplace(keys[fresh[i]], std::move(slots[i]));
+    insertion_order_.push_back(keys[fresh[i]]);
+  }
+  if (max_cache_entries_ > 0) {
+    while (std::ssize(insertion_order_) > max_cache_entries_) {
+      cache_.erase(insertion_order_.front());
+      insertion_order_.pop_front();
+      ++stats_.evictions;
+    }
+  }
+  stats_.cached_entries = static_cast<std::int64_t>(cache_.size());
   return results;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -41,9 +42,11 @@ struct SweepOutcome {
 };
 
 struct SweepStats {
-  std::int64_t points = 0;      ///< grid points requested in total
-  std::int64_t evaluated = 0;   ///< unique evaluations actually executed
-  std::int64_t cache_hits = 0;  ///< points served from the memo
+  std::int64_t points = 0;          ///< grid points requested in total
+  std::int64_t evaluated = 0;       ///< unique evaluations actually executed
+  std::int64_t cache_hits = 0;      ///< points served from the memo
+  std::int64_t cached_entries = 0;  ///< memo entries currently held
+  std::int64_t evictions = 0;       ///< entries dropped by the FIFO cap
 };
 
 /// Structural fingerprint of one grid point. Thin alias of
@@ -59,7 +62,12 @@ struct SweepStats {
 class SweepDriver {
  public:
   /// `threads` bounds the fan-out of each evaluate() call (1 = serial).
-  explicit SweepDriver(int threads = 1);
+  /// `max_cache_entries` caps the memo (0 = unbounded): once full, the
+  /// oldest-inserted entries are evicted first (FIFO), so a long-running
+  /// optimizer can stream an unbounded candidate sequence through a bounded
+  /// memory footprint. A finite cap changes only which repeats are free,
+  /// never any outcome — results stay bit-identical.
+  explicit SweepDriver(int threads = 1, std::int64_t max_cache_entries = 0);
 
   /// Evaluate a grid, one outcome per point in point order. Duplicate points
   /// (and points seen by earlier evaluate() calls on this driver) are served
@@ -67,13 +75,18 @@ class SweepDriver {
   /// count.
   [[nodiscard]] std::vector<SweepOutcome> evaluate(const std::vector<SweepPoint>& grid);
 
+  /// Drop every memo entry (counters other than cached_entries persist).
+  void clear();
+
   /// Cumulative counters across evaluate() calls.
   [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
  private:
   int threads_;
+  std::int64_t max_cache_entries_;
   SweepStats stats_;
   std::unordered_map<std::string, std::shared_ptr<const SweepOutcome>> cache_;
+  std::deque<std::string> insertion_order_;  ///< FIFO eviction queue
 };
 
 }  // namespace red::explore

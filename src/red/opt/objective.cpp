@@ -1,0 +1,117 @@
+#include "red/opt/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+#include "red/common/string_util.h"
+
+namespace red::opt {
+
+namespace {
+
+constexpr struct {
+  Metric metric;
+  const char* name;
+} kMetricNames[] = {
+    {Metric::kLatency, "latency"}, {Metric::kEnergy, "energy"}, {Metric::kArea, "area"},
+    {Metric::kEdp, "edp"},         {Metric::kCycles, "cycles"},
+};
+
+}  // namespace
+
+const char* metric_name(Metric m) {
+  for (const auto& e : kMetricNames)
+    if (e.metric == m) return e.name;
+  RED_EXPECTS_MSG(false, "unhandled metric");
+  return "";
+}
+
+Metric metric_from_name(const std::string& name) {
+  for (const auto& e : kMetricNames)
+    if (name == e.name) return e.metric;
+  throw ConfigError("unknown objective metric '" + name +
+                    "' (latency | energy | area | edp | cycles)");
+}
+
+void StackCost::add_layer(const arch::CostReport& cost, std::int64_t sc_units) {
+  latency_ns += cost.total_latency().value();
+  energy_pj += cost.total_energy().value();
+  area_um2 += cost.total_area().value();
+  cycles += cost.cycles();
+  max_sc_units = std::max(max_sc_units, sc_units);
+}
+
+double StackCost::metric(Metric m) const {
+  switch (m) {
+    case Metric::kLatency: return latency_ns;
+    case Metric::kEnergy: return energy_pj;
+    case Metric::kArea: return area_um2;
+    case Metric::kEdp: return edp();
+    case Metric::kCycles: return static_cast<double>(cycles);
+  }
+  RED_EXPECTS_MSG(false, "unhandled metric");
+  return 0.0;
+}
+
+Objective::Objective(std::vector<Term> terms) : terms_(std::move(terms)) {
+  if (terms_.empty()) throw ConfigError("objective needs at least one term");
+  for (const auto& t : terms_)
+    if (!(t.weight > 0.0))
+      throw ConfigError(std::string("objective weight for '") + metric_name(t.metric) +
+                        "' must be positive");
+}
+
+Objective Objective::parse(const std::string& metrics_csv, const std::string& weights_csv) {
+  std::vector<Term> terms;
+  for (const std::string& name : split(metrics_csv, ','))
+    terms.push_back({metric_from_name(name), 1.0});
+  if (terms.empty()) throw ConfigError("objective '" + metrics_csv + "' names no metrics");
+  if (!weights_csv.empty()) {
+    const auto weights = parse_double_list(weights_csv, "weights");
+    if (weights.size() != terms.size())
+      throw ConfigError("got " + std::to_string(weights.size()) + " weights for " +
+                        std::to_string(terms.size()) + " objective terms");
+    for (std::size_t i = 0; i < terms.size(); ++i) terms[i].weight = weights[i];
+  }
+  return Objective(std::move(terms));
+}
+
+std::vector<double> Objective::vector_of(const StackCost& cost) const {
+  std::vector<double> v;
+  v.reserve(terms_.size());
+  for (const auto& t : terms_) v.push_back(cost.metric(t.metric));
+  return v;
+}
+
+double Objective::scalar(std::span<const double> objectives) const {
+  RED_EXPECTS(objectives.size() == terms_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < terms_.size(); ++i)
+    // Guard against a degenerate zero metric (log would be -inf); every real
+    // cost is strictly positive.
+    s += terms_[i].weight * std::log(std::max(objectives[i], 1e-300));
+  return s;
+}
+
+std::string Objective::to_string() const {
+  std::string out;
+  for (const auto& t : terms_) {
+    if (!out.empty()) out += ',';
+    out += metric_name(t.metric);
+  }
+  return out;
+}
+
+std::string Objective::key() const {
+  std::string key;
+  for (const auto& t : terms_) {
+    const int m = static_cast<int>(t.metric);
+    key.append(reinterpret_cast<const char*>(&m), sizeof(m));
+    key.append(reinterpret_cast<const char*>(&t.weight), sizeof(t.weight));
+  }
+  return key;
+}
+
+}  // namespace red::opt

@@ -1,0 +1,81 @@
+// Objective API: what the optimizer minimizes, priced from compiled plans.
+//
+// An Objective is an ordered list of terms, each naming one metric of the
+// whole stack (latency, energy, area, EDP, cycles). The term list is the
+// frontier's dimensionality — `vector_of` returns one raw metric value per
+// term, and the ParetoFrontier ranks those vectors. Scalar strategies
+// (annealing acceptance, evolutionary selection) use `scalar`: a weighted
+// sum of the natural logs of the term values. Logs make the scalar
+// scale-invariant — nanoseconds and picojoules mix without one unit drowning
+// the other, and weight w on a term means "a 1% improvement there is worth w
+// times a 1% improvement elsewhere".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "red/arch/cost_report.h"
+
+namespace red::opt {
+
+enum class Metric { kLatency, kEnergy, kArea, kEdp, kCycles };
+
+/// Stable name ("latency" | "energy" | "area" | "edp" | "cycles");
+/// round-trips through metric_from_name (throws ConfigError otherwise).
+[[nodiscard]] const char* metric_name(Metric m);
+[[nodiscard]] Metric metric_from_name(const std::string& name);
+
+/// Aggregated analytic cost of one candidate over the whole stack: sums of
+/// the per-layer CostReport totals (weights are resident, so area sums too).
+struct StackCost {
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+  double area_um2 = 0.0;
+  std::int64_t cycles = 0;
+  std::int64_t max_sc_units = 0;  ///< worst layer's folded sub-crossbar count
+
+  void add_layer(const arch::CostReport& cost, std::int64_t sc_units);
+  [[nodiscard]] double edp() const { return latency_ns * energy_pj; }
+  [[nodiscard]] double metric(Metric m) const;
+};
+
+class Objective {
+ public:
+  struct Term {
+    Metric metric = Metric::kLatency;
+    double weight = 1.0;
+  };
+
+  /// At least one term; weights must be positive (ConfigError otherwise).
+  explicit Objective(std::vector<Term> terms);
+
+  /// Parse "latency,area" (+ optional parallel weight list "2,1"). An empty
+  /// weight list means all-1. Throws ConfigError on unknown metrics, empty
+  /// term lists, or a weight count that does not match the term count.
+  [[nodiscard]] static Objective parse(const std::string& metrics_csv,
+                                       const std::string& weights_csv = "");
+
+  [[nodiscard]] const std::vector<Term>& terms() const { return terms_; }
+  [[nodiscard]] std::size_t dims() const { return terms_.size(); }
+
+  /// The frontier vector: one raw metric value per term, in term order
+  /// (weights do not rescale these — dominance must compare real costs).
+  [[nodiscard]] std::vector<double> vector_of(const StackCost& cost) const;
+
+  /// Weighted log-scalarization of a frontier vector from vector_of.
+  [[nodiscard]] double scalar(std::span<const double> objectives) const;
+
+  /// "latency,area" — the parse() inverse, used for display.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Injective byte key (term metrics + weights) — the objective half of the
+  /// checkpoint fingerprint.
+  [[nodiscard]] std::string key() const;
+
+ private:
+  std::vector<Term> terms_;
+};
+
+}  // namespace red::opt

@@ -1,0 +1,366 @@
+#include "red/opt/optimizer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_set>
+#include <utility>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+#include "red/perf/thread_pool.h"
+#include "red/report/json.h"
+
+namespace red::opt {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& key, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  key.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+void append_framed(std::string& key, const std::string& part) {
+  append_raw(key, static_cast<std::uint64_t>(part.size()));
+  key += part;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(SearchSpace space, Objective objective,
+                     std::vector<Constraint> constraints, OptimizerOptions options)
+    : space_(std::move(space)),
+      objective_(std::move(objective)),
+      constraints_(std::move(constraints)),
+      opts_(std::move(options)),
+      strategy_(make_strategy(opts_.strategy, opts_.search)),
+      driver_(opts_.threads, opts_.sweep_cache_cap),
+      frontier_(objective_.dims()) {
+  if (opts_.budget < 0) throw ConfigError("optimizer budget must be >= 0");
+  if (opts_.threads < 1) throw ConfigError("optimizer threads must be >= 1");
+}
+
+std::int64_t Optimizer::effective_budget() const {
+  return opts_.budget > 0 ? opts_.budget : space_.size();
+}
+
+std::string Optimizer::fingerprint() const {
+  // The search identity: everything that shapes the trajectory. Threads and
+  // the memo cap are absent — results are invariant to both. The budget is
+  // absent too, deliberately: it only decides WHERE the trajectory stops
+  // (always at a batch boundary), so any budget's run is a prefix of any
+  // larger budget's run — which is exactly what lets a resume deepen a
+  // finished search with a bigger --budget.
+  std::string key;
+  append_framed(key, space_.key());
+  append_framed(key, objective_.key());
+  append_framed(key, strategy_->key());
+  for (const auto& c : constraints_) append_framed(key, c.name);
+  append_raw(key, opts_.seed);
+  return plan::digest(key);
+}
+
+std::string Optimizer::candidate_fingerprint(const MaterializedPoint& point) const {
+  // Same framing as plan::StackPlan::key(): the digest proves the checkpoint
+  // row describes this exact design point on this exact workload.
+  std::string key;
+  for (const auto& spec : space_.stack())
+    append_framed(key, plan::structural_key(point.kind, point.cfg, spec));
+  return plan::digest(key);
+}
+
+void Optimizer::set_checkpoint_file(std::string path, std::int64_t every_evals) {
+  RED_EXPECTS(every_evals >= 1);
+  checkpoint_path_ = std::move(path);
+  checkpoint_every_ = every_evals;
+}
+
+void Optimizer::maybe_write_checkpoint(const OptimizerState& state, bool force) {
+  if (checkpoint_path_.empty()) return;
+  const auto evals = static_cast<std::int64_t>(state.evaluated.size());
+  if (!force && evals - evals_at_last_checkpoint_ < checkpoint_every_) return;
+  std::ofstream out(checkpoint_path_);
+  if (!out) throw ConfigError("cannot write checkpoint file '" + checkpoint_path_ + "'");
+  out << checkpoint_json(state);
+  evals_at_last_checkpoint_ = evals;
+}
+
+void Optimizer::evaluate_batch(const std::vector<Candidate>& batch,
+                               std::vector<const CandidateEval*>& evals,
+                               OptimizerState& state) {
+  struct Fresh {
+    std::size_t batch_pos;
+    std::int64_t ordinal;
+    MaterializedPoint point;
+    bool feasible = true;
+  };
+  std::vector<Fresh> fresh;
+  std::unordered_set<std::int64_t> fresh_seen;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::int64_t ordinal = space_.encode(batch[i]);
+    if (state.explored(ordinal) || !fresh_seen.insert(ordinal).second) {
+      ++stats_.repeats;
+      continue;
+    }
+    fresh.push_back({i, ordinal, space_.materialize(batch[i])});
+  }
+
+  // Pre-evaluation pruning: infeasible candidates never reach the pricing
+  // pipeline and never count against the budget. The per-candidate plan
+  // compile + constraint checks fan out like every other hot loop (pure
+  // functions into per-index slots); pruned ordinals are recorded serially
+  // in batch order afterwards, so the state is thread-count invariant.
+  if (!constraints_.empty()) {
+    const auto n = static_cast<std::int64_t>(fresh.size());
+    perf::parallel_chunks(perf::chunk_count(opts_.threads, n), n,
+                          [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
+                            for (std::int64_t i = i0; i < i1; ++i) {
+                              Fresh& f = fresh[static_cast<std::size_t>(i)];
+                              const auto plan =
+                                  plan::plan_stack(f.point.kind, space_.stack(), f.point.cfg);
+                              const CandidateView view{space_, batch[f.batch_pos], f.point,
+                                                       plan};
+                              for (const auto& c : constraints_)
+                                if (!c.allow(view)) {
+                                  f.feasible = false;
+                                  break;
+                                }
+                            }
+                          });
+    for (const Fresh& f : fresh) {
+      if (f.feasible) continue;
+      state.pruned.push_back(f.ordinal);
+      state.pruned_set.insert(f.ordinal);
+      ++stats_.pruned;
+    }
+  }
+
+  // Price every surviving candidate's layers in one parallel, memoized call.
+  std::vector<explore::SweepPoint> grid;
+  for (const Fresh& f : fresh) {
+    if (!f.feasible) continue;
+    for (const auto& spec : space_.stack()) grid.push_back({f.point.kind, f.point.cfg, spec});
+  }
+  const auto outcomes = driver_.evaluate(grid);
+
+  std::size_t offset = 0;
+  const std::size_t layers = space_.stack().size();
+  for (const Fresh& f : fresh) {
+    if (!f.feasible) continue;
+    CandidateEval e;
+    e.ordinal = f.ordinal;
+    e.candidate = batch[f.batch_pos];
+    for (std::size_t l = 0; l < layers; ++l)
+      e.cost.add_layer(outcomes[offset + l].cost, outcomes[offset + l].activity.sc_units);
+    offset += layers;
+    e.objectives = objective_.vector_of(e.cost);
+    e.scalar = objective_.scalar(e.objectives);
+    e.fingerprint = candidate_fingerprint(f.point);
+    const std::size_t id = state.evaluated.size();
+    state.evaluated.push_back(std::move(e));
+    state.eval_of[f.ordinal] = id;
+    frontier_.insert(state.evaluated[id].objectives, static_cast<std::int64_t>(id));
+    ++stats_.evaluations;
+  }
+
+  // Resolve the per-position views last: state.evaluated no longer moves.
+  evals.assign(batch.size(), nullptr);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    evals[i] = state.find(space_.encode(batch[i]));
+}
+
+OptimizerResult Optimizer::search(OptimizerState state) {
+  stats_ = {};
+  frontier_.clear();
+  for (std::size_t i = 0; i < state.evaluated.size(); ++i)
+    frontier_.insert(state.evaluated[i].objectives, static_cast<std::int64_t>(i));
+
+  const std::int64_t budget = effective_budget();
+  bool complete = false;
+  for (;;) {
+    if (std::ssize(state.evaluated) + std::ssize(state.pruned) >= space_.size()) {
+      complete = true;
+      break;
+    }
+    if (std::ssize(state.evaluated) >= budget) break;
+    auto batch = strategy_->propose(space_, state, opts_.seed);
+    if (batch.empty()) {
+      complete = true;
+      break;
+    }
+    ++stats_.batches;
+    stats_.proposals += std::ssize(batch);
+
+    const std::int64_t before = std::ssize(state.evaluated);
+    std::vector<const CandidateEval*> evals;
+    evaluate_batch(batch, evals, state);
+    strategy_->observe(space_, batch, evals, opts_.seed, state);
+    state.stall = std::ssize(state.evaluated) > before ? 0 : state.stall + 1;
+    maybe_write_checkpoint(state, /*force=*/false);
+  }
+  maybe_write_checkpoint(state, /*force=*/true);
+
+  OptimizerResult result;
+  result.complete = complete;
+  for (const auto& p : frontier_.points())
+    result.frontier.push_back(state.evaluated[static_cast<std::size_t>(p.id)]);
+  result.stats = stats_;
+  result.state = std::move(state);
+  return result;
+}
+
+OptimizerResult Optimizer::run() {
+  OptimizerState state;
+  return search(std::move(state));
+}
+
+std::string Optimizer::checkpoint_json(const OptimizerState& state) const {
+  report::JsonWriter w(0);
+  w.open();
+  w.field("type", "red_opt_checkpoint");
+  w.field("version", std::int64_t{1});
+  w.field("fingerprint", fingerprint());
+  w.field("strategy", strategy_->name());
+  w.field("objective", objective_.to_string());
+  w.field("seed", opts_.seed);
+  w.field("budget", effective_budget());
+  w.object("space");
+  w.field("fingerprint", space_.fingerprint());
+  w.field("layers", static_cast<std::int64_t>(space_.stack().size()));
+  w.field("axes", static_cast<std::int64_t>(space_.axes().size()));
+  w.field("size", space_.size());
+  w.close(false);
+  w.object("state");
+  w.field("step", state.step);
+  w.field("next_ordinal", state.next_ordinal);
+  w.field("generation", state.generation);
+  w.field("current", state.current);
+  w.field("current_scalar", state.current_scalar);
+  w.field("stall", state.stall);
+  w.array("population");
+  for (std::int64_t o : state.population) w.item_number(o);
+  w.close_array();
+  w.array("pruned");
+  for (std::int64_t o : state.pruned) w.item_number(o);
+  w.close_array();
+  w.array("evaluated");
+  for (const auto& e : state.evaluated) {
+    w.item_object();
+    w.field("ordinal", e.ordinal);
+    w.field("fingerprint", e.fingerprint);
+    w.field("scalar", e.scalar);
+    w.array("objectives");
+    for (double v : e.objectives) w.item_number(v);
+    w.close_array();
+    w.field("latency_ns", e.cost.latency_ns);
+    w.field("energy_pj", e.cost.energy_pj);
+    w.field("area_um2", e.cost.area_um2);
+    w.field("cycles", e.cost.cycles);
+    w.field("max_sc_units", e.cost.max_sc_units);
+    w.close(false);
+  }
+  w.close_array();
+  w.close(false);
+  w.close();
+  return w.str();
+}
+
+OptimizerResult Optimizer::resume(const std::string& checkpoint_json_text) {
+  const report::JsonValue root = report::parse_json(checkpoint_json_text);
+  if (const report::JsonValue* type = root.find("type");
+      type == nullptr || type->as_string() != "red_opt_checkpoint")
+    throw ConfigError("checkpoint JSON: expected a red_opt_checkpoint document");
+  if (root.at("version").as_int() != 1)
+    throw ConfigError("checkpoint JSON: unsupported version " +
+                      std::to_string(root.at("version").as_int()));
+  // The fingerprint binds the document to THIS search: space, objective,
+  // constraints, strategy, and seed (budget is excluded — resuming deeper
+  // is legal). Absence is as fatal as a mismatch (at() throws), matching
+  // the plan-JSON convention.
+  const std::string& fp = root.at("fingerprint").as_string();
+  if (fp != fingerprint())
+    throw MismatchError("checkpoint fingerprint mismatch: file says '" + fp +
+                        "' but this search is '" + fingerprint() +
+                        "' (different space, objective, constraints, strategy, or seed — "
+                        "or a corrupted checkpoint)");
+
+  const report::JsonValue& s = root.at("state");
+  OptimizerState state;
+  state.step = s.at("step").as_int();
+  state.next_ordinal = s.at("next_ordinal").as_int();
+  state.generation = s.at("generation").as_int();
+  state.current = s.at("current").as_int();
+  state.current_scalar = s.at("current_scalar").as_double();
+  state.stall = s.at("stall").as_int();
+  for (const auto& v : s.at("population").items) state.population.push_back(v.as_int());
+
+  auto check_ordinal = [&](std::int64_t o, const char* what) {
+    if (o < 0 || o >= space_.size())
+      throw ConfigError("checkpoint JSON: " + std::string(what) + " ordinal " +
+                        std::to_string(o) + " is outside the space");
+  };
+
+  // Pruned rows must still be pruned: constraints are re-run, so a tampered
+  // pruned list cannot silently shrink the search.
+  for (const auto& v : s.at("pruned").items) {
+    const std::int64_t ordinal = v.as_int();
+    check_ordinal(ordinal, "pruned");
+    const Candidate c = space_.decode(ordinal);
+    const MaterializedPoint point = space_.materialize(c);
+    const auto plan = plan::plan_stack(point.kind, space_.stack(), point.cfg);
+    const CandidateView view{space_, c, point, plan};
+    const bool rejected = std::any_of(constraints_.begin(), constraints_.end(),
+                                      [&](const Constraint& k) { return !k.allow(view); });
+    if (!rejected)
+      throw MismatchError("checkpoint says ordinal " + std::to_string(ordinal) +
+                          " was pruned, but no constraint rejects it");
+    state.pruned.push_back(ordinal);
+  }
+
+  // Recompile-and-verify, like the plan loaders: every recorded evaluation
+  // is re-priced and must reproduce the stored numbers exactly (evaluation
+  // is deterministic and json_number round-trips doubles bit-exactly).
+  const report::JsonValue& logged = s.at("evaluated");
+  std::vector<explore::SweepPoint> grid;
+  std::vector<MaterializedPoint> points;
+  points.reserve(logged.items.size());
+  for (const auto& row : logged.items) {
+    const std::int64_t ordinal = row.at("ordinal").as_int();
+    check_ordinal(ordinal, "evaluated");
+    points.push_back(space_.materialize(space_.decode(ordinal)));
+    for (const auto& spec : space_.stack())
+      grid.push_back({points.back().kind, points.back().cfg, spec});
+  }
+  const auto outcomes = driver_.evaluate(grid);
+  const std::size_t layers = space_.stack().size();
+  for (std::size_t i = 0; i < logged.items.size(); ++i) {
+    const report::JsonValue& row = logged.items[i];
+    CandidateEval e;
+    e.ordinal = row.at("ordinal").as_int();
+    e.candidate = space_.decode(e.ordinal);
+    for (std::size_t l = 0; l < layers; ++l) {
+      const auto& o = outcomes[i * layers + l];
+      e.cost.add_layer(o.cost, o.activity.sc_units);
+    }
+    e.objectives = objective_.vector_of(e.cost);
+    e.scalar = objective_.scalar(e.objectives);
+    e.fingerprint = candidate_fingerprint(points[i]);
+
+    const report::JsonValue& stored = row.at("objectives");
+    bool match = e.fingerprint == row.at("fingerprint").as_string() &&
+                 stored.items.size() == e.objectives.size();
+    for (std::size_t d = 0; match && d < e.objectives.size(); ++d)
+      match = stored.items[d].as_double() == e.objectives[d];
+    if (!match)
+      throw MismatchError("checkpoint evaluation " + std::to_string(i) + " (ordinal " +
+                          std::to_string(e.ordinal) +
+                          ") disagrees with its recomputation — stale or corrupted checkpoint");
+    state.evaluated.push_back(std::move(e));
+  }
+  state.reindex();
+  if (std::ssize(state.evaluated) != std::ssize(state.eval_of))
+    throw ConfigError("checkpoint JSON: duplicate evaluated ordinals");
+  return search(std::move(state));
+}
+
+}  // namespace red::opt

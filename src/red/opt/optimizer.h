@@ -1,0 +1,124 @@
+// The optimizer driver: ties a SearchSpace, an Objective, Constraints, and a
+// SearchStrategy together over the memoized explore::SweepDriver.
+//
+// The run loop is strategy-agnostic:
+//
+//   propose -> dedupe vs the state -> prune (constraints, pre-evaluation)
+//           -> price the new candidates through SweepDriver (parallel,
+//              repeats free, bit-identical for any thread count)
+//           -> fold into the Pareto frontier -> observe -> checkpoint
+//
+// until the strategy finishes, the evaluation budget is spent, or the whole
+// space is explored.
+//
+// Checkpoint/resume follows the plan-JSON convention (recompile and verify):
+// a checkpoint stores the search identity fingerprint, the strategy cursor,
+// and the ordinal + objectives of every priced candidate. resume() rejects a
+// document whose fingerprint does not match the reconstructed search
+// (corrupted or mismatched checkpoints throw MismatchError), re-prices every
+// recorded candidate, and verifies the recomputation reproduces the stored
+// objectives exactly — a resumed run can only continue a trajectory it can
+// prove it is on, after which it is bit-identical to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "red/explore/sweep.h"
+#include "red/opt/objective.h"
+#include "red/opt/pareto.h"
+#include "red/opt/space.h"
+#include "red/opt/strategy.h"
+
+namespace red::opt {
+
+struct OptimizerOptions {
+  std::string strategy = "exhaustive";  ///< exhaustive | anneal | evolve
+  /// Evaluation budget (0 = the whole grid). A soft stop: the search halts
+  /// at the first batch boundary at or past it — a proposed batch is never
+  /// split, so a budget-B run's final state is bit-identical to a larger
+  /// run's state at that same boundary. That makes every checkpoint a
+  /// budget-invariant trajectory prefix: resume with a bigger budget to
+  /// deepen a finished search.
+  std::int64_t budget = 0;
+  std::uint64_t seed = 1;            ///< fixes the entire search trajectory
+  int threads = 1;                   ///< SweepDriver fan-out per batch
+  SearchOptions search;              ///< strategy tuning knobs
+  std::int64_t sweep_cache_cap = 0;  ///< SweepDriver memo cap (0 = unbounded)
+};
+
+struct OptStats {
+  std::int64_t batches = 0;      ///< propose/observe rounds
+  std::int64_t proposals = 0;    ///< candidates proposed in total
+  std::int64_t evaluations = 0;  ///< distinct candidates priced
+  std::int64_t repeats = 0;      ///< proposals served from the evaluation log
+  std::int64_t pruned = 0;       ///< candidates rejected by constraints
+};
+
+struct OptimizerResult {
+  std::vector<CandidateEval> frontier;  ///< canonical order (see ParetoFrontier)
+  OptimizerState state;                 ///< final state (full evaluation log)
+  OptStats stats;
+  bool complete = false;  ///< space exhausted / strategy finished (vs budget hit)
+};
+
+class Optimizer {
+ public:
+  Optimizer(SearchSpace space, Objective objective, std::vector<Constraint> constraints,
+            OptimizerOptions options);
+
+  /// Run a fresh search to completion (or budget).
+  [[nodiscard]] OptimizerResult run();
+
+  /// Continue a search from a checkpoint document (see checkpoint_json).
+  /// Throws ConfigError on malformed documents, MismatchError when the
+  /// fingerprint does not match this optimizer's search identity or a stored
+  /// evaluation disagrees with its recomputation.
+  [[nodiscard]] OptimizerResult resume(const std::string& checkpoint_json_text);
+
+  /// Serialize a state as a checkpoint document (identity fingerprint +
+  /// cursor + evaluation log). Inverse of resume().
+  [[nodiscard]] std::string checkpoint_json(const OptimizerState& state) const;
+
+  /// Digest of the search identity: space, objective, constraint names,
+  /// strategy (with tuning), and seed. Two optimizers with equal
+  /// fingerprints walk the identical trajectory; budget, threads, and the
+  /// memo cap are excluded because the trajectory is invariant to them
+  /// (budget only picks the stopping boundary).
+  [[nodiscard]] std::string fingerprint() const;
+
+  /// Write a checkpoint to `path` after every `every_evals` new evaluations
+  /// (and once more when the search ends). Empty path disables (default).
+  void set_checkpoint_file(std::string path, std::int64_t every_evals = 64);
+
+  [[nodiscard]] const SearchSpace& space() const { return space_; }
+  [[nodiscard]] const Objective& objective() const { return objective_; }
+  /// SweepDriver counters (memo hits across batches and resumes).
+  [[nodiscard]] const explore::SweepStats& sweep_stats() const { return driver_.stats(); }
+
+ private:
+  [[nodiscard]] OptimizerResult search(OptimizerState state);
+  /// Price one candidate batch: prune, evaluate the rest via the driver,
+  /// append to the state log. evals[i] is nullptr for pruned batch[i].
+  void evaluate_batch(const std::vector<Candidate>& batch,
+                      std::vector<const CandidateEval*>& evals, OptimizerState& state);
+  [[nodiscard]] std::int64_t effective_budget() const;
+  [[nodiscard]] std::string candidate_fingerprint(const MaterializedPoint& point) const;
+  void maybe_write_checkpoint(const OptimizerState& state, bool force);
+
+  SearchSpace space_;
+  Objective objective_;
+  std::vector<Constraint> constraints_;
+  OptimizerOptions opts_;
+  std::unique_ptr<SearchStrategy> strategy_;
+  explore::SweepDriver driver_;
+  ParetoFrontier frontier_;
+  OptStats stats_;
+  std::string checkpoint_path_;
+  std::int64_t checkpoint_every_ = 64;
+  std::int64_t evals_at_last_checkpoint_ = 0;
+};
+
+}  // namespace red::opt

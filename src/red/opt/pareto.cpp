@@ -1,0 +1,50 @@
+#include "red/opt/pareto.h"
+
+#include <algorithm>
+
+#include "red/common/contracts.h"
+
+namespace red::opt {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  RED_EXPECTS(a.size() == b.size());
+  bool strict = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strict = true;
+  }
+  return strict;
+}
+
+std::vector<bool> non_dominated_mask(const std::vector<std::vector<double>>& rows) {
+  std::vector<bool> mask(rows.size(), true);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < rows.size(); ++j)
+      if (i != j && dominates(rows[j], rows[i])) {
+        mask[i] = false;
+        break;
+      }
+  return mask;
+}
+
+ParetoFrontier::ParetoFrontier(std::size_t dims) : dims_(dims) { RED_EXPECTS(dims >= 1); }
+
+bool ParetoFrontier::insert(std::vector<double> objectives, std::int64_t id) {
+  RED_EXPECTS(objectives.size() == dims_);
+  for (const Point& p : points_)
+    if (dominates(p.objectives, objectives)) return false;
+  std::erase_if(points_, [&](const Point& p) { return dominates(objectives, p.objectives); });
+  points_.push_back({std::move(objectives), id});
+  return true;
+}
+
+std::vector<ParetoFrontier::Point> ParetoFrontier::points() const {
+  std::vector<Point> out = points_;
+  std::sort(out.begin(), out.end(), [](const Point& a, const Point& b) {
+    if (a.objectives != b.objectives) return a.objectives < b.objectives;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace red::opt

@@ -1,0 +1,67 @@
+// N-dimensional Pareto-frontier extraction (minimization).
+//
+// Every exploration surface that reports a "Pareto" column — the fold x mux
+// sweep in examples/design_space.cpp, `red_cli sweep`, and the optimizer's
+// frontier reporting — shares this one dominance implementation instead of
+// hand-rolling the O(n^2) loop per call site. The frontier keeps every
+// non-dominated point (ties on all objectives are mutually non-dominated, so
+// distinct configs with identical costs all survive) and exposes a canonical
+// order (lexicographic by objective vector, then by id), which makes the
+// extracted frontier invariant under any permutation of the input grid — a
+// property the optimizer's checkpoint/resume equality tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace red::opt {
+
+/// True when `a` dominates `b`: a <= b in every objective and a < b in at
+/// least one. Both vectors must have the same dimensionality (minimization).
+[[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// mask[i] is true when rows[i] is non-dominated within `rows`. All rows must
+/// share one dimensionality. This is the drop-in replacement for the ad-hoc
+/// dominance loops the table printers used to carry.
+[[nodiscard]] std::vector<bool> non_dominated_mask(
+    const std::vector<std::vector<double>>& rows);
+
+/// Incremental n-dimensional Pareto frontier over (objective vector, id)
+/// pairs. Ids are caller-side handles (the optimizer uses the index into its
+/// evaluation log); insertion order does not affect the final point set.
+class ParetoFrontier {
+ public:
+  struct Point {
+    std::vector<double> objectives;
+    std::int64_t id = 0;
+
+    friend bool operator==(const Point&, const Point&) = default;
+  };
+
+  /// `dims` is the shared dimensionality every inserted vector must have.
+  explicit ParetoFrontier(std::size_t dims);
+
+  [[nodiscard]] std::size_t dims() const { return dims_; }
+
+  /// Insert a point. Returns true when the point joins the frontier (it is
+  /// not dominated by any current member); dominated members are evicted.
+  /// A point equal to an existing member on every objective is kept — it is
+  /// a distinct non-dominated design with the same cost.
+  bool insert(std::vector<double> objectives, std::int64_t id);
+
+  /// Frontier members in canonical order: lexicographic by objective vector,
+  /// id as the tie-breaker. Identical for any insertion order of the same
+  /// point set.
+  [[nodiscard]] std::vector<Point> points() const;
+
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  void clear() { points_.clear(); }
+
+ private:
+  std::size_t dims_;
+  std::vector<Point> points_;  ///< unordered working set
+};
+
+}  // namespace red::opt

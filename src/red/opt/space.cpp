@@ -1,0 +1,205 @@
+#include "red/opt/space.h"
+
+#include <utility>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::opt {
+
+namespace {
+
+template <typename T>
+void append_raw(std::string& key, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const char* bytes = reinterpret_cast<const char*>(&value);
+  key.append(bytes, sizeof(T));
+}
+
+constexpr struct {
+  AxisField field;
+  const char* name;
+} kAxisNames[] = {
+    {AxisField::kKind, "kind"},          {AxisField::kRedFold, "fold"},
+    {AxisField::kMuxRatio, "mux"},       {AxisField::kSubarraySide, "tile"},
+    {AxisField::kAdcBits, "adc-bits"},   {AxisField::kWeightBits, "wbits"},
+    {AxisField::kActivationBits, "abits"},
+};
+
+void apply(AxisField field, std::int64_t value, MaterializedPoint& p) {
+  switch (field) {
+    case AxisField::kKind:
+      p.kind = static_cast<core::DesignKind>(value);
+      return;
+    case AxisField::kRedFold:
+      p.cfg.red_fold = static_cast<int>(value);
+      return;
+    case AxisField::kMuxRatio:
+      p.cfg.mux_ratio = static_cast<int>(value);
+      return;
+    case AxisField::kSubarraySide:
+      p.cfg.tiling = {value, value};
+      return;
+    case AxisField::kAdcBits:
+      p.cfg.quant.adc.bits = static_cast<int>(value);
+      return;
+    case AxisField::kWeightBits:
+      p.cfg.quant.wbits = static_cast<int>(value);
+      return;
+    case AxisField::kActivationBits:
+      p.cfg.quant.abits = static_cast<int>(value);
+      return;
+  }
+  RED_EXPECTS_MSG(false, "unhandled axis field");
+}
+
+}  // namespace
+
+const char* axis_field_name(AxisField field) {
+  for (const auto& e : kAxisNames)
+    if (e.field == field) return e.name;
+  RED_EXPECTS_MSG(false, "unhandled axis field");
+  return "";
+}
+
+AxisField axis_field_from_name(const std::string& name) {
+  for (const auto& e : kAxisNames)
+    if (name == e.name) return e.field;
+  throw ConfigError("unknown search axis '" + name +
+                    "' (kind | fold | mux | tile | adc-bits | wbits | abits)");
+}
+
+SearchSpace::SearchSpace(std::vector<nn::DeconvLayerSpec> stack, core::DesignKind base_kind,
+                         arch::DesignConfig base)
+    : stack_(std::move(stack)), base_kind_(base_kind), base_(std::move(base)) {
+  if (stack_.empty()) throw ConfigError("search space needs at least one layer");
+  for (const auto& spec : stack_) spec.validate();
+  base_.validate();
+}
+
+void SearchSpace::add_axis(Axis axis) {
+  if (axis.values.empty())
+    throw ConfigError(std::string("axis '") + axis_field_name(axis.field) + "' has no values");
+  for (const auto& existing : axes_)
+    if (existing.field == axis.field)
+      throw ConfigError(std::string("duplicate axis '") + axis_field_name(axis.field) + "'");
+  if (axis.field == AxisField::kKind)
+    for (std::int64_t v : axis.values)
+      if (v < 0 || v > static_cast<std::int64_t>(core::DesignKind::kRed))
+        throw ConfigError("kind axis value " + std::to_string(v) +
+                          " is not a design kind ordinal");
+  axes_.push_back(std::move(axis));
+}
+
+std::int64_t SearchSpace::size() const {
+  std::int64_t n = 1;
+  for (const auto& a : axes_) n *= static_cast<std::int64_t>(a.values.size());
+  return n;
+}
+
+Candidate SearchSpace::decode(std::int64_t ordinal) const {
+  RED_EXPECTS(ordinal >= 0 && ordinal < size());
+  Candidate c;
+  c.index.resize(axes_.size());
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const auto radix = static_cast<std::int64_t>(axes_[i].values.size());
+    c.index[i] = static_cast<int>(ordinal % radix);
+    ordinal /= radix;
+  }
+  return c;
+}
+
+std::int64_t SearchSpace::encode(const Candidate& c) const {
+  RED_EXPECTS(c.index.size() == axes_.size());
+  std::int64_t ordinal = 0;
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    const auto radix = static_cast<std::int64_t>(axes_[i].values.size());
+    RED_EXPECTS(c.index[i] >= 0 && c.index[i] < radix);
+    ordinal = ordinal * radix + c.index[i];
+  }
+  return ordinal;
+}
+
+MaterializedPoint SearchSpace::materialize(const Candidate& c) const {
+  RED_EXPECTS(c.index.size() == axes_.size());
+  MaterializedPoint p{base_kind_, base_};
+  for (std::size_t i = 0; i < axes_.size(); ++i)
+    apply(axes_[i].field, axes_[i].values[static_cast<std::size_t>(c.index[i])], p);
+  return p;
+}
+
+std::string SearchSpace::key() const {
+  std::string key;
+  append_raw(key, static_cast<std::uint64_t>(stack_.size()));
+  for (const auto& spec : stack_) {
+    const std::string layer_key = plan::structural_key(base_kind_, base_, spec);
+    append_raw(key, static_cast<std::uint64_t>(layer_key.size()));
+    key += layer_key;
+  }
+  append_raw(key, static_cast<std::uint64_t>(axes_.size()));
+  for (const auto& a : axes_) {
+    append_raw(key, static_cast<int>(a.field));
+    append_raw(key, static_cast<std::uint64_t>(a.values.size()));
+    for (std::int64_t v : a.values) append_raw(key, v);
+  }
+  return key;
+}
+
+std::string SearchSpace::fingerprint() const { return plan::digest(key()); }
+
+Constraint fits_chip(arch::ChipConfig chip) {
+  chip.validate();
+  // Every field that decides placement belongs in the name: the name is the
+  // constraint's checkpoint identity, and two chips differing only in
+  // subarray geometry accept different design sets.
+  const std::string name = "fits_chip(" + std::to_string(chip.banks) + "x" +
+                           std::to_string(chip.subarrays_per_bank) + "x" +
+                           std::to_string(chip.subarray.subarray_rows) + "x" +
+                           std::to_string(chip.subarray.subarray_cols) + ")";
+  return {name, [chip = std::move(chip)](const CandidateView& v) {
+            return arch::plan_chip(v.plan, chip).fits;
+          }};
+}
+
+Constraint max_sc_units(std::int64_t limit) {
+  return {"max_sc_units(" + std::to_string(limit) + ")", [limit](const CandidateView& v) {
+            for (const auto& lp : v.plan.layers)
+              if (lp.activity.sc_units > limit) return false;
+            return true;
+          }};
+}
+
+namespace {
+
+/// Stack total of one CostReport quantity, priced through Design::cost —
+/// the SAME entry point the SweepDriver objectives use, so a budget
+/// constraint can never disagree with the priced frontier.
+template <typename Get>
+double stack_total(const CandidateView& v, Get get) {
+  const auto design = core::make_design(v.point.kind, v.point.cfg);
+  double total = 0.0;
+  for (const auto& lp : v.plan.layers) total += get(design->cost(lp));
+  return total;
+}
+
+}  // namespace
+
+Constraint max_area_mm2(double mm2) {
+  return {"max_area_mm2(" + std::to_string(mm2) + ")", [mm2](const CandidateView& v) {
+            return stack_total(v, [](const arch::CostReport& c) {
+                     return c.total_area().value();
+                   }) / 1e6 <=
+                   mm2;
+          }};
+}
+
+Constraint max_energy_uj(double uj) {
+  return {"max_energy_uj(" + std::to_string(uj) + ")", [uj](const CandidateView& v) {
+            return stack_total(v, [](const arch::CostReport& c) {
+                     return c.total_energy().value();
+                   }) / 1e6 <=
+                   uj;
+          }};
+}
+
+}  // namespace red::opt

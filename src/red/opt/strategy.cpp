@@ -1,0 +1,266 @@
+#include "red/opt/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "red/common/contracts.h"
+#include "red/common/error.h"
+
+namespace red::opt {
+
+namespace {
+
+// Salt namespaces for the counter RNG: one per decision site, so no two
+// draws of the same step collide.
+// Indexed sites (per child / per axis) get their own 2^32-wide region, so no
+// two draws of the same step can collide.
+constexpr std::uint64_t kSaltRestart = 1;
+constexpr std::uint64_t kSaltRestartPick = 2;
+constexpr std::uint64_t kSaltAxis = 3;
+constexpr std::uint64_t kSaltDirection = 4;
+constexpr std::uint64_t kSaltAccept = 5;
+constexpr std::uint64_t kSaltInit = 1ULL << 32;        // + child index
+constexpr std::uint64_t kSaltParentA = 2ULL << 32;     // + child index
+constexpr std::uint64_t kSaltParentB = 3ULL << 32;     // + child index
+constexpr std::uint64_t kSaltCross = 4ULL << 32;       // + child*axes + axis
+constexpr std::uint64_t kSaltMutate = 5ULL << 32;      // + child*axes + axis
+constexpr std::uint64_t kSaltMutatePick = 6ULL << 32;  // + child*axes + axis
+
+// Consecutive no-new-evaluation batches before a stochastic strategy stops
+// gambling and proposes the first unexplored ordinals instead. This is what
+// upgrades "probably finds the frontier" to "provably finds it given
+// budget": stalls always break toward unexplored ground.
+constexpr std::int64_t kStallAnneal = 16;
+constexpr std::int64_t kStallEvolve = 4;
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+template <typename T>
+void append_raw(std::string& key, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  key.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// The first `count` unexplored ordinals in grid order (stall escape and the
+/// tail of an exhaustive walk share this shape).
+std::vector<Candidate> unexplored_prefix(const SearchSpace& space, const OptimizerState& state,
+                                         std::int64_t count) {
+  std::vector<Candidate> batch;
+  for (std::int64_t o = 0; o < space.size() && std::ssize(batch) < count; ++o)
+    if (!state.explored(o)) batch.push_back(space.decode(o));
+  return batch;
+}
+
+class ExhaustiveSearch final : public SearchStrategy {
+ public:
+  explicit ExhaustiveSearch(const SearchOptions& opt) : batch_(std::max(opt.batch, 1)) {}
+
+  [[nodiscard]] std::string name() const override { return "exhaustive"; }
+
+  [[nodiscard]] std::string key() const override {
+    std::string key = "exhaustive";
+    append_raw(key, batch_);
+    return key;
+  }
+
+  [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
+                                               const OptimizerState& state,
+                                               std::uint64_t) const override {
+    std::vector<Candidate> batch;
+    const std::int64_t end = std::min(space.size(), state.next_ordinal + batch_);
+    for (std::int64_t o = state.next_ordinal; o < end; ++o) batch.push_back(space.decode(o));
+    return batch;
+  }
+
+  void observe(const SearchSpace&, const std::vector<Candidate>& batch,
+               const std::vector<const CandidateEval*>&, std::uint64_t,
+               OptimizerState& state) const override {
+    ++state.step;
+    state.next_ordinal += std::ssize(batch);
+  }
+
+ private:
+  std::int64_t batch_;
+};
+
+class AnnealingSearch final : public SearchStrategy {
+ public:
+  explicit AnnealingSearch(const SearchOptions& opt) : opt_(opt) {
+    if (!(opt_.t0 > 0.0) || !(opt_.cooling > 0.0 && opt_.cooling <= 1.0) ||
+        opt_.restart_prob < 0.0 || opt_.restart_prob > 1.0)
+      throw ConfigError("annealing needs t0 > 0, cooling in (0, 1], restart_prob in [0, 1]");
+  }
+
+  [[nodiscard]] std::string name() const override { return "anneal"; }
+
+  [[nodiscard]] std::string key() const override {
+    std::string key = "anneal";
+    append_raw(key, opt_.t0);
+    append_raw(key, opt_.cooling);
+    append_raw(key, opt_.restart_prob);
+    return key;
+  }
+
+  [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
+                                               const OptimizerState& state,
+                                               std::uint64_t seed) const override {
+    if (state.stall >= kStallAnneal) return unexplored_prefix(space, state, 1);
+    const auto step = static_cast<std::uint64_t>(state.step);
+    if (state.current < 0 ||
+        opt_rnd01(seed, step, kSaltRestart) < opt_.restart_prob)
+      return {space.decode(static_cast<std::int64_t>(
+          opt_rnd(seed, step, kSaltRestartPick) % static_cast<std::uint64_t>(space.size())))};
+
+    // Single-axis neighbor move: pick a movable axis, step its index +-1
+    // with wraparound (a clamp would halve the proposal rate at the edges).
+    Candidate c = space.decode(state.current);
+    std::vector<std::size_t> movable;
+    for (std::size_t a = 0; a < space.axes().size(); ++a)
+      if (space.axes()[a].values.size() > 1) movable.push_back(a);
+    if (movable.empty()) return {c};  // single-point space
+    const std::size_t a = movable[opt_rnd(seed, step, kSaltAxis) % movable.size()];
+    const auto radix = static_cast<int>(space.axes()[a].values.size());
+    const int dir = (opt_rnd(seed, step, kSaltDirection) & 1) ? 1 : radix - 1;
+    c.index[a] = (c.index[a] + dir) % radix;
+    return {c};
+  }
+
+  void observe(const SearchSpace& space, const std::vector<Candidate>& batch,
+               const std::vector<const CandidateEval*>& evals, std::uint64_t seed,
+               OptimizerState& state) const override {
+    ++state.step;
+    if (batch.empty() || evals[0] == nullptr) return;  // pruned: stay put
+    const CandidateEval& e = *evals[0];
+    bool accept = state.current < 0 || e.scalar <= state.current_scalar;
+    if (!accept) {
+      const double t =
+          std::max(opt_.t0 * std::pow(opt_.cooling, static_cast<double>(state.step)), 1e-12);
+      accept = opt_rnd01(seed, static_cast<std::uint64_t>(state.step), kSaltAccept) <
+               std::exp((state.current_scalar - e.scalar) / t);
+    }
+    if (accept) {
+      state.current = space.encode(batch[0]);
+      state.current_scalar = e.scalar;
+    }
+  }
+
+ private:
+  SearchOptions opt_;
+};
+
+class EvolutionarySearch final : public SearchStrategy {
+ public:
+  explicit EvolutionarySearch(const SearchOptions& opt)
+      : population_(std::max(opt.population, 2)) {}
+
+  [[nodiscard]] std::string name() const override { return "evolve"; }
+
+  [[nodiscard]] std::string key() const override {
+    std::string key = "evolve";
+    append_raw(key, population_);
+    return key;
+  }
+
+  [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
+                                               const OptimizerState& state,
+                                               std::uint64_t seed) const override {
+    if (state.stall >= kStallEvolve)
+      return unexplored_prefix(space, state, population_);
+    if (!state.population.empty()) {
+      std::vector<Candidate> batch;
+      batch.reserve(state.population.size());
+      for (std::int64_t o : state.population) batch.push_back(space.decode(o));
+      return batch;
+    }
+    // Fresh search: a uniform random founding generation.
+    std::vector<Candidate> batch;
+    for (std::int64_t i = 0; i < population_; ++i)
+      batch.push_back(space.decode(static_cast<std::int64_t>(
+          opt_rnd(seed, static_cast<std::uint64_t>(state.step),
+                  kSaltInit + static_cast<std::uint64_t>(i)) %
+          static_cast<std::uint64_t>(space.size()))));
+    return batch;
+  }
+
+  void observe(const SearchSpace& space, const std::vector<Candidate>&,
+               const std::vector<const CandidateEval*>&, std::uint64_t seed,
+               OptimizerState& state) const override {
+    ++state.step;
+    ++state.generation;
+    const auto gen = static_cast<std::uint64_t>(state.generation);
+
+    // Global elitist selection: parents are the best mu of EVERYTHING priced
+    // so far (scalar, then discovery order as the deterministic tie-break).
+    std::vector<std::size_t> rank(state.evaluated.size());
+    std::iota(rank.begin(), rank.end(), std::size_t{0});
+    std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+      if (state.evaluated[a].scalar != state.evaluated[b].scalar)
+        return state.evaluated[a].scalar < state.evaluated[b].scalar;
+      return a < b;
+    });
+    const std::size_t mu = std::min<std::size_t>(
+        rank.size(), static_cast<std::size_t>(std::max<std::int64_t>(population_ / 2, 1)));
+
+    state.population.clear();
+    const std::size_t axes = space.axes().size();
+    for (std::int64_t i = 0; i < population_; ++i) {
+      const auto child_id = static_cast<std::uint64_t>(i);
+      Candidate child;
+      if (mu == 0) {
+        child = space.decode(static_cast<std::int64_t>(
+            opt_rnd(seed, gen, kSaltInit + child_id) % static_cast<std::uint64_t>(space.size())));
+      } else {
+        const Candidate p1 = space.decode(
+            state.evaluated[rank[opt_rnd(seed, gen, kSaltParentA + child_id) % mu]].ordinal);
+        const Candidate p2 = space.decode(
+            state.evaluated[rank[opt_rnd(seed, gen, kSaltParentB + child_id) % mu]].ordinal);
+        child.index.resize(axes);
+        for (std::size_t a = 0; a < axes; ++a) {
+          const std::uint64_t site = child_id * axes + a;
+          child.index[a] = (opt_rnd(seed, gen, kSaltCross + site) & 1) ? p1.index[a] : p2.index[a];
+          // Mutate roughly one axis per child on average.
+          if (opt_rnd01(seed, gen, kSaltMutate + site) < 1.0 / static_cast<double>(axes))
+            child.index[a] = static_cast<int>(opt_rnd(seed, gen, kSaltMutatePick + site) %
+                                              space.axes()[a].values.size());
+        }
+      }
+      state.population.push_back(space.encode(child));
+    }
+  }
+
+ private:
+  std::int64_t population_;
+};
+
+}  // namespace
+
+void OptimizerState::reindex() {
+  eval_of.clear();
+  pruned_set.clear();
+  for (std::size_t i = 0; i < evaluated.size(); ++i) eval_of[evaluated[i].ordinal] = i;
+  pruned_set.insert(pruned.begin(), pruned.end());
+}
+
+std::uint64_t opt_rnd(std::uint64_t seed, std::uint64_t step, std::uint64_t salt) {
+  return mix(mix(seed ^ mix(step)) ^ salt);
+}
+
+double opt_rnd01(std::uint64_t seed, std::uint64_t step, std::uint64_t salt) {
+  return static_cast<double>(opt_rnd(seed, step, salt) >> 11) * 0x1.0p-53;
+}
+
+std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
+                                              const SearchOptions& options) {
+  if (name == "exhaustive") return std::make_unique<ExhaustiveSearch>(options);
+  if (name == "anneal") return std::make_unique<AnnealingSearch>(options);
+  if (name == "evolve") return std::make_unique<EvolutionarySearch>(options);
+  throw ConfigError("unknown search strategy '" + name + "' (exhaustive | anneal | evolve)");
+}
+
+}  // namespace red::opt

@@ -15,95 +15,101 @@
 
 namespace red::report {
 
+void JsonWriter::open(const std::string& key) {
+  pad();
+  if (!key.empty()) os_ << '"' << key << "\": ";
+  os_ << "{\n";
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::close(bool trailing_newline) {
+  os_ << '\n';
+  --depth_;
+  pad();
+  os_ << '}';
+  if (trailing_newline && depth_ == 0) os_ << '\n';
+  first_ = false;
+}
+
+void JsonWriter::field(const std::string& key, double value) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": " << json_number(value);
+}
+
+void JsonWriter::field(const std::string& key, std::int64_t value) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": " << value;
+}
+
+void JsonWriter::field(const std::string& key, std::uint64_t value) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": " << value;
+}
+
+void JsonWriter::field(const std::string& key, bool value) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": " << (value ? "true" : "false");
+}
+
+void JsonWriter::field(const std::string& key, const std::string& value) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": \"" << json_escape(value) << '"';
+}
+
+void JsonWriter::object(const std::string& key) {
+  sep();
+  open(key);
+}
+
+void JsonWriter::array(const std::string& key) {
+  sep();
+  pad();
+  os_ << '"' << key << "\": [\n";
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::close_array() {
+  os_ << '\n';
+  --depth_;
+  pad();
+  os_ << ']';
+  first_ = false;
+}
+
+void JsonWriter::item_object() {
+  sep();
+  open();
+}
+
+void JsonWriter::item_number(double value) {
+  sep();
+  pad();
+  os_ << json_number(value);
+}
+
+void JsonWriter::item_number(std::int64_t value) {
+  sep();
+  pad();
+  os_ << value;
+}
+
+void JsonWriter::sep() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+}
+
+void JsonWriter::pad() {
+  for (int i = 0; i < indent_ + depth_ * 2; ++i) os_ << ' ';
+}
+
 namespace {
-
-class JsonWriter {
- public:
-  explicit JsonWriter(int indent) : indent_(indent) {}
-
-  void open(const std::string& key = "") {
-    pad();
-    if (!key.empty()) os_ << '"' << key << "\": ";
-    os_ << "{\n";
-    ++depth_;
-    first_ = true;
-  }
-  void close(bool trailing_newline = true) {
-    os_ << '\n';
-    --depth_;
-    pad();
-    os_ << '}';
-    if (trailing_newline && depth_ == 0) os_ << '\n';
-    first_ = false;
-  }
-  void field(const std::string& key, double value) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": " << json_number(value);
-  }
-  void field(const std::string& key, std::int64_t value) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": " << value;
-  }
-  void field(const std::string& key, std::uint64_t value) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": " << value;
-  }
-  void field(const std::string& key, bool value) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": " << (value ? "true" : "false");
-  }
-  void field(const std::string& key, const std::string& value) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": \"" << json_escape(value) << '"';
-  }
-  // Catches string literals, which would otherwise prefer the bool overload
-  // (pointer-to-bool is a standard conversion; const char* to std::string is
-  // user-defined).
-  void field(const std::string& key, const char* value) { field(key, std::string(value)); }
-  void object(const std::string& key) {
-    sep();
-    open(key);
-  }
-  void array(const std::string& key) {
-    sep();
-    pad();
-    os_ << '"' << key << "\": [\n";
-    ++depth_;
-    first_ = true;
-  }
-  void close_array() {
-    os_ << '\n';
-    --depth_;
-    pad();
-    os_ << ']';
-    first_ = false;
-  }
-  /// Start an object element inside an open array.
-  void item_object() {
-    sep();
-    open();
-  }
-
-  [[nodiscard]] std::string str() const { return os_.str(); }
-
- private:
-  void sep() {
-    if (!first_) os_ << ",\n";
-    first_ = false;
-  }
-  void pad() {
-    for (int i = 0; i < indent_ + depth_ * 2; ++i) os_ << ' ';
-  }
-  std::ostringstream os_;
-  int indent_;
-  int depth_ = 0;
-  bool first_ = true;
-};
 
 // ---- plan serialization -----------------------------------------------------
 
@@ -246,52 +252,6 @@ void write_layer_plan_fields(JsonWriter& w, const plan::LayerPlan& lp, bool with
 
 // ---- JSON parsing -----------------------------------------------------------
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  std::string text;  ///< number lexeme or decoded string value
-  std::vector<JsonValue> items;
-  std::vector<std::pair<std::string, JsonValue>> members;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    if (type != Type::kObject) return nullptr;
-    for (const auto& [k, v] : members)
-      if (k == key) return &v;
-    return nullptr;
-  }
-  [[nodiscard]] const JsonValue& at(const std::string& key) const {
-    const JsonValue* v = find(key);
-    if (v == nullptr) throw ConfigError("plan JSON: missing key '" + key + "'");
-    return *v;
-  }
-  [[nodiscard]] double as_double() const {
-    require(Type::kNumber, "number");
-    return std::strtod(text.c_str(), nullptr);
-  }
-  [[nodiscard]] std::int64_t as_int() const {
-    require(Type::kNumber, "number");
-    return std::strtoll(text.c_str(), nullptr, 10);
-  }
-  [[nodiscard]] std::uint64_t as_uint() const {
-    require(Type::kNumber, "number");
-    return std::strtoull(text.c_str(), nullptr, 10);
-  }
-  [[nodiscard]] bool as_bool() const {
-    require(Type::kBool, "bool");
-    return boolean;
-  }
-  [[nodiscard]] const std::string& as_string() const {
-    require(Type::kString, "string");
-    return text;
-  }
-
- private:
-  void require(Type t, const char* what) const {
-    if (type != t) throw ConfigError(std::string("plan JSON: expected a ") + what);
-  }
-};
-
 class JsonParser {
  public:
   explicit JsonParser(const std::string& text) : s_(text) {}
@@ -305,7 +265,7 @@ class JsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw ConfigError("plan JSON: " + why + " (at offset " + std::to_string(pos_) + ")");
+    throw ConfigError("json: " + why + " (at offset " + std::to_string(pos_) + ")");
   }
   [[nodiscard]] char peek() {
     skip_ws();
@@ -565,6 +525,50 @@ void write_report_fields(JsonWriter& w, const arch::CostReport& r) {
 
 }  // namespace
 
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw ConfigError("json: missing key '" + key + "'");
+  return *v;
+}
+
+double JsonValue::as_double() const {
+  require(Type::kNumber, "number");
+  return std::strtod(text.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_int() const {
+  require(Type::kNumber, "number");
+  return std::strtoll(text.c_str(), nullptr, 10);
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  require(Type::kNumber, "number");
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+bool JsonValue::as_bool() const {
+  require(Type::kBool, "bool");
+  return boolean;
+}
+
+const std::string& JsonValue::as_string() const {
+  require(Type::kString, "string");
+  return text;
+}
+
+void JsonValue::require(Type t, const char* what) const {
+  if (type != t) throw ConfigError(std::string("json: expected a ") + what);
+}
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -659,7 +663,7 @@ std::string to_json(const plan::StackPlan& sp, int indent) {
 }
 
 plan::LayerPlan layer_plan_from_json(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = parse_json(json);
   if (const JsonValue* type = root.find("type");
       type != nullptr && type->as_string() != "red_layer_plan")
     throw ConfigError("plan JSON: expected a red_layer_plan document, got '" +
@@ -673,7 +677,7 @@ plan::LayerPlan layer_plan_from_json(const std::string& json) {
 }
 
 plan::StackPlan stack_plan_from_json(const std::string& json) {
-  const JsonValue root = JsonParser(json).parse();
+  const JsonValue root = parse_json(json);
   if (const JsonValue* type = root.find("type");
       type != nullptr && type->as_string() != "red_stack_plan")
     throw ConfigError("plan JSON: expected a red_stack_plan document, got '" +

@@ -7,13 +7,83 @@
 // project self-contained.
 #pragma once
 
+#include <cstdint>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "red/arch/cost_report.h"
 #include "red/plan/plan.h"
 #include "red/report/evaluation.h"
 
 namespace red::report {
+
+/// Streaming writer for the repo's JSON artifacts (plans, benchmark reports,
+/// optimizer checkpoints). Public API: every emitter shares one formatting
+/// discipline (json_number doubles, json_escape strings) instead of
+/// hand-assembling documents.
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void open(const std::string& key = "");
+  void close(bool trailing_newline = true);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, bool value);
+  void field(const std::string& key, const std::string& value);
+  /// Catches string literals, which would otherwise prefer the bool overload
+  /// (pointer-to-bool is a standard conversion; const char* to std::string
+  /// is user-defined).
+  void field(const std::string& key, const char* value) { field(key, std::string(value)); }
+  void object(const std::string& key);
+  void array(const std::string& key);
+  void close_array();
+  /// Start an object element inside an open array.
+  void item_object();
+  /// Append a bare number element inside an open array.
+  void item_number(double value);
+  void item_number(std::int64_t value);
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  void sep();
+  void pad();
+  std::ostringstream os_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+/// Parsed JSON document node (the grammar the repo's artifacts use: objects
+/// and arrays of numbers, strings, bools, null). Accessors throw ConfigError
+/// on shape mismatches, so loaders read like declarations.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string text;  ///< number lexeme or decoded string value
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+ private:
+  void require(Type t, const char* what) const;
+};
+
+/// Parse a complete JSON document. Throws ConfigError (with the byte offset)
+/// on malformed input or trailing characters.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 /// One cost report as a JSON object (per-component arrays + totals).
 [[nodiscard]] std::string to_json(const arch::CostReport& report, int indent = 0);

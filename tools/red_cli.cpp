@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <vector>
 
 #include "red/arch/chip.h"
@@ -24,6 +25,8 @@
 #include "red/core/designs.h"
 #include "red/explore/sweep.h"
 #include "red/nn/deconv_reference.h"
+#include "red/opt/optimizer.h"
+#include "red/opt/pareto.h"
 #include "red/report/evaluation.h"
 #include "red/report/figures.h"
 #include "red/core/red_design.h"
@@ -59,6 +62,15 @@ commands:
   throughput  stream a batch through a programmed stack [--images N]
               [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
+  optimize  design-space search over declared axes; prints the Pareto frontier
+            [--net NAME | --layer NAME | geometry] [--design zp|pf|red|all]
+            [--folds L] [--muxes L] [--tile-sides L] [--adc-bits L]
+            [--weight-bits L] [--activation-bits L]
+            [--strategy exhaustive|anneal|evolve] [--objective latency,area]
+            [--weights L] [--budget N] [--seed N] [--threads N]
+            [--chip-fit [--banks N] [--bank-subarrays N]] [--max-sc N]
+            [--max-area MM2] [--max-energy UJ]
+            [--checkpoint FILE [--checkpoint-every N]] [--json] [--out FILE]
   verify    run all designs functionally and check vs golden + activity model
   trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
   export    write every table/figure to files [--out DIR] [--format csv|md|txt]
@@ -204,23 +216,215 @@ int cmd_sweep(const Flags& flags) {
   std::cout << spec.to_string() << '\n';
   TextTable t({"fold", "mux", "sub-arrays", "cycles", "latency (us)", "energy (uJ)",
                "area (mm^2)", "Pareto"});
+  std::vector<std::vector<double>> rows;
+  for (const auto& o : outcomes)
+    rows.push_back({o.cost.total_latency().value(), o.cost.total_area().value()});
+  const auto pareto = opt::non_dominated_mask(rows);
   for (std::size_t i = 0; i < grid.size(); ++i) {
     const auto& c = outcomes[i].cost;
-    const bool dominated = std::any_of(
-        outcomes.begin(), outcomes.end(), [&](const explore::SweepOutcome& q) {
-          const double lat = c.total_latency().value(), area = c.total_area().value();
-          const double qlat = q.cost.total_latency().value(), qarea = q.cost.total_area().value();
-          return (qlat < lat && qarea <= area) || (qlat <= lat && qarea < area);
-        });
     t.add_row({std::to_string(grid[i].cfg.red_fold), std::to_string(grid[i].cfg.mux_ratio),
                std::to_string(outcomes[i].activity.sc_units),
                std::to_string(outcomes[i].cost.cycles()),
                format_double(c.total_latency().value() / 1e3, 2),
                format_double(c.total_energy().value() / 1e6, 3),
-               format_double(c.total_area().value() / 1e6, 4), dominated ? "" : "*"});
+               format_double(c.total_area().value() / 1e6, 4), pareto[i] ? "*" : ""});
   }
   std::cout << t.to_ascii() << "sweep: " << driver.stats().evaluated << " evaluated, "
             << driver.stats().cache_hits << " from cache, " << threads << " threads\n";
+  return 0;
+}
+
+/// Build the search space an `optimize` run explores: base point from the
+/// shared config flags, one axis per value-list flag. With no axis flags the
+/// classic fold x mux grid is searched.
+opt::SearchSpace space_from(const Flags& flags, const std::vector<nn::DeconvLayerSpec>& stack) {
+  const std::string design = flags.get_string("design", "red");
+  opt::SearchSpace space(stack, design == "all" ? core::DesignKind::kRed : kind_from(flags),
+                         config_from(flags));
+  if (design == "all")
+    space.add_axis({opt::AxisField::kKind,
+                    {static_cast<std::int64_t>(core::DesignKind::kZeroPadding),
+                     static_cast<std::int64_t>(core::DesignKind::kPaddingFree),
+                     static_cast<std::int64_t>(core::DesignKind::kRed)}});
+  const struct {
+    const char* flag;
+    opt::AxisField field;
+  } axis_flags[] = {{"folds", opt::AxisField::kRedFold},
+                    {"muxes", opt::AxisField::kMuxRatio},
+                    {"tile-sides", opt::AxisField::kSubarraySide},
+                    {"adc-bits", opt::AxisField::kAdcBits},
+                    {"weight-bits", opt::AxisField::kWeightBits},
+                    {"activation-bits", opt::AxisField::kActivationBits}};
+  bool any = false;
+  for (const auto& a : axis_flags)
+    if (flags.has(a.flag)) {
+      space.add_axis({a.field, parse_int_list(flags.get_string(a.flag), a.flag)});
+      any = true;
+    }
+  if (!any) {
+    space.add_axis({opt::AxisField::kRedFold, {1, 2, 4, 8}});
+    space.add_axis({opt::AxisField::kMuxRatio, {4, 8, 16}});
+  }
+  return space;
+}
+
+int cmd_optimize(const Flags& flags) {
+  // Workload: a whole stack (--net) or one layer (--layer / geometry).
+  std::vector<nn::DeconvLayerSpec> stack;
+  std::string title;
+  if (flags.has("net")) {
+    const std::string net = flags.get_string("net");
+    stack = workloads::named_stack(net, static_cast<int>(flags.get_int("div", 1)));
+    title = net;
+  } else {
+    stack = {layer_from(flags)};
+    title = stack.front().name;
+  }
+
+  opt::SearchSpace space = space_from(flags, stack);
+  auto objective = opt::Objective::parse(flags.get_string("objective", "latency,area"),
+                                         flags.get_string("weights", ""));
+
+  std::vector<opt::Constraint> constraints;
+  if (flags.get_bool("chip-fit")) {
+    arch::ChipConfig chip;
+    chip.banks = static_cast<int>(flags.get_int("banks", chip.banks));
+    chip.subarrays_per_bank = flags.get_int("bank-subarrays", chip.subarrays_per_bank);
+    const auto side = flags.get_int("subarray", 128);
+    chip.subarray = {side, side};
+    constraints.push_back(opt::fits_chip(chip));
+  }
+  if (flags.has("max-sc")) constraints.push_back(opt::max_sc_units(flags.get_int("max-sc", 0)));
+  if (flags.has("max-area"))
+    constraints.push_back(opt::max_area_mm2(flags.get_double("max-area", 0.0)));
+  if (flags.has("max-energy"))
+    constraints.push_back(opt::max_energy_uj(flags.get_double("max-energy", 0.0)));
+
+  opt::OptimizerOptions options;
+  options.strategy = flags.get_string("strategy", "exhaustive");
+  options.budget = flags.get_int("budget", 0);
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  options.threads = static_cast<int>(flags.get_int("threads", 4));
+  options.search.population = static_cast<int>(flags.get_int("population", 16));
+  options.search.batch = static_cast<int>(flags.get_int("batch", 8));
+  options.sweep_cache_cap = flags.get_int("cache-cap", 0);
+
+  opt::Optimizer optimizer(std::move(space), std::move(objective), std::move(constraints),
+                           options);
+
+  // --checkpoint FILE: resume when the file exists, and keep it refreshed.
+  const std::string checkpoint = flags.get_string("checkpoint", "");
+  opt::OptimizerResult result = [&] {
+    if (checkpoint.empty()) return optimizer.run();
+    optimizer.set_checkpoint_file(checkpoint, flags.get_int("checkpoint-every", 64));
+    std::ifstream in(checkpoint);
+    if (!in) return optimizer.run();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::cerr << "resuming from checkpoint " << checkpoint << '\n';
+    return optimizer.resume(buf.str());
+  }();
+
+  const auto& sp = optimizer.space();
+  auto axis_values = [&](const opt::CandidateEval& e) {
+    std::vector<std::string> cells;
+    for (std::size_t a = 0; a < sp.axes().size(); ++a) {
+      const auto& axis = sp.axes()[a];
+      std::int64_t v = axis.values[static_cast<std::size_t>(e.candidate.index[a])];
+      cells.push_back(axis.field == opt::AxisField::kKind
+                          ? core::kind_to_name(static_cast<core::DesignKind>(v))
+                          : std::to_string(v));
+    }
+    return cells;
+  };
+
+  // The JSON document is the machine-readable twin of the table: printed
+  // under --json, and written to --out in either mode (cmd_plan convention).
+  auto result_json = [&] {
+    report::JsonWriter w(0);
+    w.open();
+    w.field("type", "red_opt_result");
+    w.field("workload", title);
+    w.field("strategy", options.strategy);
+    w.field("objective", optimizer.objective().to_string());
+    w.field("seed", options.seed);
+    w.field("fingerprint", optimizer.fingerprint());
+    w.field("space_size", sp.size());
+    w.field("complete", result.complete);
+    w.array("frontier");
+    for (const auto& e : result.frontier) {
+      w.item_object();
+      w.field("ordinal", e.ordinal);
+      w.field("fingerprint", e.fingerprint);
+      const auto cells = axis_values(e);
+      for (std::size_t a = 0; a < sp.axes().size(); ++a)
+        w.field(opt::axis_field_name(sp.axes()[a].field), cells[a]);
+      w.array("objectives");
+      for (double v : e.objectives) w.item_number(v);
+      w.close_array();
+      w.field("latency_ns", e.cost.latency_ns);
+      w.field("energy_pj", e.cost.energy_pj);
+      w.field("area_um2", e.cost.area_um2);
+      w.field("cycles", e.cost.cycles);
+      w.field("max_sc_units", e.cost.max_sc_units);
+      w.close(false);
+    }
+    w.close_array();
+    w.object("stats");
+    w.field("batches", result.stats.batches);
+    w.field("proposals", result.stats.proposals);
+    w.field("evaluations", result.stats.evaluations);
+    w.field("repeats", result.stats.repeats);
+    w.field("pruned", result.stats.pruned);
+    w.field("sweep_cache_hits", optimizer.sweep_stats().cache_hits);
+    w.field("sweep_cached_entries", optimizer.sweep_stats().cached_entries);
+    w.close(false);
+    w.close();
+    return w.str();
+  };
+
+  const bool json_mode = flags.get_bool("json");
+  if (json_mode) {
+    std::cout << result_json();
+  } else {
+    std::cout << "optimize " << title << " (" << stack.size()
+              << (stack.size() == 1 ? " layer" : " layers") << "): strategy "
+              << options.strategy << ", objective " << optimizer.objective().to_string()
+              << ", space " << sp.size() << " points, seed " << options.seed << '\n';
+    std::vector<std::string> header;
+    for (const auto& axis : sp.axes()) header.push_back(opt::axis_field_name(axis.field));
+    for (const auto& term : optimizer.objective().terms())
+      header.push_back(opt::metric_name(term.metric));
+    header.push_back("latency (us)");
+    header.push_back("energy (uJ)");
+    header.push_back("area (mm^2)");
+    header.push_back("max SC");
+    TextTable t(header);
+    for (const auto& e : result.frontier) {
+      auto row = axis_values(e);
+      for (double v : e.objectives) row.push_back(format_double(v, 4));
+      row.push_back(format_double(e.cost.latency_ns / 1e3, 2));
+      row.push_back(format_double(e.cost.energy_pj / 1e6, 3));
+      row.push_back(format_double(e.cost.area_um2 / 1e6, 4));
+      row.push_back(std::to_string(e.cost.max_sc_units));
+      t.add_row(row);
+    }
+    std::cout << t.to_ascii();
+    std::cout << "frontier: " << result.frontier.size() << " of "
+              << result.state.evaluated.size() << " evaluated (" << result.stats.evaluations
+              << " this run, " << result.stats.pruned << " pruned, " << result.stats.repeats
+              << " repeat proposals, " << optimizer.sweep_stats().cache_hits
+              << " sweep-cache hits), "
+              << (result.complete ? "space explored" : "budget reached") << '\n';
+    if (!checkpoint.empty()) std::cout << "checkpoint: " << checkpoint << '\n';
+  }
+  if (flags.has("out")) {
+    const std::string path = flags.get_string("out");
+    std::ofstream out(path);
+    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
+    out << result_json();
+    (json_mode ? std::cerr : std::cout) << "wrote " << path << '\n';
+  }
   return 0;
 }
 
@@ -427,6 +631,8 @@ int main(int argc, char** argv) {
       rc = cmd_throughput(flags);
     else if (cmd == "sweep")
       rc = cmd_sweep(flags);
+    else if (cmd == "optimize")
+      rc = cmd_optimize(flags);
     else if (cmd == "verify")
       rc = cmd_verify(flags);
     else if (cmd == "trace")

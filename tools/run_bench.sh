@@ -5,28 +5,31 @@
 #   BENCH_analog.json   — before/after IR-drop solver and noise-sweep timings
 #   BENCH_pipeline.json — sequential per-image runs vs the streaming batched
 #                         executor (fill, steady-state interval, img/s)
+#   BENCH_opt.json      — design-space optimizer strategies vs the exhaustive
+#                         frontier (evaluations-to-frontier, memo hit rates)
 # See docs/PERFORMANCE.md for how to read them.
 #
-# Usage: tools/run_bench.sh [--quick] [--mvm-only] [build_dir] [mvm_out.json]
-#                           [analog_out.json] [pipeline_out.json]
-#   --quick     one-iteration smoke run (what the bench_smoke CTest label uses)
-#   --mvm-only  skip the analog benchmark (bench_smoke_micro uses this so the
-#               analog smoke coverage stays with bench_smoke_analog alone)
+# Usage: tools/run_bench.sh [--quick] [--mvm-only] [--out-dir DIR] [build_dir]
+#   --quick       one-iteration smoke run (what the bench_smoke CTest label uses)
+#   --mvm-only    skip the analog/pipeline/opt benchmarks (bench_smoke_micro
+#                 uses this so their smoke coverage stays with their own
+#                 bench_smoke_* entries)
+#   --out-dir DIR directory receiving every BENCH_*.json (default: .)
 set -eu
 
 quick=0
 mvm_only=0
+out_dir="."
 while true; do
   case "${1:-}" in
     --quick) quick=1; shift ;;
     --mvm-only) mvm_only=1; shift ;;
+    --out-dir) out_dir="${2:?--out-dir needs a directory}"; shift 2 ;;
     *) break ;;
   esac
 done
 build_dir="${1:-build}"
-mvm_out="${2:-BENCH_mvm.json}"
-analog_out="${3:-BENCH_analog.json}"
-pipeline_out="${4:-BENCH_pipeline.json}"
+mkdir -p "${out_dir}"
 
 if [ -x "${build_dir}/bench_micro_simulator" ]; then
   min_time_flag=""
@@ -36,42 +39,44 @@ if [ -x "${build_dir}/bench_micro_simulator" ]; then
   "${build_dir}/bench_micro_simulator" \
     --benchmark_filter='BM_Mvm|BM_SimulateNetwork' \
     ${min_time_flag} \
-    --benchmark_out="${mvm_out}" \
+    --benchmark_out="${out_dir}/BENCH_mvm.json" \
     --benchmark_out_format=json
   echo ""
-  echo "Wrote ${mvm_out}"
+  echo "Wrote ${out_dir}/BENCH_mvm.json"
   echo "Before/after pairs: BM_MvmBitAccurateReference vs BM_MvmBitAccurate,"
   echo "BM_MvmClippedReference vs BM_MvmClipped, BM_SimulateNetwork/1 vs /4."
 else
   echo "warning: ${build_dir}/bench_micro_simulator not found (google-benchmark" >&2
-  echo "missing at configure time?); skipping ${mvm_out}." >&2
+  echo "missing at configure time?); skipping ${out_dir}/BENCH_mvm.json." >&2
 fi
 
 if [ "${mvm_only}" = "1" ]; then
   exit 0
 fi
 
-if [ ! -x "${build_dir}/bench_analog" ]; then
-  echo "error: ${build_dir}/bench_analog not found." >&2
-  echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
-  exit 1
-fi
-
-echo ""
 quick_flag=""
 if [ "${quick}" = "1" ]; then
   quick_flag="--quick"
 fi
-"${build_dir}/bench_analog" ${quick_flag} --out "${analog_out}"
+
+for bench in bench_analog bench_pipeline bench_opt; do
+  if [ ! -x "${build_dir}/${bench}" ]; then
+    echo "error: ${build_dir}/${bench} not found." >&2
+    echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+    exit 1
+  fi
+done
+
+echo ""
+"${build_dir}/bench_analog" ${quick_flag} --out "${out_dir}/BENCH_analog.json"
 echo "Before/after pairs: BM_IrDropReferenceSor vs BM_IrDropAdiFast,"
 echo "BM_NoiseSweepPerSeedRebuild vs BM_NoiseSweepMonteCarlo."
 
-if [ ! -x "${build_dir}/bench_pipeline" ]; then
-  echo "error: ${build_dir}/bench_pipeline not found." >&2
-  echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
-  exit 1
-fi
+echo ""
+"${build_dir}/bench_pipeline" ${quick_flag} --out "${out_dir}/BENCH_pipeline.json"
+echo "Before/after pair: BM_SequentialPerImage vs BM_StreamingPipelined."
 
 echo ""
-"${build_dir}/bench_pipeline" ${quick_flag} --out "${pipeline_out}"
-echo "Before/after pair: BM_SequentialPerImage vs BM_StreamingPipelined."
+"${build_dir}/bench_opt" ${quick_flag} --out "${out_dir}/BENCH_opt.json"
+echo "Pairs: BM_Opt_<strategy> cold vs _warm (memoized re-search); see the"
+echo "search[] section for evaluations-to-frontier and memo hit rates."
