@@ -1,0 +1,163 @@
+// Fault-injection campaign benchmark: graceful-degradation curves for the
+// zero-padding and RED designs under a swept fault rate, emitted as
+// BENCH_fault.json. Run through tools/run_bench.sh, or directly:
+//
+//   bench_fault [--quick] [--out BENCH_fault.json] [--trials N] [--threads N]
+//
+// The bench is gated on the subsystem's two hard guarantees rather than on
+// timing: (1) the zero-fault-rate campaign point is bit-identical to the
+// fault-free oracle on both arms, and (2) the repaired arm's mean output MSE
+// is no worse than the unrepaired arm's at EVERY swept rate. A gate failure
+// exits non-zero, so the bench doubles as the robustness acceptance test the
+// CI smoke label runs.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "red/common/flags.h"
+#include "red/common/rng.h"
+#include "red/common/string_util.h"
+#include "red/fault/campaign.h"
+#include "red/fault/inject.h"
+#include "red/workloads/benchmarks.h"
+#include "red/workloads/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace red;
+  using bench::Clock;
+  using bench::Entry;
+  using bench::ms_since;
+  const Flags flags = Flags::parse(argc - 1, argv + 1);
+  const bool quick = flags.get_bool("quick");
+  const std::string out_path = flags.get_string("out", "BENCH_fault.json");
+  const int trials = static_cast<int>(flags.get_int("trials", quick ? 2 : 3));
+  const int threads = static_cast<int>(flags.get_int("threads", 4));
+
+  bench::print_header("Fault-injection campaigns: graceful degradation under repair",
+                      "fault extension — see docs/PERFORMANCE.md");
+
+  const auto layer = workloads::table1_reduced(quick ? 8 : 4)[0];
+  const std::vector<double> rates =
+      quick ? std::vector<double>{0.0, 0.01, 0.05}
+            : std::vector<double>{0.0, 0.002, 0.01, 0.05};
+
+  // Every fault class scales with the swept rate, so the zero point is a
+  // fully clean model (the oracle-equivalence gate) and every later point
+  // exercises stuck cells, line faults, and drift together.
+  std::vector<fault::FaultModel> models;
+  for (double r : rates) {
+    fault::FaultModel m;
+    m.sa0_rate = r / 2.0;
+    m.sa1_rate = r / 2.0;
+    m.wordline_rate = r / 2.0;
+    m.bitline_rate = r / 2.0;
+    m.drift_sigma = r > 0.0 ? 0.3 : 0.0;
+    models.push_back(m);
+  }
+
+  fault::RepairPolicy policy;
+  policy.spare_rows = 4;
+  policy.spare_cols = 4;
+  policy.remap_rows = true;
+  policy.verify_retries = 2;
+
+  fault::FaultCampaignOptions opts;
+  opts.trials = trials;
+  opts.base_seed = 1;
+  opts.threads = threads;
+
+  Rng rng(1);
+  const auto input = workloads::make_input(layer, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(layer, rng, -7, 7);
+
+  struct KindRun {
+    std::string kind;
+    double wall_ms = 0.0;
+    std::vector<fault::FaultCampaignPoint> points;
+  };
+  std::vector<KindRun> kind_runs;
+  std::vector<Entry> entries;
+
+  for (const auto kind : {core::DesignKind::kZeroPadding, core::DesignKind::kRed}) {
+    KindRun run;
+    run.kind = core::kind_to_name(kind);
+    const auto t0 = Clock::now();
+    run.points = fault::run_fault_campaign(kind, arch::DesignConfig{}, models, policy, layer,
+                                           input, kernel, opts);
+    run.wall_ms = ms_since(t0);
+    entries.push_back({"BM_FaultCampaign_" + run.kind, run.wall_ms, 1});
+    kind_runs.push_back(std::move(run));
+  }
+
+  // Gate 1: zero fault rate must be indistinguishable from the oracle on
+  // BOTH arms of every trial — bit-for-bit, not approximately.
+  bool zero_rate_exact = true;
+  // Gate 2: repair never hurts — mean repaired MSE <= mean unrepaired MSE at
+  // every swept rate.
+  bool repaired_not_worse = true;
+  for (const auto& run : kind_runs) {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& p = run.points[i];
+      if (rates[i] == 0.0)
+        for (const auto& t : p.trials)
+          zero_rate_exact &= t.unrepaired.score.exact() && t.repaired.score.exact();
+      repaired_not_worse &= p.repaired_not_worse();
+    }
+  }
+
+  for (const auto& run : kind_runs) {
+    bench::print_section(run.kind + " degradation (" + std::to_string(trials) + " trials)");
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& p = run.points[i];
+      std::cout << "  rate " << format_double(rates[i], 4) << ": bare SNR "
+                << format_double(p.mean_snr_db(false), 1) << " dB -> repaired "
+                << format_double(p.mean_snr_db(true), 1) << " dB ("
+                << format_double(p.mean_bit_errors(true), 1) << " bit errs/img)\n";
+    }
+  }
+  std::cout << "\ngates: zero-rate oracle equivalence "
+            << (zero_rate_exact ? "PASS" : "FAIL") << ", repaired never worse "
+            << (repaired_not_worse ? "PASS" : "FAIL") << '\n';
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\n  \"context\": {\"layer\": \"" << layer.name << "\", \"trials\": " << trials
+      << ", \"threads\": " << threads << ", \"quick\": " << (quick ? "true" : "false")
+      << "},\n  \"benchmarks\": ";
+  bench::write_benchmark_array(out, entries);
+  out << ",\n  \"gates\": {\"zero_rate_oracle_exact\": "
+      << (zero_rate_exact ? "true" : "false")
+      << ", \"repaired_not_worse_at_every_rate\": "
+      << (repaired_not_worse ? "true" : "false") << "},\n  \"degradation\": [\n";
+  bool first = true;
+  for (const auto& run : kind_runs)
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& p = run.points[i];
+      const auto& rep = p.trials.front().repaired.repair;
+      out << (first ? "" : ",\n") << "    {\"design\": \"" << run.kind
+          << "\", \"rate\": " << report::json_number(rates[i])
+          << ", \"unrepaired_mse\": " << report::json_number(p.mean_mse(false))
+          << ", \"unrepaired_snr_db\": " << report::json_number(p.mean_snr_db(false))
+          << ", \"repaired_mse\": " << report::json_number(p.mean_mse(true))
+          << ", \"repaired_snr_db\": " << report::json_number(p.mean_snr_db(true))
+          << ", \"repaired_bit_errors\": " << report::json_number(p.mean_bit_errors(true))
+          << ", \"spare_rows_used\": " << rep.spare_rows_used
+          << ", \"spare_cols_used\": " << rep.spare_cols_used
+          << ", \"rows_remapped\": " << rep.rows_remapped << "}";
+      first = false;
+    }
+  out << "\n  ]\n}\n";
+  std::cout << "Wrote " << out_path << "\n";
+
+  if (!zero_rate_exact || !repaired_not_worse) {
+    std::cerr << "error: a fault-campaign gate failed\n";
+    return 1;
+  }
+  return 0;
+}

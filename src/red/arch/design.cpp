@@ -15,6 +15,7 @@ void DesignConfig::validate() const {
   if (red_max_subcrossbars < 1) throw ConfigError("red_max_subcrossbars must be >= 1");
   if (red_fold < 0) throw ConfigError("red_fold must be >= 0 (0 = auto)");
   if (threads < 1) throw ConfigError("threads must be >= 1");
+  fault.validate();
 }
 
 Design::Design(DesignConfig cfg) : cfg_(std::move(cfg)) { cfg_.validate(); }
@@ -27,6 +28,17 @@ std::vector<Tensor<std::int32_t>> ProgrammedLayer::run_batch(
   for (std::size_t k = 0; k < inputs.size(); ++k)
     outputs.push_back(run(inputs[k], stats != nullptr ? &(*stats)[k] : nullptr));
   return outputs;
+}
+
+std::unique_ptr<ProgrammedLayer> ProgrammedLayer::faulted(const fault::FaultModel& model,
+                                                          const fault::RepairPolicy& policy,
+                                                          std::uint64_t salt,
+                                                          fault::RepairReport* report) const {
+  (void)model;
+  (void)policy;
+  (void)salt;
+  (void)report;
+  return nullptr;  // no fault-injection path for this design
 }
 
 std::unique_ptr<ProgrammedLayer> Design::program(const nn::DeconvLayerSpec& spec,

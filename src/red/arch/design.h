@@ -21,6 +21,7 @@
 
 #include "red/arch/activity.h"
 #include "red/arch/cost_report.h"
+#include "red/fault/model.h"
 #include "red/nn/layer.h"
 #include "red/tech/calibration.h"
 #include "red/tech/tech.h"
@@ -58,6 +59,11 @@ struct DesignConfig {
   /// bit-identical outputs and RunStats.
   int threads = 1;
   xbar::TilingConfig tiling;       ///< subarray geometry for tiled mode
+  /// Assumed fault environment + mitigation provision (red/fault). The model
+  /// is consumed by fault campaigns and the min_fault_snr constraint; the
+  /// repair policy changes what faulted() programs and prices spare lines
+  /// into the area model. Part of the plan structural key.
+  fault::FaultConfig fault;
   tech::Calibration calib = tech::Calibration::defaults();
   tech::TechNode node = tech::TechNode::node65();
 
@@ -118,6 +124,18 @@ class ProgrammedLayer {
   /// valid on a variation-free instance (the one Design::program returns).
   [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> perturbed(
       const xbar::VariationModel& var) const = 0;
+
+  /// Sibling layer with `model`'s faults injected into the clean programmed
+  /// levels and `policy`'s repairs applied (red/fault semantics: stuck cells,
+  /// line faults healed by spares, write-verified drift, optional row
+  /// remapping). `salt` namespaces the fault mask per layer/stage so stacked
+  /// layers sharing one model draw independent faults; `report` (optional)
+  /// receives the summed RepairReport. Deterministic in (model.seed, salt)
+  /// and thread-invariant. The default returns nullptr — designs without a
+  /// programmed fast path cannot host fault campaigns.
+  [[nodiscard]] virtual std::unique_ptr<ProgrammedLayer> faulted(
+      const fault::FaultModel& model, const fault::RepairPolicy& policy, std::uint64_t salt = 0,
+      fault::RepairReport* report = nullptr) const;
 
   /// What the variation model did to this instance's crossbars (summed).
   [[nodiscard]] virtual xbar::VariationStats variation_stats() const = 0;

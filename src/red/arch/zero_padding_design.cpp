@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "red/common/contracts.h"
+#include "red/fault/inject.h"
 #include "red/nn/conv.h"
 #include "red/nn/deconv_zero_padding.h"
 #include "red/nn/redundancy.h"
@@ -126,6 +127,13 @@ class ZpProgrammedLayer final : public ProgrammedLayer {
   std::unique_ptr<ProgrammedLayer> perturbed(const xbar::VariationModel& var) const override {
     return std::make_unique<ZpProgrammedLayer>(
         prog_, xbar::LogicalXbar(macro_, var, xbar::FastDeltaTag{}));
+  }
+
+  std::unique_ptr<ProgrammedLayer> faulted(const fault::FaultModel& model,
+                                           const fault::RepairPolicy& policy, std::uint64_t salt,
+                                           fault::RepairReport* report) const override {
+    return std::make_unique<ZpProgrammedLayer>(
+        prog_, fault::inject_faults(macro_, model, policy, salt, report));
   }
 
   xbar::VariationStats variation_stats() const override { return macro_.variation_stats(); }

@@ -8,6 +8,7 @@
 
 #include "red/common/contracts.h"
 #include "red/core/pixel_wise_mapping.h"
+#include "red/fault/inject.h"
 #include "red/core/schedule.h"
 #include "red/perf/thread_pool.h"
 #include "red/perf/workspace.h"
@@ -168,13 +169,29 @@ class RedProgrammedLayer final : public arch::ProgrammedLayer {
     return std::make_unique<RedProgrammedLayer>(prog_, std::move(perturbed_xbars));
   }
 
+  std::unique_ptr<arch::ProgrammedLayer> faulted(const fault::FaultModel& model,
+                                                 const fault::RepairPolicy& policy,
+                                                 std::uint64_t salt,
+                                                 fault::RepairReport* report) const override {
+    std::vector<xbar::LogicalXbar> faulted_xbars;
+    faulted_xbars.reserve(xbars_.size());
+    fault::RepairReport total;
+    for (std::size_t gi = 0; gi < xbars_.size(); ++gi) {
+      // Sub-salt per group crossbar so groups draw independent fault masks;
+      // 4096 bounds any realistic group count while keeping salts disjoint
+      // across layers salted 0, 1, 2, ...
+      fault::RepairReport rep;
+      faulted_xbars.push_back(fault::inject_faults(xbars_[gi], model, policy,
+                                                   salt * 4096 + gi, &rep));
+      total += rep;
+    }
+    if (report != nullptr) *report = total;
+    return std::make_unique<RedProgrammedLayer>(prog_, std::move(faulted_xbars));
+  }
+
   xbar::VariationStats variation_stats() const override {
     xbar::VariationStats total;
-    for (const auto& xb : xbars_) {
-      total.cells += xb.variation_stats().cells;
-      total.perturbed_cells += xb.variation_stats().perturbed_cells;
-      total.stuck_cells += xb.variation_stats().stuck_cells;
-    }
+    for (const auto& xb : xbars_) total += xb.variation_stats();
     return total;
   }
 

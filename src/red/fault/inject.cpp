@@ -1,0 +1,352 @@
+#include "red/fault/inject.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "red/common/contracts.h"
+
+namespace red::fault {
+
+namespace {
+
+// RNG sub-domains: every draw category gets its own salt lane so no two
+// decisions ever share a counter stream. Caller salts are small indices
+// (stage, group), so `salt * 8 + domain` stays collision-free.
+enum Domain : std::uint64_t {
+  kWordline = 0,
+  kBitline = 1,
+  kCell = 2,
+  kDriftChange = 3,
+  kDriftLevel = 4,
+};
+
+double draw(const FaultModel& m, std::uint64_t salt, Domain d, std::uint64_t counter) {
+  return fault_unit(m.seed, salt * 8 + d, counter);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Discrete law of clamp(lround(l + N(0, sigma))) per clean level — the same
+// Gaussian-quantized bucket law as crossbar.cpp's NoiseLaw, retabulated here
+// for the drift domain (fault/ cannot reach the file-local original).
+struct DriftLaw {
+  std::array<std::array<double, 16>, 16> prob{};
+  std::array<double, 16> change{};
+
+  DriftLaw(double sigma, int max_level) {
+    for (int l = 0; l <= max_level; ++l) {
+      double sum = 0.0;
+      for (int k = 0; k < max_level; ++k) {
+        const double hi = normal_cdf((static_cast<double>(k - l) + 0.5) / sigma);
+        prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)] = hi - sum;
+        sum = hi;
+      }
+      prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(max_level)] = 1.0 - sum;
+      change[static_cast<std::size_t>(l)] =
+          1.0 - prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(l)];
+    }
+  }
+
+  [[nodiscard]] std::uint8_t sample_changed(int l, double v, int max_level) const {
+    for (int k = 0; k < max_level; ++k) {
+      if (k == l) continue;
+      v -= prob[static_cast<std::size_t>(l)][static_cast<std::size_t>(k)];
+      if (v < 0.0) return static_cast<std::uint8_t>(k);
+    }
+    return static_cast<std::uint8_t>(max_level == l ? max_level - 1 : max_level);
+  }
+};
+
+// Line faults drawn per physical index with repairs applied in index order:
+// the first `spares` faulty lines are absorbed, the rest stay dead.
+struct LineState {
+  std::vector<std::uint8_t> dead;
+  std::int64_t faults = 0;
+  std::int64_t spares_used = 0;
+  std::int64_t unrepaired = 0;
+};
+
+LineState draw_lines(const FaultModel& m, std::uint64_t salt, Domain domain, double rate,
+                     std::int64_t n, int spares) {
+  LineState st;
+  st.dead.assign(static_cast<std::size_t>(n), 0);
+  if (rate <= 0.0) return st;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (draw(m, salt, domain, static_cast<std::uint64_t>(i)) >= rate) continue;
+    ++st.faults;
+    if (st.spares_used < spares) {
+      ++st.spares_used;  // remapped onto a spare line: fully healed
+    } else {
+      st.dead[static_cast<std::size_t>(i)] = 1;
+      ++st.unrepaired;
+    }
+  }
+  return st;
+}
+
+// Everything one permutation choice produces: the level array plus the exact
+// damage metric and the per-build counters the report needs.
+struct Build {
+  std::vector<std::uint8_t> levels;  ///< plane-major [slice][row][col]
+  xbar::VariationStats vstats;
+  double err_sq = 0.0;
+  std::int64_t drifted = 0;
+  std::int64_t retried = 0;
+};
+
+}  // namespace
+
+xbar::LogicalXbar inject_faults(const xbar::LogicalXbar& clean, const FaultModel& model,
+                                const RepairPolicy& policy, std::uint64_t salt,
+                                RepairReport* report) {
+  RED_EXPECTS_MSG(!clean.config().variation.enabled(),
+                  "faulted copies must derive from a variation-free crossbar");
+  model.validate();
+  policy.validate();
+
+  const std::int64_t R = clean.rows();
+  const std::int64_t C = clean.cols();
+  const int S = clean.config().slices();
+  const int cell_bits = clean.config().cell_bits;
+  const std::int64_t P = C * S;  // physical columns
+  const std::size_t plane = static_cast<std::size_t>(R * C);
+  const int max_level = clean.config().max_level();
+  const std::int32_t offset = clean.config().weight_offset();
+
+  RepairReport rep;
+  rep.cells = R * P;
+
+  if (!model.enabled()) {
+    // Bit-exact copy through the rebuild constructor: the zero-rate path of
+    // a campaign must be indistinguishable from the fault-free oracle.
+    std::vector<std::uint8_t> lv(clean.level_plane(0),
+                                 clean.level_plane(0) + plane * static_cast<std::size_t>(S));
+    xbar::VariationStats vs;
+    vs.cells = rep.cells;
+    if (report != nullptr) *report = rep;
+    return xbar::LogicalXbar(clean, std::move(lv), vs);
+  }
+
+  const LineState wl =
+      draw_lines(model, salt, kWordline, model.wordline_rate, R, policy.spare_rows);
+  const LineState bl =
+      draw_lines(model, salt, kBitline, model.bitline_rate, P, policy.spare_cols);
+  rep.wordline_faults = wl.faults;
+  rep.bitline_faults = bl.faults;
+  rep.spare_rows_used = wl.spares_used;
+  rep.spare_cols_used = bl.spares_used;
+  rep.unrepaired_wordlines = wl.unrepaired;
+  rep.unrepaired_bitlines = bl.unrepaired;
+
+  const double sa0 = model.sa0_rate;
+  const double stuck = model.sa0_rate + model.sa1_rate;
+  const DriftLaw law(model.drift_sigma > 0.0 ? model.drift_sigma : 1.0, max_level);
+  const int attempts = 1 + policy.verify_retries;
+
+  // Materialize one permutation choice (perm[logical row] = physical row):
+  // dead lines zero the cell, stuck cells force their polarity, live cells
+  // drift under write-verify (closed-loop programming keeps the
+  // best-verified attempt, so more retries never worsen a cell). Fault draws
+  // key on the physical position; drift applies the physical position's draw
+  // stream to the logical row's clean level.
+  const auto build = [&](const std::vector<std::int32_t>& perm) {
+    Build b;
+    b.levels.assign(plane * static_cast<std::size_t>(S), 0);
+    b.vstats.cells = rep.cells;
+    for (std::int64_t r = 0; r < R; ++r) {
+      const std::int64_t q = perm[static_cast<std::size_t>(r)];
+      const bool row_dead = wl.dead[static_cast<std::size_t>(q)] != 0;
+      for (std::int64_t c = 0; c < C; ++c) {
+        std::int64_t wdelta = 0;
+        for (int s = 0; s < S; ++s) {
+          const std::int64_t p = c * S + s;
+          const std::uint64_t idx = static_cast<std::uint64_t>(q * P + p);
+          const std::uint8_t l =
+              clean.level_plane(s)[static_cast<std::size_t>(r * C + c)];
+          std::uint8_t out = l;
+          bool forced = row_dead || bl.dead[static_cast<std::size_t>(p)] != 0;
+          if (forced) {
+            out = 0;
+          } else if (stuck > 0.0) {
+            const double su = draw(model, salt, kCell, idx);
+            if (su < stuck) {
+              forced = true;
+              const bool at0 = su < sa0;
+              out = at0 ? 0 : static_cast<std::uint8_t>(max_level);
+              ++b.vstats.stuck_cells;
+              ++(at0 ? b.vstats.sa0_cells : b.vstats.sa1_cells);
+            }
+          }
+          if (!forced && model.drift_sigma > 0.0) {
+            int best = -1;  // smallest |Δlevel| among verify attempts
+            bool first_changed = false;
+            for (int a = 0; a < attempts; ++a) {
+              const std::uint64_t ctr = idx * 64 + static_cast<std::uint64_t>(a);
+              const double u = draw(model, salt, kDriftChange, ctr);
+              if (u >= law.change[l]) {
+                best = -1;  // this write verified exactly
+                break;
+              }
+              if (a == 0) first_changed = true;
+              const double v = draw(model, salt, kDriftLevel, ctr) * law.change[l];
+              const int cand = law.sample_changed(l, v, max_level);
+              if (best < 0 || std::abs(cand - l) < std::abs(best - l)) best = cand;
+            }
+            if (best >= 0) {
+              out = static_cast<std::uint8_t>(best);
+              ++b.drifted;
+            } else if (first_changed) {
+              ++b.retried;  // a retry landed the cell back on target
+            }
+          }
+          if (out != l) ++b.vstats.perturbed_cells;
+          b.levels[static_cast<std::size_t>(s) * plane +
+                   static_cast<std::size_t>(r * C + c)] = out;
+          wdelta += (static_cast<std::int64_t>(out) - static_cast<std::int64_t>(l))
+                    << (cell_bits * s);
+        }
+        b.err_sq += static_cast<double>(wdelta) * static_cast<double>(wdelta);
+      }
+    }
+    return b;
+  };
+
+  std::vector<std::int32_t> identity(static_cast<std::size_t>(R));
+  std::iota(identity.begin(), identity.end(), 0);
+  Build chosen = build(identity);
+  std::int64_t remapped = 0;
+
+  if (policy.remap_rows && (wl.unrepaired > 0 || chosen.vstats.stuck_cells > 0) && R > 1) {
+    // Damage proxy per physical row: dead rows are worst; otherwise sum the
+    // squared slice significance of every stuck cell on a live column.
+    std::vector<double> damage(static_cast<std::size_t>(R), 0.0);
+    for (std::int64_t q = 0; q < R; ++q) {
+      if (wl.dead[static_cast<std::size_t>(q)] != 0) {
+        damage[static_cast<std::size_t>(q)] = 1e30;
+        continue;
+      }
+      if (stuck <= 0.0) continue;
+      double d = 0.0;
+      for (std::int64_t p = 0; p < P; ++p) {
+        if (bl.dead[static_cast<std::size_t>(p)] != 0) continue;
+        if (draw(model, salt, kCell, static_cast<std::uint64_t>(q * P + p)) >= stuck) continue;
+        const double sig =
+            static_cast<double>(std::int64_t{1} << (cell_bits * static_cast<int>(p % S)));
+        d += sig * sig;
+      }
+      damage[static_cast<std::size_t>(q)] = d;
+    }
+    // Logical-row importance: encoded magnitude Σ (w + offset)² — exactly the
+    // error a dead row costs, and a faithful proxy for stuck-at-0 damage.
+    std::vector<double> importance(static_cast<std::size_t>(R), 0.0);
+    for (std::int64_t r = 0; r < R; ++r) {
+      double m2 = 0.0;
+      for (std::int64_t c = 0; c < C; ++c) {
+        const double u = static_cast<double>(clean.stored_weight(r, c)) + offset;
+        m2 += u * u;
+      }
+      importance[static_cast<std::size_t>(r)] = m2;
+    }
+    std::vector<std::int32_t> phys(identity.begin(), identity.end());
+    std::vector<std::int32_t> logi(identity.begin(), identity.end());
+    std::stable_sort(phys.begin(), phys.end(), [&](std::int32_t a, std::int32_t b) {
+      return damage[static_cast<std::size_t>(a)] > damage[static_cast<std::size_t>(b)];
+    });
+    std::stable_sort(logi.begin(), logi.end(), [&](std::int32_t a, std::int32_t b) {
+      return importance[static_cast<std::size_t>(a)] < importance[static_cast<std::size_t>(b)];
+    });
+    std::vector<std::int32_t> perm(static_cast<std::size_t>(R));
+    for (std::int64_t i = 0; i < R; ++i)
+      perm[static_cast<std::size_t>(logi[static_cast<std::size_t>(i)])] =
+          phys[static_cast<std::size_t>(i)];
+    if (perm != identity) {
+      Build cand = build(perm);
+      // Keep the remap only when it strictly wins on the exact metric: the
+      // repaired-never-worse gate holds per trial by construction.
+      if (cand.err_sq < chosen.err_sq) {
+        for (std::int64_t r = 0; r < R; ++r)
+          remapped += perm[static_cast<std::size_t>(r)] != r;
+        chosen = std::move(cand);
+      }
+    }
+  }
+
+  rep.stuck_cells = chosen.vstats.stuck_cells;
+  rep.drifted_cells = chosen.drifted;
+  rep.retried_cells = chosen.retried;
+  rep.rows_remapped = remapped;
+  if (report != nullptr) *report = rep;
+  return xbar::LogicalXbar(clean, std::move(chosen.levels), chosen.vstats);
+}
+
+double weight_error_sq(const xbar::LogicalXbar& clean, const xbar::LogicalXbar& faulted) {
+  RED_EXPECTS(clean.rows() == faulted.rows() && clean.cols() == faulted.cols());
+  const auto a = clean.stored_weights();
+  const auto b = faulted.stored_weights();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+double analytic_snr_db(const FaultModel& model, const RepairPolicy& policy,
+                       const xbar::QuantConfig& quant, std::int64_t rows, std::int64_t cols) {
+  model.validate();
+  policy.validate();
+  RED_EXPECTS(rows >= 1 && cols >= 1);
+  if (!model.enabled()) return 300.0;
+
+  const int S = quant.slices();
+  const int max_level = quant.max_level();
+  const double range = std::pow(2.0, quant.wbits);
+  // Uniform-weight moments: signal power E[w^2] (centered) and encoded
+  // magnitude E[u^2] (what a dead row erases); per-level E[l^2] for a
+  // discrete uniform level (what a stuck or dead cell erases).
+  const double sig_pow = range * range / 12.0;
+  const double enc_pow = range * range / 3.0;
+  const double lvl_pow = static_cast<double>(max_level) * (2.0 * max_level + 1.0) / 6.0;
+  double sig_gain = 0.0;  // Σ_s B^(2s): per-cell error scaled to weight units
+  for (int s = 0; s < S; ++s) {
+    const double b = static_cast<double>(std::int64_t{1} << (quant.cell_bits * s));
+    sig_gain += b * b;
+  }
+
+  // Expected unrepaired line fractions: spares absorb their budget's worth
+  // of the expected fault count (expectation-level approximation).
+  const std::int64_t phys_cols = cols * S;
+  const double wl_unrepaired =
+      std::max(0.0, static_cast<double>(rows) * model.wordline_rate - policy.spare_rows) /
+      static_cast<double>(rows);
+  const double bl_unrepaired =
+      std::max(0.0,
+               static_cast<double>(phys_cols) * model.bitline_rate - policy.spare_cols) /
+      static_cast<double>(phys_cols);
+
+  // Drift: a level moves with prob 2*Phi(-0.5/sigma); write-verify keeps the
+  // best of (retries + 1) attempts, and a +-1-level miss dominates the
+  // residual error.
+  double drift_pow = 0.0;
+  if (model.drift_sigma > 0.0) {
+    const double p_change = 2.0 * normal_cdf(-0.5 / model.drift_sigma);
+    drift_pow = std::pow(p_change, policy.verify_retries + 1) * sig_gain;
+  }
+
+  // Remap cannot fix a fault, but steers damage onto low-magnitude rows;
+  // credit it a documented half of the row-borne damage terms.
+  const double remap_credit = policy.remap_rows ? 0.5 : 1.0;
+
+  const double noise_pow =
+      remap_credit * ((model.sa0_rate + model.sa1_rate) * lvl_pow * sig_gain +
+                      wl_unrepaired * enc_pow) +
+      bl_unrepaired * lvl_pow * sig_gain + drift_pow;
+  if (noise_pow <= 0.0) return 300.0;
+  return std::clamp(10.0 * std::log10(sig_pow / noise_pow), -300.0, 300.0);
+}
+
+}  // namespace red::fault

@@ -1,0 +1,147 @@
+// Fault environment and mitigation provisions for ReRAM crossbars.
+//
+// FaultModel generalizes xbar::VariationModel from "programming is noisy" to
+// "the array is defective": independent stuck-at-0/1 cell rates, whole
+// wordline/bitline line faults, and conductance drift, all drawn from a
+// stateless counter RNG keyed on the *physical* cell/line index — so a fault
+// mask depends only on (seed, salt, position), never on evaluation order, and
+// campaigns are bit-identical at any thread count.
+//
+// RepairPolicy is what the array provisions against those faults: spare
+// wordlines/bitlines that replace faulty lines within a budget, significance-
+// aware row remapping, and a write-verify retry budget for drifted cells.
+// Both structs live inside arch::DesignConfig (DesignConfig::fault), which
+// threads them through plan::structural_key, LayerPlan JSON, chip placement,
+// and the sweep memo — compiled plans stay the single source of truth.
+//
+// This header depends only on common/ so arch/ can include it without a
+// cycle; injection and campaign drivers live in fault/inject.h and
+// fault/campaign.h.
+#pragma once
+
+#include <cstdint>
+
+#include "red/common/contracts.h"
+
+namespace red::fault {
+
+/// The fault environment a crossbar is programmed into. All rates are
+/// probabilities per cell (sa0/sa1/drift) or per line (wordline/bitline);
+/// `seed` is the campaign's trial axis — same seed, same mask, anywhere.
+struct FaultModel {
+  double sa0_rate = 0.0;       ///< cell stuck-at-0 (HRS): level reads 0
+  double sa1_rate = 0.0;       ///< cell stuck-at-1 (LRS): level reads max
+  double wordline_rate = 0.0;  ///< whole row dead (open wordline)
+  double bitline_rate = 0.0;   ///< one physical column dead (open bitline)
+  /// Conductance drift after programming: Gaussian level perturbation with
+  /// this sigma (cell-level units), re-rounded and clamped like
+  /// VariationModel::level_sigma but drawn from the counter RNG.
+  double drift_sigma = 0.0;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool enabled() const {
+    return sa0_rate > 0.0 || sa1_rate > 0.0 || wordline_rate > 0.0 || bitline_rate > 0.0 ||
+           drift_sigma > 0.0;
+  }
+
+  void validate() const {
+    RED_EXPECTS(sa0_rate >= 0.0 && sa0_rate <= 1.0);
+    RED_EXPECTS(sa1_rate >= 0.0 && sa1_rate <= 1.0);
+    RED_EXPECTS_MSG(sa0_rate + sa1_rate <= 1.0, "combined stuck-at rates exceed 1");
+    RED_EXPECTS(wordline_rate >= 0.0 && wordline_rate <= 1.0);
+    RED_EXPECTS(bitline_rate >= 0.0 && bitline_rate <= 1.0);
+    RED_EXPECTS(drift_sigma >= 0.0);
+  }
+};
+
+/// Mitigation budget the array provisions. Spares repair faulty lines in
+/// index order until exhausted; remapping permutes crossbar rows so
+/// high-magnitude logical rows avoid damaged physical rows (kept only when
+/// it strictly reduces weight-space error); verify retries re-draw drifted
+/// cells up to `verify_retries` extra attempts (stuck cells cannot verify).
+struct RepairPolicy {
+  int spare_rows = 0;      ///< spare wordlines per crossbar
+  int spare_cols = 0;      ///< spare bitlines (physical columns) per crossbar
+  bool remap_rows = false; ///< fault-aware row remapping at program time
+  int verify_retries = 0;  ///< extra write-verify attempts per drifted cell
+
+  [[nodiscard]] bool enabled() const {
+    return spare_rows > 0 || spare_cols > 0 || remap_rows || verify_retries > 0;
+  }
+
+  void validate() const {
+    RED_EXPECTS(spare_rows >= 0);
+    RED_EXPECTS(spare_cols >= 0);
+    RED_EXPECTS_MSG(verify_retries >= 0 && verify_retries <= 63,
+                    "verify_retries must be in [0, 63]");
+  }
+};
+
+/// Fault environment + mitigation provision, as carried by DesignConfig.
+/// The model describes the assumed defect environment (consumed by fault
+/// campaigns and the min_fault_snr optimizer constraint); the repair policy
+/// changes what faulted() programs and what spares cost in area.
+struct FaultConfig {
+  FaultModel model;
+  RepairPolicy repair;
+
+  void validate() const {
+    model.validate();
+    repair.validate();
+  }
+};
+
+/// What injection + repair did to one crossbar (or, summed, one layer/stack).
+struct RepairReport {
+  std::int64_t cells = 0;                 ///< physical cells considered
+  std::int64_t wordline_faults = 0;       ///< faulty rows drawn
+  std::int64_t bitline_faults = 0;        ///< faulty physical columns drawn
+  std::int64_t spare_rows_used = 0;
+  std::int64_t spare_cols_used = 0;
+  std::int64_t unrepaired_wordlines = 0;  ///< dead rows after spares
+  std::int64_t unrepaired_bitlines = 0;   ///< dead physical cols after spares
+  std::int64_t stuck_cells = 0;           ///< sa0 + sa1 cells (not on dead lines)
+  std::int64_t drifted_cells = 0;         ///< cells whose final level drifted
+  std::int64_t retried_cells = 0;         ///< drift draws fixed by write-verify
+  std::int64_t rows_remapped = 0;         ///< rows moved by the remap (0 if identity won)
+
+  RepairReport& operator+=(const RepairReport& o) {
+    cells += o.cells;
+    wordline_faults += o.wordline_faults;
+    bitline_faults += o.bitline_faults;
+    spare_rows_used += o.spare_rows_used;
+    spare_cols_used += o.spare_cols_used;
+    unrepaired_wordlines += o.unrepaired_wordlines;
+    unrepaired_bitlines += o.unrepaired_bitlines;
+    stuck_cells += o.stuck_cells;
+    drifted_cells += o.drifted_cells;
+    retried_cells += o.retried_cells;
+    rows_remapped += o.rows_remapped;
+    return *this;
+  }
+};
+
+/// Stateless counter RNG: one SplitMix64-style finalizer chain over
+/// (seed, salt, counter). Every fault decision hashes its physical position
+/// through this, so masks are evaluation-order independent — the foundation
+/// of the campaign thread-invariance guarantee.
+[[nodiscard]] inline std::uint64_t fault_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+[[nodiscard]] inline std::uint64_t fault_rnd(std::uint64_t seed, std::uint64_t salt,
+                                             std::uint64_t counter) {
+  std::uint64_t z = fault_mix(seed + 0x9e3779b97f4a7c15ULL);
+  z = fault_mix(z ^ fault_mix(salt * 0xff51afd7ed558ccdULL + 1));
+  return fault_mix(z ^ fault_mix(counter * 0xc4ceb9fe1a85ec53ULL + 1));
+}
+
+/// Uniform draw in [0, 1) from the counter RNG.
+[[nodiscard]] inline double fault_unit(std::uint64_t seed, std::uint64_t salt,
+                                       std::uint64_t counter) {
+  return static_cast<double>(fault_rnd(seed, salt, counter) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace red::fault

@@ -4,6 +4,7 @@
 
 #include "red/common/contracts.h"
 #include "red/common/error.h"
+#include "red/fault/inject.h"
 
 namespace red::opt {
 
@@ -24,6 +25,7 @@ constexpr struct {
     {AxisField::kMuxRatio, "mux"},       {AxisField::kSubarraySide, "tile"},
     {AxisField::kAdcBits, "adc-bits"},   {AxisField::kWeightBits, "wbits"},
     {AxisField::kActivationBits, "abits"},
+    {AxisField::kSpareLines, "spare-lines"},
 };
 
 void apply(AxisField field, std::int64_t value, MaterializedPoint& p) {
@@ -49,6 +51,10 @@ void apply(AxisField field, std::int64_t value, MaterializedPoint& p) {
     case AxisField::kActivationBits:
       p.cfg.quant.abits = static_cast<int>(value);
       return;
+    case AxisField::kSpareLines:
+      p.cfg.fault.repair.spare_rows = static_cast<int>(value);
+      p.cfg.fault.repair.spare_cols = static_cast<int>(value);
+      return;
   }
   RED_EXPECTS_MSG(false, "unhandled axis field");
 }
@@ -66,7 +72,7 @@ AxisField axis_field_from_name(const std::string& name) {
   for (const auto& e : kAxisNames)
     if (name == e.name) return e.field;
   throw ConfigError("unknown search axis '" + name +
-                    "' (kind | fold | mux | tile | adc-bits | wbits | abits)");
+                    "' (kind | fold | mux | tile | adc-bits | wbits | abits | spare-lines)");
 }
 
 SearchSpace::SearchSpace(std::vector<nn::DeconvLayerSpec> stack, core::DesignKind base_kind,
@@ -199,6 +205,23 @@ Constraint max_energy_uj(double uj) {
                      return c.total_energy().value();
                    }) / 1e6 <=
                    uj;
+          }};
+}
+
+Constraint min_fault_snr(double min_db) {
+  // The fault model and repair policy come from the candidate's own config
+  // (they are structural-key fields), so the threshold alone identifies the
+  // constraint within one space.
+  return {"min_fault_snr(" + std::to_string(min_db) + ")", [min_db](const CandidateView& v) {
+            const auto& cfg = v.point.cfg;
+            const int slices = cfg.quant.slices();
+            for (const auto& lp : v.plan.layers)
+              for (const auto& m : lp.activity.macros) {
+                const double snr = fault::analytic_snr_db(
+                    cfg.fault.model, cfg.fault.repair, cfg.quant, m.rows, m.phys_cols / slices);
+                if (snr < min_db) return false;
+              }
+            return true;
           }};
 }
 

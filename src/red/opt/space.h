@@ -38,12 +38,16 @@ enum class AxisField {
   kSubarraySide,  ///< cfg.tiling = {v, v} (meaningful with cfg.tiled)
   kAdcBits,       ///< cfg.quant.adc.bits
   kWeightBits,    ///< cfg.quant.wbits
-  kActivationBits ///< cfg.quant.abits
+  kActivationBits,///< cfg.quant.abits
+  /// cfg.fault.repair.{spare_rows, spare_cols} = v: spare-line redundancy
+  /// budget per crossbar. Priced into the area model by plan_layer, traded
+  /// against min_fault_snr feasibility.
+  kSpareLines
 };
 
 /// Stable CLI/JSON name of a field ("kind", "fold", "mux", "tile",
-/// "adc-bits", "wbits", "abits"); round-trips through axis_field_from_name
-/// (which throws ConfigError on anything else).
+/// "adc-bits", "wbits", "abits", "spare-lines"); round-trips through
+/// axis_field_from_name (which throws ConfigError on anything else).
 [[nodiscard]] const char* axis_field_name(AxisField field);
 [[nodiscard]] AxisField axis_field_from_name(const std::string& name);
 
@@ -142,5 +146,13 @@ struct Constraint {
 
 /// Total stack energy per image stays under `uj`.
 [[nodiscard]] Constraint max_energy_uj(double uj);
+
+/// Every macro of every layer keeps an analytic fault SNR
+/// (fault::analytic_snr_db under the candidate's cfg.fault model and repair
+/// policy) of at least `min_db`. Candidates whose crossbars would degrade
+/// below the floor in the assumed fault environment are pruned before
+/// pricing; pair with a kSpareLines axis to let the optimizer buy the
+/// redundancy back.
+[[nodiscard]] Constraint min_fault_snr(double min_db);
 
 }  // namespace red::opt

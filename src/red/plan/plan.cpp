@@ -177,7 +177,19 @@ std::string structural_key(arch::DesignKind kind, const arch::DesignConfig& cfg,
   append_raw(key, cfg.quant.adc.bits);
   append_raw(key, cfg.quant.variation.level_sigma);
   append_raw(key, cfg.quant.variation.stuck_at_rate);
+  append_raw(key, cfg.quant.variation.sa0_rate);
+  append_raw(key, cfg.quant.variation.sa1_rate);
   append_raw(key, cfg.quant.variation.seed);
+  append_raw(key, cfg.fault.model.sa0_rate);
+  append_raw(key, cfg.fault.model.sa1_rate);
+  append_raw(key, cfg.fault.model.wordline_rate);
+  append_raw(key, cfg.fault.model.bitline_rate);
+  append_raw(key, cfg.fault.model.drift_sigma);
+  append_raw(key, cfg.fault.model.seed);
+  append_raw(key, cfg.fault.repair.spare_rows);
+  append_raw(key, cfg.fault.repair.spare_cols);
+  append_raw(key, cfg.fault.repair.remap_rows);
+  append_raw(key, cfg.fault.repair.verify_retries);
   // Calibration constants field by field (the struct has padding, so a whole-
   // object fingerprint would split identical configs into distinct keys).
   tech::visit_calibration(cfg.calib, [&key](const char*, const auto& v) {
@@ -264,6 +276,18 @@ LayerPlan plan_layer(arch::DesignKind kind, const nn::DeconvLayerSpec& spec,
       p.layout = {spec.c, spec.m, std::int64_t{spec.kh} * spec.kw};
       p.activity = red_activity(spec, cfg, p.groups, p.fold);
       break;
+  }
+  // Spare-line redundancy (fault.repair) costs real array area: each macro
+  // grows by its spare wordlines x (cols + spare bitlines) plus spare
+  // bitlines x rows. Priced into `cells` (the area term) so the optimizer
+  // sees the redundancy <-> area tradeoff; the dynamic counts are untouched
+  // because spares are idle until a repair consumes them.
+  const auto& repair = cfg.fault.repair;
+  if (repair.spare_rows > 0 || repair.spare_cols > 0) {
+    const std::int64_t sr = repair.spare_rows;
+    const std::int64_t sc = repair.spare_cols;
+    for (const auto& m : p.activity.macros)
+      p.activity.cells += m.count * (sr * (m.phys_cols + sc) + sc * m.rows);
   }
   p.tiles.reserve(p.activity.macros.size());
   for (const auto& m : p.activity.macros)

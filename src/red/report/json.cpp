@@ -148,7 +148,25 @@ void write_config(JsonWriter& w, const arch::DesignConfig& cfg) {
   w.object("variation");
   w.field("level_sigma", cfg.quant.variation.level_sigma);
   w.field("stuck_at_rate", cfg.quant.variation.stuck_at_rate);
+  w.field("sa0_rate", cfg.quant.variation.sa0_rate);
+  w.field("sa1_rate", cfg.quant.variation.sa1_rate);
   w.field("seed", std::uint64_t{cfg.quant.variation.seed});
+  w.close(false);
+  w.close(false);
+  w.object("fault");
+  w.object("model");
+  w.field("sa0_rate", cfg.fault.model.sa0_rate);
+  w.field("sa1_rate", cfg.fault.model.sa1_rate);
+  w.field("wordline_rate", cfg.fault.model.wordline_rate);
+  w.field("bitline_rate", cfg.fault.model.bitline_rate);
+  w.field("drift_sigma", cfg.fault.model.drift_sigma);
+  w.field("seed", std::uint64_t{cfg.fault.model.seed});
+  w.close(false);
+  w.object("repair");
+  w.field("spare_rows", std::int64_t{cfg.fault.repair.spare_rows});
+  w.field("spare_cols", std::int64_t{cfg.fault.repair.spare_cols});
+  w.field("remap_rows", cfg.fault.repair.remap_rows);
+  w.field("verify_retries", std::int64_t{cfg.fault.repair.verify_retries});
   w.close(false);
   w.close(false);
   w.object("calibration");
@@ -467,7 +485,22 @@ arch::DesignConfig config_from_json(const JsonValue& v) {
   const JsonValue& var = quant.at("variation");
   cfg.quant.variation.level_sigma = var.at("level_sigma").as_double();
   cfg.quant.variation.stuck_at_rate = var.at("stuck_at_rate").as_double();
+  cfg.quant.variation.sa0_rate = var.at("sa0_rate").as_double();
+  cfg.quant.variation.sa1_rate = var.at("sa1_rate").as_double();
   cfg.quant.variation.seed = var.at("seed").as_uint();
+  const JsonValue& flt = v.at("fault");
+  const JsonValue& fmodel = flt.at("model");
+  cfg.fault.model.sa0_rate = fmodel.at("sa0_rate").as_double();
+  cfg.fault.model.sa1_rate = fmodel.at("sa1_rate").as_double();
+  cfg.fault.model.wordline_rate = fmodel.at("wordline_rate").as_double();
+  cfg.fault.model.bitline_rate = fmodel.at("bitline_rate").as_double();
+  cfg.fault.model.drift_sigma = fmodel.at("drift_sigma").as_double();
+  cfg.fault.model.seed = fmodel.at("seed").as_uint();
+  const JsonValue& frepair = flt.at("repair");
+  cfg.fault.repair.spare_rows = static_cast<int>(frepair.at("spare_rows").as_int());
+  cfg.fault.repair.spare_cols = static_cast<int>(frepair.at("spare_cols").as_int());
+  cfg.fault.repair.remap_rows = frepair.at("remap_rows").as_bool();
+  cfg.fault.repair.verify_retries = static_cast<int>(frepair.at("verify_retries").as_int());
   const JsonValue& cal = v.at("calibration");
   tech::visit_calibration(cfg.calib, [&cal](const char* name, auto& field) {
     if constexpr (std::is_same_v<std::decay_t<decltype(field)>, int>)

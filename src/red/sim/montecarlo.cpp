@@ -15,11 +15,7 @@ double MonteCarloResult::mean_nrmse() const {
 
 xbar::VariationStats MonteCarloResult::variation_total() const {
   xbar::VariationStats total;
-  for (const auto& t : trials) {
-    total.cells += t.variation.cells;
-    total.perturbed_cells += t.variation.perturbed_cells;
-    total.stuck_cells += t.variation.stuck_cells;
-  }
+  for (const auto& t : trials) total += t.variation;
   return total;
 }
 

@@ -89,6 +89,34 @@ StreamingExecutor::StreamingExecutor(plan::StackPlan stack_plan,
 
 StreamingExecutor::~StreamingExecutor() = default;
 
+std::unique_ptr<StreamingExecutor> StreamingExecutor::faulted(
+    const fault::FaultModel& model, const fault::RepairPolicy& policy,
+    std::vector<fault::RepairReport>* reports) const {
+  if (!programmed_fast_path_)
+    throw ConfigError("faulted() needs the programmed fast path on every stage: design '" +
+                      design_name_ + "' has a reprogram-per-image fallback stage");
+  // Private default ctor: clone the compiled plan and stack, then swap every
+  // programmed stage for its faulted sibling. design_ is rebuilt (Designs are
+  // non-copyable) but never reprograms — execution goes through programmed_.
+  std::unique_ptr<StreamingExecutor> out(new StreamingExecutor());
+  out->plan_ = plan_;
+  out->stack_ = stack_;
+  out->kernels_ = kernels_;
+  out->design_ = core::make_design(plan_.kind, plan_.cfg);
+  out->design_name_ = design_name_;
+  out->programmed_.resize(programmed_.size());
+  if (reports != nullptr) reports->assign(programmed_.size(), {});
+  for (std::size_t i = 0; i < programmed_.size(); ++i) {
+    fault::RepairReport rep;
+    out->programmed_[i] = programmed_[i]->faulted(model, policy, /*salt=*/i, &rep);
+    RED_EXPECTS_MSG(out->programmed_[i] != nullptr,
+                    "programmed stage must support fault injection");
+    if (reports != nullptr) (*reports)[i] = rep;
+  }
+  out->programmed_fast_path_ = true;
+  return out;
+}
+
 const arch::LayerActivity& StreamingExecutor::predicted(std::size_t stage) const {
   RED_EXPECTS(stage < plan_.layers.size());
   return plan_.layers[stage].activity;

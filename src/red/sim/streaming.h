@@ -137,7 +137,21 @@ class StreamingExecutor {
       const std::vector<Tensor<std::int32_t>>& images,
       const StreamingOptions& opts = {}) const;
 
+  /// Faulted sibling executor: every programmed stage is replaced by its
+  /// ProgrammedLayer::faulted() copy (stage index = fault salt, so stacked
+  /// layers draw independent masks from one model). Requires the programmed
+  /// fast path on every stage — throws ConfigError otherwise, since a
+  /// reprogram-per-image fallback cannot hold a persistent fault mask. When
+  /// `reports` is non-null it receives one RepairReport per stage.
+  /// Deterministic in model.seed and thread-invariant, like the injection
+  /// itself. The clean executor stays untouched and usable as the oracle.
+  [[nodiscard]] std::unique_ptr<StreamingExecutor> faulted(
+      const fault::FaultModel& model, const fault::RepairPolicy& policy,
+      std::vector<fault::RepairReport>* reports = nullptr) const;
+
  private:
+  StreamingExecutor() = default;  ///< shell for faulted() to fill in
+
   /// Throw MismatchError if `stats` contradicts stage `stage`'s analytic
   /// activity. `image` only labels the error message.
   void check_stage(std::size_t stage, const Tensor<std::int32_t>& input,

@@ -88,15 +88,28 @@ class VariationSampler {
       : var_(var), max_level_(max_level), stats_(stats), engine_(var.seed),
         noise_(0.0, var.level_sigma) {}
 
-  /// Perturb `n` levels in place, counting stuck/perturbed cells.
+  /// Perturb `n` levels in place, counting stuck/perturbed cells. One
+  /// uniform decides both stuck polarities: u < sa0 forces level 0,
+  /// sa0 <= u < sa0 + sa1 forces max_level (the legacy stuck_at_rate alias
+  /// is folded into sa0()/sa1() at equal halves).
   void apply(std::uint8_t* levels, std::size_t n) {
+    const double sa0 = var_.sa0();
+    const double stuck = var_.stuck_total();
     for (std::size_t k = 0; k < n; ++k) {
       std::uint8_t& level = levels[k];
       const std::uint8_t original = level;
-      if (var_.stuck_at_rate > 0.0 && unit_(engine_) < var_.stuck_at_rate) {
-        level = coin_(engine_) == 0 ? 0 : static_cast<std::uint8_t>(max_level_);
-        ++stats_->stuck_cells;
-      } else if (var_.level_sigma > 0.0) {
+      bool forced = false;
+      if (stuck > 0.0) {
+        const double u = unit_(engine_);
+        if (u < stuck) {
+          forced = true;
+          const bool at0 = u < sa0;
+          level = at0 ? 0 : static_cast<std::uint8_t>(max_level_);
+          ++stats_->stuck_cells;
+          ++(at0 ? stats_->sa0_cells : stats_->sa1_cells);
+        }
+      }
+      if (!forced && var_.level_sigma > 0.0) {
         const double perturbed = static_cast<double>(level) + noise_(engine_);
         level = static_cast<std::uint8_t>(
             std::clamp<long>(std::lround(perturbed), 0L, static_cast<long>(max_level_)));
@@ -112,7 +125,6 @@ class VariationSampler {
   std::mt19937_64 engine_;
   std::normal_distribution<double> noise_;
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
-  std::uniform_int_distribution<int> coin_{0, 1};
 };
 
 }  // namespace
@@ -258,7 +270,9 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, Fa
     p_star = std::max(p_star, law.change[static_cast<std::size_t>(l)]);
   const std::size_t total = plane * static_cast<std::size_t>(slices);
 
-  if (var.stuck_at_rate == 0.0 && p_star < 0.25) {
+  const double sa0 = var.sa0();
+  const double stuck = var.stuck_total();
+  if (stuck == 0.0 && p_star < 0.25) {
     // Noise-only, low change probability: geometric skip-sampling. Candidate
     // cells fire as a Bernoulli(p_star) process walked by geometric gaps and
     // are accepted with probability change[level] / p_star — exact rejection
@@ -283,10 +297,18 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, Fa
     for (std::size_t idx = 0; idx < total; ++idx) {
       const std::uint8_t original = levels_[idx];
       std::uint8_t level = original;
-      if (var.stuck_at_rate > 0.0 && rng.uniform() < var.stuck_at_rate) {
-        level = (rng.next() & 1) == 0 ? 0 : static_cast<std::uint8_t>(max_level);
-        ++variation_stats_.stuck_cells;
-      } else if (var.level_sigma > 0.0) {
+      bool forced = false;
+      if (stuck > 0.0) {
+        const double su = rng.uniform();
+        if (su < stuck) {
+          forced = true;
+          const bool at0 = su < sa0;
+          level = at0 ? 0 : static_cast<std::uint8_t>(max_level);
+          ++variation_stats_.stuck_cells;
+          ++(at0 ? variation_stats_.sa0_cells : variation_stats_.sa1_cells);
+        }
+      }
+      if (!forced && var.level_sigma > 0.0) {
         const double u = rng.uniform();
         if (u < law.change[original]) {
           level = law.sample_changed(original, rng.uniform() * law.change[original], max_level);
@@ -300,6 +322,33 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, Fa
         *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
     lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
   }
+}
+
+LogicalXbar::LogicalXbar(const LogicalXbar& clean, std::vector<std::uint8_t> levels,
+                         VariationStats stats)
+    : rows_(clean.rows_),
+      cols_(clean.cols_),
+      config_(clean.config_),
+      levels_(std::move(levels)),
+      variation_stats_(stats) {
+  RED_EXPECTS_MSG(levels_.size() == clean.levels_.size(),
+                  "transformed level array must match the clean geometry");
+  const int slices = config_.slices();
+  const std::size_t plane = clean.weights_.size();
+  weights_.resize(plane);
+  col_level_sums_.assign(static_cast<std::size_t>(cols_) * slices, 0);
+  for (std::size_t i = 0; i < plane; ++i) {
+    std::int64_t u = 0;
+    for (int s = slices; s-- > 0;)
+      u = (u << config_.cell_bits) | levels_[static_cast<std::size_t>(s) * plane + i];
+    weights_[i] = static_cast<std::int32_t>(u - config_.weight_offset());
+    const std::size_t c = i % static_cast<std::size_t>(cols_);
+    for (int s = 0; s < slices; ++s)
+      col_level_sums_[c * static_cast<std::size_t>(slices) + static_cast<std::size_t>(s)] +=
+          levels_[static_cast<std::size_t>(s) * plane + i];
+  }
+  const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
+  lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
 }
 
 std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {

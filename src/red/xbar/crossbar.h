@@ -67,6 +67,14 @@ class LogicalXbar {
   /// distribution, different draws).
   LogicalXbar(const LogicalXbar& clean, const VariationModel& var, FastDeltaTag);
 
+  /// Rebuild-from-levels: a sibling of `clean` whose cell levels were
+  /// transformed externally (fault injection and repair, red/fault).
+  /// `levels` must be a plane-major [slice][row][col] array of clean's
+  /// geometry; stored weights, column level sums, and the lossless-ADC cache
+  /// are re-derived from it. `stats` records what the transformation did.
+  LogicalXbar(const LogicalXbar& clean, std::vector<std::uint8_t> levels,
+              VariationStats stats);
+
   [[nodiscard]] std::int64_t rows() const { return rows_; }
   [[nodiscard]] std::int64_t cols() const { return cols_; }
   [[nodiscard]] std::int64_t phys_cols() const { return cols_ * config_.slices(); }

@@ -18,16 +18,30 @@ struct VariationModel {
   /// Std-dev of the residual programming error, in cell-level units
   /// (levels are re-rounded and clamped to the device range).
   double level_sigma = 0.0;
-  /// Fraction of cells stuck (half stuck-at-LRS = max level, half at HRS = 0).
+  /// Back-compat combined stuck rate: contributes half to each polarity on
+  /// top of sa0_rate/sa1_rate (the historical 50/50 split). Prefer the
+  /// per-polarity fields; samplers only consume sa0()/sa1().
   double stuck_at_rate = 0.0;
+  /// Fraction of cells stuck-at-0 (HRS: level reads as 0).
+  double sa0_rate = 0.0;
+  /// Fraction of cells stuck-at-1 (LRS: level reads as max_level).
+  double sa1_rate = 0.0;
   /// Seed making a given crossbar's fault/noise pattern reproducible.
   std::uint64_t seed = 1;
 
-  [[nodiscard]] bool enabled() const { return level_sigma > 0.0 || stuck_at_rate > 0.0; }
+  /// Effective per-polarity rates with the legacy alias folded in.
+  [[nodiscard]] double sa0() const { return sa0_rate + 0.5 * stuck_at_rate; }
+  [[nodiscard]] double sa1() const { return sa1_rate + 0.5 * stuck_at_rate; }
+  [[nodiscard]] double stuck_total() const { return sa0() + sa1(); }
+
+  [[nodiscard]] bool enabled() const { return level_sigma > 0.0 || stuck_total() > 0.0; }
 
   void validate() const {
     RED_EXPECTS(level_sigma >= 0.0);
     RED_EXPECTS(stuck_at_rate >= 0.0 && stuck_at_rate <= 1.0);
+    RED_EXPECTS(sa0_rate >= 0.0 && sa0_rate <= 1.0);
+    RED_EXPECTS(sa1_rate >= 0.0 && sa1_rate <= 1.0);
+    RED_EXPECTS_MSG(stuck_total() <= 1.0, "combined stuck-at rates exceed 1");
   }
 };
 
@@ -35,7 +49,18 @@ struct VariationModel {
 struct VariationStats {
   std::int64_t cells = 0;
   std::int64_t perturbed_cells = 0;  ///< level changed by programming noise
-  std::int64_t stuck_cells = 0;
+  std::int64_t stuck_cells = 0;      ///< == sa0_cells + sa1_cells
+  std::int64_t sa0_cells = 0;        ///< cells forced to level 0
+  std::int64_t sa1_cells = 0;        ///< cells forced to max_level
+
+  VariationStats& operator+=(const VariationStats& o) {
+    cells += o.cells;
+    perturbed_cells += o.perturbed_cells;
+    stuck_cells += o.stuck_cells;
+    sa0_cells += o.sa0_cells;
+    sa1_cells += o.sa1_cells;
+    return *this;
+  }
 };
 
 /// Tag dispatching LogicalXbar's accelerated delta-sampling reprogram

@@ -38,6 +38,66 @@ TEST(Variation, ValidationRejectsBadRates) {
   EXPECT_THROW(v.validate(), ContractViolation);
 }
 
+TEST(Variation, LegacyStuckRateSplitsEvenlyAcrossPolarities) {
+  VariationModel v;
+  v.stuck_at_rate = 0.2;
+  EXPECT_DOUBLE_EQ(v.sa0(), 0.1);
+  EXPECT_DOUBLE_EQ(v.sa1(), 0.1);
+  EXPECT_DOUBLE_EQ(v.stuck_total(), 0.2);
+  // Per-polarity fields stack on top of the alias.
+  v.sa0_rate = 0.05;
+  EXPECT_DOUBLE_EQ(v.sa0(), 0.15);
+  EXPECT_DOUBLE_EQ(v.stuck_total(), 0.25);
+  EXPECT_TRUE(v.enabled());
+  // Each field can be legal on its own while the combined rate is not.
+  v = VariationModel{};
+  v.sa0_rate = 0.6;
+  v.sa1_rate = 0.6;
+  EXPECT_THROW(v.validate(), ContractViolation);
+}
+
+TEST(Variation, PolarityRatesForceTheMatchingLevel) {
+  // sa0-only: every stuck cell reads level 0; sa1-only: max level. The
+  // counters split accordingly.
+  QuantConfig q0;
+  q0.variation.sa0_rate = 0.3;
+  const auto xb0 = make_xbar(q0);
+  EXPECT_GT(xb0.variation_stats().sa0_cells, 0);
+  EXPECT_EQ(xb0.variation_stats().sa1_cells, 0);
+  EXPECT_EQ(xb0.variation_stats().stuck_cells, xb0.variation_stats().sa0_cells);
+
+  QuantConfig q1;
+  q1.variation.sa1_rate = 0.3;
+  const auto xb1 = make_xbar(q1);
+  EXPECT_GT(xb1.variation_stats().sa1_cells, 0);
+  EXPECT_EQ(xb1.variation_stats().sa0_cells, 0);
+
+  // The legacy alias keeps drawing both polarities.
+  QuantConfig qb;
+  qb.variation.stuck_at_rate = 0.5;
+  const auto xbb = make_xbar(qb);
+  EXPECT_GT(xbb.variation_stats().sa0_cells, 0);
+  EXPECT_GT(xbb.variation_stats().sa1_cells, 0);
+  EXPECT_EQ(xbb.variation_stats().stuck_cells,
+            xbb.variation_stats().sa0_cells + xbb.variation_stats().sa1_cells);
+}
+
+TEST(Variation, FastDeltaReprogramCountsPolarities) {
+  QuantConfig clean_q;
+  const auto clean = make_xbar(clean_q);
+  VariationModel var;
+  var.sa0_rate = 0.15;
+  var.sa1_rate = 0.05;
+  var.seed = 31;
+  const LogicalXbar fast(clean, var, FastDeltaTag{});
+  const auto& st = fast.variation_stats();
+  EXPECT_GT(st.sa0_cells, 0);
+  EXPECT_GT(st.sa1_cells, 0);
+  EXPECT_EQ(st.stuck_cells, st.sa0_cells + st.sa1_cells);
+  // 3x the sa1 rate on sa0: the split should lean the same way.
+  EXPECT_GT(st.sa0_cells, st.sa1_cells);
+}
+
 TEST(Variation, SeedMakesPerturbationDeterministic) {
   QuantConfig q;
   q.variation.level_sigma = 0.4;

@@ -24,6 +24,7 @@
 #include "red/common/string_util.h"
 #include "red/core/designs.h"
 #include "red/explore/sweep.h"
+#include "red/fault/campaign.h"
 #include "red/nn/deconv_reference.h"
 #include "red/opt/optimizer.h"
 #include "red/opt/pareto.h"
@@ -62,14 +63,19 @@ commands:
   throughput  stream a batch through a programmed stack [--images N]
               [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
+  faults    deterministic fault-injection campaign with graceful-degradation
+            curves [--rates 0,0.001,0.01] [--wl-rate R] [--bl-rate R]
+            [--drift S] [--trials N] [--seed N] [--threads N]
+            [--spares N | --spare-rows N --spare-cols N] [--remap]
+            [--retries N] [--json] [--out FILE]
   optimize  design-space search over declared axes; prints the Pareto frontier
             [--net NAME | --layer NAME | geometry] [--design zp|pf|red|all]
             [--folds L] [--muxes L] [--tile-sides L] [--adc-bits L]
-            [--weight-bits L] [--activation-bits L]
+            [--weight-bits L] [--activation-bits L] [--spare-lines L]
             [--strategy exhaustive|anneal|evolve] [--objective latency,area]
             [--weights L] [--budget N] [--seed N] [--threads N]
             [--chip-fit [--banks N] [--bank-subarrays N]] [--max-sc N]
-            [--max-area MM2] [--max-energy UJ]
+            [--max-area MM2] [--max-energy UJ] [--min-fault-snr DB]
             [--checkpoint FILE [--checkpoint-every N]] [--json] [--out FILE]
   verify    run all designs functionally and check vs golden + activity model
   trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
@@ -97,6 +103,18 @@ arch::DesignConfig config_from(const Flags& flags) {
   cfg.tiling = {side, side};
   cfg.quant.abits = static_cast<int>(flags.get_int("abits", cfg.quant.abits));
   cfg.quant.wbits = static_cast<int>(flags.get_int("wbits", cfg.quant.wbits));
+  // Fault environment + mitigation provision (shared by `faults` campaigns
+  // and the optimize min_fault_snr constraint).
+  cfg.fault.model.sa0_rate = flags.get_double("sa0", 0.0);
+  cfg.fault.model.sa1_rate = flags.get_double("sa1", 0.0);
+  cfg.fault.model.wordline_rate = flags.get_double("wl-rate", 0.0);
+  cfg.fault.model.bitline_rate = flags.get_double("bl-rate", 0.0);
+  cfg.fault.model.drift_sigma = flags.get_double("drift", 0.0);
+  const auto spares = flags.get_int("spares", 0);
+  cfg.fault.repair.spare_rows = static_cast<int>(flags.get_int("spare-rows", spares));
+  cfg.fault.repair.spare_cols = static_cast<int>(flags.get_int("spare-cols", spares));
+  cfg.fault.repair.remap_rows = flags.get_bool("remap");
+  cfg.fault.repair.verify_retries = static_cast<int>(flags.get_int("retries", 0));
   return cfg;
 }
 
@@ -254,7 +272,8 @@ opt::SearchSpace space_from(const Flags& flags, const std::vector<nn::DeconvLaye
                     {"tile-sides", opt::AxisField::kSubarraySide},
                     {"adc-bits", opt::AxisField::kAdcBits},
                     {"weight-bits", opt::AxisField::kWeightBits},
-                    {"activation-bits", opt::AxisField::kActivationBits}};
+                    {"activation-bits", opt::AxisField::kActivationBits},
+                    {"spare-lines", opt::AxisField::kSpareLines}};
   bool any = false;
   for (const auto& a : axis_flags)
     if (flags.has(a.flag)) {
@@ -299,6 +318,8 @@ int cmd_optimize(const Flags& flags) {
     constraints.push_back(opt::max_area_mm2(flags.get_double("max-area", 0.0)));
   if (flags.has("max-energy"))
     constraints.push_back(opt::max_energy_uj(flags.get_double("max-energy", 0.0)));
+  if (flags.has("min-fault-snr"))
+    constraints.push_back(opt::min_fault_snr(flags.get_double("min-fault-snr", 0.0)));
 
   opt::OptimizerOptions options;
   options.strategy = flags.get_string("strategy", "exhaustive");
@@ -606,6 +627,105 @@ int cmd_throughput(const Flags& flags) {
   return 0;
 }
 
+int cmd_faults(const Flags& flags) {
+  const auto spec = layer_from(flags);
+  const auto cfg = config_from(flags);
+  const auto kind = kind_from(flags);
+
+  // The swept axis: per-cell stuck rate, split evenly into SA0/SA1 unless
+  // --sa0/--sa1 skew the base model; wordline/bitline/drift ride along fixed.
+  const auto rates = parse_double_list(flags.get_string("rates", "0,0.001,0.01"), "rates");
+  std::vector<fault::FaultModel> models;
+  models.reserve(rates.size());
+  for (double r : rates) {
+    if (r < 0.0 || r > 1.0)
+      throw ConfigError("--rates entries must be in [0, 1], got " + format_double(r, 6));
+    fault::FaultModel m = cfg.fault.model;
+    m.sa0_rate += r / 2.0;
+    m.sa1_rate += r / 2.0;
+    models.push_back(m);
+  }
+
+  fault::FaultCampaignOptions opts;
+  opts.trials = static_cast<int>(flags.get_int("trials", 3));
+  opts.base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  opts.threads = static_cast<int>(flags.get_int("threads", 4));
+  if (opts.trials < 1) throw ConfigError("--trials must be >= 1");
+  if (opts.threads < 1) throw ConfigError("--threads must be >= 1");
+
+  Rng rng(1);
+  const auto input = workloads::make_input(spec, rng, 1, 7);
+  const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+  const auto points = fault::run_fault_campaign(kind, cfg, models, cfg.fault.repair, spec,
+                                                input, kernel, opts);
+
+  auto result_json = [&] {
+    report::JsonWriter w(0);
+    w.open();
+    w.field("type", "red_fault_campaign");
+    w.field("layer", spec.name);
+    w.field("design", core::kind_to_name(kind));
+    w.field("trials", std::int64_t{opts.trials});
+    w.field("base_seed", std::uint64_t{opts.base_seed});
+    w.object("repair");
+    w.field("spare_rows", std::int64_t{cfg.fault.repair.spare_rows});
+    w.field("spare_cols", std::int64_t{cfg.fault.repair.spare_cols});
+    w.field("remap_rows", cfg.fault.repair.remap_rows);
+    w.field("verify_retries", std::int64_t{cfg.fault.repair.verify_retries});
+    w.close(false);
+    w.array("degradation");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      w.item_object();
+      w.field("stuck_rate", rates[i]);
+      w.field("wordline_rate", p.model.wordline_rate);
+      w.field("bitline_rate", p.model.bitline_rate);
+      w.field("drift_sigma", p.model.drift_sigma);
+      w.field("unrepaired_mse", p.mean_mse(false));
+      w.field("unrepaired_snr_db", p.mean_snr_db(false));
+      w.field("unrepaired_bit_errors", p.mean_bit_errors(false));
+      w.field("repaired_mse", p.mean_mse(true));
+      w.field("repaired_snr_db", p.mean_snr_db(true));
+      w.field("repaired_bit_errors", p.mean_bit_errors(true));
+      w.field("repaired_not_worse", p.repaired_not_worse());
+      w.close(false);
+    }
+    w.close_array();
+    w.close();
+    return w.str();
+  };
+
+  if (flags.get_bool("json")) {
+    std::cout << result_json();
+  } else {
+    std::cout << spec.to_string() << '\n'
+              << "fault campaign on " << core::kind_to_name(kind) << ": " << rates.size()
+              << " rates x " << opts.trials << " trials, repair {spares "
+              << cfg.fault.repair.spare_rows << "/" << cfg.fault.repair.spare_cols
+              << (cfg.fault.repair.remap_rows ? ", remap" : "") << ", retries "
+              << cfg.fault.repair.verify_retries << "}\n";
+    TextTable t({"stuck rate", "bare MSE", "bare SNR (dB)", "repaired MSE",
+                 "repaired SNR (dB)", "bit errs/img", "gain"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      t.add_row({format_double(rates[i], 4), format_double(p.mean_mse(false), 3),
+                 format_double(p.mean_snr_db(false), 1), format_double(p.mean_mse(true), 3),
+                 format_double(p.mean_snr_db(true), 1),
+                 format_double(p.mean_bit_errors(true), 1),
+                 p.repaired_not_worse() ? "+" : "WORSE"});
+    }
+    std::cout << t.to_ascii();
+  }
+  if (flags.has("out")) {
+    const std::string path = flags.get_string("out");
+    std::ofstream out(path);
+    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
+    out << result_json();
+    (flags.get_bool("json") ? std::cerr : std::cout) << "wrote " << path << '\n';
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -631,6 +751,8 @@ int main(int argc, char** argv) {
       rc = cmd_throughput(flags);
     else if (cmd == "sweep")
       rc = cmd_sweep(flags);
+    else if (cmd == "faults")
+      rc = cmd_faults(flags);
     else if (cmd == "optimize")
       rc = cmd_optimize(flags);
     else if (cmd == "verify")
@@ -650,6 +772,16 @@ int main(int argc, char** argv) {
     for (const auto& name : flags.unused())
       std::cerr << "warning: unused flag --" << name << '\n';
     return rc;
+  } catch (const red::ConfigError& e) {
+    // Bad flag / bad value: the message already names the flag and the
+    // accepted values, so one line is enough to fix the invocation.
+    std::cerr << "red_cli: config error: " << e.what() << '\n';
+    return 4;
+  } catch (const red::MismatchError& e) {
+    // An artifact contradicts itself (tampered checkpoint, plan fingerprint
+    // drift): rerunning will not help, the input file needs attention.
+    std::cerr << "red_cli: mismatch: " << e.what() << '\n';
+    return 5;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

@@ -7,6 +7,9 @@
 #                         executor (fill, steady-state interval, img/s)
 #   BENCH_opt.json      — design-space optimizer strategies vs the exhaustive
 #                         frontier (evaluations-to-frontier, memo hit rates)
+#   BENCH_fault.json    — fault-injection campaigns: graceful-degradation
+#                         curves (bare vs repaired) gated on zero-rate oracle
+#                         equivalence and repaired-never-worse quality
 # See docs/PERFORMANCE.md for how to read them.
 #
 # Usage: tools/run_bench.sh [--quick] [--mvm-only] [--out-dir DIR] [build_dir]
@@ -59,7 +62,7 @@ if [ "${quick}" = "1" ]; then
   quick_flag="--quick"
 fi
 
-for bench in bench_analog bench_pipeline bench_opt; do
+for bench in bench_analog bench_pipeline bench_opt bench_fault; do
   if [ ! -x "${build_dir}/${bench}" ]; then
     echo "error: ${build_dir}/${bench} not found." >&2
     echo "Build it first: cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
@@ -80,3 +83,9 @@ echo ""
 "${build_dir}/bench_opt" ${quick_flag} --out "${out_dir}/BENCH_opt.json"
 echo "Pairs: BM_Opt_<strategy> cold vs _warm (memoized re-search); see the"
 echo "search[] section for evaluations-to-frontier and memo hit rates."
+
+echo ""
+"${build_dir}/bench_fault" ${quick_flag} --out "${out_dir}/BENCH_fault.json"
+echo "See the degradation[] section for bare-vs-repaired SNR per fault rate;"
+echo "the gates object must read all-true (zero-rate oracle equivalence,"
+echo "repaired never worse)."
