@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -157,11 +157,7 @@ int main(int argc, char** argv) {
             << " ms, Monte Carlo engine " << format_double(after_ms, 1) << " ms ("
             << format_speedup(noise_speedup) << " at " << threads << " threads)\n";
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "error: cannot write " << out_path << "\n";
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n  \"context\": {\"side\": " << side << ", \"trials\": " << trials
       << ", \"threads\": " << threads << ", \"quick\": " << (quick ? "true" : "false")
       << "},\n  \"benchmarks\": ";
@@ -170,6 +166,6 @@ int main(int argc, char** argv) {
       << ", \"noise_sweep\": " << report::json_number(noise_speedup)
       << "},\n  \"equivalence\": {\"irdrop_worst_column_disagreement\": "
       << report::json_number(worst_disagree) << "}\n}\n";
-  std::cout << "\nWrote " << out_path << "\n";
+  if (!bench::write_report_file(out_path, out.str())) return 1;
   return 0;
 }

@@ -11,8 +11,8 @@
 // exits non-zero, so the bench doubles as the robustness acceptance test the
 // CI smoke label runs.
 #include <cstdint>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -122,11 +122,7 @@ int main(int argc, char** argv) {
             << (zero_rate_exact ? "PASS" : "FAIL") << ", repaired never worse "
             << (repaired_not_worse ? "PASS" : "FAIL") << '\n';
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "error: cannot write " << out_path << "\n";
-    return 1;
-  }
+  std::ostringstream out;
   out << "{\n  \"context\": {\"layer\": \"" << layer.name << "\", \"trials\": " << trials
       << ", \"threads\": " << threads << ", \"quick\": " << (quick ? "true" : "false")
       << "},\n  \"benchmarks\": ";
@@ -153,7 +149,7 @@ int main(int argc, char** argv) {
       first = false;
     }
   out << "\n  ]\n}\n";
-  std::cout << "Wrote " << out_path << "\n";
+  if (!bench::write_report_file(out_path, out.str())) return 1;
 
   if (!zero_rate_exact || !repaired_not_worse) {
     std::cerr << "error: a fault-campaign gate failed\n";

@@ -1,6 +1,8 @@
 // Design-space optimizer benchmark: strategy-vs-exhaustive evaluations-to-
-// frontier and wall-clock, plus sweep-memo hit rates, emitted as
-// BENCH_opt.json. Run through tools/run_bench.sh, or directly:
+// frontier and wall-clock, sweep-memo hit rates, persistent-store cold/warm
+// wall-clock with store hit rates, and sharded-search + checkpoint-merge
+// timing, emitted as BENCH_opt.json. Run through tools/run_bench.sh, or
+// directly:
 //
 //   bench_opt [--quick] [--out BENCH_opt.json] [--seed N] [--threads N]
 //
@@ -11,16 +13,20 @@
 // (stochastic strategies that focus well find it early) and what the
 // memoized SweepDriver saved.
 #include <algorithm>
-#include <fstream>
+#include <cstdio>
 #include <iostream>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "red/common/flags.h"
 #include "red/common/string_util.h"
 #include "red/opt/optimizer.h"
+#include "red/store/result_store.h"
 #include "red/workloads/benchmarks.h"
 
 int main(int argc, char** argv) {
@@ -138,11 +144,101 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "error: cannot write " << out_path << "\n";
-    return 1;
+  auto frontier_objectives = [](const std::vector<opt::CandidateEval>& frontier) {
+    std::set<std::vector<double>> set;
+    for (const auto& e : frontier) set.insert(e.objectives);
+    return set;
+  };
+  auto make_options = [&] {
+    opt::OptimizerOptions options;
+    options.seed = seed;
+    options.threads = threads;
+    return options;
+  };
+
+  // Persistent-store modes: a cold exhaustive run pays every evaluation and
+  // fills a fresh on-disk store; a second optimizer (a stand-in for a re-run
+  // after a crash, or a parallel process) then walks the identical search
+  // served from that store. Gated on the warm frontier matching cold.
+  bench::print_section("persistent store (cold fill vs warm re-run)");
+  const std::string store_path = out_path + ".store";
+  std::remove(store_path.c_str());
+  double store_cold_ms = 0.0;
+  double store_warm_ms = 0.0;
+  std::int64_t store_entries = 0;
+  std::int64_t store_hits = 0;
+  double store_hit_rate = 0.0;
+  {
+    opt::Optimizer cold(make_space(), opt::Objective::parse("latency,area"), {},
+                        make_options());
+    cold.attach_store(std::make_shared<store::ResultStore>(store_path));
+    const auto t0 = Clock::now();
+    const auto cold_result = cold.run();
+    store_cold_ms = ms_since(t0);
+
+    opt::Optimizer warm(make_space(), opt::Objective::parse("latency,area"), {},
+                        make_options());
+    auto reopened = std::make_shared<store::ResultStore>(store_path);
+    store_entries = reopened->entries();
+    warm.attach_store(std::move(reopened));
+    const auto t1 = Clock::now();
+    const auto warm_result = warm.run();
+    store_warm_ms = ms_since(t1);
+    store_hits = warm.sweep_stats().store_hits;
+    const std::int64_t misses = warm.sweep_stats().evaluated;
+    store_hit_rate = store_hits + misses > 0
+                         ? static_cast<double>(store_hits) /
+                               static_cast<double>(store_hits + misses)
+                         : 0.0;
+    if (frontier_objectives(warm_result.frontier) !=
+        frontier_objectives(cold_result.frontier)) {
+      std::cerr << "error: the warm-store run changed the frontier\n";
+      return 1;
+    }
   }
+  std::remove(store_path.c_str());
+  entries.push_back({"BM_OptStore_cold", store_cold_ms, 1});
+  entries.push_back({"BM_OptStore_warm", store_warm_ms, 1});
+  std::cout << "store: " << format_double(store_cold_ms, 2) << " ms cold fill, "
+            << format_double(store_warm_ms, 2) << " ms warm (" << store_entries
+            << " entries, hit rate " << format_percent(store_hit_rate, 1) << ")\n";
+
+  // Sharded search + merge: two disjoint half-grid walks, their checkpoints
+  // fused by merge_states. Gated on the merged frontier equalling the
+  // single-process exhaustive frontier exactly.
+  bench::print_section("sharded search + checkpoint merge");
+  double shard_ms = 0.0;
+  double merge_ms = 0.0;
+  {
+    std::vector<std::pair<std::string, std::string>> documents;
+    for (int i = 0; i < 2; ++i) {
+      auto options = make_options();
+      options.search.shard_index = i;
+      options.search.shard_count = 2;
+      opt::Optimizer shard(make_space(), opt::Objective::parse("latency,area"), {}, options);
+      const auto t0 = Clock::now();
+      const auto r = shard.run();
+      shard_ms += ms_since(t0);
+      documents.emplace_back("shard" + std::to_string(i), shard.checkpoint_json(r.state));
+    }
+    opt::Optimizer merger(make_space(), opt::Objective::parse("latency,area"), {},
+                          make_options());
+    const auto t0 = Clock::now();
+    const auto merged = merger.merge_states(documents);
+    const auto merged_frontier = merger.frontier_of(merged.state);
+    merge_ms = ms_since(t0);
+    if (!merged.quarantined.empty() || frontier_objectives(merged_frontier) != target) {
+      std::cerr << "error: merged shard checkpoints missed the exhaustive frontier\n";
+      return 1;
+    }
+  }
+  entries.push_back({"BM_OptShard_run", shard_ms, 1});
+  entries.push_back({"BM_OptShard_merge", merge_ms, 1});
+  std::cout << "shards: 2 x half-grid in " << format_double(shard_ms, 2)
+            << " ms total, merge + frontier " << format_double(merge_ms, 2)
+            << " ms, merged frontier matches exhaustive\n";
+
+  std::ostringstream out;
   out << "{\n  \"context\": {\"seed\": " << seed << ", \"threads\": " << threads
       << ", \"layer\": \"" << layer.name << "\", \"quick\": " << (quick ? "true" : "false")
       << "},\n  \"benchmarks\": ";
@@ -159,7 +255,13 @@ int main(int argc, char** argv) {
         << ", \"matched_exhaustive\": " << (r.matched ? "true" : "false") << "}"
         << (i + 1 < runs.size() ? ",\n" : "\n");
   }
-  out << "  ]\n}\n";
-  std::cout << "\nWrote " << out_path << "\n";
+  out << "  ],\n  \"store\": {\"cold_ms\": " << report::json_number(store_cold_ms)
+      << ", \"warm_ms\": " << report::json_number(store_warm_ms)
+      << ", \"entries\": " << store_entries << ", \"hits\": " << store_hits
+      << ", \"hit_rate\": " << report::json_number(store_hit_rate)
+      << "},\n  \"shard\": {\"shards\": 2, \"run_ms\": " << report::json_number(shard_ms)
+      << ", \"merge_ms\": " << report::json_number(merge_ms)
+      << ", \"merged_frontier_matched\": true}\n}\n";
+  if (!bench::write_report_file(out_path, out.str())) return 1;
   return 0;
 }

@@ -15,7 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <fstream>
+#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -181,11 +181,7 @@ int main(int argc, char** argv) try {
             << "gates: bit-identical vs sequential chain PASS, per-stage activity "
                "consistency PASS, analytic model consistency PASS\n";
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "error: cannot write " << out_path << "\n";
-    return 1;
-  }
+  std::ostringstream out;
   const auto num = [](double v) { return red::report::json_number(v); };
   out << "{\n  \"context\": {\"net\": \"" << net << "\", \"design\": \""
       << streamed.design_name << "\", \"images\": " << images_n
@@ -205,7 +201,7 @@ int main(int argc, char** argv) try {
       << "},\n  \"equivalence\": {\"bit_identical_vs_sequential\": true"
       << ", \"programmed_fast_path\": " << (streamed.programmed_fast_path ? "true" : "false")
       << ", \"model_consistent\": true}\n}\n";
-  std::cout << "\nWrote " << out_path << "\n";
+  if (!bench::write_report_file(out_path, out.str())) return 1;
   return 0;
 } catch (const std::exception& e) {
   std::cerr << "error: " << e.what() << '\n';

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "red/report/json.h"
+#include "red/store/io.h"
 
 namespace red::bench {
 
@@ -33,6 +35,22 @@ struct Entry {
   double real_time_ms = 0.0;    ///< best (minimum) time over `iterations` runs
   std::int64_t iterations = 1;  ///< timed repetitions real_time_ms is the best of
 };
+
+/// Durably write a finished BENCH_*.json document (temp + fsync + rename via
+/// store::write_file_atomic): a bench killed mid-emit can never leave a torn
+/// report for the comparison tooling to choke on. Returns false (after
+/// printing the error) instead of throwing so benches keep their exit-code
+/// convention.
+inline bool write_report_file(const std::string& path, const std::string& content) {
+  try {
+    store::write_file_atomic(path, content);
+  } catch (const std::exception& e) {
+    std::cerr << "error: cannot write " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  std::cout << "\nWrote " << path << "\n";
+  return true;
+}
 
 /// Emit the `"benchmarks": [...]` array (without the key) to `os`, doubles
 /// at full round-trip precision via report::json_number.

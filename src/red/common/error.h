@@ -35,4 +35,13 @@ class MismatchError final : public Error {
   explicit MismatchError(const std::string& what) : Error(what) {}
 };
 
+/// A filesystem/durability operation failed (cannot create, write, fsync, or
+/// rename a file) after the store layer's bounded retries. Distinct from
+/// ConfigError so callers (and the CLI exit-code table) can separate "your
+/// flags are wrong" from "the disk is unwell".
+class IoError final : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace red

@@ -24,6 +24,7 @@
 #include "red/arch/design.h"
 #include "red/core/designs.h"
 #include "red/nn/layer.h"
+#include "red/store/result_store.h"
 
 namespace red::explore {
 
@@ -47,6 +48,8 @@ struct SweepStats {
   std::int64_t cache_hits = 0;      ///< points served from the memo
   std::int64_t cached_entries = 0;  ///< memo entries currently held
   std::int64_t evictions = 0;       ///< entries dropped by the FIFO cap
+  std::int64_t store_hits = 0;      ///< points served from the persistent store
+  std::int64_t store_rejects = 0;   ///< store payloads that failed to decode
 };
 
 /// Structural fingerprint of one grid point. Thin alias of
@@ -78,6 +81,16 @@ class SweepDriver {
   /// Drop every memo entry (counters other than cached_entries persist).
   void clear();
 
+  /// Attach a persistent result store: evaluate() consults it before
+  /// computing a point the memo has not seen (bit-identical warm starts —
+  /// the codec round-trips outcomes exactly) and writes every fresh
+  /// evaluation back, so repeated and parallel invocations share one
+  /// evaluation history. nullptr detaches.
+  void attach_store(std::shared_ptr<store::ResultStore> store) { store_ = std::move(store); }
+  [[nodiscard]] const std::shared_ptr<store::ResultStore>& result_store() const {
+    return store_;
+  }
+
   /// Cumulative counters across evaluate() calls.
   [[nodiscard]] const SweepStats& stats() const { return stats_; }
 
@@ -87,6 +100,14 @@ class SweepDriver {
   SweepStats stats_;
   std::unordered_map<std::string, std::shared_ptr<const SweepOutcome>> cache_;
   std::deque<std::string> insertion_order_;  ///< FIFO eviction queue
+  std::shared_ptr<store::ResultStore> store_;
 };
+
+/// Binary codec for persisting a SweepOutcome in a store::ResultStore.
+/// encode/decode round-trip bit-exactly (doubles are stored as raw bytes);
+/// decode throws ConfigError on a truncated or schema-mismatched payload —
+/// the driver treats that as a store miss, never a failure.
+[[nodiscard]] std::string encode_outcome(const SweepOutcome& outcome);
+[[nodiscard]] SweepOutcome decode_outcome(const std::string& payload);
 
 }  // namespace red::explore

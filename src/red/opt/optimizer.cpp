@@ -1,7 +1,8 @@
 #include "red/opt/optimizer.h"
 
 #include <algorithm>
-#include <fstream>
+#include <chrono>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -9,6 +10,8 @@
 #include "red/common/error.h"
 #include "red/perf/thread_pool.h"
 #include "red/report/json.h"
+#include "red/store/interrupt.h"
+#include "red/store/io.h"
 
 namespace red::opt {
 
@@ -38,6 +41,11 @@ Optimizer::Optimizer(SearchSpace space, Objective objective,
       frontier_(objective_.dims()) {
   if (opts_.budget < 0) throw ConfigError("optimizer budget must be >= 0");
   if (opts_.threads < 1) throw ConfigError("optimizer threads must be >= 1");
+  if (opts_.timeout_ms < 0.0) throw ConfigError("optimizer timeout must be >= 0");
+}
+
+void Optimizer::attach_store(std::shared_ptr<store::ResultStore> store) {
+  driver_.attach_store(std::move(store));
 }
 
 std::int64_t Optimizer::effective_budget() const {
@@ -79,9 +87,11 @@ void Optimizer::maybe_write_checkpoint(const OptimizerState& state, bool force) 
   if (checkpoint_path_.empty()) return;
   const auto evals = static_cast<std::int64_t>(state.evaluated.size());
   if (!force && evals - evals_at_last_checkpoint_ < checkpoint_every_) return;
-  std::ofstream out(checkpoint_path_);
-  if (!out) throw ConfigError("cannot write checkpoint file '" + checkpoint_path_ + "'");
-  out << checkpoint_json(state);
+  // First write of a run sweeps temp files a previously killed process may
+  // have stranded next to the checkpoint; every write is atomic, so a crash
+  // at any instant leaves the newest complete checkpoint on disk.
+  if (evals_at_last_checkpoint_ == 0) store::remove_stale_temps(checkpoint_path_);
+  store::write_file_atomic(checkpoint_path_, checkpoint_json(state));
   evals_at_last_checkpoint_ = evals;
 }
 
@@ -176,13 +186,29 @@ OptimizerResult Optimizer::search(OptimizerState state) {
     frontier_.insert(state.evaluated[i].objectives, static_cast<std::int64_t>(i));
 
   const std::int64_t budget = effective_budget();
+  const auto started = std::chrono::steady_clock::now();
+  const auto timed_out = [&] {
+    if (opts_.timeout_ms <= 0.0) return false;
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - started;
+    return elapsed.count() >= opts_.timeout_ms;
+  };
   bool complete = false;
+  bool interrupted = false;
   for (;;) {
     if (std::ssize(state.evaluated) + std::ssize(state.pruned) >= space_.size()) {
       complete = true;
       break;
     }
     if (std::ssize(state.evaluated) >= budget) break;
+    // Graceful interruption: a signal or the deadline stops the search here,
+    // at a batch boundary, so the forced checkpoint below is an ordinary
+    // trajectory prefix — kill, resume, finish is bit-identical to one
+    // uninterrupted run.
+    if (store::interrupt_requested() || timed_out()) {
+      interrupted = true;
+      break;
+    }
     auto batch = strategy_->propose(space_, state, opts_.seed);
     if (batch.empty()) {
       complete = true;
@@ -199,9 +225,11 @@ OptimizerResult Optimizer::search(OptimizerState state) {
     maybe_write_checkpoint(state, /*force=*/false);
   }
   maybe_write_checkpoint(state, /*force=*/true);
+  if (const auto& store = driver_.result_store()) store->flush();
 
   OptimizerResult result;
   result.complete = complete;
+  result.interrupted = interrupted;
   for (const auto& p : frontier_.points())
     result.frontier.push_back(state.evaluated[static_cast<std::size_t>(p.id)]);
   result.stats = stats_;
@@ -266,6 +294,10 @@ std::string Optimizer::checkpoint_json(const OptimizerState& state) const {
 }
 
 OptimizerResult Optimizer::resume(const std::string& checkpoint_json_text) {
+  return search(load_state(checkpoint_json_text));
+}
+
+OptimizerState Optimizer::load_state(const std::string& checkpoint_json_text) {
   const report::JsonValue root = report::parse_json(checkpoint_json_text);
   if (const report::JsonValue* type = root.find("type");
       type == nullptr || type->as_string() != "red_opt_checkpoint")
@@ -360,7 +392,79 @@ OptimizerResult Optimizer::resume(const std::string& checkpoint_json_text) {
   state.reindex();
   if (std::ssize(state.evaluated) != std::ssize(state.eval_of))
     throw ConfigError("checkpoint JSON: duplicate evaluated ordinals");
-  return search(std::move(state));
+  return state;
+}
+
+MergeResult Optimizer::merge_states(
+    const std::vector<std::pair<std::string, std::string>>& documents) {
+  MergeResult merged;
+
+  // Union of every intact shard's logs. load_state already verified each
+  // document (fingerprint, constraint re-run, re-priced evaluations), so two
+  // shards logging the same ordinal must agree — duplicates are counted and
+  // dropped, not re-verified. A document that fails anywhere is quarantined
+  // with its reason; the merge degrades, it never fails on a bad shard.
+  std::unordered_map<std::int64_t, CandidateEval> evals;
+  std::unordered_set<std::int64_t> pruned;
+  for (const auto& [name, text] : documents) {
+    OptimizerState shard;
+    try {
+      shard = load_state(text);
+    } catch (const Error& e) {
+      merged.quarantined.push_back({name, e.what()});
+      continue;
+    }
+    for (auto& e : shard.evaluated) {
+      if (evals.contains(e.ordinal))
+        ++merged.duplicate_evals;
+      else
+        evals.emplace(e.ordinal, std::move(e));
+    }
+    pruned.insert(shard.pruned.begin(), shard.pruned.end());
+    merged.state.step = std::max(merged.state.step, shard.step);
+    merged.state.generation = std::max(merged.state.generation, shard.generation);
+    ++merged.shards_merged;
+  }
+  if (merged.shards_merged == 0)
+    throw ConfigError("merge: no intact checkpoint among " +
+                      std::to_string(documents.size()) + " document(s)");
+
+  // Re-serialize the union in ascending ordinal order — the order one
+  // unsharded exhaustive walk would have logged, which makes the merged
+  // frontier's canonical tie-breaks (and its checkpoint) identical to the
+  // single-process run's.
+  merged.state.evaluated.reserve(evals.size());
+  for (auto& [ordinal, e] : evals) merged.state.evaluated.push_back(std::move(e));
+  std::sort(merged.state.evaluated.begin(), merged.state.evaluated.end(),
+            [](const CandidateEval& a, const CandidateEval& b) { return a.ordinal < b.ordinal; });
+  merged.state.pruned.assign(pruned.begin(), pruned.end());
+  std::sort(merged.state.pruned.begin(), merged.state.pruned.end());
+  merged.state.reindex();
+
+  // Cursor: an unsharded resume restarts at the first unexplored ordinal and
+  // fills whatever gaps a missing or quarantined shard left. The stochastic
+  // cursor fields reset — merged states are exhaustive by construction.
+  merged.state.next_ordinal = space_.size();
+  for (std::int64_t o = 0; o < space_.size(); ++o)
+    if (!merged.state.explored(o)) {
+      merged.state.next_ordinal = o;
+      break;
+    }
+  merged.state.current = -1;
+  merged.state.current_scalar = 0.0;
+  merged.state.stall = 0;
+  merged.state.population.clear();
+  return merged;
+}
+
+std::vector<CandidateEval> Optimizer::frontier_of(const OptimizerState& state) const {
+  ParetoFrontier frontier(objective_.dims());
+  for (std::size_t i = 0; i < state.evaluated.size(); ++i)
+    frontier.insert(state.evaluated[i].objectives, static_cast<std::int64_t>(i));
+  std::vector<CandidateEval> result;
+  for (const auto& p : frontier.points())
+    result.push_back(state.evaluated[static_cast<std::size_t>(p.id)]);
+  return result;
 }
 
 }  // namespace red::opt

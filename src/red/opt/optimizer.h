@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "red/explore/sweep.h"
@@ -47,6 +48,12 @@ struct OptimizerOptions {
   int threads = 1;                   ///< SweepDriver fan-out per batch
   SearchOptions search;              ///< strategy tuning knobs
   std::int64_t sweep_cache_cap = 0;  ///< SweepDriver memo cap (0 = unbounded)
+  /// Wall-clock soft deadline in milliseconds (0 = none). Like an interrupt
+  /// signal, it is honored at the next batch boundary: the search writes a
+  /// final checkpoint and returns with `interrupted` set, never mid-batch —
+  /// so a timed-out run's checkpoint is a normal trajectory prefix and
+  /// resume continues it bit-identically.
+  double timeout_ms = 0.0;
 };
 
 struct OptStats {
@@ -62,6 +69,24 @@ struct OptimizerResult {
   OptimizerState state;                 ///< final state (full evaluation log)
   OptStats stats;
   bool complete = false;  ///< space exhausted / strategy finished (vs budget hit)
+  /// Stopped early by SIGINT/SIGTERM (store::interrupt_requested) or the
+  /// timeout — at a batch boundary, after a forced checkpoint write.
+  bool interrupted = false;
+};
+
+/// One checkpoint document merge_states could not fold in, and why.
+struct ShardQuarantine {
+  std::string name;    ///< caller-side label (typically the file path)
+  std::string reason;  ///< the Error message that disqualified it
+};
+
+/// Result of fusing shard checkpoints into one state (see
+/// Optimizer::merge_states).
+struct MergeResult {
+  OptimizerState state;                    ///< union of every intact shard
+  std::vector<ShardQuarantine> quarantined;  ///< rejected documents, in order
+  std::int64_t shards_merged = 0;          ///< documents folded into `state`
+  std::int64_t duplicate_evals = 0;        ///< ordinals seen in >1 shard
 };
 
 class Optimizer {
@@ -78,6 +103,31 @@ class Optimizer {
   /// evaluation disagrees with its recomputation.
   [[nodiscard]] OptimizerResult resume(const std::string& checkpoint_json_text);
 
+  /// Parse and verify a checkpoint document into a ready-to-search state
+  /// (fingerprint check, constraint re-run on pruned rows, re-price and
+  /// verify every logged evaluation). resume() is search(load_state(text));
+  /// merge tooling uses the state directly.
+  [[nodiscard]] OptimizerState load_state(const std::string& checkpoint_json_text);
+
+  /// Fuse shard checkpoints into one state: the union of every intact
+  /// document's evaluation and pruned logs, deduplicated by ordinal and
+  /// sorted into the ordinal order a single-process exhaustive walk would
+  /// have produced — so frontier_of(merged) equals the single-process
+  /// frontier over the same ordinals. Each document is (name, JSON text);
+  /// one that fails load_state (corrupt, wrong fingerprint, failed
+  /// verification) is quarantined with its reason instead of failing the
+  /// merge. The merged cursor restarts at the first unexplored ordinal, so
+  /// the result checkpoints as a resumable UNSHARDED exhaustive run that
+  /// fills any gaps a missing shard left. Throws ConfigError when no
+  /// document survives.
+  [[nodiscard]] MergeResult merge_states(
+      const std::vector<std::pair<std::string, std::string>>& documents);
+
+  /// The Pareto frontier of a state's evaluation log, in canonical order —
+  /// the same extraction search() performs, exposed for merge tooling that
+  /// reports a frontier without running a search.
+  [[nodiscard]] std::vector<CandidateEval> frontier_of(const OptimizerState& state) const;
+
   /// Serialize a state as a checkpoint document (identity fingerprint +
   /// cursor + evaluation log). Inverse of resume().
   [[nodiscard]] std::string checkpoint_json(const OptimizerState& state) const;
@@ -91,7 +141,15 @@ class Optimizer {
 
   /// Write a checkpoint to `path` after every `every_evals` new evaluations
   /// (and once more when the search ends). Empty path disables (default).
+  /// Writes are atomic (store::write_file_atomic): a crash mid-write leaves
+  /// the previous checkpoint intact, never a torn file.
   void set_checkpoint_file(std::string path, std::int64_t every_evals = 64);
+
+  /// Attach a persistent result store to the underlying SweepDriver: priced
+  /// outcomes are served from and written back to disk, so re-runs, resumes,
+  /// and parallel shards share one evaluation history (see
+  /// store::ResultStore).
+  void attach_store(std::shared_ptr<store::ResultStore> store);
 
   [[nodiscard]] const SearchSpace& space() const { return space_; }
   [[nodiscard]] const Objective& objective() const { return objective_; }

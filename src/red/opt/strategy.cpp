@@ -59,11 +59,20 @@ std::vector<Candidate> unexplored_prefix(const SearchSpace& space, const Optimiz
 
 class ExhaustiveSearch final : public SearchStrategy {
  public:
-  explicit ExhaustiveSearch(const SearchOptions& opt) : batch_(std::max(opt.batch, 1)) {}
+  explicit ExhaustiveSearch(const SearchOptions& opt)
+      : batch_(std::max(opt.batch, 1)),
+        shard_index_(opt.shard_index),
+        shard_count_(std::max(opt.shard_count, 1)) {
+    if (shard_index_ < 0 || shard_index_ >= shard_count_)
+      throw ConfigError("shard index must lie in [0, shard count)");
+  }
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
 
   [[nodiscard]] std::string key() const override {
+    // The shard spec is deliberately NOT part of the key: all shards of a
+    // search share one identity (see SearchOptions), which is what lets
+    // merge-checkpoints verify their checkpoints belong together.
     std::string key = "exhaustive";
     append_raw(key, batch_);
     return key;
@@ -73,20 +82,27 @@ class ExhaustiveSearch final : public SearchStrategy {
                                                const OptimizerState& state,
                                                std::uint64_t) const override {
     std::vector<Candidate> batch;
-    const std::int64_t end = std::min(space.size(), state.next_ordinal + batch_);
-    for (std::int64_t o = state.next_ordinal; o < end; ++o) batch.push_back(space.decode(o));
+    for (std::int64_t o = state.next_ordinal;
+         o < space.size() && std::ssize(batch) < batch_; ++o)
+      if (o % shard_count_ == shard_index_) batch.push_back(space.decode(o));
     return batch;
   }
 
-  void observe(const SearchSpace&, const std::vector<Candidate>& batch,
+  void observe(const SearchSpace& space, const std::vector<Candidate>& batch,
                const std::vector<const CandidateEval*>&, std::uint64_t,
                OptimizerState& state) const override {
     ++state.step;
-    state.next_ordinal += std::ssize(batch);
+    // Advance past the last proposed ordinal (not by batch size: a shard
+    // strides over ordinals owned by its siblings). An empty batch means the
+    // shard's slice of the grid is exhausted.
+    state.next_ordinal =
+        batch.empty() ? space.size() : space.encode(batch.back()) + 1;
   }
 
  private:
   std::int64_t batch_;
+  std::int64_t shard_index_;
+  std::int64_t shard_count_;
 };
 
 class AnnealingSearch final : public SearchStrategy {
@@ -257,6 +273,9 @@ double opt_rnd01(std::uint64_t seed, std::uint64_t step, std::uint64_t salt) {
 
 std::unique_ptr<SearchStrategy> make_strategy(const std::string& name,
                                               const SearchOptions& options) {
+  if (name != "exhaustive" && options.shard_count > 1)
+    throw ConfigError("sharding partitions the ordinal grid, which only the exhaustive "
+                      "strategy walks; use --strategy exhaustive with --shard");
   if (name == "exhaustive") return std::make_unique<ExhaustiveSearch>(options);
   if (name == "anneal") return std::make_unique<AnnealingSearch>(options);
   if (name == "evolve") return std::make_unique<EvolutionarySearch>(options);

@@ -86,12 +86,24 @@ struct OptimizerState {
 
 /// Strategy tuning knobs. Part of the checkpoint fingerprint (via
 /// SearchStrategy::key), since they shape the trajectory.
+///
+/// The shard spec is the exception: shard `i` of `N` restricts the
+/// exhaustive walk to ordinals with `ordinal % N == i` — a disjoint
+/// partition of the grid across N processes — and is deliberately EXCLUDED
+/// from the fingerprint. Every shard of a search solves the same search
+/// problem, so shard checkpoints share one fingerprint, which is what lets
+/// merge-checkpoints verify they belong together and lets the merged
+/// checkpoint resume as an unsharded run that fills any gaps. Only the
+/// exhaustive strategy accepts N > 1 (the stochastic trajectories have no
+/// disjoint-partition semantics); make_strategy rejects the rest.
 struct SearchOptions {
   int batch = 8;             ///< exhaustive batch size per proposal round
   int population = 16;       ///< evolutionary population per generation
   double t0 = 0.05;          ///< annealing start temperature (log-scalar units)
   double cooling = 0.99;     ///< geometric temperature decay per step
   double restart_prob = 0.05;  ///< annealing uniform-restart probability
+  int shard_index = 0;       ///< this process's shard in [0, shard_count)
+  int shard_count = 1;       ///< disjoint ordinal partitions (1 = unsharded)
 };
 
 /// Deterministic counter RNG (SplitMix64 finalizer chain): the value is a

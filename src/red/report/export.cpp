@@ -1,10 +1,8 @@
 #include "red/report/export.h"
 
-#include <fstream>
-
-#include "red/common/error.h"
 #include "red/report/evaluation.h"
 #include "red/report/figures.h"
+#include "red/store/io.h"
 #include "red/workloads/benchmarks.h"
 
 namespace red::report {
@@ -37,10 +35,7 @@ std::filesystem::path export_table(const TextTable& table, const std::filesystem
                                    const std::string& name, ExportFormat fmt) {
   std::filesystem::create_directories(dir);
   const auto path = dir / (name + "." + format_extension(fmt));
-  std::ofstream out(path);
-  if (!out) throw Error("cannot open " + path.string() + " for writing");
-  out << render(table, fmt);
-  if (!out) throw Error("failed writing " + path.string());
+  store::write_file_atomic(path.string(), render(table, fmt));
   return path;
 }
 

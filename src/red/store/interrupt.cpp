@@ -1,0 +1,35 @@
+#include "red/store/interrupt.h"
+
+#include <csignal>
+
+namespace red::store {
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_interrupt(int signum) {
+  if (g_interrupted) {
+    // Second signal: the user really means it. Restore the default action
+    // and re-raise so the process dies with the conventional signal status.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_interrupted = 1;
+}
+
+}  // namespace
+
+void install_interrupt_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
+
+void request_interrupt() noexcept { g_interrupted = 1; }
+
+void clear_interrupt() noexcept { g_interrupted = 0; }
+
+bool interrupt_requested() noexcept { return g_interrupted != 0; }
+
+}  // namespace red::store

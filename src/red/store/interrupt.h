@@ -1,0 +1,28 @@
+// Graceful-interruption flag shared by every long-running surface.
+//
+// install_interrupt_handlers() routes SIGINT/SIGTERM into a process-wide
+// async-signal-safe flag; batch loops (the optimizer's propose/observe
+// rounds, fault-campaign grid points) poll interrupt_requested() at their
+// batch boundaries and exit cleanly — checkpoint written, partial results
+// returned — instead of dying mid-write. The flag is sticky until
+// clear_interrupt(), so a request that lands mid-batch is honored at the
+// next boundary. Tests drive the same path with request_interrupt().
+#pragma once
+
+namespace red::store {
+
+/// Install SIGINT/SIGTERM handlers that set the interrupt flag (idempotent).
+/// A second signal while the flag is already set restores the default
+/// disposition and re-raises, so a stuck process can still be killed by a
+/// repeated Ctrl-C.
+void install_interrupt_handlers();
+
+/// Set the flag programmatically (what the signal handlers do).
+void request_interrupt() noexcept;
+
+/// Clear the flag (tests; a driver starting a fresh run).
+void clear_interrupt() noexcept;
+
+[[nodiscard]] bool interrupt_requested() noexcept;
+
+}  // namespace red::store

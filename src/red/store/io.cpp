@@ -1,0 +1,152 @@
+#include "red/store/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "red/common/error.h"
+
+namespace red::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+bool write_all(int fd, std::string_view data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool fsync_retry(int fd) {
+  while (::fsync(fd) != 0)
+    if (errno != EINTR) return false;
+  return true;
+}
+
+/// One complete temp-write-rename attempt. Returns an empty string on
+/// success, otherwise a description of the failing step (for the IoError).
+std::string try_write_once(const std::string& path, const std::string& tmp,
+                           std::string_view content, bool durable) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return std::string("open temp: ") + std::strerror(errno);
+  if (!write_all(fd, content)) {
+    const std::string err = std::string("write: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (durable && !fsync_retry(fd)) {
+    const std::string err = std::string("fsync: ") + std::strerror(errno);
+    ::close(fd);
+    return err;
+  }
+  if (::close(fd) != 0) return std::string("close: ") + std::strerror(errno);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return std::string("rename: ") + std::strerror(errno);
+  if (durable) {
+    // Persist the rename itself: fsync the parent directory. Failure here is
+    // not retriable in a useful way (the rename already happened), so a
+    // directory that cannot be synced is reported but the content is intact.
+    const fs::path parent = fs::path(path).has_parent_path()
+                                ? fs::path(path).parent_path()
+                                : fs::path(".");
+    const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      fsync_retry(dfd);  // best-effort: some filesystems reject directory fsync
+      ::close(dfd);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options) {
+  if (path.empty()) throw IoError("write_file_atomic: empty path");
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::string last_error;
+  const int attempts = options.retries < 1 ? 1 : options.retries;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last_error = try_write_once(path, tmp, content, options.durable);
+    if (last_error.empty()) return;
+    if (attempt < attempts)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::int64_t>(options.backoff_ms) * attempt));
+  }
+  std::remove(tmp.c_str());  // never leave a temp behind on a survived failure
+  throw IoError("cannot write '" + path + "' atomically after " +
+                std::to_string(attempts) + (attempts == 1 ? " attempt (" : " attempts (") +
+                last_error + ")");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot read '" + path + "': " + std::strerror(errno));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw IoError("read of '" + path + "' failed: " + std::strerror(errno));
+  return std::move(buf).str();
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return std::nullopt;
+  return read_file(path);
+}
+
+int remove_stale_temps(const std::string& path) noexcept {
+  int removed = 0;
+  try {
+    const fs::path p(path);
+    const fs::path dir = p.has_parent_path() ? p.parent_path() : fs::path(".");
+    const std::string prefix = p.filename().string() + ".tmp.";
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) != 0) continue;
+      std::error_code rm;
+      if (fs::remove(entry.path(), rm)) ++removed;
+    }
+  } catch (...) {
+    // Best-effort cleanup only: a scan failure must never break the caller.
+  }
+  return removed;
+}
+
+std::uint32_t crc32(std::string_view data) noexcept {
+  // Table-driven reflected CRC-32 (polynomial 0xEDB88320), built on first use.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data)
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace red::store

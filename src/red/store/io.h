@@ -1,0 +1,51 @@
+// Crash-safe file IO primitives shared by every durable artifact in the
+// repo: optimizer checkpoints, BENCH_*.json reports, plan exports, and the
+// persistent result store.
+//
+// The core guarantee is write_file_atomic: a reader never observes a
+// half-written file. The content is written to a temp sibling
+// (`<path>.tmp.<pid>`), fsync'd, and rename(2)'d over the destination —
+// POSIX rename is atomic within a filesystem, so after a crash the
+// destination holds either the complete old content or the complete new
+// content, never a torn mix. Transient failures (EINTR-class errors, a
+// briefly unwritable directory) are retried with bounded backoff before an
+// IoError escapes. A SIGKILL mid-write can leave the temp sibling behind;
+// remove_stale_temps() sweeps those leftovers, and loaders never read them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace red::store {
+
+struct AtomicWriteOptions {
+  int retries = 3;       ///< attempts per failing syscall sequence
+  int backoff_ms = 10;   ///< sleep before retry k is backoff_ms * k
+  bool durable = true;   ///< fsync file + directory (off only in tests)
+};
+
+/// Write `content` to `path` atomically (temp file + fsync + rename + parent
+/// directory fsync). Throws IoError when the write still fails after the
+/// bounded retries; the temp file is removed on every failure path this
+/// process survives.
+void write_file_atomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options = {});
+
+/// Read a whole file. Throws IoError when it does not exist or is unreadable.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Read a whole file, or nullopt when it does not exist. Other failures
+/// (permissions, IO errors) still throw IoError.
+[[nodiscard]] std::optional<std::string> read_file_if_exists(const std::string& path);
+
+/// Remove `<path>.tmp.*` leftovers from writers killed mid-write_file_atomic.
+/// Returns how many were removed. Never throws: cleanup is best-effort.
+int remove_stale_temps(const std::string& path) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte string — the per-record
+/// corruption check of the result store. crc32("123456789") == 0xCBF43926.
+[[nodiscard]] std::uint32_t crc32(std::string_view data) noexcept;
+
+}  // namespace red::store

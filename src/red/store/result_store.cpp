@@ -1,0 +1,155 @@
+#include "red/store/result_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "red/common/error.h"
+#include "red/store/io.h"
+
+namespace red::store {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'R', 'E', 'D', 'S', 'T', 'O', 'R', '1'};
+constexpr std::uint32_t kRecordMagic = 0x45524352u;  // "RCRE" little-endian
+/// Sanity bound on framed lengths: structural keys and serialized outcomes
+/// are hundreds of bytes; anything past this is corruption, not data.
+constexpr std::uint32_t kMaxFieldLen = 1u << 24;
+
+template <typename T>
+void append_raw(std::string& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_raw(const std::string& bytes, std::size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+/// Serialized record: magic, crc of the framed body, body (lengths + bytes).
+std::string encode_record(const std::string& key, const std::string& payload) {
+  std::string body;
+  body.reserve(8 + key.size() + payload.size());
+  append_raw(body, static_cast<std::uint32_t>(key.size()));
+  append_raw(body, static_cast<std::uint32_t>(payload.size()));
+  body += key;
+  body += payload;
+  std::string record;
+  record.reserve(8 + body.size());
+  append_raw(record, kRecordMagic);
+  append_raw(record, crc32(body));
+  record += body;
+  return record;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) throw IoError("result store: empty path");
+  if (const auto bytes = read_file_if_exists(path_)) {
+    load(*bytes);
+  } else {
+    // Fresh store: write the header atomically so a torn creation can never
+    // masquerade as a corrupt store on the next open.
+    write_file_atomic(path_, std::string_view(kFileMagic, sizeof(kFileMagic)));
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0)
+    throw IoError("result store: cannot open '" + path_ +
+                  "' for append: " + std::strerror(errno));
+}
+
+ResultStore::~ResultStore() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void ResultStore::load(const std::string& bytes) {
+  std::size_t pos = 0;
+  // A header shorter or other than kFileMagic is quarantined like any other
+  // damage: rescan for the first record magic instead of giving up.
+  if (bytes.size() >= sizeof(kFileMagic) &&
+      std::memcmp(bytes.data(), kFileMagic, sizeof(kFileMagic)) == 0) {
+    pos = sizeof(kFileMagic);
+  } else if (!bytes.empty()) {
+    ++report_.records_quarantined;
+  }
+
+  auto resync = [&](std::size_t from) {
+    // Scan forward for the next record magic; quarantine the bytes skipped.
+    // Not finding one quarantines the rest of the file (the torn-tail case).
+    for (std::size_t p = from + 1; p + 4 <= bytes.size(); ++p)
+      if (read_raw<std::uint32_t>(bytes, p) == kRecordMagic) {
+        report_.bytes_skipped += static_cast<std::int64_t>(p - from);
+        return p;
+      }
+    report_.bytes_skipped += static_cast<std::int64_t>(bytes.size() - from);
+    return bytes.size();
+  };
+
+  while (pos < bytes.size()) {
+    // Header: magic + crc + key/payload lengths, then the framed bytes.
+    if (pos + 16 > bytes.size() || read_raw<std::uint32_t>(bytes, pos) != kRecordMagic) {
+      ++report_.records_quarantined;
+      pos = resync(pos);
+      continue;
+    }
+    const std::uint32_t stored_crc = read_raw<std::uint32_t>(bytes, pos + 4);
+    const std::uint32_t key_len = read_raw<std::uint32_t>(bytes, pos + 8);
+    const std::uint32_t payload_len = read_raw<std::uint32_t>(bytes, pos + 12);
+    const std::size_t body_len = 8 + std::size_t{key_len} + payload_len;
+    if (key_len > kMaxFieldLen || payload_len > kMaxFieldLen ||
+        pos + 8 + body_len > bytes.size() ||
+        crc32(std::string_view(bytes.data() + pos + 8, body_len)) != stored_crc) {
+      ++report_.records_quarantined;
+      pos = resync(pos);
+      continue;
+    }
+    std::string key = bytes.substr(pos + 16, key_len);
+    std::string payload = bytes.substr(pos + 16 + key_len, payload_len);
+    map_[std::move(key)] = std::move(payload);  // newest duplicate wins
+    ++report_.records_loaded;
+    pos += 8 + body_len;
+  }
+}
+
+const std::string* ResultStore::lookup(const std::string& key) const {
+  const auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void ResultStore::put(const std::string& key, std::string payload) {
+  if (map_.contains(key)) return;
+  const std::string record = encode_record(key, payload);
+  map_.emplace(key, std::move(payload));
+  // One write(2) per record: O_APPEND makes concurrent appenders interleave
+  // at record granularity in practice; EINTR restarts, short writes finish
+  // the tail (a tear there is exactly what the loader quarantines).
+  std::size_t done = 0;
+  while (done < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + done, record.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("result store: append to '" + path_ + "' failed: " +
+                    std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ++report_.appended;
+}
+
+void ResultStore::flush() {
+  if (fd_ >= 0 && ::fsync(fd_) != 0 && errno != EINVAL && errno != EROFS)
+    throw IoError("result store: fsync of '" + path_ + "' failed: " + std::strerror(errno));
+}
+
+}  // namespace red::store

@@ -1,8 +1,9 @@
 #!/bin/sh
 # red_cli exit-code contract: every subcommand rejects a bad flag value with
-# the documented code — ConfigError = 4, MismatchError = 5, usage = 1, other
-# failures (contract violations) = 2 — and prints a one-line diagnostic on
-# stderr. Driven by ctest: cli_exit_codes.sh <red_cli> <scratch-dir>.
+# the documented code — ConfigError = 4, MismatchError = 5, IoError = 6,
+# interrupted = 7, usage = 1, other failures (contract violations) = 2 — and
+# prints a one-line diagnostic on stderr. Driven by ctest:
+# cli_exit_codes.sh <red_cli> <scratch-dir>.
 set -u
 
 CLI="$1"
@@ -35,11 +36,14 @@ expect 1 no-such-command
 expect 4 layer --layer bogus_layer_name
 expect 4 compare --layer bogus_layer_name
 expect 4 network --net bogus_net
-expect 4 plan --out /nonexistent-dir/plan.json
 expect 4 throughput --images 0
 expect 4 sweep --folds 1,notanumber
 expect 4 optimize --net bogus_net
 expect 4 optimize --spare-lines 0,notanumber
+expect 4 optimize --shard notaspec
+expect 4 optimize --shard 2/2
+expect 4 optimize --strategy anneal --shard 0/2
+expect 4 merge-checkpoints
 expect 4 verify --layer bogus_layer_name
 expect 4 trace --layer bogus_layer_name
 expect 4 export --format bogus
@@ -48,6 +52,12 @@ expect 4 faults --trials 0
 
 expect 4 conv --ih 0
 expect 4 layer --ih notanumber
+
+# IoError (6): the flags are fine, the filesystem is not — distinct from 4
+# so wrappers can tell "fix your invocation" from "fix your disk".
+expect 6 plan --out /nonexistent-dir/plan.json
+expect 6 optimize --folds 1 --muxes 8 --store /nonexistent-dir/store.bin
+expect 6 optimize --folds 1 --muxes 8 --checkpoint /nonexistent-dir/ckpt.json
 
 # Contract violations (library invariants, not flag values) keep the generic
 # code 2: each stuck-at rate is a legal [0,1] value but their sum is not.
@@ -68,6 +78,25 @@ else
   expect 5 optimize --folds 1 --muxes 8 --checkpoint "$CKPT"
   rm -f "$CKPT"
 fi
+
+# Interrupted (7): a --timeout that expires before the first batch stops the
+# search at the boundary, writes a (valid, resumable) checkpoint, and exits
+# with the distinct "rerun me to continue" code.
+TCKPT="$SCRATCH/cli_exit_codes_timeout.json"
+rm -f "$TCKPT"
+"$CLI" optimize --folds 1,2,4,8 --muxes 4,8,16 --timeout 0.000001 \
+    --checkpoint "$TCKPT" >/dev/null 2>&1
+got=$?
+if [ "$got" -ne 7 ]; then
+  echo "FAIL: optimize --timeout -> exit $got, want 7" >&2
+  FAILED=1
+elif [ ! -f "$TCKPT" ]; then
+  echo "FAIL: interrupted optimize did not write its checkpoint" >&2
+  FAILED=1
+else
+  expect 0 optimize --folds 1,2,4,8 --muxes 4,8,16 --checkpoint "$TCKPT"
+fi
+rm -f "$TCKPT"
 
 # Sanity: a good invocation still exits 0.
 expect 0 layer --ih 4 --c 4 --m 4

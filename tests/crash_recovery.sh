@@ -1,0 +1,88 @@
+#!/bin/sh
+# Crash-recovery contract of the optimizer checkpoint: SIGKILL a red_cli
+# optimize campaign mid-flight, resume from the checkpoint it left behind,
+# and demand the finished checkpoint is byte-identical to an uninterrupted
+# run's — the resumed trajectory provably rejoins the reference one. Also
+# asserts the atomic writer's stale temp files cannot accumulate across the
+# crash. Driven by ctest: crash_recovery.sh <red_cli> <scratch-dir>.
+set -u
+
+CLI="$1"
+SCRATCH="${2:-.}"
+DIR="$SCRATCH/crash_recovery"
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# One fixed search identity for every run below (word-split on purpose).
+# ~300 evaluations with a durable per-evaluation checkpoint gives the kill
+# most of a second of campaign to land in.
+OPT="--net dcgan --folds 1,2,4,8 --muxes 2,4,8,16 --spare-lines 0,1,2,3,4,5
+     --tile-sides 64,128,256 --threads 1 --batch 1 --seed 1"
+
+# Reference: the same campaign, never interrupted. Its final checkpoint is
+# the byte-exact target the recovered run must reproduce.
+# shellcheck disable=SC2086
+"$CLI" optimize $OPT --checkpoint "$DIR/ref.json" --checkpoint-every 100000 \
+    >/dev/null 2>&1 || fail "reference optimize run did not exit 0"
+[ -f "$DIR/ref.json" ] || fail "reference run wrote no checkpoint"
+
+# Victim: checkpoint after every evaluation, SIGKILL as soon as the first
+# checkpoint lands. The CLI must be the direct background command so $! is
+# red_cli itself (a subshell wrapper would absorb the kill and leave the
+# campaign running). Retry in case a run ever finishes before the kill.
+killed=0
+attempt=0
+while [ "$killed" -eq 0 ] && [ "$attempt" -lt 5 ]; do
+  attempt=$((attempt + 1))
+  rm -f "$DIR/ckpt.json"
+  # shellcheck disable=SC2086
+  "$CLI" optimize $OPT --checkpoint "$DIR/ckpt.json" --checkpoint-every 1 \
+      >/dev/null 2>&1 &
+  pid=$!
+  tries=0
+  while [ ! -f "$DIR/ckpt.json" ] && [ "$tries" -lt 1000 ]; do
+    tries=$((tries + 1))
+    sleep 0.01
+  done
+  if kill -9 "$pid" 2>/dev/null; then
+    killed=1
+  fi
+  wait "$pid" 2>/dev/null
+done
+[ "$killed" -eq 1 ] || fail "optimize finished before SIGKILL in $attempt attempts"
+[ -f "$DIR/ckpt.json" ] || fail "killed run left no checkpoint"
+
+# The interrupted checkpoint should be a strict prefix: valid, but not the
+# reference (the campaign had barely started when the kill landed).
+if cmp -s "$DIR/ckpt.json" "$DIR/ref.json"; then
+  echo "note: killed run had already finished its search; recovery still checked" >&2
+fi
+
+# Recover: the same invocation resumes from the partial checkpoint, finishes
+# the campaign, and must say so on stderr.
+# shellcheck disable=SC2086
+err="$("$CLI" optimize $OPT --checkpoint "$DIR/ckpt.json" \
+    --checkpoint-every 100000 2>&1 >/dev/null)" \
+  || fail "resume after SIGKILL did not exit 0: $err"
+case "$err" in
+  *"resuming from checkpoint"*) ;;
+  *) fail "resume did not report resuming (stderr: $err)" ;;
+esac
+
+# The recovered trajectory must land on the reference byte for byte.
+cmp -s "$DIR/ckpt.json" "$DIR/ref.json" \
+  || fail "recovered checkpoint differs from the uninterrupted reference"
+
+# The atomic writer may strand one temp file at the kill; the recovery run
+# must have swept it — nothing but the two checkpoints survives.
+leftovers="$(find "$DIR" -name '*.tmp.*' | wc -l)"
+[ "$leftovers" -eq 0 ] || fail "$leftovers stale temp file(s) left after recovery"
+
+rm -rf "$DIR"
+echo "crash_recovery: SIGKILL + resume reproduced the reference checkpoint"
+exit 0

@@ -1,0 +1,90 @@
+#!/bin/sh
+# Sharded-search contract: two disjoint --shard runs of one search identity,
+# fused by merge-checkpoints, must reproduce the single-process frontier
+# byte for byte; a missing shard file is quarantined (not fatal) and the
+# merged artifact resumes as a normal unsharded checkpoint. Driven by ctest:
+# shard_merge.sh <red_cli> <scratch-dir>.
+set -u
+
+CLI="$1"
+SCRATCH="${2:-.}"
+DIR="$SCRATCH/shard_merge"
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# The shared search identity: every invocation below must pass the same
+# space/objective/seed flags or the shard fingerprints will not match.
+ARGS="--folds 1,2,4,8 --muxes 2,4,8,16 --spare-lines 0,2,4 --seed 1"
+
+# The machine-readable frontier array of a result document (multi-line
+# pretty-printed JSON; the array spans from its key to the closing bracket).
+frontier_of() {
+  sed -n '/"frontier": \[/,/^  \]/p' "$1"
+}
+
+# Reference: one unsharded process over the whole grid.
+# shellcheck disable=SC2086  # ARGS is a deliberate word-split flag list
+"$CLI" optimize $ARGS --json > "$DIR/single.json" 2>/dev/null \
+  || fail "single-process optimize did not exit 0"
+frontier_of "$DIR/single.json" > "$DIR/single.frontier"
+[ -s "$DIR/single.frontier" ] || fail "single-process run emitted no frontier"
+
+# Two shards over disjoint ordinal halves, each checkpointing its state.
+for i in 0 1; do
+  # shellcheck disable=SC2086
+  "$CLI" optimize $ARGS --shard "$i/2" --checkpoint "$DIR/s$i.json" \
+      >/dev/null 2>&1 || fail "shard $i/2 did not exit 0"
+  [ -f "$DIR/s$i.json" ] || fail "shard $i/2 wrote no checkpoint"
+done
+cmp -s "$DIR/s0.json" "$DIR/s1.json" \
+  && fail "shards 0/2 and 1/2 produced identical checkpoints (not disjoint)"
+
+# Fuse the shards: frontier must equal the single-process run's byte for
+# byte, with both shards merged and nothing quarantined or duplicated.
+# shellcheck disable=SC2086
+"$CLI" merge-checkpoints "$DIR/s0.json" "$DIR/s1.json" $ARGS --json \
+    --out "$DIR/merged.ckpt" > "$DIR/merged.json" 2>/dev/null \
+  || fail "merge-checkpoints did not exit 0"
+grep -q '"shards_merged": 2' "$DIR/merged.json" || fail "expected 2 shards merged"
+grep -q '"duplicate_evals": 0' "$DIR/merged.json" || fail "expected no duplicate evals"
+grep -q '"reason":' "$DIR/merged.json" && fail "expected empty quarantine"
+frontier_of "$DIR/merged.json" > "$DIR/merged.frontier"
+cmp -s "$DIR/merged.frontier" "$DIR/single.frontier" \
+  || fail "merged frontier differs from the single-process frontier"
+
+# Fault tolerance: a duplicated shard and a missing file degrade the merge,
+# never fail it — duplicates are dropped, the missing document is
+# quarantined by name, and the survivors still merge.
+# shellcheck disable=SC2086
+"$CLI" merge-checkpoints "$DIR/s0.json" "$DIR/s0.json" "$DIR/absent.json" \
+    $ARGS --json > "$DIR/degraded.json" 2>/dev/null \
+  || fail "merge with a missing shard file did not exit 0"
+grep -q '"shards_merged": 2' "$DIR/degraded.json" \
+  || fail "duplicate shard was not merged alongside the original"
+grep -q '"name": ".*absent.json"' "$DIR/degraded.json" \
+  || fail "missing shard file was not quarantined by name"
+grep -q '"duplicate_evals": 0' "$DIR/degraded.json" \
+  && fail "duplicated shard reported zero duplicate evals"
+
+# The merged artifact is a resumable unsharded checkpoint: resuming it runs
+# zero new evaluations and reports the identical frontier.
+# shellcheck disable=SC2086
+"$CLI" optimize $ARGS --checkpoint "$DIR/merged.ckpt" --json \
+    > "$DIR/resumed.json" 2>/dev/null \
+  || fail "resuming the merged checkpoint did not exit 0"
+grep -q '"evaluations": 0' "$DIR/resumed.json" \
+  || fail "resuming a fully-merged checkpoint re-evaluated candidates"
+grep -q '"complete": true' "$DIR/resumed.json" \
+  || fail "resumed merged checkpoint did not report completion"
+frontier_of "$DIR/resumed.json" > "$DIR/resumed.frontier"
+cmp -s "$DIR/resumed.frontier" "$DIR/single.frontier" \
+  || fail "resumed merged frontier differs from the single-process frontier"
+
+rm -rf "$DIR"
+echo "shard_merge: sharded + merged == single-process, faults quarantined"
+exit 0

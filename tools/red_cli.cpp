@@ -11,8 +11,10 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "red/arch/chip.h"
@@ -35,6 +37,9 @@
 #include "red/report/json.h"
 #include "red/sim/engine.h"
 #include "red/sim/pipeline.h"
+#include "red/store/interrupt.h"
+#include "red/store/io.h"
+#include "red/store/result_store.h"
 #include "red/sim/streaming.h"
 #include "red/sim/trace.h"
 #include "red/sim/verifier.h"
@@ -63,6 +68,7 @@ commands:
   throughput  stream a batch through a programmed stack [--images N]
               [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
+            [--store FILE]  (persistent evaluation cache, shared with optimize)
   faults    deterministic fault-injection campaign with graceful-degradation
             curves [--rates 0,0.001,0.01] [--wl-rate R] [--bl-rate R]
             [--drift S] [--trials N] [--seed N] [--threads N]
@@ -76,7 +82,15 @@ commands:
             [--weights L] [--budget N] [--seed N] [--threads N]
             [--chip-fit [--banks N] [--bank-subarrays N]] [--max-sc N]
             [--max-area MM2] [--max-energy UJ] [--min-fault-snr DB]
-            [--checkpoint FILE [--checkpoint-every N]] [--json] [--out FILE]
+            [--checkpoint FILE [--checkpoint-every N]] [--store FILE]
+            [--shard I/N] [--timeout MS] [--json] [--out FILE]
+            SIGINT/SIGTERM or --timeout checkpoint and exit 7 at the next
+            batch boundary; rerun with the same --checkpoint to resume
+  merge-checkpoints  fuse shard checkpoint files into one resumable
+            checkpoint: merge-checkpoints CKPT... --out MERGED plus the
+            exact space/objective/strategy flags the shards ran with;
+            corrupt or mismatched shards are quarantined, not fatal
+            [--json] [--out FILE]
   verify    run all designs functionally and check vs golden + activity model
   trace     print the zero-skipping schedule (Fig. 5(c) style) [--cycles N]
   export    write every table/figure to files [--out DIR] [--format csv|md|txt]
@@ -91,7 +105,19 @@ common flags:
   --tiled [--subarray N]  price bounded physical subarrays
   --breakdown             per-component Table II breakdown
   --run                   also execute functionally and verify vs golden
+
+exit codes:
+  0 ok            1 usage             2 internal error   3 verification failed
+  4 bad config    5 artifact mismatch 6 I/O error        7 interrupted (checkpointed)
 )";
+}
+
+/// Write a result document to --out durably (temp + fsync + rename): a
+/// crash mid-write can never leave a torn artifact behind.
+void write_out_file(const Flags& flags, const std::string& content, bool json_mode) {
+  const std::string path = flags.get_string("out");
+  store::write_file_atomic(path, content);
+  (json_mode ? std::cerr : std::cout) << "wrote " << path << '\n';
 }
 
 arch::DesignConfig config_from(const Flags& flags) {
@@ -229,6 +255,8 @@ int cmd_sweep(const Flags& flags) {
       grid.push_back(p);
     }
   explore::SweepDriver driver(threads);
+  if (flags.has("store"))
+    driver.attach_store(std::make_shared<store::ResultStore>(flags.get_string("store")));
   const auto outcomes = driver.evaluate(grid);
 
   std::cout << spec.to_string() << '\n';
@@ -248,7 +276,8 @@ int cmd_sweep(const Flags& flags) {
                format_double(c.total_area().value() / 1e6, 4), pareto[i] ? "*" : ""});
   }
   std::cout << t.to_ascii() << "sweep: " << driver.stats().evaluated << " evaluated, "
-            << driver.stats().cache_hits << " from cache, " << threads << " threads\n";
+            << driver.stats().cache_hits << " from cache, " << driver.stats().store_hits
+            << " from store, " << threads << " threads\n";
   return 0;
 }
 
@@ -287,20 +316,31 @@ opt::SearchSpace space_from(const Flags& flags, const std::vector<nn::DeconvLaye
   return space;
 }
 
-int cmd_optimize(const Flags& flags) {
-  // Workload: a whole stack (--net) or one layer (--layer / geometry).
+/// Everything the optimize-family commands (`optimize`, `merge-checkpoints`)
+/// reconstruct from the shared flags: workload, space, objective,
+/// constraints, tuned options, and a ready optimizer. merge-checkpoints must
+/// rebuild the exact search identity the shards ran with, so both commands
+/// go through this one builder.
+struct OptimizeSetup {
   std::vector<nn::DeconvLayerSpec> stack;
   std::string title;
+  opt::OptimizerOptions options;
+  std::unique_ptr<opt::Optimizer> optimizer;
+};
+
+OptimizeSetup optimize_setup_from(const Flags& flags) {
+  OptimizeSetup s;
+  // Workload: a whole stack (--net) or one layer (--layer / geometry).
   if (flags.has("net")) {
     const std::string net = flags.get_string("net");
-    stack = workloads::named_stack(net, static_cast<int>(flags.get_int("div", 1)));
-    title = net;
+    s.stack = workloads::named_stack(net, static_cast<int>(flags.get_int("div", 1)));
+    s.title = net;
   } else {
-    stack = {layer_from(flags)};
-    title = stack.front().name;
+    s.stack = {layer_from(flags)};
+    s.title = s.stack.front().name;
   }
 
-  opt::SearchSpace space = space_from(flags, stack);
+  opt::SearchSpace space = space_from(flags, s.stack);
   auto objective = opt::Objective::parse(flags.get_string("objective", "latency,area"),
                                          flags.get_string("weights", ""));
 
@@ -321,7 +361,7 @@ int cmd_optimize(const Flags& flags) {
   if (flags.has("min-fault-snr"))
     constraints.push_back(opt::min_fault_snr(flags.get_double("min-fault-snr", 0.0)));
 
-  opt::OptimizerOptions options;
+  opt::OptimizerOptions& options = s.options;
   options.strategy = flags.get_string("strategy", "exhaustive");
   options.budget = flags.get_int("budget", 0);
   options.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -329,35 +369,96 @@ int cmd_optimize(const Flags& flags) {
   options.search.population = static_cast<int>(flags.get_int("population", 16));
   options.search.batch = static_cast<int>(flags.get_int("batch", 8));
   options.sweep_cache_cap = flags.get_int("cache-cap", 0);
+  options.timeout_ms = flags.get_double("timeout", 0.0);
+  if (flags.has("shard")) {
+    const std::string shard = flags.get_string("shard");
+    const auto slash = shard.find('/');
+    try {
+      if (slash == std::string::npos || slash == 0 || slash + 1 == shard.size())
+        throw ConfigError("");
+      options.search.shard_index = std::stoi(shard.substr(0, slash));
+      options.search.shard_count = std::stoi(shard.substr(slash + 1));
+    } catch (const std::exception&) {
+      throw ConfigError("--shard expects INDEX/COUNT (e.g. 0/4), got '" + shard + "'");
+    }
+  }
 
-  opt::Optimizer optimizer(std::move(space), std::move(objective), std::move(constraints),
-                           options);
+  s.optimizer = std::make_unique<opt::Optimizer>(std::move(space), std::move(objective),
+                                                 std::move(constraints), options);
+  return s;
+}
+
+/// One frontier row's axis values, rendered for a table or JSON document.
+std::vector<std::string> axis_cells(const opt::SearchSpace& sp, const opt::CandidateEval& e) {
+  std::vector<std::string> cells;
+  for (std::size_t a = 0; a < sp.axes().size(); ++a) {
+    const auto& axis = sp.axes()[a];
+    std::int64_t v = axis.values[static_cast<std::size_t>(e.candidate.index[a])];
+    cells.push_back(axis.field == opt::AxisField::kKind
+                        ? core::kind_to_name(static_cast<core::DesignKind>(v))
+                        : std::to_string(v));
+  }
+  return cells;
+}
+
+/// The machine-readable frontier array — one emitter shared by `optimize`
+/// and `merge-checkpoints`, so the shard-equality tests can compare the two
+/// documents' frontiers byte for byte.
+void emit_frontier(report::JsonWriter& w, const opt::SearchSpace& sp,
+                   const std::vector<opt::CandidateEval>& frontier) {
+  w.array("frontier");
+  for (const auto& e : frontier) {
+    w.item_object();
+    w.field("ordinal", e.ordinal);
+    w.field("fingerprint", e.fingerprint);
+    const auto cells = axis_cells(sp, e);
+    for (std::size_t a = 0; a < sp.axes().size(); ++a)
+      w.field(opt::axis_field_name(sp.axes()[a].field), cells[a]);
+    w.array("objectives");
+    for (double v : e.objectives) w.item_number(v);
+    w.close_array();
+    w.field("latency_ns", e.cost.latency_ns);
+    w.field("energy_pj", e.cost.energy_pj);
+    w.field("area_um2", e.cost.area_um2);
+    w.field("cycles", e.cost.cycles);
+    w.field("max_sc_units", e.cost.max_sc_units);
+    w.close(false);
+  }
+  w.close_array();
+}
+
+int cmd_optimize(const Flags& flags) {
+  OptimizeSetup setup = optimize_setup_from(flags);
+  opt::Optimizer& optimizer = *setup.optimizer;
+  const opt::OptimizerOptions& options = setup.options;
+
+  // --store FILE: persistent evaluation cache shared across runs and shards.
+  std::shared_ptr<store::ResultStore> result_store;
+  if (flags.has("store")) {
+    result_store = std::make_shared<store::ResultStore>(flags.get_string("store"));
+    if (!result_store->report().clean())
+      std::cerr << "store: quarantined " << result_store->report().records_quarantined
+                << " record(s), skipped " << result_store->report().bytes_skipped
+                << " byte(s) of " << result_store->path() << '\n';
+    optimizer.attach_store(result_store);
+  }
+
+  // SIGINT/SIGTERM checkpoint-and-exit instead of dying mid-search.
+  store::install_interrupt_handlers();
 
   // --checkpoint FILE: resume when the file exists, and keep it refreshed.
   const std::string checkpoint = flags.get_string("checkpoint", "");
   opt::OptimizerResult result = [&] {
     if (checkpoint.empty()) return optimizer.run();
     optimizer.set_checkpoint_file(checkpoint, flags.get_int("checkpoint-every", 64));
-    std::ifstream in(checkpoint);
-    if (!in) return optimizer.run();
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    const auto text = store::read_file_if_exists(checkpoint);
+    if (!text) return optimizer.run();
     std::cerr << "resuming from checkpoint " << checkpoint << '\n';
-    return optimizer.resume(buf.str());
+    return optimizer.resume(*text);
   }();
 
   const auto& sp = optimizer.space();
-  auto axis_values = [&](const opt::CandidateEval& e) {
-    std::vector<std::string> cells;
-    for (std::size_t a = 0; a < sp.axes().size(); ++a) {
-      const auto& axis = sp.axes()[a];
-      std::int64_t v = axis.values[static_cast<std::size_t>(e.candidate.index[a])];
-      cells.push_back(axis.field == opt::AxisField::kKind
-                          ? core::kind_to_name(static_cast<core::DesignKind>(v))
-                          : std::to_string(v));
-    }
-    return cells;
-  };
+  auto axis_values = [&](const opt::CandidateEval& e) { return axis_cells(sp, e); };
 
   // The JSON document is the machine-readable twin of the table: printed
   // under --json, and written to --out in either mode (cmd_plan convention).
@@ -365,32 +466,15 @@ int cmd_optimize(const Flags& flags) {
     report::JsonWriter w(0);
     w.open();
     w.field("type", "red_opt_result");
-    w.field("workload", title);
+    w.field("workload", setup.title);
     w.field("strategy", options.strategy);
     w.field("objective", optimizer.objective().to_string());
     w.field("seed", options.seed);
     w.field("fingerprint", optimizer.fingerprint());
     w.field("space_size", sp.size());
     w.field("complete", result.complete);
-    w.array("frontier");
-    for (const auto& e : result.frontier) {
-      w.item_object();
-      w.field("ordinal", e.ordinal);
-      w.field("fingerprint", e.fingerprint);
-      const auto cells = axis_values(e);
-      for (std::size_t a = 0; a < sp.axes().size(); ++a)
-        w.field(opt::axis_field_name(sp.axes()[a].field), cells[a]);
-      w.array("objectives");
-      for (double v : e.objectives) w.item_number(v);
-      w.close_array();
-      w.field("latency_ns", e.cost.latency_ns);
-      w.field("energy_pj", e.cost.energy_pj);
-      w.field("area_um2", e.cost.area_um2);
-      w.field("cycles", e.cost.cycles);
-      w.field("max_sc_units", e.cost.max_sc_units);
-      w.close(false);
-    }
-    w.close_array();
+    w.field("interrupted", result.interrupted);
+    emit_frontier(w, sp, result.frontier);
     w.object("stats");
     w.field("batches", result.stats.batches);
     w.field("proposals", result.stats.proposals);
@@ -399,6 +483,8 @@ int cmd_optimize(const Flags& flags) {
     w.field("pruned", result.stats.pruned);
     w.field("sweep_cache_hits", optimizer.sweep_stats().cache_hits);
     w.field("sweep_cached_entries", optimizer.sweep_stats().cached_entries);
+    w.field("store_hits", optimizer.sweep_stats().store_hits);
+    w.field("store_rejects", optimizer.sweep_stats().store_rejects);
     w.close(false);
     w.close();
     return w.str();
@@ -408,8 +494,8 @@ int cmd_optimize(const Flags& flags) {
   if (json_mode) {
     std::cout << result_json();
   } else {
-    std::cout << "optimize " << title << " (" << stack.size()
-              << (stack.size() == 1 ? " layer" : " layers") << "): strategy "
+    std::cout << "optimize " << setup.title << " (" << setup.stack.size()
+              << (setup.stack.size() == 1 ? " layer" : " layers") << "): strategy "
               << options.strategy << ", objective " << optimizer.objective().to_string()
               << ", space " << sp.size() << " points, seed " << options.seed << '\n';
     std::vector<std::string> header;
@@ -435,16 +521,89 @@ int cmd_optimize(const Flags& flags) {
               << result.state.evaluated.size() << " evaluated (" << result.stats.evaluations
               << " this run, " << result.stats.pruned << " pruned, " << result.stats.repeats
               << " repeat proposals, " << optimizer.sweep_stats().cache_hits
-              << " sweep-cache hits), "
-              << (result.complete ? "space explored" : "budget reached") << '\n';
+              << " sweep-cache hits, " << optimizer.sweep_stats().store_hits
+              << " store hits), "
+              << (result.interrupted ? "interrupted (checkpoint written)"
+                  : result.complete  ? "space explored"
+                                     : "budget reached")
+              << '\n';
     if (!checkpoint.empty()) std::cout << "checkpoint: " << checkpoint << '\n';
+    if (result_store != nullptr)
+      std::cout << "store: " << result_store->path() << " (" << result_store->entries()
+                << " entries, " << result_store->report().appended << " appended)\n";
+  }
+  if (flags.has("out")) write_out_file(flags, result_json(), json_mode);
+  // A distinct exit code lets wrappers tell "finished" from "stopped early,
+  // rerun me with the same --checkpoint to continue".
+  return result.interrupted ? 7 : 0;
+}
+
+int cmd_merge_checkpoints(const Flags& flags) {
+  const auto paths = std::vector<std::string>(flags.positional().begin() + 1,
+                                              flags.positional().end());
+  if (paths.empty())
+    throw ConfigError("merge-checkpoints needs at least one checkpoint file argument");
+
+  // Rebuild the search identity the shards ran with (same flags as
+  // `optimize`); a shard whose fingerprint disagrees is quarantined below.
+  OptimizeSetup setup = optimize_setup_from(flags);
+  opt::Optimizer& optimizer = *setup.optimizer;
+
+  // A missing or unreadable file is quarantined exactly like a corrupt one:
+  // the merge reports it and fuses the shards it can prove intact.
+  std::vector<std::pair<std::string, std::string>> documents;
+  for (const auto& path : paths) {
+    try {
+      documents.emplace_back(path, store::read_file(path));
+    } catch (const IoError& e) {
+      documents.emplace_back(path, "");  // load_state rejects it with a parse error
+      std::cerr << "merge: cannot read " << path << ": " << e.what() << '\n';
+    }
+  }
+  const opt::MergeResult merged = optimizer.merge_states(documents);
+  const auto frontier = optimizer.frontier_of(merged.state);
+  const auto& sp = optimizer.space();
+
+  auto result_json = [&] {
+    report::JsonWriter w(0);
+    w.open();
+    w.field("type", "red_opt_merge");
+    w.field("workload", setup.title);
+    w.field("fingerprint", optimizer.fingerprint());
+    w.field("space_size", sp.size());
+    w.field("shards_merged", merged.shards_merged);
+    w.field("duplicate_evals", merged.duplicate_evals);
+    w.field("evaluations", static_cast<std::int64_t>(merged.state.evaluated.size()));
+    w.field("pruned", static_cast<std::int64_t>(merged.state.pruned.size()));
+    emit_frontier(w, sp, frontier);
+    w.array("quarantined");
+    for (const auto& q : merged.quarantined) {
+      w.item_object();
+      w.field("name", q.name);
+      w.field("reason", q.reason);
+      w.close(false);
+    }
+    w.close_array();
+    w.close();
+    return w.str();
+  };
+
+  const bool json_mode = flags.get_bool("json");
+  if (json_mode) {
+    std::cout << result_json();
+  } else {
+    std::cout << "merged " << merged.shards_merged << " of " << paths.size()
+              << " checkpoint(s): " << merged.state.evaluated.size() << " evaluations ("
+              << merged.duplicate_evals << " duplicates dropped), "
+              << merged.state.pruned.size() << " pruned, frontier " << frontier.size()
+              << " point(s)\n";
+    for (const auto& q : merged.quarantined)
+      std::cout << "  quarantined " << q.name << ": " << q.reason << '\n';
   }
   if (flags.has("out")) {
-    const std::string path = flags.get_string("out");
-    std::ofstream out(path);
-    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
-    out << result_json();
-    (json_mode ? std::cerr : std::cout) << "wrote " << path << '\n';
+    // The merged artifact is itself a checkpoint: resume it unsharded to
+    // fill any gaps quarantined shards left.
+    write_out_file(flags, optimizer.checkpoint_json(merged.state), json_mode);
   }
   return 0;
 }
@@ -526,13 +685,7 @@ int cmd_plan(const Flags& flags) {
   if (!flags.get_bool("json"))
     std::cout << "JSON round-trip: ok (fingerprint " << back.fingerprint() << ")\n";
 
-  if (flags.has("out")) {
-    const std::string path = flags.get_string("out");
-    std::ofstream out(path);
-    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
-    out << json;
-    (flags.get_bool("json") ? std::cerr : std::cout) << "wrote " << path << '\n';
-  }
+  if (flags.has("out")) write_out_file(flags, json, flags.get_bool("json"));
   return 0;
 }
 
@@ -716,13 +869,7 @@ int cmd_faults(const Flags& flags) {
     }
     std::cout << t.to_ascii();
   }
-  if (flags.has("out")) {
-    const std::string path = flags.get_string("out");
-    std::ofstream out(path);
-    if (!out) throw ConfigError("cannot open --out file '" + path + "'");
-    out << result_json();
-    (flags.get_bool("json") ? std::cerr : std::cout) << "wrote " << path << '\n';
-  }
+  if (flags.has("out")) write_out_file(flags, result_json(), flags.get_bool("json"));
   return 0;
 }
 
@@ -755,6 +902,8 @@ int main(int argc, char** argv) {
       rc = cmd_faults(flags);
     else if (cmd == "optimize")
       rc = cmd_optimize(flags);
+    else if (cmd == "merge-checkpoints")
+      rc = cmd_merge_checkpoints(flags);
     else if (cmd == "verify")
       rc = cmd_verify(flags);
     else if (cmd == "trace")
@@ -782,6 +931,12 @@ int main(int argc, char** argv) {
     // drift): rerunning will not help, the input file needs attention.
     std::cerr << "red_cli: mismatch: " << e.what() << '\n';
     return 5;
+  } catch (const red::IoError& e) {
+    // The filesystem, not the configuration: missing directory, permissions,
+    // full disk. Distinct from 4 so wrappers can retry or re-point --out
+    // without re-validating their flags.
+    std::cerr << "red_cli: io error: " << e.what() << '\n';
+    return 6;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
