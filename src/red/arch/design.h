@@ -70,6 +70,37 @@ struct DesignConfig {
   void validate() const;
 };
 
+/// Field list for DesignConfig — the root of the compile-time coverage
+/// audit. plan::structural_key, the plan JSON writer AND reader, and (via
+/// the space/strategy keys) every checkpoint fingerprint iterate this list;
+/// adding a field here without extending the visitor fails the static_assert
+/// and therefore every consumer at once.
+///
+/// `threads` is the one execution-only field: it changes how work is
+/// scheduled, never what is computed (all parallel paths are bit-identical
+/// by contract), so it round-trips through JSON but must stay out of
+/// structural keys — two configs differing only in threads share cache
+/// entries and sweep memo hits.
+template <typename C, typename F>
+  requires common::FieldsOf<C, DesignConfig>
+void visit_fields(C& c, F&& f) {
+  static_assert(common::field_count<DesignConfig>() == 12,
+                "DesignConfig changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("quant", c.quant);
+  f("mux_ratio", c.mux_ratio);
+  f("red_max_subcrossbars", c.red_max_subcrossbars);
+  f("red_fold", c.red_fold);
+  f("bit_accurate", c.bit_accurate);
+  f("tiled", c.tiled);
+  f("activation_sparsity", c.activation_sparsity);
+  f("threads", c.threads, common::FieldInfo{.structural = false});
+  f("tiling", c.tiling);
+  f("fault", c.fault);
+  f("calibration", c.calib);
+  f("node", c.node);
+}
+
 /// Activity measured during a functional run.
 struct RunStats {
   std::int64_t cycles = 0;

@@ -3,6 +3,9 @@
 // The simulator libraries never print on their own; benches and examples opt
 // in. Kept deliberately tiny — no formatting DSL, no global configuration
 // file — per Core Guidelines "keep interfaces minimal".
+//
+// red-lint: internal-header (no subsystem outside common/ may depend on
+// logging; the libraries stay silent by design)
 #pragma once
 
 #include <string>

@@ -1,0 +1,80 @@
+// Compile-time field-coverage audits for the determinism contract.
+//
+// Every config struct that feeds plan::structural_key, the JSON round-trips,
+// or a checkpoint fingerprint exposes a `visit_fields(obj, f)` free function
+// that names each field exactly once, in declaration order. The visitor is
+// the single source of truth: the structural key, the JSON writer, the JSON
+// reader, and the strategy/checkpoint keys all iterate it, so a field cannot
+// be serialized but not keyed (or vice versa).
+//
+// What makes the audit *static* is `field_count<T>()` below: each
+// visit_fields body carries
+//
+//   static_assert(common::field_count<T>() == N, "...update visit_fields...");
+//
+// `field_count` counts the aggregate's members by brace-initializability, so
+// adding a field to the struct without extending its visitor no longer
+// compiles — the PR-6-style "grep every consumer by hand" sweep is gone.
+//
+// Visitors call `f(name, ref)` for contract fields and
+// `f(name, ref, FieldInfo{...})` to annotate exceptions:
+//
+//   * structural = false — the field changes execution (thread count, shard
+//     assignment), never results; it is serialized but MUST NOT enter
+//     structural keys or checkpoint fingerprints.
+//
+// Nested config structs are visited as a single field of their own type;
+// consumers recurse through the nested visitor (see plan::structural_key and
+// report/json.cpp for the two canonical consumers).
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace red::common {
+
+/// Per-field annotations understood by every visit_fields consumer.
+struct FieldInfo {
+  /// Part of the structural identity? false = execution-only knob: round-
+  /// trips through JSON but is excluded from structural keys, fingerprints,
+  /// and checkpoint identities (e.g. DesignConfig::threads, the shard spec).
+  bool structural = true;
+};
+
+/// Constrains a visit_fields template to one struct while still accepting
+/// const and non-const references through a single definition:
+///   template <typename V, typename F> requires FieldsOf<V, TheStruct>
+///   void visit_fields(V& v, F&& f) { ... }
+template <typename T, typename U>
+concept FieldsOf = std::is_same_v<std::remove_cv_t<T>, U>;
+
+namespace detail {
+
+/// Converts to any field type except the aggregate being probed itself —
+/// ruling the T{AnyField{}} copy-construction reading out of the count.
+template <typename Parent>
+struct AnyField {
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, Parent>)
+  constexpr operator T() const;  // never defined: unevaluated contexts only
+};
+
+template <typename T, std::size_t... I>
+constexpr bool brace_constructible(std::index_sequence<I...>) {
+  return requires { T{((void)I, AnyField<T>{})...}; };
+}
+
+}  // namespace detail
+
+/// Number of direct members of aggregate T (nested structs count as one).
+template <typename T, std::size_t N = 0>
+constexpr std::size_t field_count() {
+  static_assert(std::is_aggregate_v<T>, "field_count only audits aggregates");
+  if constexpr (!detail::brace_constructible<T>(std::make_index_sequence<N + 1>{}))
+    return N;
+  else
+    return field_count<T, N + 1>();
+}
+
+}  // namespace red::common

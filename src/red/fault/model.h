@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "red/common/contracts.h"
+#include "red/common/visit_fields.h"
 
 namespace red::fault {
 
@@ -54,6 +55,23 @@ struct FaultModel {
   }
 };
 
+/// Field list for FaultModel, consumed by plan::structural_key, the plan
+/// JSON round-trip, and (through them) every checkpoint fingerprint. Adding
+/// a field without extending this visitor fails to compile.
+template <typename M, typename F>
+  requires common::FieldsOf<M, FaultModel>
+void visit_fields(M& m, F&& f) {
+  static_assert(common::field_count<FaultModel>() == 6,
+                "FaultModel changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("sa0_rate", m.sa0_rate);
+  f("sa1_rate", m.sa1_rate);
+  f("wordline_rate", m.wordline_rate);
+  f("bitline_rate", m.bitline_rate);
+  f("drift_sigma", m.drift_sigma);
+  f("seed", m.seed);
+}
+
 /// Mitigation budget the array provisions. Spares repair faulty lines in
 /// index order until exhausted; remapping permutes crossbar rows so
 /// high-magnitude logical rows avoid damaged physical rows (kept only when
@@ -77,6 +95,19 @@ struct RepairPolicy {
   }
 };
 
+/// Field list for RepairPolicy (same consumers as FaultModel's).
+template <typename R, typename F>
+  requires common::FieldsOf<R, RepairPolicy>
+void visit_fields(R& r, F&& f) {
+  static_assert(common::field_count<RepairPolicy>() == 4,
+                "RepairPolicy changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("spare_rows", r.spare_rows);
+  f("spare_cols", r.spare_cols);
+  f("remap_rows", r.remap_rows);
+  f("verify_retries", r.verify_retries);
+}
+
 /// Fault environment + mitigation provision, as carried by DesignConfig.
 /// The model describes the assumed defect environment (consumed by fault
 /// campaigns and the min_fault_snr optimizer constraint); the repair policy
@@ -90,6 +121,17 @@ struct FaultConfig {
     repair.validate();
   }
 };
+
+/// Field list for FaultConfig: both sub-structs, visited as nested fields.
+template <typename C, typename F>
+  requires common::FieldsOf<C, FaultConfig>
+void visit_fields(C& c, F&& f) {
+  static_assert(common::field_count<FaultConfig>() == 2,
+                "FaultConfig changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("model", c.model);
+  f("repair", c.repair);
+}
 
 /// What injection + repair did to one crossbar (or, summed, one layer/stack).
 struct RepairReport {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "red/common/visit_fields.h"
 #include "red/tensor/shape.h"
 
 namespace red::nn {
@@ -45,6 +46,28 @@ struct DeconvLayerSpec {
 
   [[nodiscard]] std::string to_string() const;
 };
+
+/// Field list for DeconvLayerSpec. `name` is presentation-only — two specs
+/// differing only in name describe the same structure, so it is excluded
+/// from structural keys (structural = false) but still serialized.
+template <typename S, typename F>
+  requires common::FieldsOf<S, DeconvLayerSpec>
+void visit_fields(S& s, F&& f) {
+  static_assert(common::field_count<DeconvLayerSpec>() == 10,
+                "DeconvLayerSpec changed: extend visit_fields so "
+                "structural_key, JSON, and fingerprints keep covering every "
+                "field");
+  f("name", s.name, common::FieldInfo{.structural = false});
+  f("ih", s.ih);
+  f("iw", s.iw);
+  f("c", s.c);
+  f("m", s.m);
+  f("kh", s.kh);
+  f("kw", s.kw);
+  f("stride", s.stride);
+  f("pad", s.pad);
+  f("output_pad", s.output_pad);
+}
 
 /// Geometry of the zero-padding algorithm's padded input (Algorithm 1).
 ///

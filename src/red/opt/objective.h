@@ -9,6 +9,8 @@
 // scale-invariant — nanoseconds and picojoules mix without one unit drowning
 // the other, and weight w on a term means "a 1% improvement there is worth w
 // times a 1% improvement elsewhere".
+// red-lint: internal-header (private to opt/; outside the subsystem include
+// red/opt/optimizer.h, which re-exports the Objective API)
 #pragma once
 
 #include <cstdint>

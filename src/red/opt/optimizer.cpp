@@ -434,9 +434,11 @@ MergeResult Optimizer::merge_states(
   // frontier's canonical tie-breaks (and its checkpoint) identical to the
   // single-process run's.
   merged.state.evaluated.reserve(evals.size());
+  // red-lint: allow(unordered-iteration) — hash order is erased by the sort
   for (auto& [ordinal, e] : evals) merged.state.evaluated.push_back(std::move(e));
   std::sort(merged.state.evaluated.begin(), merged.state.evaluated.end(),
             [](const CandidateEval& a, const CandidateEval& b) { return a.ordinal < b.ordinal; });
+  // red-lint: allow(unordered-iteration) — ditto: assign order is erased
   merged.state.pruned.assign(pruned.begin(), pruned.end());
   std::sort(merged.state.pruned.begin(), merged.state.pruned.end());
   merged.state.reindex();

@@ -5,6 +5,7 @@
 #include "red/common/contracts.h"
 #include "red/common/error.h"
 #include "red/fault/inject.h"
+#include "red/report/json.h"
 
 namespace red::opt {
 
@@ -191,7 +192,10 @@ double stack_total(const CandidateView& v, Get get) {
 }  // namespace
 
 Constraint max_area_mm2(double mm2) {
-  return {"max_area_mm2(" + std::to_string(mm2) + ")", [mm2](const CandidateView& v) {
+  // json_number (round-trip exact), not std::to_string: the name is part of
+  // the constraint's identity, and 6-digit truncation would alias nearby
+  // thresholds in checkpoints.
+  return {"max_area_mm2(" + report::json_number(mm2) + ")", [mm2](const CandidateView& v) {
             return stack_total(v, [](const arch::CostReport& c) {
                      return c.total_area().value();
                    }) / 1e6 <=
@@ -200,7 +204,7 @@ Constraint max_area_mm2(double mm2) {
 }
 
 Constraint max_energy_uj(double uj) {
-  return {"max_energy_uj(" + std::to_string(uj) + ")", [uj](const CandidateView& v) {
+  return {"max_energy_uj(" + report::json_number(uj) + ")", [uj](const CandidateView& v) {
             return stack_total(v, [](const arch::CostReport& c) {
                      return c.total_energy().value();
                    }) / 1e6 <=
@@ -212,7 +216,7 @@ Constraint min_fault_snr(double min_db) {
   // The fault model and repair policy come from the candidate's own config
   // (they are structural-key fields), so the threshold alone identifies the
   // constraint within one space.
-  return {"min_fault_snr(" + std::to_string(min_db) + ")", [min_db](const CandidateView& v) {
+  return {"min_fault_snr(" + report::json_number(min_db) + ")", [min_db](const CandidateView& v) {
             const auto& cfg = v.point.cfg;
             const int slices = cfg.quant.slices();
             for (const auto& lp : v.plan.layers)

@@ -57,10 +57,27 @@ std::vector<Candidate> unexplored_prefix(const SearchSpace& space, const Optimiz
   return batch;
 }
 
+}  // namespace
+
+std::string options_key(const SearchOptions& options) {
+  // Length-prefixed so strategy names of different lengths can never make
+  // one key a prefix-alias of another, and visitor-driven so a new tuning
+  // knob is keyed the moment it is added to SearchOptions.
+  std::string key;
+  visit_fields(options, [&key](const char*, const auto& v, common::FieldInfo info = {}) {
+    if (!info.structural) return;  // shard spec: one identity across shards
+    append_raw(key, v);
+  });
+  return ":" + std::to_string(key.size()) + ":" + key;
+}
+
+namespace {
+
 class ExhaustiveSearch final : public SearchStrategy {
  public:
   explicit ExhaustiveSearch(const SearchOptions& opt)
-      : batch_(std::max(opt.batch, 1)),
+      : opt_(opt),
+        batch_(std::max(opt.batch, 1)),
         shard_index_(opt.shard_index),
         shard_count_(std::max(opt.shard_count, 1)) {
     if (shard_index_ < 0 || shard_index_ >= shard_count_)
@@ -69,14 +86,7 @@ class ExhaustiveSearch final : public SearchStrategy {
 
   [[nodiscard]] std::string name() const override { return "exhaustive"; }
 
-  [[nodiscard]] std::string key() const override {
-    // The shard spec is deliberately NOT part of the key: all shards of a
-    // search share one identity (see SearchOptions), which is what lets
-    // merge-checkpoints verify their checkpoints belong together.
-    std::string key = "exhaustive";
-    append_raw(key, batch_);
-    return key;
-  }
+  [[nodiscard]] std::string key() const override { return "exhaustive" + options_key(opt_); }
 
   [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
                                                const OptimizerState& state,
@@ -100,6 +110,7 @@ class ExhaustiveSearch final : public SearchStrategy {
   }
 
  private:
+  SearchOptions opt_;
   std::int64_t batch_;
   std::int64_t shard_index_;
   std::int64_t shard_count_;
@@ -115,13 +126,7 @@ class AnnealingSearch final : public SearchStrategy {
 
   [[nodiscard]] std::string name() const override { return "anneal"; }
 
-  [[nodiscard]] std::string key() const override {
-    std::string key = "anneal";
-    append_raw(key, opt_.t0);
-    append_raw(key, opt_.cooling);
-    append_raw(key, opt_.restart_prob);
-    return key;
-  }
+  [[nodiscard]] std::string key() const override { return "anneal" + options_key(opt_); }
 
   [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
                                                const OptimizerState& state,
@@ -173,15 +178,11 @@ class AnnealingSearch final : public SearchStrategy {
 class EvolutionarySearch final : public SearchStrategy {
  public:
   explicit EvolutionarySearch(const SearchOptions& opt)
-      : population_(std::max(opt.population, 2)) {}
+      : opt_(opt), population_(std::max(opt.population, 2)) {}
 
   [[nodiscard]] std::string name() const override { return "evolve"; }
 
-  [[nodiscard]] std::string key() const override {
-    std::string key = "evolve";
-    append_raw(key, population_);
-    return key;
-  }
+  [[nodiscard]] std::string key() const override { return "evolve" + options_key(opt_); }
 
   [[nodiscard]] std::vector<Candidate> propose(const SearchSpace& space,
                                                const OptimizerState& state,
@@ -251,6 +252,7 @@ class EvolutionarySearch final : public SearchStrategy {
   }
 
  private:
+  SearchOptions opt_;
   std::int64_t population_;
 };
 

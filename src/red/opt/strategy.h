@@ -34,6 +34,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "red/common/visit_fields.h"
 #include "red/opt/objective.h"
 #include "red/opt/space.h"
 
@@ -105,6 +106,32 @@ struct SearchOptions {
   int shard_index = 0;       ///< this process's shard in [0, shard_count)
   int shard_count = 1;       ///< disjoint ordinal partitions (1 = unsharded)
 };
+
+/// Field list for SearchOptions (see common/visit_fields.h), consumed by
+/// options_key() and through it every strategy key and checkpoint
+/// fingerprint. The shard spec is execution-only (structural = false): all
+/// shards of a search share one identity, which is what lets
+/// merge-checkpoints verify their checkpoints belong together.
+template <typename O, typename F>
+  requires common::FieldsOf<O, SearchOptions>
+void visit_fields(O& o, F&& f) {
+  static_assert(common::field_count<SearchOptions>() == 7,
+                "SearchOptions changed: extend visit_fields so strategy keys "
+                "and checkpoint fingerprints keep covering every field");
+  f("batch", o.batch);
+  f("population", o.population);
+  f("t0", o.t0);
+  f("cooling", o.cooling);
+  f("restart_prob", o.restart_prob);
+  f("shard_index", o.shard_index, common::FieldInfo{.structural = false});
+  f("shard_count", o.shard_count, common::FieldInfo{.structural = false});
+}
+
+/// Canonical byte string over every structural SearchOptions field, folded
+/// into each strategy's key (and so into the checkpoint fingerprint). Driven
+/// by visit_fields, so a new tuning knob cannot silently stay out of the
+/// search identity.
+[[nodiscard]] std::string options_key(const SearchOptions& options);
 
 /// Deterministic counter RNG (SplitMix64 finalizer chain): the value is a
 /// pure function of (seed, step, salt), which is what makes checkpointed

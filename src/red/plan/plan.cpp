@@ -23,6 +23,46 @@ void append_raw(std::string& key, const T& value) {
   key.append(bytes, sizeof(T));
 }
 
+// ---- visitor-driven structural key -----------------------------------------
+// The key walks the visit_fields lists (common/visit_fields.h), so a config
+// field that exists but is not keyed is impossible by construction: adding a
+// field without extending its visitor fails the visitor's static_assert, and
+// extending the visitor feeds the key (and the JSON round-trip) at once.
+
+template <typename T>
+void append_key_field(std::string& key, const T& v);
+
+template <typename T>
+void append_key_fields(std::string& key, const T& obj) {
+  visit_fields(obj, [&key](const char*, const auto& v, common::FieldInfo info = {}) {
+    // Execution-only fields (DesignConfig::threads, presentation names)
+    // change scheduling or display, never results — the bit-identity
+    // contract is what licenses sharing cache entries across them.
+    if (info.structural) append_key_field(key, v);
+  });
+}
+
+template <typename T>
+void append_key_field(std::string& key, const T& v) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    // Variable-width fields must be length-framed: an unframed string
+    // between raw byte fields lets one key's bytes masquerade as another
+    // key's following field bytes, silently aliasing distinct configs.
+    append_raw(key, static_cast<std::uint64_t>(v.size()));
+    key += v;
+  } else if constexpr (std::is_enum_v<T>) {
+    append_raw(key, static_cast<std::int64_t>(v));
+  } else if constexpr (std::is_arithmetic_v<T>) {
+    append_raw(key, v);
+  } else if constexpr (std::is_same_v<T, tech::Calibration>) {
+    // Field by field (the struct has padding, so a whole-object fingerprint
+    // would split identical configs into distinct keys).
+    tech::visit_calibration(v, [&key](const char*, const auto& c) { append_raw(key, c); });
+  } else {
+    append_key_fields(key, v);  // nested config struct: recurse its visitor
+  }
+}
+
 // The one home of RED's fold rule (config override, else auto); both
 // resolve_fold entry points and plan_layer go through it so the spec-driven
 // and plan-driven paths can never diverge.
@@ -161,59 +201,8 @@ std::string structural_key(arch::DesignKind kind, const arch::DesignConfig& cfg,
   std::string key;
   key.reserve(2 * sizeof(tech::Calibration));
   append_raw(key, static_cast<int>(kind));
-  append_raw(key, cfg.mux_ratio);
-  append_raw(key, cfg.red_max_subcrossbars);
-  append_raw(key, cfg.red_fold);
-  append_raw(key, cfg.bit_accurate);
-  append_raw(key, cfg.tiled);
-  append_raw(key, cfg.activation_sparsity);
-  append_raw(key, cfg.tiling.subarray_rows);
-  append_raw(key, cfg.tiling.subarray_cols);
-  append_raw(key, cfg.quant.wbits);
-  append_raw(key, cfg.quant.abits);
-  append_raw(key, cfg.quant.cell_bits);
-  append_raw(key, cfg.quant.dac_bits);
-  append_raw(key, cfg.quant.adc.mode);
-  append_raw(key, cfg.quant.adc.bits);
-  append_raw(key, cfg.quant.variation.level_sigma);
-  append_raw(key, cfg.quant.variation.stuck_at_rate);
-  append_raw(key, cfg.quant.variation.sa0_rate);
-  append_raw(key, cfg.quant.variation.sa1_rate);
-  append_raw(key, cfg.quant.variation.seed);
-  append_raw(key, cfg.fault.model.sa0_rate);
-  append_raw(key, cfg.fault.model.sa1_rate);
-  append_raw(key, cfg.fault.model.wordline_rate);
-  append_raw(key, cfg.fault.model.bitline_rate);
-  append_raw(key, cfg.fault.model.drift_sigma);
-  append_raw(key, cfg.fault.model.seed);
-  append_raw(key, cfg.fault.repair.spare_rows);
-  append_raw(key, cfg.fault.repair.spare_cols);
-  append_raw(key, cfg.fault.repair.remap_rows);
-  append_raw(key, cfg.fault.repair.verify_retries);
-  // Calibration constants field by field (the struct has padding, so a whole-
-  // object fingerprint would split identical configs into distinct keys).
-  tech::visit_calibration(cfg.calib, [&key](const char*, const auto& v) {
-    append_raw(key, v);
-  });
-  // Variable-width fields must be length-framed: an unframed string between
-  // raw byte fields lets one key's name bytes masquerade as another key's
-  // following field bytes, silently aliasing distinct configs to one cached
-  // result the moment a second variable-width field joins the key.
-  append_raw(key, static_cast<std::uint64_t>(cfg.node.name.size()));
-  key += cfg.node.name;
-  append_raw(key, cfg.node.feature_nm);
-  append_raw(key, cfg.node.vdd);
-  append_raw(key, cfg.node.clock_ghz);
-  // Layer geometry; the name is presentation-only.
-  append_raw(key, spec.ih);
-  append_raw(key, spec.iw);
-  append_raw(key, spec.c);
-  append_raw(key, spec.m);
-  append_raw(key, spec.kh);
-  append_raw(key, spec.kw);
-  append_raw(key, spec.stride);
-  append_raw(key, spec.pad);
-  append_raw(key, spec.output_pad);
+  append_key_fields(key, cfg);   // every structural DesignConfig field
+  append_key_fields(key, spec);  // layer geometry; the name is presentation-only
   return key;
 }
 

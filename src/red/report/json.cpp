@@ -112,77 +112,84 @@ void JsonWriter::pad() {
 namespace {
 
 // ---- plan serialization -----------------------------------------------------
+// Writer and reader both walk the visit_fields lists (common/visit_fields.h),
+// so the JSON schema, the parser, and plan::structural_key consume one field
+// list per struct — a field that serializes but does not parse (or is keyed
+// but not serialized) is impossible by construction.
+
+template <typename T>
+void write_json_field(JsonWriter& w, const char* name, const T& v) {
+  if constexpr (std::is_same_v<T, xbar::AdcMode>) {
+    w.field(name, v == xbar::AdcMode::kIdeal ? "ideal" : "clipped");
+  } else if constexpr (std::is_same_v<T, std::string> || std::is_same_v<T, bool>) {
+    w.field(name, v);
+  } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+    w.field(name, v);  // seeds: full 64-bit range, exact
+  } else if constexpr (std::is_integral_v<T>) {
+    w.field(name, std::int64_t{v});
+  } else if constexpr (std::is_floating_point_v<T>) {
+    w.field(name, double{v});
+  } else if constexpr (std::is_same_v<T, tech::Calibration>) {
+    w.object(name);
+    tech::visit_calibration(v, [&w](const char* n, const auto& c) {
+      if constexpr (std::is_same_v<std::decay_t<decltype(c)>, int>)
+        w.field(n, std::int64_t{c});
+      else
+        w.field(n, double{c});
+    });
+    w.close(false);
+  } else {
+    w.object(name);
+    visit_fields(v, [&w](const char* n, const auto& x, common::FieldInfo = {}) {
+      write_json_field(w, n, x);
+    });
+    w.close(false);
+  }
+}
+
+template <typename T>
+void read_json_field(const JsonValue& obj, const char* name, T& v) {
+  if constexpr (std::is_same_v<T, xbar::AdcMode>) {
+    const std::string& mode = obj.at(name).as_string();
+    if (mode == "ideal") v = xbar::AdcMode::kIdeal;
+    else if (mode == "clipped") v = xbar::AdcMode::kClipped;
+    else throw ConfigError("json: unknown adc mode '" + mode + "'");
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    v = obj.at(name).as_string();
+  } else if constexpr (std::is_same_v<T, bool>) {
+    v = obj.at(name).as_bool();
+  } else if constexpr (std::is_same_v<T, std::uint64_t>) {
+    v = obj.at(name).as_uint();
+  } else if constexpr (std::is_integral_v<T>) {
+    v = static_cast<T>(obj.at(name).as_int());
+  } else if constexpr (std::is_floating_point_v<T>) {
+    v = static_cast<T>(obj.at(name).as_double());
+  } else if constexpr (std::is_same_v<T, tech::Calibration>) {
+    const JsonValue& cal = obj.at(name);
+    tech::visit_calibration(v, [&cal](const char* n, auto& field) {
+      if constexpr (std::is_same_v<std::decay_t<decltype(field)>, int>)
+        field = static_cast<int>(cal.at(n).as_int());
+      else
+        field = cal.at(n).as_double();
+    });
+  } else {
+    const JsonValue& nested = obj.at(name);
+    visit_fields(v, [&nested](const char* n, auto& x, common::FieldInfo = {}) {
+      read_json_field(nested, n, x);
+    });
+  }
+}
 
 void write_spec(JsonWriter& w, const nn::DeconvLayerSpec& spec) {
-  w.field("name", spec.name);
-  w.field("ih", std::int64_t{spec.ih});
-  w.field("iw", std::int64_t{spec.iw});
-  w.field("c", std::int64_t{spec.c});
-  w.field("m", std::int64_t{spec.m});
-  w.field("kh", std::int64_t{spec.kh});
-  w.field("kw", std::int64_t{spec.kw});
-  w.field("stride", std::int64_t{spec.stride});
-  w.field("pad", std::int64_t{spec.pad});
-  w.field("output_pad", std::int64_t{spec.output_pad});
+  nn::visit_fields(spec, [&w](const char* n, const auto& x, common::FieldInfo = {}) {
+    write_json_field(w, n, x);
+  });
 }
 
 void write_config(JsonWriter& w, const arch::DesignConfig& cfg) {
-  w.field("mux_ratio", std::int64_t{cfg.mux_ratio});
-  w.field("red_max_subcrossbars", std::int64_t{cfg.red_max_subcrossbars});
-  w.field("red_fold", std::int64_t{cfg.red_fold});
-  w.field("bit_accurate", cfg.bit_accurate);
-  w.field("tiled", cfg.tiled);
-  w.field("activation_sparsity", cfg.activation_sparsity);
-  w.field("threads", std::int64_t{cfg.threads});
-  w.object("tiling");
-  w.field("subarray_rows", cfg.tiling.subarray_rows);
-  w.field("subarray_cols", cfg.tiling.subarray_cols);
-  w.close(false);
-  w.object("quant");
-  w.field("wbits", std::int64_t{cfg.quant.wbits});
-  w.field("abits", std::int64_t{cfg.quant.abits});
-  w.field("cell_bits", std::int64_t{cfg.quant.cell_bits});
-  w.field("dac_bits", std::int64_t{cfg.quant.dac_bits});
-  w.field("adc_mode", cfg.quant.adc.mode == xbar::AdcMode::kIdeal ? "ideal" : "clipped");
-  w.field("adc_bits", std::int64_t{cfg.quant.adc.bits});
-  w.object("variation");
-  w.field("level_sigma", cfg.quant.variation.level_sigma);
-  w.field("stuck_at_rate", cfg.quant.variation.stuck_at_rate);
-  w.field("sa0_rate", cfg.quant.variation.sa0_rate);
-  w.field("sa1_rate", cfg.quant.variation.sa1_rate);
-  w.field("seed", std::uint64_t{cfg.quant.variation.seed});
-  w.close(false);
-  w.close(false);
-  w.object("fault");
-  w.object("model");
-  w.field("sa0_rate", cfg.fault.model.sa0_rate);
-  w.field("sa1_rate", cfg.fault.model.sa1_rate);
-  w.field("wordline_rate", cfg.fault.model.wordline_rate);
-  w.field("bitline_rate", cfg.fault.model.bitline_rate);
-  w.field("drift_sigma", cfg.fault.model.drift_sigma);
-  w.field("seed", std::uint64_t{cfg.fault.model.seed});
-  w.close(false);
-  w.object("repair");
-  w.field("spare_rows", std::int64_t{cfg.fault.repair.spare_rows});
-  w.field("spare_cols", std::int64_t{cfg.fault.repair.spare_cols});
-  w.field("remap_rows", cfg.fault.repair.remap_rows);
-  w.field("verify_retries", std::int64_t{cfg.fault.repair.verify_retries});
-  w.close(false);
-  w.close(false);
-  w.object("calibration");
-  tech::visit_calibration(cfg.calib, [&w](const char* name, const auto& v) {
-    if constexpr (std::is_same_v<std::decay_t<decltype(v)>, int>)
-      w.field(name, std::int64_t{v});
-    else
-      w.field(name, double{v});
+  arch::visit_fields(cfg, [&w](const char* n, const auto& x, common::FieldInfo = {}) {
+    write_json_field(w, n, x);
   });
-  w.close(false);
-  w.object("node");
-  w.field("name", cfg.node.name);
-  w.field("feature_nm", cfg.node.feature_nm);
-  w.field("vdd", cfg.node.vdd);
-  w.field("clock_ghz", cfg.node.clock_ghz);
-  w.close(false);
 }
 
 void write_mapping(JsonWriter& w, const plan::LayerPlan& lp) {
@@ -447,72 +454,17 @@ class JsonParser {
 
 nn::DeconvLayerSpec spec_from_json(const JsonValue& v) {
   nn::DeconvLayerSpec spec;
-  spec.name = v.at("name").as_string();
-  spec.ih = static_cast<int>(v.at("ih").as_int());
-  spec.iw = static_cast<int>(v.at("iw").as_int());
-  spec.c = static_cast<int>(v.at("c").as_int());
-  spec.m = static_cast<int>(v.at("m").as_int());
-  spec.kh = static_cast<int>(v.at("kh").as_int());
-  spec.kw = static_cast<int>(v.at("kw").as_int());
-  spec.stride = static_cast<int>(v.at("stride").as_int());
-  spec.pad = static_cast<int>(v.at("pad").as_int());
-  spec.output_pad = static_cast<int>(v.at("output_pad").as_int());
+  nn::visit_fields(spec, [&v](const char* n, auto& x, common::FieldInfo = {}) {
+    read_json_field(v, n, x);
+  });
   return spec;
 }
 
 arch::DesignConfig config_from_json(const JsonValue& v) {
   arch::DesignConfig cfg;
-  cfg.mux_ratio = static_cast<int>(v.at("mux_ratio").as_int());
-  cfg.red_max_subcrossbars = static_cast<int>(v.at("red_max_subcrossbars").as_int());
-  cfg.red_fold = static_cast<int>(v.at("red_fold").as_int());
-  cfg.bit_accurate = v.at("bit_accurate").as_bool();
-  cfg.tiled = v.at("tiled").as_bool();
-  cfg.activation_sparsity = v.at("activation_sparsity").as_double();
-  cfg.threads = static_cast<int>(v.at("threads").as_int());
-  const JsonValue& tiling = v.at("tiling");
-  cfg.tiling.subarray_rows = tiling.at("subarray_rows").as_int();
-  cfg.tiling.subarray_cols = tiling.at("subarray_cols").as_int();
-  const JsonValue& quant = v.at("quant");
-  cfg.quant.wbits = static_cast<int>(quant.at("wbits").as_int());
-  cfg.quant.abits = static_cast<int>(quant.at("abits").as_int());
-  cfg.quant.cell_bits = static_cast<int>(quant.at("cell_bits").as_int());
-  cfg.quant.dac_bits = static_cast<int>(quant.at("dac_bits").as_int());
-  const std::string& adc_mode = quant.at("adc_mode").as_string();
-  if (adc_mode == "ideal") cfg.quant.adc.mode = xbar::AdcMode::kIdeal;
-  else if (adc_mode == "clipped") cfg.quant.adc.mode = xbar::AdcMode::kClipped;
-  else throw ConfigError("plan JSON: unknown adc_mode '" + adc_mode + "'");
-  cfg.quant.adc.bits = static_cast<int>(quant.at("adc_bits").as_int());
-  const JsonValue& var = quant.at("variation");
-  cfg.quant.variation.level_sigma = var.at("level_sigma").as_double();
-  cfg.quant.variation.stuck_at_rate = var.at("stuck_at_rate").as_double();
-  cfg.quant.variation.sa0_rate = var.at("sa0_rate").as_double();
-  cfg.quant.variation.sa1_rate = var.at("sa1_rate").as_double();
-  cfg.quant.variation.seed = var.at("seed").as_uint();
-  const JsonValue& flt = v.at("fault");
-  const JsonValue& fmodel = flt.at("model");
-  cfg.fault.model.sa0_rate = fmodel.at("sa0_rate").as_double();
-  cfg.fault.model.sa1_rate = fmodel.at("sa1_rate").as_double();
-  cfg.fault.model.wordline_rate = fmodel.at("wordline_rate").as_double();
-  cfg.fault.model.bitline_rate = fmodel.at("bitline_rate").as_double();
-  cfg.fault.model.drift_sigma = fmodel.at("drift_sigma").as_double();
-  cfg.fault.model.seed = fmodel.at("seed").as_uint();
-  const JsonValue& frepair = flt.at("repair");
-  cfg.fault.repair.spare_rows = static_cast<int>(frepair.at("spare_rows").as_int());
-  cfg.fault.repair.spare_cols = static_cast<int>(frepair.at("spare_cols").as_int());
-  cfg.fault.repair.remap_rows = frepair.at("remap_rows").as_bool();
-  cfg.fault.repair.verify_retries = static_cast<int>(frepair.at("verify_retries").as_int());
-  const JsonValue& cal = v.at("calibration");
-  tech::visit_calibration(cfg.calib, [&cal](const char* name, auto& field) {
-    if constexpr (std::is_same_v<std::decay_t<decltype(field)>, int>)
-      field = static_cast<int>(cal.at(name).as_int());
-    else
-      field = cal.at(name).as_double();
+  arch::visit_fields(cfg, [&v](const char* n, auto& x, common::FieldInfo = {}) {
+    read_json_field(v, n, x);
   });
-  const JsonValue& node = v.at("node");
-  cfg.node.name = node.at("name").as_string();
-  cfg.node.feature_nm = node.at("feature_nm").as_double();
-  cfg.node.vdd = node.at("vdd").as_double();
-  cfg.node.clock_ghz = node.at("clock_ghz").as_double();
   return cfg;
 }
 

@@ -28,6 +28,8 @@
 //   ZP latency 1.55–2.62x PF on GANs.
 #pragma once
 
+#include "red/common/visit_fields.h"
+
 namespace red::tech {
 
 struct Calibration {
@@ -107,6 +109,9 @@ struct Calibration {
 /// automatically fingerprinted and serialized — the lists cannot drift apart.
 template <typename Cal, typename F>
 void visit_calibration(Cal& cal, F&& f) {
+  static_assert(common::field_count<Calibration>() == 50,
+                "Calibration changed: extend visit_calibration so the plan "
+                "fingerprint and JSON keep covering every constant");
   f("t_dec_base", cal.t_dec_base);
   f("t_dec_per_bit", cal.t_dec_per_bit);
   f("t_broadcast_bit", cal.t_broadcast_bit);

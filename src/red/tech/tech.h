@@ -7,6 +7,8 @@
 
 #include <string>
 
+#include "red/common/visit_fields.h"
+
 namespace red::tech {
 
 struct TechNode {
@@ -28,6 +30,20 @@ struct TechNode {
   [[nodiscard]] static TechNode node45();
   [[nodiscard]] static TechNode node32();
 };
+
+/// Field list for TechNode. `name` is a variable-width string — key builders
+/// must length-frame it (plan::structural_key does).
+template <typename N, typename F>
+  requires common::FieldsOf<N, TechNode>
+void visit_fields(N& n, F&& f) {
+  static_assert(common::field_count<TechNode>() == 4,
+                "TechNode changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("name", n.name);
+  f("feature_nm", n.feature_nm);
+  f("vdd", n.vdd);
+  f("clock_ghz", n.clock_ghz);
+}
 
 /// 1T1R ReRAM cell parameters.
 struct CellParams {

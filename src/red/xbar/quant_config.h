@@ -5,6 +5,7 @@
 
 #include "red/common/contracts.h"
 #include "red/common/math_util.h"
+#include "red/common/visit_fields.h"
 #include "red/xbar/variation.h"
 
 namespace red::xbar {
@@ -18,6 +19,17 @@ struct AdcConfig {
   AdcMode mode = AdcMode::kIdeal;
   int bits = 8;  ///< only used in kClipped mode
 };
+
+/// Field list for AdcConfig (see common/visit_fields.h). The enum is visited
+/// as-is; consumers that serialize it own the name mapping.
+template <typename Adc, typename F>
+  requires common::FieldsOf<Adc, AdcConfig>
+void visit_fields(Adc& a, F&& f) {
+  static_assert(common::field_count<AdcConfig>() == 2,
+                "AdcConfig changed: extend visit_fields");
+  f("mode", a.mode);
+  f("bits", a.bits);
+}
 
 /// Data-path widths. Weights are offset-encoded (w + 2^(wbits-1), always
 /// non-negative) and split into base-2^cell_bits digits across `slices()`
@@ -54,5 +66,21 @@ struct QuantConfig {
     variation.validate();
   }
 };
+
+/// Field list for QuantConfig. Nested structs (adc, variation) are visited
+/// as single fields; consumers recurse through their own visitors.
+template <typename Q, typename F>
+  requires common::FieldsOf<Q, QuantConfig>
+void visit_fields(Q& q, F&& f) {
+  static_assert(common::field_count<QuantConfig>() == 6,
+                "QuantConfig changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("wbits", q.wbits);
+  f("abits", q.abits);
+  f("cell_bits", q.cell_bits);
+  f("dac_bits", q.dac_bits);
+  f("adc", q.adc);
+  f("variation", q.variation);
+}
 
 }  // namespace red::xbar

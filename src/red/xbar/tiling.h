@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "red/common/contracts.h"
+#include "red/common/visit_fields.h"
 
 namespace red::xbar {
 
@@ -24,6 +25,16 @@ struct TilingConfig {
     RED_EXPECTS(subarray_cols >= 1);
   }
 };
+
+/// Field list for TilingConfig (see common/visit_fields.h).
+template <typename T, typename F>
+  requires common::FieldsOf<T, TilingConfig>
+void visit_fields(T& t, F&& f) {
+  static_assert(common::field_count<TilingConfig>() == 2,
+                "TilingConfig changed: extend visit_fields");
+  f("subarray_rows", t.subarray_rows);
+  f("subarray_cols", t.subarray_cols);
+}
 
 struct TilePlan {
   std::int64_t logical_rows = 0;

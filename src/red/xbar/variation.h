@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "red/common/contracts.h"
+#include "red/common/visit_fields.h"
 
 namespace red::xbar {
 
@@ -44,6 +45,22 @@ struct VariationModel {
     RED_EXPECTS_MSG(stuck_total() <= 1.0, "combined stuck-at rates exceed 1");
   }
 };
+
+/// Field list consumed by plan::structural_key and the plan JSON round-trip.
+/// The static_assert makes "added a field, forgot a consumer" a compile
+/// error: extend this visitor and every consumer follows automatically.
+template <typename Var, typename F>
+  requires common::FieldsOf<Var, VariationModel>
+void visit_fields(Var& v, F&& f) {
+  static_assert(common::field_count<VariationModel>() == 5,
+                "VariationModel changed: extend visit_fields so structural_key, "
+                "JSON, and fingerprints keep covering every field");
+  f("level_sigma", v.level_sigma);
+  f("stuck_at_rate", v.stuck_at_rate);
+  f("sa0_rate", v.sa0_rate);
+  f("sa1_rate", v.sa1_rate);
+  f("seed", v.seed);
+}
 
 /// Counters describing what the variation model did to one crossbar.
 struct VariationStats {

@@ -1,0 +1,7 @@
+// Fixture: double-stream must fire exactly once (raw double streamed in an
+// emitter path — bench/).
+#include <iostream>
+
+void emit(double energy_pj) {
+  std::cout << "energy_pj=" << energy_pj << "\n";
+}

@@ -1,0 +1,6 @@
+// Fixture: naked-exit must fire exactly once (exit() outside red_cli.cpp).
+#include <cstdlib>
+
+void bail(bool broken) {
+  if (broken) std::exit(7);
+}

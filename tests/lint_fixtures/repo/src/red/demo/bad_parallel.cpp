@@ -1,0 +1,15 @@
+// Fixture: parallel-float-accum must fire exactly once (shared double
+// accumulated inside a parallel body; summation order depends on the
+// schedule).
+#include <cstdint>
+
+double work(std::int64_t i);
+
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn fn);
+
+double racy_total() {
+  double total = 0.0;
+  parallel_for(100, [&](std::int64_t i) { total += work(i); });
+  return total;
+}

@@ -1,0 +1,6 @@
+// Fixture: unseeded-rng must fire exactly once (time(nullptr) seed, fixable).
+#include <ctime>
+
+unsigned nondeterministic_seed() {
+  return static_cast<unsigned>(time(nullptr));
+}

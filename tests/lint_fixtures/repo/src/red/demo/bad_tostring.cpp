@@ -1,0 +1,6 @@
+// Fixture: double-tostring must fire exactly once (fixable to json_number).
+#include <string>
+
+std::string truncating_label(double threshold) {
+  return "limit(" + std::to_string(threshold) + ")";
+}

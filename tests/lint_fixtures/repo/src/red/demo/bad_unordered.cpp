@@ -1,0 +1,11 @@
+// Fixture: unordered-iteration must fire exactly once (range-for over a
+// hash map feeding an output vector).
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> hash_ordered_keys(const std::unordered_map<int, int>& src) {
+  std::unordered_map<int, int> index = src;
+  std::vector<int> keys;
+  for (const auto& [k, v] : index) keys.push_back(k);
+  return keys;
+}

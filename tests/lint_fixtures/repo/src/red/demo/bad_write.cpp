@@ -1,0 +1,8 @@
+// Fixture: raw-file-write must fire exactly once (ofstream outside
+// store/io.cpp).
+#include <fstream>
+#include <string>
+
+void tearable_write(const std::string& path) {
+  std::ofstream(path) << "not crash-safe";
+}

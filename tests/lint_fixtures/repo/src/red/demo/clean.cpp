@@ -1,0 +1,59 @@
+// Fixture: every construct here is a near-miss of some rule and must
+// produce ZERO findings — this file is the false-positive regression net.
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "red/demo/internal_detail.h"  // same-subsystem internal include: fine
+
+std::uint64_t opt_rnd(std::uint64_t counter);
+double work(std::int64_t i);
+
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn fn);
+
+// 'rand' as a substring of a counter-RNG call is not std::rand.
+std::uint64_t counter_random(std::uint64_t c) { return opt_rnd(c); }
+
+// Mentions of rand() or std::random_device in comments and strings are prose.
+const char* kDoc = "never use rand() or std::random_device here";
+
+// Ordered containers iterate deterministically.
+std::vector<int> sorted_keys(const std::map<int, int>& src) {
+  std::vector<int> keys;
+  for (const auto& [k, v] : src) keys.push_back(k);
+  return keys;
+}
+
+// Hash-container LOOKUP (find/count/at) never observes hash order.
+bool has_key(const std::unordered_map<int, int>& index, int k) {
+  return index.find(k) != index.end() && index.count(k) > 0;
+}
+
+// std::to_string on integers is exact.
+std::string int_label(int n) { return "n=" + std::to_string(n); }
+
+// A per-lane accumulator declared INSIDE the parallel body is the
+// sanctioned pattern: serial within a lane, merged deterministically after.
+void lane_local_sums(std::vector<double>& out) {
+  parallel_for(static_cast<std::int64_t>(out.size()), [&](std::int64_t lane) {
+    double local = 0.0;
+    local += work(lane);
+    out[static_cast<std::size_t>(lane)] = local;
+  });
+}
+
+// Indexed writes into distinct slots are per-index, not shared accumulation.
+void per_slot(std::vector<double>& out) {
+  parallel_for(static_cast<std::int64_t>(out.size()),
+               [&](std::int64_t i) { out[static_cast<std::size_t>(i)] += 1.0; });
+}
+
+// An explicitly allowed (and justified) raw write stays silent.
+void fixture_write(const std::string& path) {
+  // red-lint: allow(raw-file-write) — fixture setup, durability irrelevant
+  std::ofstream(path) << "fixture";
+}

@@ -1,0 +1,7 @@
+// Subsystem-private helper; the public surface is red/demo/demo.h.
+// red-lint: internal-header
+#pragma once
+
+namespace red::demo {
+int detail_helper();
+}  // namespace red::demo

@@ -1,0 +1,5 @@
+// Fixture: internal-include must fire exactly once (another subsystem's
+// internal-header included from outside its directory).
+#include "red/demo/internal_detail.h"
+
+int peek() { return red::demo::detail_helper(); }

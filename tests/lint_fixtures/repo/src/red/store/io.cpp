@@ -1,0 +1,10 @@
+// Fixture: store/io.cpp is the sanctioned home of raw file writes — the
+// raw-file-write rule must stay silent here without any allow() comment.
+#include <fstream>
+#include <string>
+
+namespace red::store {
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  std::ofstream(path + ".tmp") << bytes;  // (fixture stand-in for the real thing)
+}
+}  // namespace red::store

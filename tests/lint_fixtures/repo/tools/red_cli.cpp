@@ -1,0 +1,10 @@
+// Fixture: red_cli.cpp owns the documented exit-code table — naked-exit
+// must stay silent here without any allow() comment.
+#include <cstdlib>
+
+int run();
+
+int main() {
+  if (run() != 0) std::exit(4);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#!/bin/sh
+# red_lint behavioral test, driven by the seeded fixture mini-repo at
+# tests/lint_fixtures/repo:
+#   1. every rule fires exactly once on its bad_* fixture (exit 1)
+#   2. the clean fixtures produce zero findings (exit 0)
+#   3. the baseline ratchet: baselined findings pass, one MORE fails,
+#      one FEWER reports ratchet progress
+#   4. --fix rewrites the mechanical findings and the result lints clean
+#   5. usage errors exit 2
+# Usage: lint_test.sh <red_lint-binary> <source-dir> <build-dir>
+set -eu
+
+LINT="$1"
+SRC="$2"
+BUILD="$3"
+
+FIXTURES="$SRC/tests/lint_fixtures/repo"
+WORK="$BUILD/lint_test_work"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail() { echo "lint_test: FAIL: $1" >&2; exit 1; }
+
+# ---- 1. every rule fires on its seeded fixture -----------------------------
+OUT="$WORK/full.out"
+set +e
+"$LINT" --root "$FIXTURES" --baseline /dev/null > "$OUT"
+STATUS=$?
+set -e
+[ "$STATUS" -eq 1 ] || fail "seeded fixtures: expected exit 1, got $STATUS"
+
+expect_finding() {  # rule, file
+  grep -q "$2.*\[$1\]" "$OUT" || fail "rule $1 did not fire on $2"
+  n=$(grep -c "\[$1\]" "$OUT") || true
+  [ "$n" -eq 1 ] || fail "rule $1 fired $n times, expected exactly 1"
+}
+expect_finding unseeded-rng         src/red/demo/bad_rng.cpp
+expect_finding unordered-iteration  src/red/demo/bad_unordered.cpp
+expect_finding raw-file-write       src/red/demo/bad_write.cpp
+expect_finding double-tostring      src/red/demo/bad_tostring.cpp
+expect_finding double-stream        bench/bad_stream.cpp
+expect_finding naked-exit           src/red/demo/bad_exit.cpp
+expect_finding internal-include     src/red/other/bad_include.cpp
+expect_finding parallel-float-accum src/red/demo/bad_parallel.cpp
+
+# ---- 2. clean fixtures: zero findings (false-positive net) -----------------
+for f in src/red/demo/clean.cpp src/red/store/io.cpp tools/red_cli.cpp \
+         src/red/demo/internal_detail.h; do
+  "$LINT" --root "$FIXTURES" --baseline /dev/null "$f" > "$WORK/clean.out" \
+    || fail "clean fixture $f flagged: $(cat "$WORK/clean.out")"
+done
+
+# ---- 3. baseline ratchet ---------------------------------------------------
+cp -r "$FIXTURES" "$WORK/repo"
+BASE="$WORK/baseline.txt"
+"$LINT" --root "$WORK/repo" --baseline "$BASE" --write-baseline > /dev/null
+grep -q "unseeded-rng|src/red/demo/bad_rng.cpp|1" "$BASE" \
+  || fail "baseline missing expected rule|path|count line"
+
+# baselined findings pass...
+"$LINT" --root "$WORK/repo" --baseline "$BASE" > /dev/null \
+  || fail "fully-baselined repo should exit 0"
+
+# ...one more violation of an already-baselined (rule, file) pair fails...
+cat >> "$WORK/repo/src/red/demo/bad_rng.cpp" <<'EOF'
+unsigned second_seed() { return static_cast<unsigned>(time(nullptr)); }
+EOF
+set +e
+"$LINT" --root "$WORK/repo" --baseline "$BASE" > "$WORK/ratchet.out"
+STATUS=$?
+set -e
+[ "$STATUS" -eq 1 ] || fail "finding beyond baselined count: expected exit 1, got $STATUS"
+grep -q "1 new finding" "$WORK/ratchet.out" \
+  || fail "ratchet should report exactly the one finding past the baseline"
+
+# ...and one fewer reports ratchet progress (still exit 0).
+rm "$WORK/repo/src/red/demo/bad_exit.cpp"
+cp "$FIXTURES/src/red/demo/bad_rng.cpp" "$WORK/repo/src/red/demo/bad_rng.cpp"
+"$LINT" --root "$WORK/repo" --baseline "$BASE" > "$WORK/down.out" \
+  || fail "fewer findings than baseline must still pass"
+grep -q "no longer fire" "$WORK/down.out" \
+  || fail "ratchet-down should suggest --write-baseline"
+
+# ---- 4. --fix rewrites the mechanical findings -----------------------------
+"$LINT" --root "$WORK/repo" --baseline /dev/null --fix > /dev/null || true
+grep -q "json_number" "$WORK/repo/src/red/demo/bad_tostring.cpp" \
+  || fail "--fix did not rewrite std::to_string(double) to json_number"
+grep -q "0x9e3779b97f4a7c15" "$WORK/repo/src/red/demo/bad_rng.cpp" \
+  || fail "--fix did not replace the time(nullptr) seed with a constant"
+"$LINT" --root "$WORK/repo" --baseline /dev/null \
+        src/red/demo/bad_tostring.cpp src/red/demo/bad_rng.cpp > /dev/null \
+  || fail "fixed files should lint clean"
+
+# ---- 5. usage errors exit 2 ------------------------------------------------
+set +e
+"$LINT" --no-such-flag > /dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown flag should exit 2"
+"$LINT" --root /no/such/dir/at/all nonexistent.cpp > /dev/null 2>&1
+[ $? -eq 2 ] || fail "missing explicit path should exit 2"
+set -e
+
+echo "lint_test: PASS"

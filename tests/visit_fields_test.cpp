@@ -1,0 +1,233 @@
+// Compile-time field-coverage audit (common/visit_fields.h) and its three
+// consumers: plan::structural_key, the plan JSON round-trip, and the
+// opt::options_key strategy identity.
+//
+// The static_asserts inside each visit_fields body are the real gate —
+// adding a field to DesignConfig/FaultConfig/VariationModel/SearchOptions
+// without extending the visitor does not compile. The tests here close the
+// remaining gaps a static count cannot see: a visitor that names the right
+// number of fields but visits one twice, a structural leaf the key fails to
+// discriminate on, or a leaf that serializes but does not parse back.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "red/arch/design.h"
+#include "red/common/visit_fields.h"
+#include "red/nn/layer.h"
+#include "red/opt/strategy.h"
+#include "red/plan/plan.h"
+#include "red/report/json.h"
+#include "red/tech/calibration.h"
+
+namespace red {
+namespace {
+
+using common::FieldInfo;
+using common::field_count;
+
+// ---- generic leaf walker ----------------------------------------------------
+// Recurses through nested visitors, calling fn(path, leaf_ref, structural)
+// for every scalar/string leaf. `structural` is the AND of the flags along
+// the path, mirroring how structural_key skips execution-only fields.
+
+template <typename T, typename Fn>
+void for_each_leaf(T& obj, const std::string& prefix, bool structural, Fn&& fn) {
+  using D = std::remove_cv_t<T>;
+  if constexpr (std::is_arithmetic_v<D> || std::is_enum_v<D> ||
+                std::is_same_v<D, std::string>) {
+    fn(prefix, obj, structural);
+  } else if constexpr (std::is_same_v<D, tech::Calibration>) {
+    tech::visit_calibration(obj, [&](const char* n, auto& v) {
+      fn(prefix + "." + n, v, structural);
+    });
+  } else {
+    visit_fields(obj, [&](const char* n, auto& v, FieldInfo info = {}) {
+      for_each_leaf(v, prefix + "." + n, structural && info.structural, fn);
+    });
+  }
+}
+
+// Serialize a leaf's exact value (object representation for numbers, framed
+// text for strings) so two configs can be compared leaf-by-leaf without
+// floating-point formatting in the loop.
+template <typename T>
+std::string leaf_bytes(const T& v) {
+  if constexpr (std::is_same_v<std::remove_cv_t<T>, std::string>) return v;
+  else {
+    std::string out(sizeof(T), '\0');
+    std::memcpy(out.data(), &v, sizeof(T));
+    return out;
+  }
+}
+
+template <typename T>
+std::vector<std::pair<std::string, std::string>> leaf_snapshot(const T& obj) {
+  std::vector<std::pair<std::string, std::string>> leaves;
+  for_each_leaf(obj, "", true, [&](const std::string& path, const auto& v, bool) {
+    leaves.emplace_back(path, leaf_bytes(v));
+  });
+  return leaves;
+}
+
+// Mutate exactly the `target`-th leaf (in visitation order); returns the
+// path of the mutated leaf and whether it is structural.
+template <typename T>
+std::pair<std::string, bool> mutate_leaf(T& obj, int target) {
+  int index = 0;
+  std::pair<std::string, bool> hit{"", true};
+  for_each_leaf(obj, "", true, [&](const std::string& path, auto& v, bool structural) {
+    if (index++ != target) return;
+    hit = {path, structural};
+    using L = std::remove_cv_t<std::remove_reference_t<decltype(v)>>;
+    if constexpr (std::is_same_v<L, std::string>) v += "x";
+    else if constexpr (std::is_same_v<L, bool>) v = !v;
+    else if constexpr (std::is_enum_v<L>) v = static_cast<L>(static_cast<int>(v) ^ 1);
+    else v = static_cast<L>(v + 1);
+  });
+  return hit;
+}
+
+template <typename T>
+int leaf_count(const T& obj) {
+  int n = 0;
+  for_each_leaf(obj, "", true, [&](const std::string&, const auto&, bool) { ++n; });
+  return n;
+}
+
+// ---- visitor arity: every field visited exactly once ------------------------
+
+template <typename T>
+int direct_visit_count(const T& obj) {
+  int n = 0;
+  visit_fields(obj, [&](const char*, const auto&, FieldInfo = {}) { ++n; });
+  return n;
+}
+
+TEST(VisitFields, EveryVisitorCoversEveryFieldExactlyOnce) {
+  EXPECT_EQ(direct_visit_count(xbar::VariationModel{}), field_count<xbar::VariationModel>());
+  EXPECT_EQ(direct_visit_count(xbar::AdcConfig{}), field_count<xbar::AdcConfig>());
+  EXPECT_EQ(direct_visit_count(xbar::QuantConfig{}), field_count<xbar::QuantConfig>());
+  EXPECT_EQ(direct_visit_count(xbar::TilingConfig{}), field_count<xbar::TilingConfig>());
+  EXPECT_EQ(direct_visit_count(fault::FaultModel{}), field_count<fault::FaultModel>());
+  EXPECT_EQ(direct_visit_count(fault::RepairPolicy{}), field_count<fault::RepairPolicy>());
+  EXPECT_EQ(direct_visit_count(fault::FaultConfig{}), field_count<fault::FaultConfig>());
+  EXPECT_EQ(direct_visit_count(tech::TechNode{}), field_count<tech::TechNode>());
+  EXPECT_EQ(direct_visit_count(nn::DeconvLayerSpec{}), field_count<nn::DeconvLayerSpec>());
+  EXPECT_EQ(direct_visit_count(arch::DesignConfig{}), field_count<arch::DesignConfig>());
+  EXPECT_EQ(direct_visit_count(opt::SearchOptions{}), field_count<opt::SearchOptions>());
+}
+
+TEST(VisitFields, LeafPathsAreUnique) {
+  arch::DesignConfig cfg;
+  auto leaves = leaf_snapshot(cfg);
+  std::vector<std::string> paths;
+  for (const auto& [path, bytes] : leaves) paths.push_back(path);
+  std::sort(paths.begin(), paths.end());
+  EXPECT_EQ(std::adjacent_find(paths.begin(), paths.end()), paths.end())
+      << "two visitor fields share a path";
+}
+
+// ---- structural_key coverage ------------------------------------------------
+
+nn::DeconvLayerSpec test_spec() { return {"probe", 8, 8, 4, 8, 4, 4, 2, 1, 0}; }
+
+TEST(VisitFields, StructuralKeyDiscriminatesEveryStructuralConfigLeaf) {
+  const arch::DesignConfig base;
+  const std::string base_key = plan::structural_key(arch::DesignKind::kRed, base, test_spec());
+  const int n = leaf_count(base);
+  ASSERT_GT(n, 60);  // 12 top-level fields, calibration + nested structs expanded
+  for (int i = 0; i < n; ++i) {
+    arch::DesignConfig mutated;
+    const auto [path, structural] = mutate_leaf(mutated, i);
+    const std::string key = plan::structural_key(arch::DesignKind::kRed, mutated, test_spec());
+    if (structural)
+      EXPECT_NE(key, base_key) << "leaf " << path << " not covered by structural_key";
+    else
+      EXPECT_EQ(key, base_key) << "execution-only leaf " << path << " leaked into the key";
+  }
+}
+
+TEST(VisitFields, StructuralKeyDiscriminatesEveryStructuralSpecLeaf) {
+  const arch::DesignConfig cfg;
+  const std::string base_key = plan::structural_key(arch::DesignKind::kRed, cfg, test_spec());
+  const int n = leaf_count(test_spec());
+  ASSERT_EQ(n, 10);
+  for (int i = 0; i < n; ++i) {
+    nn::DeconvLayerSpec mutated = test_spec();
+    const auto [path, structural] = mutate_leaf(mutated, i);
+    const std::string key = plan::structural_key(arch::DesignKind::kRed, cfg, mutated);
+    if (structural)
+      EXPECT_NE(key, base_key) << "spec leaf " << path << " not covered";
+    else
+      EXPECT_EQ(key, base_key) << "presentation leaf " << path << " leaked into the key";
+  }
+}
+
+TEST(VisitFields, ThreadsIsTheOnlyExecutionOnlyConfigLeaf) {
+  arch::DesignConfig cfg;
+  std::vector<std::string> execution_only;
+  for_each_leaf(cfg, "cfg", true, [&](const std::string& path, const auto&, bool structural) {
+    if (!structural) execution_only.push_back(path);
+  });
+  EXPECT_EQ(execution_only, std::vector<std::string>{"cfg.threads"});
+}
+
+// ---- JSON round-trip coverage -----------------------------------------------
+
+TEST(VisitFields, PlanJsonRoundTripsEveryConfigLeaf) {
+  // Non-default values everywhere a plan stays compilable, including the
+  // execution-only field (JSON must carry it even though the key must not).
+  arch::DesignConfig cfg;
+  cfg.mux_ratio = 4;
+  cfg.red_max_subcrossbars = 64;
+  cfg.red_fold = 2;
+  cfg.bit_accurate = true;
+  cfg.tiled = true;
+  cfg.activation_sparsity = 0.25;
+  cfg.threads = 3;
+  cfg.tiling.subarray_rows = 64;
+  cfg.tiling.subarray_cols = 256;
+  cfg.quant.wbits = 6;
+  cfg.quant.abits = 7;
+  cfg.quant.cell_bits = 3;
+  cfg.quant.dac_bits = 2;
+  cfg.quant.adc.mode = xbar::AdcMode::kClipped;
+  cfg.quant.adc.bits = 5;
+  cfg.quant.variation = {0.05, 0.01, 0.002, 0.003, 77};
+  cfg.fault.model = {0.001, 0.002, 0.0005, 0.0004, 0.02, 99};
+  cfg.fault.repair = {2, 3, true, 4};
+  cfg.calib.t_dec_base = 0.17;
+  cfg.calib.avg_bit_density = 0.42;
+  cfg.node = tech::TechNode::node45();
+
+  const plan::LayerPlan lp = plan::plan_layer(arch::DesignKind::kRed, test_spec(), cfg);
+  const plan::LayerPlan back = report::layer_plan_from_json(report::to_json(lp));
+  EXPECT_EQ(leaf_snapshot(back.cfg), leaf_snapshot(cfg));
+  EXPECT_EQ(leaf_snapshot(back.spec), leaf_snapshot(lp.spec));
+  EXPECT_EQ(back.fingerprint(), lp.fingerprint());
+}
+
+// ---- strategy identity coverage ---------------------------------------------
+
+TEST(VisitFields, OptionsKeyCoversEveryStructuralOptionAndNoShardField) {
+  const opt::SearchOptions base;
+  const std::string base_key = opt::options_key(base);
+  const int n = leaf_count(base);
+  ASSERT_EQ(n, field_count<opt::SearchOptions>());
+  for (int i = 0; i < n; ++i) {
+    opt::SearchOptions mutated;
+    const auto [path, structural] = mutate_leaf(mutated, i);
+    if (structural)
+      EXPECT_NE(opt::options_key(mutated), base_key) << path << " not in options_key";
+    else
+      EXPECT_EQ(opt::options_key(mutated), base_key)
+          << "shard field " << path << " leaked into the search identity";
+  }
+}
+
+}  // namespace
+}  // namespace red

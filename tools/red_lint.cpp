@@ -1,0 +1,932 @@
+// red_lint — repo-specific determinism/durability linter.
+//
+// The project's core contract is bit-identical results across thread counts,
+// process restarts, and shard merges. Most violations of that contract are
+// syntactically recognizable long before they surface as a 2am flaky
+// bit-mismatch: a stray std::rand, iteration over an unordered container
+// feeding output, a raw std::ofstream bypassing the atomic-write layer. This
+// tool is a standalone, dependency-free token/line-level linter encoding
+// those invariants as ~8 rules (see kRules below, or run with --list-rules).
+//
+// Mechanics:
+//   * Analysis runs on a "masked" copy of each file where comments and
+//     string/char literals are blanked, so rule patterns never fire inside
+//     prose or test fixtures' literals.
+//   * `// red-lint: allow(<rule>[, <rule>...])` on a line (or the line
+//     directly above) suppresses findings of those rules there. Suppressions
+//     are for sites where a human has checked the invariant holds anyway;
+//     the comment should say why.
+//   * A checked-in baseline (tools/lint_baseline.txt: `rule|path|count`
+//     lines) ratchets legacy findings: counts may go down (run with
+//     --write-baseline to record progress) but never up — any finding beyond
+//     the baselined count fails the run.
+//   * --fix rewrites the mechanical findings in place (double-tostring ->
+//     red::report::json_number, time(nullptr)/std::random_device seeds -> a
+//     fixed SplitMix64 constant) and re-reports what remains.
+//
+// Exit codes: 0 = clean (or fully baselined), 1 = new findings, 2 = usage or
+// I/O error. Deliberately NOT linked against libred: the linter must build
+// and run even when the library does not compile.
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---- rule table -------------------------------------------------------------
+
+struct RuleDoc {
+  const char* name;
+  const char* invariant;
+};
+
+constexpr RuleDoc kRules[] = {
+    {"unseeded-rng",
+     "all randomness flows through the counter RNGs (opt_rnd / fault_rnd / SplitMix64 "
+     "seeds); std::rand, srand, std::random_device and time(nullptr) draw from process "
+     "state, so two runs (or two threads) diverge"},
+    {"unordered-iteration",
+     "iterating a std::unordered_map/unordered_set observes hash-table order, which is "
+     "implementation- and history-dependent; results, keys, and JSON built from such "
+     "iteration are not bit-stable — sort first, or iterate a deterministic index"},
+    {"raw-file-write",
+     "every output file goes through store::write_file_atomic / write_report_file "
+     "(temp sibling + fsync + rename); a raw std::ofstream/fopen write can be torn by "
+     "a crash and breaks the SIGKILL-and-resume contract"},
+    {"double-tostring",
+     "std::to_string on floating-point truncates to 6 digits, so values do not survive "
+     "a JSON round-trip bit-exactly; emitters must use report::json_number"},
+    {"double-stream",
+     "streaming a double into a report/bench emitter uses default precision and "
+     "breaks round-trip exactness; use report::json_number (JSON) or the table "
+     "formatters (text)"},
+    {"naked-exit",
+     "process exit codes are a documented CLI contract (see the table in red_cli.cpp); "
+     "a naked exit()/abort() elsewhere invents an undocumented code and skips "
+     "checkpoint/interrupt handling"},
+    {"internal-include",
+     "headers marked '// red-lint: internal-header' are subsystem-private; include the "
+     "subsystem's public header instead (uplevel-relative includes are banned for the "
+     "same reason)"},
+    {"parallel-float-accum",
+     "accumulating into a shared float/double inside a parallel_for/parallel_chunks "
+     "body is order-dependent (and racy); accumulate per-lane and merge in a "
+     "deterministic order after the join"},
+};
+
+bool known_rule(const std::string& name) {
+  for (const auto& r : kRules)
+    if (name == r.name) return true;
+  return false;
+}
+
+// ---- findings ---------------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  std::string path;  // repo-relative, forward slashes
+  int line = 0;      // 1-based
+  std::string message;
+  // --fix support: byte range within the original line to replace, and the
+  // replacement text. Empty replacement_valid = not mechanically fixable.
+  bool fixable = false;
+  std::size_t col = 0, len = 0;
+  std::string replacement;
+};
+
+// ---- file model -------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;                 // repo-relative
+  std::vector<std::string> lines;   // original text
+  std::vector<std::string> masked;  // comments + string/char literals blanked
+  // allow-sets: rule names suppressed on a given 0-based line (from an
+  // allow() on that line or the line above).
+  std::vector<std::set<std::string>> allowed;
+  bool internal_header = false;
+};
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// Parse "red-lint: allow(a, b)" directives out of a comment's text.
+void parse_directives(const std::string& comment, std::set<std::string>* rules,
+                      bool* internal_header) {
+  const std::size_t tag = comment.find("red-lint:");
+  if (tag == std::string::npos) return;
+  const std::string body = comment.substr(tag + 9);
+  if (body.find("internal-header") != std::string::npos) *internal_header = true;
+  std::size_t open = body.find("allow(");
+  while (open != std::string::npos) {
+    const std::size_t close = body.find(')', open);
+    if (close == std::string::npos) break;
+    std::stringstream list(body.substr(open + 6, close - open - 6));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (!rule.empty()) rules->insert(rule);
+    }
+    open = body.find("allow(", close);
+  }
+}
+
+// Blank comments and string/char literals (preserving line structure) while
+// collecting suppression directives. A suppression applies to its own line
+// and the following line.
+void mask_and_collect(SourceFile& f) {
+  f.masked.assign(f.lines.size(), "");
+  f.allowed.assign(f.lines.size() + 1, {});
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string comment_text, raw_delim;
+  std::size_t comment_line = 0;
+  bool file_header_zone = true;  // internal-header marker must sit near the top
+
+  for (std::size_t li = 0; li < f.lines.size(); ++li) {
+    const std::string& line = f.lines[li];
+    std::string& out = f.masked[li];
+    out.reserve(line.size());
+    if (state == State::kLineComment) state = State::kCode;  // ends at newline
+    if (state == State::kString || state == State::kChar) state = State::kCode;  // unterminated
+
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            state = State::kLineComment;
+            comment_text.assign(line, i, std::string::npos);
+            comment_line = li;
+            out.append(line.size() - i, ' ');
+            i = line.size();
+            break;
+          }
+          if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment_text.clear();
+            comment_line = li;
+            out += "  ";
+            ++i;
+            break;
+          }
+          if (c == 'R' && next == '"' &&
+              (i == 0 || (!std::isalnum(static_cast<unsigned char>(line[i - 1])) &&
+                          line[i - 1] != '_'))) {
+            // raw string literal R"delim( ... )delim"
+            std::size_t open = line.find('(', i + 2);
+            if (open != std::string::npos) {
+              raw_delim = ")" + line.substr(i + 2, open - i - 2) + "\"";
+              state = State::kRawString;
+              out.append(open - i + 1, ' ');
+              i = open;
+              break;
+            }
+            out += c;
+            break;
+          }
+          if (c == '"') {
+            state = State::kString;
+            out += ' ';
+            break;
+          }
+          if (c == '\'') {
+            // char literal (digit separators like 1'000 have a digit before)
+            if (i > 0 && (std::isdigit(static_cast<unsigned char>(line[i - 1])))) {
+              out += ' ';
+              break;
+            }
+            state = State::kChar;
+            out += ' ';
+            break;
+          }
+          out += c;
+          break;
+        case State::kLineComment:
+          break;  // consumed above
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            std::set<std::string> rules;
+            bool internal = false;
+            parse_directives(comment_text, &rules, &internal);
+            if (internal && file_header_zone) f.internal_header = true;
+            for (const auto& r : rules) {
+              f.allowed[comment_line].insert(r);
+              if (comment_line + 1 < f.allowed.size()) f.allowed[comment_line + 1].insert(r);
+            }
+            out += "  ";
+            ++i;
+          } else {
+            comment_text += c;
+            out += ' ';
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            out += "  ";
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            out += ' ';
+          } else {
+            out += ' ';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            out += "  ";
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            out += ' ';
+          } else {
+            out += ' ';
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t end = line.find(raw_delim, i);
+          if (end == std::string::npos) {
+            out.append(line.size() - i, ' ');
+            i = line.size();
+          } else {
+            out.append(end - i + raw_delim.size(), ' ');
+            i = end + raw_delim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    if (state == State::kLineComment) {
+      std::set<std::string> rules;
+      bool internal = false;
+      parse_directives(comment_text, &rules, &internal);
+      if (internal && file_header_zone) f.internal_header = true;
+      f.allowed[comment_line].insert(rules.begin(), rules.end());
+      if (comment_line + 1 < f.allowed.size())
+        f.allowed[comment_line + 1].insert(rules.begin(), rules.end());
+    }
+    // The header zone ends at the first line with real code on it.
+    if (file_header_zone && f.masked[li].find_first_not_of(" \t") != std::string::npos)
+      file_header_zone = li < 2;  // tolerate a shebang/pragma-adjacent marker
+  }
+}
+
+bool is_suppressed(const SourceFile& f, int line1, const std::string& rule) {
+  const std::size_t li = static_cast<std::size_t>(line1 - 1);
+  return li < f.allowed.size() && f.allowed[li].count(rule) > 0;
+}
+
+// ---- token helpers ----------------------------------------------------------
+
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Find `word` at a word boundary in `s`, starting at pos.
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t pos = 0) {
+  while (true) {
+    const std::size_t at = s.find(word, pos);
+    if (at == std::string::npos) return std::string::npos;
+    const bool left_ok = at == 0 || !ident_char(s[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return at;
+    pos = at + 1;
+  }
+}
+
+std::size_t skip_space(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+std::string read_ident(const std::string& s, std::size_t i) {
+  std::size_t j = i;
+  while (j < s.size() && ident_char(s[j])) ++j;
+  return s.substr(i, j - i);
+}
+
+// Whole-file masked text with newline joints, plus a map from global offset
+// to (line, col).
+struct FlatText {
+  std::string text;
+  std::vector<std::size_t> line_start;  // offset of each line
+
+  explicit FlatText(const std::vector<std::string>& lines) {
+    for (const auto& l : lines) {
+      line_start.push_back(text.size());
+      text += l;
+      text += '\n';
+    }
+  }
+  [[nodiscard]] int line_of(std::size_t off) const {
+    const auto it = std::upper_bound(line_start.begin(), line_start.end(), off);
+    return static_cast<int>(it - line_start.begin());  // 1-based
+  }
+  [[nodiscard]] std::size_t col_of(std::size_t off) const {
+    return off - line_start[static_cast<std::size_t>(line_of(off) - 1)];
+  }
+};
+
+// Balanced-paren extent: given offset of '(' in flat text, return offset one
+// past the matching ')' (or npos).
+std::size_t match_paren(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') ++depth;
+    else if (s[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// ---- per-file fact gathering ------------------------------------------------
+
+// Names declared in this file with floating-point type. Token heuristic:
+// `double x` / `float y` / `const double z` where the next token is an
+// identifier (not '(' — that would be a function return type... which also
+// binds the name; both are useful facts for the rules using this).
+std::set<std::string> float_names(const FlatText& flat) {
+  std::set<std::string> names;
+  for (const char* type : {"double", "float"}) {
+    std::size_t pos = 0;
+    while ((pos = find_word(flat.text, type, pos)) != std::string::npos) {
+      std::size_t i = skip_space(flat.text, pos + std::strlen(type));
+      // skip cv/ref/pointer clutter between type and name
+      while (i < flat.text.size() && (flat.text[i] == '&' || flat.text[i] == '*'))
+        i = skip_space(flat.text, i + 1);
+      const std::string name = read_ident(flat.text, i);
+      if (!name.empty() && !std::isdigit(static_cast<unsigned char>(name[0]))) {
+        const std::size_t after = skip_space(flat.text, i + name.size());
+        // declaration if followed by = ; , ) { or [ — not '(' (function) or
+        // '::' (qualified return type)
+        if (after < flat.text.size() && std::string("=;,){[").find(flat.text[after]) !=
+                                            std::string::npos)
+          names.insert(name);
+      }
+      pos += std::strlen(type);
+    }
+  }
+  return names;
+}
+
+// Names declared as std::unordered_map / std::unordered_set in this file.
+std::set<std::string> unordered_names(const FlatText& flat) {
+  std::set<std::string> names;
+  for (const char* type : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    while ((pos = find_word(flat.text, type, pos)) != std::string::npos) {
+      std::size_t i = skip_space(flat.text, pos + std::strlen(type));
+      if (i < flat.text.size() && flat.text[i] == '<') {
+        int depth = 0;
+        for (; i < flat.text.size(); ++i) {
+          if (flat.text[i] == '<') ++depth;
+          else if (flat.text[i] == '>' && --depth == 0) {
+            ++i;
+            break;
+          }
+        }
+        i = skip_space(flat.text, i);
+        while (i < flat.text.size() && (flat.text[i] == '&' || flat.text[i] == '*'))
+          i = skip_space(flat.text, i + 1);
+        const std::string name = read_ident(flat.text, i);
+        if (!name.empty()) names.insert(name);
+      }
+      pos += std::strlen(type);
+    }
+  }
+  return names;
+}
+
+// ---- rules ------------------------------------------------------------------
+
+struct Context {
+  const SourceFile& file;
+  const FlatText& flat;
+  const std::set<std::string>& floats;
+  const std::set<std::string>& unordered;
+  std::vector<Finding>& findings;
+
+  void report(const std::string& rule, std::size_t off, const std::string& message,
+              bool fixable = false, std::size_t len = 0, std::string replacement = "") {
+    const int line = flat.line_of(off);
+    if (is_suppressed(file, line, rule)) return;
+    findings.push_back({rule, file.path, line, message, fixable, flat.col_of(off), len,
+                        std::move(replacement)});
+  }
+};
+
+bool path_is(const std::string& path, const char* suffix) {
+  const std::string s(suffix);
+  return path.size() >= s.size() && path.compare(path.size() - s.size(), s.size(), s) == 0;
+}
+
+bool path_under(const std::string& path, const char* prefix) {
+  return path.rfind(prefix, 0) == 0;
+}
+
+void rule_unseeded_rng(Context& ctx) {
+  const std::string& t = ctx.flat.text;
+  for (const char* bad : {"srand", "random_device"}) {
+    for (std::size_t pos = 0; (pos = find_word(t, bad, pos)) != std::string::npos; ++pos)
+      ctx.report("unseeded-rng", pos, std::string("'") + bad + "' draws from process state");
+  }
+  // plain rand( — but not opt_rnd( / fault_rnd( etc. (word boundary covers)
+  for (std::size_t pos = 0; (pos = find_word(t, "rand", pos)) != std::string::npos; ++pos) {
+    const std::size_t after = skip_space(t, pos + 4);
+    if (after < t.size() && t[after] == '(')
+      ctx.report("unseeded-rng", pos, "'rand()' draws from process-global hidden state");
+  }
+  // time(nullptr) / time(NULL) / time(0) — the classic nondeterministic seed
+  for (std::size_t pos = 0; (pos = find_word(t, "time", pos)) != std::string::npos; ++pos) {
+    const std::size_t open = skip_space(t, pos + 4);
+    if (open >= t.size() || t[open] != '(') continue;
+    const std::size_t close = match_paren(t, open);
+    if (close == std::string::npos) continue;
+    std::string arg = t.substr(open + 1, close - open - 2);
+    arg.erase(std::remove_if(arg.begin(), arg.end(),
+                             [](unsigned char c) { return std::isspace(c); }),
+              arg.end());
+    if (arg == "nullptr" || arg == "NULL" || arg == "0")
+      ctx.report("unseeded-rng", pos, "'time(" + arg + ")' seeds differ per run", true,
+                 close - pos, "0x9e3779b97f4a7c15ULL");
+  }
+}
+
+void rule_unordered_iteration(Context& ctx) {
+  const std::string& t = ctx.flat.text;
+  for (const auto& name : ctx.unordered) {
+    // range-for:  for ( ... : name )
+    for (std::size_t pos = 0; (pos = find_word(t, "for", pos)) != std::string::npos; ++pos) {
+      const std::size_t open = skip_space(t, pos + 3);
+      if (open >= t.size() || t[open] != '(') continue;
+      const std::size_t close = match_paren(t, open);
+      if (close == std::string::npos) continue;
+      const std::string head = t.substr(open, close - open);
+      const std::size_t colon = head.find(':');
+      if (colon == std::string::npos || (colon + 1 < head.size() && head[colon + 1] == ':') ||
+          (colon > 0 && head[colon - 1] == ':'))
+        continue;
+      const std::size_t it = find_word(head, name, colon);
+      if (it != std::string::npos)
+        ctx.report("unordered-iteration", pos,
+                   "range-for over unordered container '" + name + "'");
+    }
+    // iterator walk / bulk copy: name.begin( | name.cbegin(
+    for (const char* method : {".begin", ".cbegin"}) {
+      std::size_t pos = 0;
+      while ((pos = t.find(name + method, pos)) != std::string::npos) {
+        // a preceding '.' or '->' means a member of some other object that
+        // merely shares the name — not the unordered container declared here
+        const char prev = pos == 0 ? '\0' : t[pos - 1];
+        if (!ident_char(prev) && prev != '.' && prev != '>')
+          ctx.report("unordered-iteration", pos,
+                     "iterator over unordered container '" + name + "'");
+        pos += name.size();
+      }
+    }
+  }
+}
+
+void rule_raw_file_write(Context& ctx) {
+  if (path_is(ctx.file.path, "src/red/store/io.cpp")) return;  // the sanctioned home
+  const std::string& t = ctx.flat.text;
+  for (const char* bad : {"ofstream", "fopen", "freopen", "fwrite"}) {
+    for (std::size_t pos = 0; (pos = find_word(t, bad, pos)) != std::string::npos; ++pos)
+      ctx.report("raw-file-write", pos,
+                 std::string("'") + bad +
+                     "' bypasses store::write_file_atomic / write_report_file");
+  }
+}
+
+bool emitter_path(const std::string& path) {
+  return path_under(path, "bench/") || path_under(path, "tools/") ||
+         path_under(path, "src/red/report/");
+}
+
+// Does this call-argument expression smell floating-point? A float literal
+// (1.5, 2e-3) or a name declared double/float in this file.
+bool float_expr(const std::string& expr, const std::set<std::string>& floats) {
+  for (std::size_t i = 0; i + 1 < expr.size(); ++i)
+    if (std::isdigit(static_cast<unsigned char>(expr[i])) &&
+        ((expr[i + 1] == '.' ) ||
+         ((expr[i + 1] == 'e' || expr[i + 1] == 'E') && i + 2 < expr.size() &&
+          (std::isdigit(static_cast<unsigned char>(expr[i + 2])) || expr[i + 2] == '-'))))
+      return true;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    if (ident_char(expr[i]) && !std::isdigit(static_cast<unsigned char>(expr[i]))) {
+      const std::string name = read_ident(expr, i);
+      if (floats.count(name)) return true;
+      i += name.size();
+    } else {
+      ++i;
+    }
+  }
+  return false;
+}
+
+void rule_double_tostring(Context& ctx) {
+  const std::string& t = ctx.flat.text;
+  for (std::size_t pos = 0; (pos = find_word(t, "to_string", pos)) != std::string::npos;
+       ++pos) {
+    const std::size_t open = skip_space(t, pos + 9);
+    if (open >= t.size() || t[open] != '(') continue;
+    const std::size_t close = match_paren(t, open);
+    if (close == std::string::npos) continue;
+    const std::string arg = t.substr(open + 1, close - open - 2);
+    if (!float_expr(arg, ctx.floats)) continue;
+    // fix: std::to_string -> red::report::json_number (caller adds include)
+    std::size_t start = pos;
+    if (start >= 5 && t.compare(start - 5, 5, "std::") == 0) start -= 5;
+    ctx.report("double-tostring", pos,
+               "std::to_string on a floating-point value truncates to 6 digits", true,
+               pos + 9 - start, "red::report::json_number");
+  }
+}
+
+void rule_double_stream(Context& ctx) {
+  if (!emitter_path(ctx.file.path)) return;
+  if (path_is(ctx.file.path, "src/red/report/json.cpp")) return;  // json_number's home
+  const std::string& t = ctx.flat.text;
+  std::size_t pos = 0;
+  while ((pos = t.find("<<", pos)) != std::string::npos) {
+    if ((pos > 0 && t[pos - 1] == '<') || (pos + 2 < t.size() && t[pos + 2] == '<')) {
+      pos += 2;  // part of <<< or shift-shift; skip
+      continue;
+    }
+    const std::size_t i = skip_space(t, pos + 2);
+    const std::string name = read_ident(t, i);
+    if (!name.empty() && ctx.floats.count(name)) {
+      const std::size_t after = skip_space(t, i + name.size());
+      // `<< value` only when streamed as-is (not value.member or value(...))
+      if (after >= t.size() || (t[after] != '.' && t[after] != '('))
+        ctx.report("double-stream", pos,
+                   "raw double '" + name + "' streamed into an emitter");
+    }
+    pos += 2;
+  }
+}
+
+void rule_naked_exit(Context& ctx) {
+  if (path_is(ctx.file.path, "tools/red_cli.cpp")) return;  // documented exit-code table
+  const std::string& t = ctx.flat.text;
+  for (const char* bad : {"exit", "abort", "_Exit", "quick_exit"}) {
+    for (std::size_t pos = 0; (pos = find_word(t, bad, pos)) != std::string::npos; ++pos) {
+      const std::size_t open = skip_space(t, pos + std::strlen(bad));
+      if (open >= t.size() || t[open] != '(') continue;
+      ctx.report("naked-exit", pos,
+                 std::string("'") + bad +
+                     "()' outside the documented exit-code table in red_cli.cpp");
+    }
+  }
+}
+
+void rule_internal_include(Context& ctx, const std::set<std::string>& internal_headers) {
+  const std::string& t = ctx.flat.text;
+  // masked text blanks string literals, so scan original lines for includes
+  for (std::size_t li = 0; li < ctx.file.lines.size(); ++li) {
+    const std::string& line = ctx.file.lines[li];
+    const std::size_t inc = line.find("#include");
+    if (inc == std::string::npos) continue;
+    const std::size_t q0 = line.find('"', inc);
+    if (q0 == std::string::npos) continue;
+    const std::size_t q1 = line.find('"', q0 + 1);
+    if (q1 == std::string::npos) continue;
+    const std::string target = line.substr(q0 + 1, q1 - q0 - 1);
+    const std::size_t off = ctx.flat.line_start[li] + inc;
+    if (target.find("../") != std::string::npos) {
+      ctx.report("internal-include", off, "uplevel-relative include '" + target + "'");
+      continue;
+    }
+    if (internal_headers.count(target)) {
+      // same subsystem (directory) may include its own internals
+      const std::string owner_dir = fs::path("src/" + target).parent_path().string();
+      const std::string this_dir = fs::path(ctx.file.path).parent_path().string();
+      if (owner_dir != this_dir)
+        ctx.report("internal-include", off,
+                   "'" + target + "' is subsystem-private (red-lint: internal-header)");
+    }
+  }
+  (void)t;
+}
+
+void rule_parallel_float_accum(Context& ctx) {
+  const std::string& t = ctx.flat.text;
+  for (const char* entry : {"parallel_for", "parallel_chunks"}) {
+    for (std::size_t pos = 0; (pos = find_word(t, entry, pos)) != std::string::npos; ++pos) {
+      const std::size_t open = skip_space(t, pos + std::strlen(entry));
+      if (open >= t.size() || t[open] != '(') continue;
+      const std::size_t close = match_paren(t, open);
+      if (close == std::string::npos) continue;
+      // scan the call extent for `name +=` / `name -=` on floats declared
+      // OUTSIDE the extent (a per-lane accumulator declared inside is the
+      // sanctioned pattern: serial within a lane, merged after the join)
+      std::set<std::string> local;
+      for (const char* type : {"double", "float"}) {
+        std::size_t d = open;
+        while ((d = find_word(t, type, d)) != std::string::npos && d < close) {
+          const std::size_t ni = skip_space(t, d + std::strlen(type));
+          const std::string name = read_ident(t, ni);
+          if (!name.empty()) local.insert(name);
+          d += std::strlen(type);
+        }
+      }
+      for (std::size_t i = open; i + 1 < close; ++i) {
+        if ((t[i] != '+' && t[i] != '-') || t[i + 1] != '=') continue;
+        if (i + 2 < t.size() && t[i + 2] == '=') continue;  // != / ==
+        // identifier immediately left of the operator
+        std::size_t e = i;
+        while (e > open && std::isspace(static_cast<unsigned char>(t[e - 1]))) --e;
+        if (e == open || t[e - 1] == ']') continue;  // indexed slot: per-index ok
+        std::size_t b = e;
+        while (b > open && ident_char(t[b - 1])) --b;
+        const std::string name = t.substr(b, e - b);
+        if (name.empty() || !ctx.floats.count(name) || local.count(name)) continue;
+        ctx.report("parallel-float-accum", b,
+                   "float accumulation into shared '" + name +
+                       "' inside a parallel body (order-dependent)");
+      }
+    }
+  }
+}
+
+// ---- scanning ---------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+bool excluded(const std::string& rel) {
+  return rel.find("lint_fixtures") != std::string::npos ||
+         path_under(rel, "tests/golden") || rel.find("/build") != std::string::npos ||
+         path_under(rel, "build");
+}
+
+std::optional<SourceFile> load_file(const fs::path& root, const fs::path& abs) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  SourceFile f;
+  f.path = fs::relative(abs, root).generic_string();
+  f.lines = split_lines(ss.str());
+  mask_and_collect(f);
+  return f;
+}
+
+// ---- baseline ---------------------------------------------------------------
+
+using Counts = std::map<std::pair<std::string, std::string>, int>;  // (rule,path) -> n
+
+Counts count_findings(const std::vector<Finding>& findings) {
+  Counts c;
+  for (const auto& f : findings) ++c[{f.rule, f.path}];
+  return c;
+}
+
+std::optional<Counts> load_baseline(const fs::path& path) {
+  Counts c;
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = line.find('|', p1 + 1);
+    if (p1 == std::string::npos || p2 == std::string::npos) continue;
+    c[{line.substr(0, p1), line.substr(p1 + 1, p2 - p1 - 1)}] =
+        std::stoi(line.substr(p2 + 1));
+  }
+  return c;
+}
+
+void write_baseline(const fs::path& path, const Counts& counts) {
+  std::ostringstream out;
+  out << "# red_lint baseline: rule|path|count. Counts ratchet DOWN only —\n"
+         "# fix or explicitly `red-lint: allow(...)` new findings instead of\n"
+         "# growing this file. Regenerate with: red_lint --write-baseline\n";
+  for (const auto& [key, n] : counts) out << key.first << '|' << key.second << '|' << n << '\n';
+  // The linter's own baseline is written through a plain stream on purpose:
+  // it must not depend on libred building. Atomicity is irrelevant here (a
+  // torn baseline fails loudly at the next parse, and the file is in git).
+  // red-lint: allow(raw-file-write)
+  std::ofstream f(path, std::ios::trunc);
+  f << out.str();
+}
+
+// ---- fixing -----------------------------------------------------------------
+
+int apply_fixes(const fs::path& root, std::vector<Finding>& findings) {
+  // group by file, apply right-to-left within each line so columns stay valid
+  std::map<std::string, std::vector<Finding*>> by_file;
+  for (auto& f : findings)
+    if (f.fixable) by_file[f.path].push_back(&f);
+  int fixed = 0;
+  for (auto& [path, fixes] : by_file) {
+    std::ifstream in(root / path, std::ios::binary);
+    if (!in) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::vector<std::string> lines = split_lines(ss.str());
+    std::sort(fixes.begin(), fixes.end(), [](const Finding* a, const Finding* b) {
+      return a->line != b->line ? a->line > b->line : a->col > b->col;
+    });
+    for (const Finding* f : fixes) {
+      auto& line = lines[static_cast<std::size_t>(f->line - 1)];
+      if (f->col + f->len > line.size()) continue;
+      line.replace(f->col, f->len, f->replacement);
+      ++fixed;
+    }
+    // Rewriting tracked sources in a git checkout: crash-atomicity is
+    // provided by version control, not fsync.
+    // red-lint: allow(raw-file-write)
+    std::ofstream out(root / path, std::ios::binary | std::ios::trunc);
+    for (const auto& l : lines) out << l << '\n';
+  }
+  return fixed;
+}
+
+void usage() {
+  std::cerr << "usage: red_lint [--root DIR] [--baseline FILE] [--write-baseline]\n"
+               "                [--fix] [--list-rules] [paths...]\n"
+               "  Lints src/ tools/ bench/ tests/ examples/ under --root (default: cwd)\n"
+               "  unless explicit paths are given. Exit: 0 clean, 1 new findings, 2 error.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::optional<fs::path> baseline_path;
+  bool write_baseline_flag = false, fix = false;
+  std::vector<std::string> targets;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);  // red-lint: allow(naked-exit) — the linter IS the tool
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") root = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--write-baseline") write_baseline_flag = true;
+    else if (arg == "--fix") fix = true;
+    else if (arg == "--list-rules") {
+      for (const auto& r : kRules) std::cout << r.name << "\n    " << r.invariant << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      targets.push_back(arg);
+    }
+  }
+  root = fs::absolute(root);
+  if (!baseline_path) baseline_path = root / "tools" / "lint_baseline.txt";
+
+  // collect files
+  std::vector<fs::path> files;
+  auto add_tree = [&](const fs::path& dir) {
+    if (!fs::exists(dir)) return;
+    for (const auto& e : fs::recursive_directory_iterator(dir))
+      if (e.is_regular_file() && lintable(e.path())) files.push_back(e.path());
+  };
+  if (targets.empty()) {
+    for (const char* d : {"src", "tools", "bench", "tests", "examples"}) add_tree(root / d);
+  } else {
+    for (const auto& tgt : targets) {
+      const fs::path p = fs::path(tgt).is_absolute() ? fs::path(tgt) : root / tgt;
+      if (fs::is_directory(p)) add_tree(p);
+      else if (fs::exists(p)) files.push_back(p);
+      else {
+        std::cerr << "red_lint: no such path: " << tgt << "\n";
+        return 2;
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // load + first pass: find internal headers
+  std::vector<SourceFile> sources;
+  std::set<std::string> internal_headers;  // include-paths like "red/opt/objective.h"
+  for (const auto& abs : files) {
+    const std::string rel = fs::relative(abs, root).generic_string();
+    if (excluded(rel)) continue;
+    auto f = load_file(root, abs);
+    if (!f) {
+      std::cerr << "red_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    if (f->internal_header && rel.rfind("src/", 0) == 0)
+      internal_headers.insert(rel.substr(4));  // as written in #include "red/..."
+    sources.push_back(std::move(*f));
+  }
+
+  // second pass: run rules
+  std::vector<Finding> findings;
+  for (const auto& f : sources) {
+    const FlatText flat(f.masked);
+    const std::set<std::string> floats = float_names(flat);
+    const std::set<std::string> unordered = unordered_names(flat);
+    Context ctx{f, flat, floats, unordered, findings};
+    rule_unseeded_rng(ctx);
+    rule_unordered_iteration(ctx);
+    rule_raw_file_write(ctx);
+    rule_double_tostring(ctx);
+    rule_double_stream(ctx);
+    rule_naked_exit(ctx);
+    rule_internal_include(ctx, internal_headers);
+    rule_parallel_float_accum(ctx);
+  }
+
+  if (fix) {
+    const int fixed = apply_fixes(root, findings);
+    std::cout << "red_lint: applied " << fixed << " mechanical fix(es); re-run to verify\n";
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [](const Finding& f) { return f.fixable; }),
+                   findings.end());
+  }
+
+  // baseline ratchet
+  const Counts current = count_findings(findings);
+  if (write_baseline_flag) {
+    write_baseline(*baseline_path, current);
+    std::cout << "red_lint: baseline written to " << baseline_path->string() << " ("
+              << findings.size() << " finding(s) across " << current.size()
+              << " file/rule pair(s))\n";
+    return 0;
+  }
+  Counts baseline;
+  if (auto loaded = load_baseline(*baseline_path)) baseline = *loaded;
+  for (const auto& [key, n] : baseline)
+    if (!known_rule(key.first)) {
+      std::cerr << "red_lint: baseline names unknown rule '" << key.first << "'\n";
+      return 2;
+    }
+
+  int new_findings = 0, baselined = 0, ratchet = 0;
+  for (const auto& [key, n] : current) {
+    const auto it = baseline.find(key);
+    const int allowed = it == baseline.end() ? 0 : it->second;
+    if (n > allowed) {
+      // print the individual findings past the baseline for this pair
+      int seen = 0;
+      for (const auto& f : findings) {
+        if (f.rule != key.first || f.path != key.second) continue;
+        if (++seen <= allowed) continue;  // the baselined prefix stays silent
+        std::cout << f.path << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+        ++new_findings;
+      }
+    } else {
+      baselined += n;
+      if (n < allowed) ratchet += allowed - n;
+    }
+  }
+  for (const auto& [key, n] : baseline)
+    if (current.find(key) == current.end()) ratchet += n;
+
+  if (new_findings > 0) {
+    std::cout << "red_lint: " << new_findings << " new finding(s) (" << baselined
+              << " baselined). Fix them, or `red-lint: allow(<rule>)` with a comment\n"
+                 "stating the invariant that makes the site safe.\n";
+    return 1;
+  }
+  if (ratchet > 0)
+    std::cout << "red_lint: clean; " << ratchet
+              << " baselined finding(s) no longer fire — run --write-baseline to ratchet\n";
+  else
+    std::cout << "red_lint: clean (" << sources.size() << " files, " << baselined
+              << " baselined finding(s))\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Local mirror of the CI lint job: red_lint over the repo against the
+# checked-in baseline, then clang-tidy (when installed) against its own
+# baseline. Run from anywhere; exits non-zero exactly when CI would fail.
+#
+# Usage: tools/run_lint.sh [build-dir]
+#   build-dir defaults to ./build; it is created/configured if missing
+#   (clang-tidy needs its compile_commands.json).
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="${1:-$ROOT/build}"
+
+# --- red_lint ---------------------------------------------------------------
+if [ ! -x "$BUILD/red_lint" ]; then
+  cmake -B "$BUILD" -S "$ROOT" > /dev/null
+  cmake --build "$BUILD" --target red_lint > /dev/null
+fi
+"$BUILD/red_lint" --root "$ROOT"
+
+# --- clang-tidy (optional locally, enforced in CI) --------------------------
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run_lint: clang-tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  cmake -B "$BUILD" -S "$ROOT" > /dev/null  # exports compile_commands.json
+fi
+
+# clang-tidy output is filtered against a count-free baseline of known
+# findings (exact "file:line: warning: ... [check]" shape is too brittle
+# across versions, so the baseline keys on "path [check-name]" pairs).
+TIDY_OUT=$(mktemp)
+trap 'rm -f "$TIDY_OUT"' EXIT
+find "$ROOT/src" "$ROOT/tools" -name '*.cpp' | sort | \
+  xargs clang-tidy -p "$BUILD" --quiet 2> /dev/null | \
+  grep -E "warning:.*\[[a-z]+-" | \
+  sed -E "s|^$ROOT/||; s|:[0-9]+:[0-9]+: warning: .* (\[[a-z0-9,-]+\])\$| \1|" | \
+  sort -u > "$TIDY_OUT" || true
+
+NEW=$(comm -23 "$TIDY_OUT" "$ROOT/tools/clang_tidy_baseline.txt" || true)
+if [ -n "$NEW" ]; then
+  echo "run_lint: new clang-tidy finding(s):"
+  echo "$NEW"
+  exit 1
+fi
+echo "run_lint: clang-tidy clean against baseline"
