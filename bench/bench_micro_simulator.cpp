@@ -1,15 +1,24 @@
 // Micro-benchmarks of the simulator itself (google-benchmark): crossbar MVM
-// fast vs bit-accurate paths, design schedule execution, and analytic cost
-// evaluation throughput.
+// fast vs bit-accurate paths (per packed-kernel dispatch tier), design
+// schedule execution, and analytic cost evaluation throughput.
+//
+// The binary doubles as the bench_smoke oracle gate: main() refuses to run
+// (exit 1) unless every dispatch tier reproduces
+// LogicalXbar::mvm_bit_accurate_reference bit-exactly, outputs and stats.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include "red/common/rng.h"
 #include "red/core/designs.h"
+#include "red/core/schedule.h"
+#include "red/perf/mvm_kernel.h"
 #include "red/perf/workspace.h"
 #include "red/report/evaluation.h"
-#include "red/core/schedule.h"
 #include "red/sim/engine.h"
 #include "red/workloads/benchmarks.h"
 #include "red/workloads/generator.h"
@@ -17,9 +26,37 @@
 #include "red/xbar/analog.h"
 #include "red/xbar/crossbar.h"
 
+// Global allocation counter backing the warm-path no-allocation assertions:
+// a workspace-based benchmark loop that heap-allocates is a perf regression
+// the timings alone would hide.
+std::atomic<std::int64_t> g_heap_allocs{0};
+
+// noinline: keeps GCC from inlining the malloc/free pair into call sites,
+// where -Wmismatched-new-delete would flag the (intentional) combination.
+[[gnu::noinline]] void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void* operator new[](std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace red;
+
+// Set when any benchmark loop trips an in-run assertion; main() turns it into
+// a non-zero exit so the bench_smoke ctest entry actually gates.
+std::atomic<bool> g_bench_failed{false};
 
 xbar::LogicalXbar make_xbar(std::int64_t rows, std::int64_t cols,
                             xbar::QuantConfig q = xbar::QuantConfig{}) {
@@ -83,6 +120,27 @@ void BM_MvmBitAccurateWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_MvmBitAccurateWorkspace)->Arg(128)->Arg(512);
 
+// One ideal-ADC workspace row per dispatch tier, so BENCH_mvm.json carries
+// the scalar "before" next to the packed portable/POPCNT/AVX2/AVX-512
+// "after" on every run. The label records the tier actually installed
+// (requests above the machine's support clamp down).
+void BM_MvmPackedIsa(benchmark::State& state, perf::MvmIsa isa) {
+  const auto rows = state.range(0);
+  const auto xb = make_xbar(rows, 64);
+  const auto in = make_input(rows);
+  const perf::MvmIsa installed = perf::set_mvm_isa(isa);
+  state.SetLabel(perf::mvm_isa_name(installed));
+  perf::MvmWorkspace ws;
+  for (auto _ : state) benchmark::DoNotOptimize(xb.mvm_bit_accurate(in, ws));
+  perf::set_mvm_isa(perf::mvm_detected_isa());
+  state.SetItemsProcessed(state.iterations() * rows * 64);
+}
+BENCHMARK_CAPTURE(BM_MvmPackedIsa, scalar, perf::MvmIsa::kScalar)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_MvmPackedIsa, portable, perf::MvmIsa::kPortable)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_MvmPackedIsa, popcnt, perf::MvmIsa::kPopcnt)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_MvmPackedIsa, avx2, perf::MvmIsa::kAvx2)->Arg(128)->Arg(512);
+BENCHMARK_CAPTURE(BM_MvmPackedIsa, avx512, perf::MvmIsa::kAvx512)->Arg(128)->Arg(512);
+
 // Saturating-ADC regime: exercises the per-pulse compacted clipped kernel
 // (reference and fast variants, for the before/after report).
 void BM_MvmClippedReference(benchmark::State& state) {
@@ -104,15 +162,23 @@ void BM_MvmClipped(benchmark::State& state) {
 }
 BENCHMARK(BM_MvmClipped)->Arg(128)->Arg(512);
 
-// Batched API over one crossbar (amortized encoding setup + buffers).
+// Batched API over one crossbar (amortized encoding setup + buffers). The
+// first call sizes every workspace buffer for the (rows, batch) shape; warm
+// calls must then be allocation-free, asserted via the global new counter.
 void BM_MvmBatch(benchmark::State& state) {
   const std::int64_t rows = 128;
   const auto batch = state.range(0);
   const auto xb = make_xbar(rows, 64);
   const auto in = make_input(rows * batch);
   perf::MvmWorkspace ws;
+  benchmark::DoNotOptimize(xb.mvm_batch(in, batch, /*bit_accurate=*/true, ws));  // size once
+  const std::int64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
   for (auto _ : state)
     benchmark::DoNotOptimize(xb.mvm_batch(in, batch, /*bit_accurate=*/true, ws));
+  if (g_heap_allocs.load(std::memory_order_relaxed) != allocs_before) {
+    g_bench_failed.store(true, std::memory_order_relaxed);
+    state.SkipWithError("mvm_batch heap-allocated on the warm path");
+  }
   state.SetItemsProcessed(state.iterations() * rows * 64 * batch);
 }
 BENCHMARK(BM_MvmBatch)->Arg(8)->Arg(64);
@@ -186,6 +252,53 @@ void BM_AnalogIrDropSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalogIrDropSolve)->Arg(32)->Arg(64);
 
+// bench_smoke oracle gate: every dispatch tier must reproduce the scalar
+// reference bit-exactly (outputs AND MvmStats) before any timing is
+// reported. Runs over ideal, clipped, and multi-bit-DAC regimes on shapes
+// that cross 64-bit word boundaries.
+bool packed_kernels_match_oracle() {
+  xbar::QuantConfig dac2;
+  dac2.dac_bits = 2;
+  const xbar::QuantConfig regimes[] = {xbar::QuantConfig{}, clipped_config(), dac2};
+  const perf::MvmIsa tiers[] = {perf::MvmIsa::kScalar, perf::MvmIsa::kPortable,
+                                perf::MvmIsa::kPopcnt, perf::MvmIsa::kAvx2,
+                                perf::MvmIsa::kAvx512};
+  bool ok = true;
+  for (const auto& q : regimes) {
+    for (const std::int64_t rows : {std::int64_t{129}, std::int64_t{512}}) {
+      const auto xb = make_xbar(rows, 33, q);
+      Rng rng(2);
+      std::vector<std::int32_t> in(static_cast<std::size_t>(rows));
+      const std::int64_t lo = q.dac_bits == 1 ? -(std::int64_t{1} << (q.abits - 1)) : 0;
+      const std::int64_t hi = q.dac_bits == 1 ? (std::int64_t{1} << (q.abits - 1)) - 1
+                                              : (std::int64_t{1} << q.abits) - 1;
+      for (auto& v : in) v = static_cast<std::int32_t>(rng.uniform_int(lo, hi));
+      xbar::MvmStats ref_stats;
+      const auto ref = xb.mvm_bit_accurate_reference(in, &ref_stats);
+      for (const auto isa : tiers) {
+        const perf::MvmIsa installed = perf::set_mvm_isa(isa);
+        perf::MvmWorkspace ws;
+        xbar::MvmStats got_stats;
+        const auto got = xb.mvm_bit_accurate(in, ws, &got_stats);
+        if (std::vector<std::int64_t>(got.begin(), got.end()) != ref || got_stats != ref_stats) {
+          std::fprintf(stderr, "oracle mismatch: tier %s, rows %lld\n",
+                       perf::mvm_isa_name(installed), static_cast<long long>(rows));
+          ok = false;
+        }
+      }
+    }
+  }
+  perf::set_mvm_isa(perf::mvm_detected_isa());
+  return ok;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!packed_kernels_match_oracle()) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return g_bench_failed.load(std::memory_order_relaxed) ? 1 : 0;
+}

@@ -14,6 +14,8 @@ void DesignConfig::validate() const {
   if (mux_ratio < 1) throw ConfigError("mux_ratio must be >= 1");
   if (red_max_subcrossbars < 1) throw ConfigError("red_max_subcrossbars must be >= 1");
   if (red_fold < 0) throw ConfigError("red_fold must be >= 0 (0 = auto)");
+  if (lookahead_h < 0) throw ConfigError("lookahead_h must be >= 0 (0 = off)");
+  if (lookaside_d < 0) throw ConfigError("lookaside_d must be >= 0 (0 = off)");
   if (threads < 1) throw ConfigError("threads must be >= 1");
   fault.validate();
 }

@@ -45,6 +45,14 @@ struct DesignConfig {
   int mux_ratio = 8;               ///< bitlines per read circuit
   int red_max_subcrossbars = 128;  ///< fold threshold of Sec. III-C
   int red_fold = 0;                ///< 0 = auto (smallest power of two under threshold)
+  /// Bit-Tactical-style schedule knobs (core::ZeroSkipSchedule): with both
+  /// non-zero, each cycle promotes idle sub-crossbar slots' work from up to
+  /// min(lookahead_h, lookaside_d) later fold phases, shrinking a block from
+  /// fold to ceil(fold / (1 + min(h, d))) cycles. 0/0 (default) is the
+  /// paper's static zero-skipping schedule. Structural: priced by
+  /// plan::red_activity and searchable as opt axes.
+  int lookahead_h = 0;             ///< fold phases a slot may run early
+  int lookaside_d = 0;             ///< neighbor slots a promotion may borrow
   bool bit_accurate = false;       ///< use the slice/bit-plane functional path
   bool tiled = false;              ///< price macros as bounded physical subarrays
   /// Fraction of activations that are zero at runtime (post-ReLU data is
@@ -84,13 +92,15 @@ struct DesignConfig {
 template <typename C, typename F>
   requires common::FieldsOf<C, DesignConfig>
 void visit_fields(C& c, F&& f) {
-  static_assert(common::field_count<DesignConfig>() == 12,
+  static_assert(common::field_count<DesignConfig>() == 14,
                 "DesignConfig changed: extend visit_fields so structural_key, "
                 "JSON, and fingerprints keep covering every field");
   f("quant", c.quant);
   f("mux_ratio", c.mux_ratio);
   f("red_max_subcrossbars", c.red_max_subcrossbars);
   f("red_fold", c.red_fold);
+  f("lookahead_h", c.lookahead_h);
+  f("lookaside_d", c.lookaside_d);
   f("bit_accurate", c.bit_accurate);
   f("tiled", c.tiled);
   f("activation_sparsity", c.activation_sparsity);

@@ -63,12 +63,14 @@ struct RedProgram {
   mutable std::shared_ptr<const BoundInput> bound;
 
   RedProgram(arch::DesignConfig c, const nn::DeconvLayerSpec& s, int fold)
-      : cfg(std::move(c)), spec(s), schedule(s, fold) {}
+      : cfg(std::move(c)), spec(s), schedule(s, fold, cfg.lookahead_h, cfg.lookaside_d) {}
 
   /// Plan-consuming form: the schedule reuses the plan's mode-group table.
   RedProgram(arch::DesignConfig c, const nn::DeconvLayerSpec& s, int fold,
              std::vector<ModeGroup> groups)
-      : cfg(std::move(c)), spec(s), schedule(s, fold, std::move(groups)) {}
+      : cfg(std::move(c)),
+        spec(s),
+        schedule(s, fold, cfg.lookahead_h, cfg.lookaside_d, std::move(groups)) {}
 
   /// Gather the per-cycle group inputs of `input` (or return the cached
   /// binding when it is the same tensor). Serialized: concurrent first
@@ -121,7 +123,7 @@ class RedProgrammedLayer final : public arch::ProgrammedLayer {
     const std::int64_t num_cycles = schedule.num_cycles();
     const int num_groups = static_cast<int>(schedule.groups().size());
     const std::int64_t out_plane = std::int64_t{spec.oh()} * spec.ow();
-    const int fold = schedule.fold();
+    const int phases = schedule.phases();
 
     Tensor<std::int32_t> out(spec.output_shape());
     // Same chunked group walk as RedDesign::run, but each group executes its
@@ -142,7 +144,9 @@ class RedProgrammedLayer final : public arch::ProgrammedLayer {
                                                            num_cycles, prog_->cfg.bit_accurate,
                                                            ws, &local.mvm);
         for (std::int64_t ci = 0; ci < num_cycles; ++ci) {
-          if (ci % fold == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
+          // A block spans phases() coalesced cycles (== fold with the
+          // lookahead/lookaside window off).
+          if (ci % phases == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
           const std::int64_t* p = partials.data() + ci * spec.m;
           for (int m = 0; m < spec.m; ++m) group_acc[static_cast<std::size_t>(m)] += p[m];
           const auto& meta = bound->group_meta[static_cast<std::size_t>(gi)]
@@ -214,7 +218,7 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
   RED_EXPECTS(input.shape() == spec.input_shape());
   RED_EXPECTS(kernel.shape() == spec.kernel_shape());
 
-  const ZeroSkipSchedule schedule(spec, fold_for(spec));
+  const ZeroSkipSchedule schedule(spec, fold_for(spec), cfg_.lookahead_h, cfg_.lookaside_d);
   const auto& groups = schedule.groups();
   const std::vector<xbar::LogicalXbar> group_xbars =
       build_group_xbars(spec, groups, kernel, cfg_.quant);
@@ -223,7 +227,7 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
   const std::int64_t num_cycles = schedule.num_cycles();
   const int num_groups = static_cast<int>(groups.size());
   const std::int64_t out_plane = std::int64_t{spec.oh()} * spec.ow();
-  const int fold = schedule.fold();
+  const int phases = schedule.phases();
 
   // Mode groups are independent executors: each owns its crossbar, its fold
   // accumulator, and a disjoint set of output pixels (one (a, b) output
@@ -244,7 +248,7 @@ Tensor<std::int32_t> RedDesign::run(const nn::DeconvLayerSpec& spec,
     for (int gi = static_cast<int>(g0); gi < g1; ++gi) {
       for (std::int64_t ci = 0; ci < num_cycles; ++ci) {
         schedule.group_work(ci, gi, work);
-        if (ci % fold == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
+        if (ci % phases == 0) std::fill(group_acc.begin(), group_acc.end(), 0);
 
         group_input.assign(work.inputs.size() * static_cast<std::size_t>(spec.c), 0);
         for (const auto& in : work.inputs) {

@@ -27,6 +27,8 @@ constexpr struct {
     {AxisField::kAdcBits, "adc-bits"},   {AxisField::kWeightBits, "wbits"},
     {AxisField::kActivationBits, "abits"},
     {AxisField::kSpareLines, "spare-lines"},
+    {AxisField::kLookahead, "lookahead"},
+    {AxisField::kLookaside, "lookaside"},
 };
 
 void apply(AxisField field, std::int64_t value, MaterializedPoint& p) {
@@ -56,6 +58,12 @@ void apply(AxisField field, std::int64_t value, MaterializedPoint& p) {
       p.cfg.fault.repair.spare_rows = static_cast<int>(value);
       p.cfg.fault.repair.spare_cols = static_cast<int>(value);
       return;
+    case AxisField::kLookahead:
+      p.cfg.lookahead_h = static_cast<int>(value);
+      return;
+    case AxisField::kLookaside:
+      p.cfg.lookaside_d = static_cast<int>(value);
+      return;
   }
   RED_EXPECTS_MSG(false, "unhandled axis field");
 }
@@ -73,7 +81,8 @@ AxisField axis_field_from_name(const std::string& name) {
   for (const auto& e : kAxisNames)
     if (name == e.name) return e.field;
   throw ConfigError("unknown search axis '" + name +
-                    "' (kind | fold | mux | tile | adc-bits | wbits | abits | spare-lines)");
+                    "' (kind | fold | mux | tile | adc-bits | wbits | abits | spare-lines | "
+                    "lookahead | lookaside)");
 }
 
 SearchSpace::SearchSpace(std::vector<nn::DeconvLayerSpec> stack, core::DesignKind base_kind,

@@ -42,12 +42,15 @@ enum class AxisField {
   /// cfg.fault.repair.{spare_rows, spare_cols} = v: spare-line redundancy
   /// budget per crossbar. Priced into the area model by plan_layer, traded
   /// against min_fault_snr feasibility.
-  kSpareLines
+  kSpareLines,
+  kLookahead,     ///< cfg.lookahead_h (Bit-Tactical promotion depth; 0 = off)
+  kLookaside      ///< cfg.lookaside_d (Bit-Tactical promotion width; 0 = off)
 };
 
 /// Stable CLI/JSON name of a field ("kind", "fold", "mux", "tile",
-/// "adc-bits", "wbits", "abits", "spare-lines"); round-trips through
-/// axis_field_from_name (which throws ConfigError on anything else).
+/// "adc-bits", "wbits", "abits", "spare-lines", "lookahead", "lookaside");
+/// round-trips through axis_field_from_name (which throws ConfigError on
+/// anything else).
 [[nodiscard]] const char* axis_field_name(AxisField field);
 [[nodiscard]] AxisField axis_field_from_name(const std::string& name);
 

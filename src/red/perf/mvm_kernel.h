@@ -1,20 +1,31 @@
 // Layout-optimized bit-serial MVM kernels.
 //
 // These are the fast counterparts of LogicalXbar::mvm_bit_accurate()'s
-// original column-major walk. They exploit the crossbar's plane-major level
-// layout (one contiguous rows x cols matrix per weight slice) to turn the
-// inner loop into contiguous row sweeps, and take an MvmWorkspace so a
-// warmed-up call performs no heap allocation. Two regimes:
+// original column-major walk. The primary path works on packed bit-planes:
+// every stored-level bit of a column lives in LogicalXbar's packed weight
+// planes (one 64-bit-word bitmap per level bit), the input's bit-planes are
+// packed the same way into the workspace, and the per-(pulse, slice) analog
+// integration collapses to popcount(input_plane & weight_plane) sums — wide
+// enough to vectorize. Two regimes:
 //
-//  * ideal ADC — the pulse/slice decomposition is algebraically collapsible
-//    (no clipping can occur), so the kernel reduces to one integer row-sweep
-//    per slice: out[c] = sum_s (sum_r in[r] * plane_s[r][c]) << cell_bits*s.
-//  * clipped ADC — every (pulse, slice) plane is integrated and clipped
-//    exactly like the reference, but rows are pre-compacted into a driven-row
-//    list per pulse and swept contiguously.
+//  * ideal ADC — no clipping can occur, so the pulse/slice decomposition is
+//    algebraically collapsible: out[c] = sum_j pw(j) * sum_u 2^u *
+//    popcount(in_plane_j & w_plane_u[c]) minus the offset correction, where
+//    pw(j) = ±2^j is the bit-j pulse weight.
+//  * clipped ADC — per (column, slice) the cell_bits weight planes are
+//    popcount-combined into per-input-plane lane sums; the per-pulse DAC
+//    digits then recombine and saturate scalar-side, exactly like the
+//    reference (clip counts included).
 //
-// Both are bit-exact against LogicalXbar::mvm_bit_accurate_reference() in
-// outputs AND MvmStats (tests/fast_path_equivalence_test.cpp gates this).
+// The popcount inner loop dispatches at runtime over the CPU's ISA (see
+// MvmIsa): a portable std::popcount build always exists, with POPCNT, AVX2,
+// and AVX512-VPOPCNTDQ specializations selected by CPU detection, overridable
+// via the RED_MVM_ISA environment variable or set_mvm_isa(). The original
+// scalar kernels are kept selectable (MvmIsa::kScalar) as in-process
+// equivalence oracles next to LogicalXbar::mvm_bit_accurate_reference().
+//
+// Every tier is bit-exact against the reference in outputs AND MvmStats
+// (tests/fast_path_equivalence_test.cpp gates this).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +35,33 @@
 #include "red/xbar/crossbar.h"
 
 namespace red::perf {
+
+/// Instruction-set tiers of the MVM inner loop, ordered weakest to
+/// strongest. kScalar is the pre-packed scalar kernel pair (kept as an
+/// equivalence oracle); the rest are the packed bit-plane kernel with
+/// increasingly wide popcount implementations.
+enum class MvmIsa : int {
+  kScalar = 0,
+  kPortable = 1,
+  kPopcnt = 2,
+  kAvx2 = 3,
+  kAvx512 = 4,
+};
+
+/// Strongest tier this CPU supports (kPortable at minimum).
+[[nodiscard]] MvmIsa mvm_detected_isa();
+
+/// Tier the kernels currently dispatch to. Defaults to mvm_detected_isa(),
+/// or to the RED_MVM_ISA environment variable (scalar | portable | popcnt |
+/// avx2 | avx512, clamped to what the CPU supports) when set.
+[[nodiscard]] MvmIsa mvm_active_isa();
+
+/// Select the dispatch tier (tests/benchmarks). Requests above
+/// mvm_detected_isa() clamp down; returns the tier actually installed.
+MvmIsa set_mvm_isa(MvmIsa isa);
+
+/// Lower-case tier name ("scalar", "portable", ...).
+[[nodiscard]] const char* mvm_isa_name(MvmIsa isa);
 
 /// Bit-accurate MVM through the configured ADC. Returns a span of cols()
 /// results living in `ws.out` (invalidated by the next kernel call on `ws`).

@@ -15,8 +15,15 @@ namespace red::perf {
 
 struct MvmWorkspace {
   /// Pulse-plane-major encoded input streams: streams[b * rows + r] is the
-  /// digit row r drives during pulse b. Written by the kernel's encode pass.
+  /// digit row r drives during pulse b. Written by the kernel's encode pass
+  /// (scalar clipped kernel only; the packed kernels use in_planes).
   std::vector<std::uint8_t> streams;
+  /// Packed input bit-planes for the popcount kernels, word-major so one
+  /// weight word broadcasts against all planes: in_planes[w * planes_pad + j]
+  /// is word w (rows 64w..64w+63) of input bit-plane j, with planes_pad the
+  /// plane count rounded up to a multiple of 4 (one 256-bit lane group); the
+  /// pad planes stay zero.
+  std::vector<std::uint64_t> in_planes;
   /// Per-pulse compacted list of driven wordlines (row index, digit value);
   /// built once per pulse and reused across the weight slices.
   std::vector<std::int32_t> driven_rows;
@@ -44,6 +51,16 @@ struct MvmWorkspace {
     if (acc.size() < need_cols) acc.resize(need_cols);
     const auto need_out = static_cast<std::size_t>(batch) * need_cols;
     if (out.size() < need_out) out.resize(need_out);
+  }
+
+  /// Grow (never shrink) the packed input-plane buffer for a rows-wordline
+  /// crossbar streaming `planes_pad` (already padded) input bit-planes. Like
+  /// prepare(), sizing is per shape, not per call: a warmed-up workspace
+  /// re-encodes in place with no heap traffic across mvm_batch calls.
+  void prepare_packed(std::int64_t rows, int planes_pad) {
+    const auto need = static_cast<std::size_t>((rows + 63) / 64) *
+                      static_cast<std::size_t>(planes_pad);
+    if (in_planes.size() < need) in_planes.resize(need);
   }
 };
 

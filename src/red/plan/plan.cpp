@@ -7,6 +7,7 @@
 #include "red/common/contracts.h"
 #include "red/common/math_util.h"
 #include "red/core/pixel_wise_mapping.h"
+#include "red/core/schedule.h"
 #include "red/nn/redundancy.h"
 
 namespace red::plan {
@@ -180,8 +181,13 @@ arch::LayerActivity red_activity(const nn::DeconvLayerSpec& spec, const arch::De
   a.sa_extra_stages = ilog2_ceil(core::max_group_size(groups)) + (fold > 1 ? 1 : 0);
   a.fold = fold;
 
+  // Bit-Tactical lookahead/lookaside coalesces fold phases into windows, so a
+  // block takes coalesced_phases (== fold with the knobs off) cycles; the
+  // conversion/mux/SA counts below inherit the shortened schedule because a
+  // merged cycle integrates its promoted wordlines into one ADC conversion.
   a.cycles = std::int64_t{ceil_div(spec.oh(), spec.stride)} *
-             ceil_div(spec.ow(), spec.stride) * fold;
+             ceil_div(spec.ow(), spec.stride) *
+             core::ZeroSkipSchedule::coalesced_phases(fold, cfg.lookahead_h, cfg.lookaside_d);
   // Zero-skipping drives exactly the wordlines carrying real data — the same
   // (input pixel, kernel tap) pairings the zero-padding design's non-zero
   // window entries make, so the totals coincide by construction.

@@ -178,6 +178,7 @@ LogicalXbar::LogicalXbar(std::int64_t rows, std::int64_t cols,
 
   const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
   lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+  rebuild_packed_planes();
 }
 
 LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var)
@@ -191,6 +192,8 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var)
     levels_ = clean.levels_;
     col_level_sums_ = clean.col_level_sums_;
     lossless_adc_bits_ = clean.lossless_adc_bits_;
+    packed_planes_ = clean.packed_planes_;
+    packed_words_ = clean.packed_words_;
     variation_stats_.cells = static_cast<std::int64_t>(weights_.size()) * config_.slices();
     return;
   }
@@ -223,6 +226,7 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var)
   }
   const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
   lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+  rebuild_packed_planes();
 }
 
 LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, FastDeltaTag)
@@ -231,6 +235,8 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, Fa
       config_(clean.config_),
       weights_(clean.weights_),
       levels_(clean.levels_),
+      packed_planes_(clean.packed_planes_),
+      packed_words_(clean.packed_words_),
       col_level_sums_(clean.col_level_sums_),
       lossless_adc_bits_(clean.lossless_adc_bits_) {
   RED_EXPECTS_MSG(!clean.config_.variation.enabled(),
@@ -262,6 +268,25 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, const VariationModel& var, Fa
                    << (config_.cell_bits * static_cast<int>(s));
     col_level_sums_[(i % static_cast<std::size_t>(cols_)) * static_cast<std::size_t>(slices) +
                     s] += static_cast<std::int64_t>(level) - static_cast<std::int64_t>(original);
+    // Patch the copied packed bit-planes in place: one bit per level bit of
+    // this cell, at row bit (r % 64) of word (r / 64) in plane s*cell_bits+t.
+    const std::int64_t r = static_cast<std::int64_t>(i) / cols_;
+    const std::int64_t c = static_cast<std::int64_t>(i) % cols_;
+    const std::uint64_t row_bit = std::uint64_t{1} << (r & 63);
+    const std::size_t col_base = static_cast<std::size_t>(c) *
+                                 static_cast<std::size_t>(packed_weight_planes()) *
+                                 static_cast<std::size_t>(packed_words_);
+    for (int t = 0; t < config_.cell_bits; ++t) {
+      const std::size_t u = s * static_cast<std::size_t>(config_.cell_bits) +
+                            static_cast<std::size_t>(t);
+      std::uint64_t& word =
+          packed_planes_[col_base + u * static_cast<std::size_t>(packed_words_) +
+                         static_cast<std::size_t>(r >> 6)];
+      if ((level >> t) & 1)
+        word |= row_bit;
+      else
+        word &= ~row_bit;
+    }
     dirty = true;
   };
 
@@ -349,6 +374,36 @@ LogicalXbar::LogicalXbar(const LogicalXbar& clean, std::vector<std::uint8_t> lev
   }
   const std::int64_t worst = *std::max_element(col_level_sums_.begin(), col_level_sums_.end());
   lossless_adc_bits_ = worst == 0 ? 1 : ilog2_ceil(worst + 1);
+  rebuild_packed_planes();
+}
+
+void LogicalXbar::rebuild_packed_planes() {
+  const int cell_bits = config_.cell_bits;
+  const int num_planes = packed_weight_planes();
+  packed_words_ = (rows_ + 63) >> 6;
+  packed_planes_.assign(static_cast<std::size_t>(cols_) * static_cast<std::size_t>(num_planes) *
+                            static_cast<std::size_t>(packed_words_),
+                        0);
+  const std::size_t plane = static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  for (int s = 0; s < config_.slices(); ++s) {
+    const std::uint8_t* lp = levels_.data() + static_cast<std::size_t>(s) * plane;
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      const std::uint64_t row_bit = std::uint64_t{1} << (r & 63);
+      const std::size_t word = static_cast<std::size_t>(r >> 6);
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        std::uint8_t lv = lp[static_cast<std::size_t>(r * cols_ + c)];
+        const std::size_t col_base = static_cast<std::size_t>(c) *
+                                     static_cast<std::size_t>(num_planes) *
+                                     static_cast<std::size_t>(packed_words_);
+        for (int t = 0; lv != 0; ++t, lv >>= 1)
+          if (lv & 1)
+            packed_planes_[col_base +
+                           static_cast<std::size_t>(s * cell_bits + t) *
+                               static_cast<std::size_t>(packed_words_) +
+                           word] |= row_bit;
+      }
+    }
+  }
 }
 
 std::int32_t LogicalXbar::stored_weight(std::int64_t r, std::int64_t c) const {

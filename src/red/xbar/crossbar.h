@@ -97,6 +97,28 @@ class LogicalXbar {
     return level_plane(s)[static_cast<std::size_t>(r * cols_ + c)];
   }
 
+  /// Packed weight bit-planes backing the popcount kernels: per column,
+  /// one 64-bit-word bitmap per stored-level bit. Plane u = s * cell_bits + t
+  /// holds bit t of slice s over the rows (bit r of word r/64), so there are
+  /// slices() * cell_bits planes — one per level bit, covering out-of-range
+  /// levels a fault or stuck-at-max cell can program into a partial top
+  /// slice. Maintained by every constructor (sparse deltas update it in
+  /// place), never recomputed per MVM.
+  [[nodiscard]] int packed_weight_planes() const {
+    return config_.slices() * config_.cell_bits;
+  }
+
+  /// 64-bit words per packed plane: ceil(rows / 64).
+  [[nodiscard]] std::int64_t packed_words() const { return packed_words_; }
+
+  /// The packed_weight_planes() consecutive planes (packed_words() words
+  /// each) of column `c`, plane-major.
+  [[nodiscard]] const std::uint64_t* packed_col_planes(std::int64_t c) const {
+    return packed_planes_.data() +
+           static_cast<std::size_t>(c) * static_cast<std::size_t>(packed_weight_planes()) *
+               static_cast<std::size_t>(packed_words_);
+  }
+
   /// Fast exact MVM (ideal ADC semantics). input.size() == rows().
   [[nodiscard]] std::vector<std::int64_t> mvm(std::span<const std::int32_t> input,
                                               MvmStats* stats = nullptr) const;
@@ -138,11 +160,19 @@ class LogicalXbar {
   [[nodiscard]] const VariationStats& variation_stats() const { return variation_stats_; }
 
  private:
+  /// Rebuild packed_planes_ from levels_ (program/reprogram constructors; the
+  /// sparse-delta constructor patches the copied planes bit-by-bit instead).
+  void rebuild_packed_planes();
+
   std::int64_t rows_;
   std::int64_t cols_;
   QuantConfig config_;
   std::vector<std::int32_t> weights_;      ///< stored signed weights, row-major
   std::vector<std::uint8_t> levels_;       ///< cell levels, plane-major [slice][row][col]
+  /// Packed weight bit-planes, [(c * packed_weight_planes() + u) * words + w]
+  /// (see packed_col_planes()).
+  std::vector<std::uint64_t> packed_planes_;
+  std::int64_t packed_words_ = 0;
   /// Per-(col, slice) programmed-level sums backing lossless_adc_bits_; kept
   /// so delta reprogramming can update the cache incrementally.
   std::vector<std::int64_t> col_level_sums_;

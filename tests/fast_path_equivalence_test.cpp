@@ -193,6 +193,117 @@ TEST(FastPathEquivalence, LosslessAdcBitsCacheMatchesBruteForce) {
   }
 }
 
+/// Restores the dispatch tier a test temporarily pins (RAII so an ASSERT
+/// failure cannot leak a forced tier into later tests).
+class ScopedIsa {
+ public:
+  ScopedIsa() : saved_(perf::mvm_active_isa()) {}
+  ~ScopedIsa() { perf::set_mvm_isa(saved_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  perf::MvmIsa saved_;
+};
+
+constexpr perf::MvmIsa kAllIsas[] = {perf::MvmIsa::kScalar, perf::MvmIsa::kPortable,
+                                     perf::MvmIsa::kPopcnt, perf::MvmIsa::kAvx2,
+                                     perf::MvmIsa::kAvx512};
+
+/// Packed kernels vs the scalar reference over the shapes that stress the
+/// 64-bit word packing: rows around and across word boundaries, a single
+/// column, all-zero and fully dense inputs — per ADC regime, per dispatch
+/// tier (tiers above the machine's clamp down and re-test the detected one).
+TEST(FastPathEquivalence, PackedKernelsMatchReferenceOnAwkwardShapes) {
+  const ScopedIsa restore;
+  Rng rng(8080);
+  for (const std::int64_t rows : {std::int64_t{1}, std::int64_t{63}, std::int64_t{64},
+                                  std::int64_t{65}, std::int64_t{127}, std::int64_t{129}}) {
+    for (const std::int64_t cols : {std::int64_t{1}, std::int64_t{7}}) {
+      for (const auto& q : config_matrix()) {
+        const LogicalXbar xb(rows, cols, random_weights(rng, rows * cols, q), q);
+        const std::int32_t dense = q.dac_bits == 1
+                                       ? -(std::int32_t{1} << (q.abits - 1))  // widest magnitude
+                                       : (std::int32_t{1} << q.abits) - 1;
+        const std::vector<std::vector<std::int32_t>> inputs = {
+            random_input(rng, rows, q, /*include_zeros=*/true),
+            std::vector<std::int32_t>(static_cast<std::size_t>(rows), 0),     // all-zero planes
+            std::vector<std::int32_t>(static_cast<std::size_t>(rows), dense)  // all planes set
+        };
+        for (const auto& in : inputs) {
+          MvmStats ref_stats;
+          const auto ref = xb.mvm_bit_accurate_reference(in, &ref_stats);
+          perf::set_mvm_isa(perf::MvmIsa::kScalar);
+          MvmStats exact_stats;
+          const auto exact = xb.mvm(in, &exact_stats);
+          for (const auto isa : kAllIsas) {
+            perf::set_mvm_isa(isa);
+            const char* name = perf::mvm_isa_name(perf::mvm_active_isa());
+            perf::MvmWorkspace ws;
+            MvmStats got_stats;
+            const auto got = xb.mvm_bit_accurate(in, ws, &got_stats);
+            EXPECT_EQ(std::vector<std::int64_t>(got.begin(), got.end()), ref)
+                << name << " rows=" << rows << " cols=" << cols;
+            EXPECT_EQ(got_stats, ref_stats) << name << " rows=" << rows << " cols=" << cols;
+
+            MvmStats got_exact_stats;
+            const auto got_exact = xb.mvm(in, ws, &got_exact_stats);
+            EXPECT_EQ(std::vector<std::int64_t>(got_exact.begin(), got_exact.end()), exact)
+                << name << " rows=" << rows << " cols=" << cols;
+            EXPECT_EQ(got_exact_stats, exact_stats) << name;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The Bit-Tactical lookahead/lookaside schedule must keep ideal-ADC results
+/// bit-identical while shrinking cycles, at every thread count, and the
+/// measured cycle count must equal what the analytic plan prices.
+TEST(FastPathEquivalence, ZeroSkipScheduleLookaheadBitIdentity) {
+  Rng rng(6060);
+  workloads::GeneratorOptions opts;
+  opts.max_spatial = 6;
+  opts.max_kernel = 5;
+  opts.max_channels = 3;
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto spec = workloads::random_layer(rng, opts);
+    const auto input = workloads::make_input(spec, rng, 1, 7);
+    const auto kernel = workloads::make_kernel(spec, rng, -7, 7);
+    for (const bool bit_accurate : {false, true}) {
+      arch::DesignConfig base_cfg;
+      base_cfg.bit_accurate = bit_accurate;
+      base_cfg.red_fold = 4;  // deep enough that a window actually coalesces
+      arch::RunStats base_stats;
+      const auto base_out = core::make_design(core::DesignKind::kRed, base_cfg)
+                                ->run(spec, input, kernel, &base_stats);
+
+      struct Knobs {
+        int h, d;
+      };
+      for (const Knobs k : {Knobs{1, 1}, Knobs{2, 3}, Knobs{4, 4}}) {
+        arch::DesignConfig cfg = base_cfg;
+        cfg.lookahead_h = k.h;
+        cfg.lookaside_d = k.d;
+        arch::RunStats serial_stats, par_stats;
+        const auto design = core::make_design(core::DesignKind::kRed, cfg);
+        const auto serial_out = design->run(spec, input, kernel, &serial_stats);
+        EXPECT_EQ(serial_out, base_out) << spec.name << " h=" << k.h << " d=" << k.d;
+        EXPECT_LT(serial_stats.cycles, base_stats.cycles) << spec.name;
+        EXPECT_EQ(serial_stats.cycles, design->activity(spec).cycles) << spec.name;
+
+        arch::DesignConfig par_cfg = cfg;
+        par_cfg.threads = 4;
+        const auto par_out = core::make_design(core::DesignKind::kRed, par_cfg)
+                                 ->run(spec, input, kernel, &par_stats);
+        EXPECT_EQ(par_out, serial_out) << spec.name;
+        EXPECT_EQ(par_stats, serial_stats) << spec.name;
+      }
+    }
+  }
+}
+
 /// Threaded design runs must be bit-exact vs serial: identical output
 /// tensors and identical RunStats for every design and both MVM paths.
 TEST(FastPathEquivalence, ThreadedDesignRunsMatchSerial) {

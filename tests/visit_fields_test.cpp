@@ -139,7 +139,7 @@ TEST(VisitFields, StructuralKeyDiscriminatesEveryStructuralConfigLeaf) {
   const arch::DesignConfig base;
   const std::string base_key = plan::structural_key(arch::DesignKind::kRed, base, test_spec());
   const int n = leaf_count(base);
-  ASSERT_GT(n, 60);  // 12 top-level fields, calibration + nested structs expanded
+  ASSERT_GT(n, 60);  // 14 top-level fields, calibration + nested structs expanded
   for (int i = 0; i < n; ++i) {
     arch::DesignConfig mutated;
     const auto [path, structural] = mutate_leaf(mutated, i);
@@ -188,6 +188,8 @@ TEST(VisitFields, PlanJsonRoundTripsEveryConfigLeaf) {
   cfg.bit_accurate = true;
   cfg.tiled = true;
   cfg.activation_sparsity = 0.25;
+  cfg.lookahead_h = 2;
+  cfg.lookaside_d = 1;
   cfg.threads = 3;
   cfg.tiling.subarray_rows = 64;
   cfg.tiling.subarray_cols = 256;
@@ -209,6 +211,25 @@ TEST(VisitFields, PlanJsonRoundTripsEveryConfigLeaf) {
   EXPECT_EQ(leaf_snapshot(back.cfg), leaf_snapshot(cfg));
   EXPECT_EQ(leaf_snapshot(back.spec), leaf_snapshot(lp.spec));
   EXPECT_EQ(back.fingerprint(), lp.fingerprint());
+}
+
+// The Bit-Tactical schedule knobs change the compiled schedule (cycle counts,
+// executor behavior), so plans compiled under different knobs must never alias
+// in the sweep/optimize memo — and the shortened schedule must be priced.
+TEST(VisitFields, SchedulerKnobsAreStructuralAndPriced) {
+  arch::DesignConfig base;
+  base.red_fold = 4;
+  arch::DesignConfig tactical = base;
+  tactical.lookahead_h = 2;
+  tactical.lookaside_d = 2;
+  EXPECT_NE(plan::structural_key(arch::DesignKind::kRed, tactical, test_spec()),
+            plan::structural_key(arch::DesignKind::kRed, base, test_spec()));
+
+  const auto base_plan = plan::plan_layer(arch::DesignKind::kRed, test_spec(), base);
+  const auto tac_plan = plan::plan_layer(arch::DesignKind::kRed, test_spec(), tactical);
+  // fold 4 coalesced by window 1 + min(2, 2) = 3 -> ceil(4/3) = 2 phases.
+  EXPECT_EQ(tac_plan.activity.cycles * 2, base_plan.activity.cycles);
+  EXPECT_LT(tac_plan.activity.conversions, base_plan.activity.conversions);
 }
 
 // ---- strategy identity coverage ---------------------------------------------

@@ -78,6 +78,7 @@ commands:
             [--net NAME | --layer NAME | geometry] [--design zp|pf|red|all]
             [--folds L] [--muxes L] [--tile-sides L] [--adc-bits L]
             [--weight-bits L] [--activation-bits L] [--spare-lines L]
+            [--lookaheads L] [--lookasides L]
             [--strategy exhaustive|anneal|evolve] [--objective latency,area]
             [--weights L] [--budget N] [--seed N] [--threads N]
             [--chip-fit [--banks N] [--bank-subarrays N]] [--max-sc N]
@@ -102,6 +103,8 @@ common flags:
   --layer <Table-I name>                                    use a benchmark layer
   --design zp|pf|red      design to evaluate (default red)
   --fold N --mux N        RED fold override / mux ratio
+  --lookahead H --lookaside D   Bit-Tactical schedule promotion (0 = off;
+                          both > 0 coalesce fold phases by 1+min(H,D))
   --tiled [--subarray N]  price bounded physical subarrays
   --breakdown             per-component Table II breakdown
   --run                   also execute functionally and verify vs golden
@@ -124,6 +127,8 @@ arch::DesignConfig config_from(const Flags& flags) {
   arch::DesignConfig cfg;
   cfg.mux_ratio = static_cast<int>(flags.get_int("mux", cfg.mux_ratio));
   cfg.red_fold = static_cast<int>(flags.get_int("fold", 0));
+  cfg.lookahead_h = static_cast<int>(flags.get_int("lookahead", 0));
+  cfg.lookaside_d = static_cast<int>(flags.get_int("lookaside", 0));
   cfg.tiled = flags.get_bool("tiled");
   const auto side = flags.get_int("subarray", 128);
   cfg.tiling = {side, side};
@@ -302,7 +307,9 @@ opt::SearchSpace space_from(const Flags& flags, const std::vector<nn::DeconvLaye
                     {"adc-bits", opt::AxisField::kAdcBits},
                     {"weight-bits", opt::AxisField::kWeightBits},
                     {"activation-bits", opt::AxisField::kActivationBits},
-                    {"spare-lines", opt::AxisField::kSpareLines}};
+                    {"spare-lines", opt::AxisField::kSpareLines},
+                    {"lookaheads", opt::AxisField::kLookahead},
+                    {"lookasides", opt::AxisField::kLookaside}};
   bool any = false;
   for (const auto& a : axis_flags)
     if (flags.has(a.flag)) {
@@ -704,11 +711,13 @@ int cmd_trace(const Flags& flags) {
   const auto spec = layer_from(flags);
   const auto cfg = config_from(flags);
   const core::RedDesign red(cfg);
-  const core::ZeroSkipSchedule schedule(spec, red.fold_for(spec));
+  const core::ZeroSkipSchedule schedule(spec, red.fold_for(spec), cfg.lookahead_h,
+                                        cfg.lookaside_d);
   sim::TraceOptions opts;
   opts.max_cycles = flags.get_int("cycles", 16);
   std::cout << spec.to_string() << "\nZero-skipping schedule (fold " << schedule.fold()
-            << ", " << schedule.num_cycles() << " cycles):\n"
+            << ", window " << schedule.window() << ", " << schedule.num_cycles()
+            << " cycles):\n"
             << sim::render_schedule_trace(schedule, opts);
   return 0;
 }
