@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     run.points = fault::run_fault_campaign(kind, arch::DesignConfig{}, models, policy, layer,
                                            input, kernel, opts);
     run.wall_ms = ms_since(t0);
-    entries.push_back({"BM_FaultCampaign_" + run.kind, run.wall_ms, 1});
+    entries.push_back({"BM_FaultCampaign_" + run.kind, run.wall_ms, 1, run.wall_ms});
     kind_runs.push_back(std::move(run));
   }
 
@@ -152,7 +152,7 @@ int main(int argc, char** argv) {
   if (!bench::write_report_file(out_path, out.str())) return 1;
 
   if (!zero_rate_exact || !repaired_not_worse) {
-    std::cerr << "error: a fault-campaign gate failed\n";
+    red::log_error("a fault-campaign gate failed");
     return 1;
   }
   return 0;

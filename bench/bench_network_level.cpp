@@ -38,7 +38,7 @@ int main(int argc, char** argv) try {
   const bool smoke = flags.get_bool("smoke");
   const int threads = static_cast<int>(flags.get_int("threads", 4));
   if (threads < 1) {
-    std::cerr << "error: --threads must be >= 1\n";
+    red::log_error("--threads must be >= 1");
     return 2;
   }
   // Size the process-wide pool to the requested lane count (unless the user
@@ -184,6 +184,6 @@ int main(int argc, char** argv) try {
   }
   return 0;
 } catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
+  red::log_error(e.what());
   return 2;
 }

@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     for (const auto& e : warm.frontier) warm_set.insert(e.objectives);
     for (const auto& e : result.frontier) cold_set.insert(e.objectives);
     if (warm_set != cold_set) {
-      std::cerr << "error: warm re-run changed the frontier\n";
+      red::log_error("warm re-run changed the frontier");
       return 1;
     }
 
@@ -125,8 +125,8 @@ int main(int argc, char** argv) {
       }
     }
 
-    entries.push_back({"BM_Opt_" + run.strategy, run.wall_ms, 1});
-    entries.push_back({"BM_Opt_" + run.strategy + "_warm", run.warm_ms, 1});
+    entries.push_back({"BM_Opt_" + run.strategy, run.wall_ms, 1, run.wall_ms});
+    entries.push_back({"BM_Opt_" + run.strategy + "_warm", run.warm_ms, 1, run.warm_ms});
     std::cout << run.strategy << ": " << format_double(run.wall_ms, 2) << " ms cold / "
               << format_double(run.warm_ms, 2) << " ms warm, " << run.evaluations
               << " evaluations (" << run.evals_to_frontier << " to the frontier), "
@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
   const bool all_matched =
       std::all_of(runs.begin(), runs.end(), [](const Run& r) { return r.matched; });
   if (!all_matched) {
-    std::cerr << "error: a strategy failed to recover the exhaustive Pareto frontier\n";
+    red::log_error("a strategy failed to recover the exhaustive Pareto frontier");
     return 1;
   }
 
@@ -192,13 +192,13 @@ int main(int argc, char** argv) {
                          : 0.0;
     if (frontier_objectives(warm_result.frontier) !=
         frontier_objectives(cold_result.frontier)) {
-      std::cerr << "error: the warm-store run changed the frontier\n";
+      red::log_error("the warm-store run changed the frontier");
       return 1;
     }
   }
   std::remove(store_path.c_str());
-  entries.push_back({"BM_OptStore_cold", store_cold_ms, 1});
-  entries.push_back({"BM_OptStore_warm", store_warm_ms, 1});
+  entries.push_back({"BM_OptStore_cold", store_cold_ms, 1, store_cold_ms});
+  entries.push_back({"BM_OptStore_warm", store_warm_ms, 1, store_warm_ms});
   std::cout << "store: " << format_double(store_cold_ms, 2) << " ms cold fill, "
             << format_double(store_warm_ms, 2) << " ms warm (" << store_entries
             << " entries, hit rate " << format_percent(store_hit_rate, 1) << ")\n";
@@ -228,12 +228,12 @@ int main(int argc, char** argv) {
     const auto merged_frontier = merger.frontier_of(merged.state);
     merge_ms = ms_since(t0);
     if (!merged.quarantined.empty() || frontier_objectives(merged_frontier) != target) {
-      std::cerr << "error: merged shard checkpoints missed the exhaustive frontier\n";
+      red::log_error("merged shard checkpoints missed the exhaustive frontier");
       return 1;
     }
   }
-  entries.push_back({"BM_OptShard_run", shard_ms, 1});
-  entries.push_back({"BM_OptShard_merge", merge_ms, 1});
+  entries.push_back({"BM_OptShard_run", shard_ms, 1, shard_ms});
+  entries.push_back({"BM_OptShard_merge", merge_ms, 1, merge_ms});
   std::cout << "shards: 2 x half-grid in " << format_double(shard_ms, 2)
             << " ms total, merge + frontier " << format_double(merge_ms, 2)
             << " ms, merged frontier matches exhaustive\n";

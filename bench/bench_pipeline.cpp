@@ -138,7 +138,7 @@ int main(int argc, char** argv) try {
         bit_identical = false;
   }
   if (!bit_identical) {
-    std::cerr << "error: streaming executor deviates from the sequential chain\n";
+    red::log_error("streaming executor deviates from the sequential chain");
     return 1;
   }
 
@@ -153,7 +153,7 @@ int main(int argc, char** argv) try {
                                 model.initiation_interval.value() == model_slowest &&
                                 model.fill_latency.value() == model_seq;
   if (!model_consistent) {
-    std::cerr << "error: evaluate_pipeline quantities disagree with its own stage reports\n";
+    red::log_error("evaluate_pipeline quantities disagree with its own stage reports");
     return 1;
   }
 
@@ -204,6 +204,6 @@ int main(int argc, char** argv) try {
   if (!bench::write_report_file(out_path, out.str())) return 1;
   return 0;
 } catch (const std::exception& e) {
-  std::cerr << "error: " << e.what() << '\n';
+  red::log_error(e.what());
   return 2;
 }

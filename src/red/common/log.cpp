@@ -1,12 +1,18 @@
 #include "red/common/log.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
+
+#include "red/common/error.h"
 
 namespace red {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_timestamps{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,15 +27,54 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic elapsed time since the logger was first touched (a stand-in for
+/// process start that needs no platform hooks). Integer tenths of a
+/// millisecond: formatting stays integer-only and deterministic per reading.
+std::uint64_t elapsed_tenths_of_ms() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  return static_cast<std::uint64_t>(ns.count()) / 100000;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_timestamps(bool enabled) {
+  if (enabled) (void)elapsed_tenths_of_ms();  // pin the epoch at enable time
+  g_timestamps.store(enabled);
+}
+
+bool log_timestamps() { return g_timestamps.load(); }
+
+LogLevel log_level_from_name(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw ConfigError("RED_LOG_LEVEL: unknown level '" + name +
+                    "' (debug | info | warn | error)");
+}
+
+void apply_log_env() {
+  const char* env = std::getenv("RED_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  set_log_level(log_level_from_name(env));
+}
+
 void log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::cerr << "[red:" << level_name(level) << "] " << message << '\n';
+  std::ostringstream line;
+  line << "[red:" << level_name(level);
+  if (g_timestamps.load()) {
+    const std::uint64_t tenths = elapsed_tenths_of_ms();
+    line << " +" << tenths / 10 << '.' << tenths % 10 << "ms";
+  }
+  line << "] " << message << '\n';
+  std::cerr << line.str();
 }
 
 }  // namespace red

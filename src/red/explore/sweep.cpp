@@ -7,6 +7,8 @@
 #include "red/common/error.h"
 #include "red/perf/thread_pool.h"
 #include "red/plan/plan.h"
+#include "red/telemetry/metrics.h"
+#include "red/telemetry/tracer.h"
 
 namespace red::explore {
 
@@ -173,6 +175,10 @@ void SweepDriver::clear() {
 }
 
 std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& grid) {
+  // Observe-only: the span and the counter deltas at the end mirror stats_
+  // without ever influencing which points are computed or served.
+  telemetry::ScopedSpan span("sweep.evaluate", "explore");
+  const SweepStats before = stats_;
   stats_.points += static_cast<std::int64_t>(grid.size());
 
   // Deduplicate against the memo and within the grid; only the first
@@ -258,6 +264,27 @@ std::vector<SweepOutcome> SweepDriver::evaluate(const std::vector<SweepPoint>& g
     }
   }
   stats_.cached_entries = static_cast<std::int64_t>(cache_.size());
+
+  if (auto* m = telemetry::metrics()) {
+    const auto bump = [m](const char* name, std::int64_t delta) {
+      if (delta > 0) m->counter(name)->add(static_cast<std::uint64_t>(delta));
+    };
+    bump("sweep.points", stats_.points - before.points);
+    bump("sweep.evaluated", stats_.evaluated - before.evaluated);
+    bump("sweep.memo_hits", stats_.cache_hits - before.cache_hits);
+    bump("sweep.memo_evictions", stats_.evictions - before.evictions);
+    bump("sweep.store_hits", stats_.store_hits - before.store_hits);
+    bump("sweep.store_rejects", stats_.store_rejects - before.store_rejects);
+    m->gauge("sweep.memo_entries")->set(stats_.cached_entries);
+    if (store_ != nullptr) {
+      const store::StoreReport& rep = store_->report();
+      m->gauge("store.records_loaded")->set(rep.records_loaded);
+      m->gauge("store.records_quarantined")->set(rep.records_quarantined);
+      m->gauge("store.bytes_skipped")->set(rep.bytes_skipped);
+      m->gauge("store.appended")->set(rep.appended);
+      m->gauge("store.entries")->set(store_->entries());
+    }
+  }
   return results;
 }
 

@@ -1,5 +1,8 @@
 #include "red/fault/campaign.h"
 
+#include "red/telemetry/metrics.h"
+#include "red/telemetry/tracer.h"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -139,9 +142,15 @@ std::vector<FaultCampaignPoint> run_fault_campaign(
   // Flat (grid point, trial) index space over per-slot results: busy pool,
   // bit-identical aggregates at any thread count.
   const std::int64_t total = static_cast<std::int64_t>(models.size()) * opts.trials;
+  telemetry::ScopedSpan campaign_span("fault.campaign", "fault");
+  if (auto* m = telemetry::metrics()) {
+    m->counter("fault.grid_points")->add(models.size());
+    m->counter("fault.trials")->add(static_cast<std::uint64_t>(total));
+  }
   const std::int64_t chunks = perf::chunk_count(opts.threads, total);
   perf::parallel_chunks(chunks, total, [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
+      telemetry::ScopedSpan trial_span("fault.trial", "fault");
       const std::size_t g = static_cast<std::size_t>(i / opts.trials);
       const std::int64_t t = i % opts.trials;
       FaultModel trial_model = models[g];
@@ -191,9 +200,15 @@ std::vector<FaultCampaignPoint> run_fault_campaign_stack(
   }
 
   const std::int64_t total = static_cast<std::int64_t>(models.size()) * opts.trials;
+  telemetry::ScopedSpan campaign_span("fault.campaign_stack", "fault");
+  if (auto* m = telemetry::metrics()) {
+    m->counter("fault.grid_points")->add(models.size());
+    m->counter("fault.trials")->add(static_cast<std::uint64_t>(total));
+  }
   const std::int64_t chunks = perf::chunk_count(opts.threads, total);
   perf::parallel_chunks(chunks, total, [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
     for (std::int64_t i = i0; i < i1; ++i) {
+      telemetry::ScopedSpan trial_span("fault.trial", "fault");
       const std::size_t g = static_cast<std::size_t>(i / opts.trials);
       const std::int64_t t = i % opts.trials;
       FaultModel trial_model = models[g];

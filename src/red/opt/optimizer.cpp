@@ -12,6 +12,8 @@
 #include "red/report/json.h"
 #include "red/store/interrupt.h"
 #include "red/store/io.h"
+#include "red/telemetry/metrics.h"
+#include "red/telemetry/tracer.h"
 
 namespace red::opt {
 
@@ -104,6 +106,9 @@ void Optimizer::evaluate_batch(const std::vector<Candidate>& batch,
     MaterializedPoint point;
     bool feasible = true;
   };
+  // Observe-only: spans bracket the batch phases, counter deltas mirror
+  // stats_ at the end. Neither influences pruning, pricing, or state.
+  const OptStats stats_before = stats_;
   std::vector<Fresh> fresh;
   std::unordered_set<std::int64_t> fresh_seen;
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -121,6 +126,7 @@ void Optimizer::evaluate_batch(const std::vector<Candidate>& batch,
   // functions into per-index slots); pruned ordinals are recorded serially
   // in batch order afterwards, so the state is thread-count invariant.
   if (!constraints_.empty()) {
+    telemetry::ScopedSpan prune_span("opt.prune", "opt");
     const auto n = static_cast<std::int64_t>(fresh.size());
     perf::parallel_chunks(perf::chunk_count(opts_.threads, n), n,
                           [&](std::int64_t, std::int64_t i0, std::int64_t i1) {
@@ -151,7 +157,11 @@ void Optimizer::evaluate_batch(const std::vector<Candidate>& batch,
     if (!f.feasible) continue;
     for (const auto& spec : space_.stack()) grid.push_back({f.point.kind, f.point.cfg, spec});
   }
-  const auto outcomes = driver_.evaluate(grid);
+  std::vector<explore::SweepOutcome> outcomes;
+  {
+    telemetry::ScopedSpan price_span("opt.price", "opt");
+    outcomes = driver_.evaluate(grid);
+  }
 
   std::size_t offset = 0;
   const std::size_t layers = space_.stack().size();
@@ -177,6 +187,15 @@ void Optimizer::evaluate_batch(const std::vector<Candidate>& batch,
   evals.assign(batch.size(), nullptr);
   for (std::size_t i = 0; i < batch.size(); ++i)
     evals[i] = state.find(space_.encode(batch[i]));
+
+  if (auto* m = telemetry::metrics()) {
+    const auto bump = [m](const char* name, std::int64_t delta) {
+      if (delta > 0) m->counter(name)->add(static_cast<std::uint64_t>(delta));
+    };
+    bump("opt.repeats", stats_.repeats - stats_before.repeats);
+    bump("opt.pruned", stats_.pruned - stats_before.pruned);
+    bump("opt.evaluations", stats_.evaluations - stats_before.evaluations);
+  }
 }
 
 OptimizerResult Optimizer::search(OptimizerState state) {
@@ -209,18 +228,29 @@ OptimizerResult Optimizer::search(OptimizerState state) {
       interrupted = true;
       break;
     }
-    auto batch = strategy_->propose(space_, state, opts_.seed);
+    std::vector<Candidate> batch;
+    {
+      telemetry::ScopedSpan propose_span("opt.propose", "opt");
+      batch = strategy_->propose(space_, state, opts_.seed);
+    }
     if (batch.empty()) {
       complete = true;
       break;
     }
     ++stats_.batches;
     stats_.proposals += std::ssize(batch);
+    if (auto* m = telemetry::metrics()) {
+      m->counter("opt.batches")->add(1);
+      m->counter("opt.proposals")->add(static_cast<std::uint64_t>(batch.size()));
+    }
 
     const std::int64_t before = std::ssize(state.evaluated);
     std::vector<const CandidateEval*> evals;
     evaluate_batch(batch, evals, state);
-    strategy_->observe(space_, batch, evals, opts_.seed, state);
+    {
+      telemetry::ScopedSpan observe_span("opt.observe", "opt");
+      strategy_->observe(space_, batch, evals, opts_.seed, state);
+    }
     state.stall = std::ssize(state.evaluated) > before ? 0 : state.stall + 1;
     maybe_write_checkpoint(state, /*force=*/false);
   }

@@ -9,6 +9,7 @@
 
 #include "red/common/contracts.h"
 #include "red/common/error.h"
+#include "red/telemetry/metrics.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #define RED_MVM_X86 1
@@ -591,6 +592,40 @@ void exact_into(const LogicalXbar& xbar, std::span<const std::int32_t> input, Mv
   }
 }
 
+/// Observe-only instrumentation of the public dispatch entry points (never
+/// the inner kernels): per-ISA-tier invocation counters plus MvmStats deltas
+/// rolled into `mvm.*` counters. Static names keep the enabled path
+/// allocation-free; the disabled path is the metrics() load + one branch.
+const char* mvm_invocation_counter(MvmIsa isa) {
+  switch (isa) {
+    case MvmIsa::kScalar:
+      return "mvm.calls.scalar";
+    case MvmIsa::kPortable:
+      return "mvm.calls.portable";
+    case MvmIsa::kPopcnt:
+      return "mvm.calls.popcnt";
+    case MvmIsa::kAvx2:
+      return "mvm.calls.avx2";
+    case MvmIsa::kAvx512:
+      return "mvm.calls.avx512";
+  }
+  return "mvm.calls.unknown";
+}
+
+void record_mvm_call(telemetry::MetricsRegistry* m, MvmIsa isa, std::int64_t calls,
+                     const MvmStats* stats, const MvmStats& before) {
+  m->counter(mvm_invocation_counter(isa))->add(static_cast<std::uint64_t>(calls));
+  if (stats == nullptr) return;
+  const auto bump = [m](const char* name, std::int64_t delta) {
+    if (delta > 0) m->counter(name)->add(static_cast<std::uint64_t>(delta));
+  };
+  bump("mvm.ops", stats->mvm_ops - before.mvm_ops);
+  bump("mvm.row_drives", stats->row_drives - before.row_drives);
+  bump("mvm.mac_pulses", stats->mac_pulses - before.mac_pulses);
+  bump("mvm.conversions", stats->conversions - before.conversions);
+  bump("mvm.adc_clips", stats->adc_clips - before.adc_clips);
+}
+
 }  // namespace
 
 MvmIsa mvm_detected_isa() { return detect_isa(); }
@@ -624,9 +659,12 @@ std::span<const std::int64_t> mvm_bit_accurate(const LogicalXbar& xbar,
                                                std::span<const std::int32_t> input,
                                                MvmWorkspace& ws, MvmStats* stats) {
   const MvmIsa isa = mvm_active_isa();
+  auto* m = telemetry::metrics();
+  const MvmStats before = (m != nullptr && stats != nullptr) ? *stats : MvmStats{};
   ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses());
   if (isa != MvmIsa::kScalar) ws.prepare_packed(xbar.rows(), padded_planes(xbar.config()));
   bit_accurate_into(xbar, input, ws, ws.out.data(), stats, isa);
+  if (m != nullptr) record_mvm_call(m, isa, 1, stats, before);
   return {ws.out.data(), static_cast<std::size_t>(xbar.cols())};
 }
 
@@ -634,9 +672,12 @@ std::span<const std::int64_t> mvm_exact(const LogicalXbar& xbar,
                                         std::span<const std::int32_t> input, MvmWorkspace& ws,
                                         MvmStats* stats) {
   const MvmIsa isa = mvm_active_isa();
+  auto* m = telemetry::metrics();
+  const MvmStats before = (m != nullptr && stats != nullptr) ? *stats : MvmStats{};
   ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses());
   if (isa != MvmIsa::kScalar) ws.prepare_packed(xbar.rows(), padded_planes(xbar.config()));
   exact_into(xbar, input, ws, ws.out.data(), stats, isa);
+  if (m != nullptr) record_mvm_call(m, isa, 1, stats, before);
   return {ws.out.data(), static_cast<std::size_t>(xbar.cols())};
 }
 
@@ -647,6 +688,8 @@ std::span<const std::int64_t> mvm_batch(const LogicalXbar& xbar,
   RED_EXPECTS_MSG(inputs.size() == static_cast<std::size_t>(batch * xbar.rows()),
                   "batch input size mismatch");
   const MvmIsa isa = mvm_active_isa();
+  auto* m = telemetry::metrics();
+  const MvmStats before = (m != nullptr && stats != nullptr) ? *stats : MvmStats{};
   ws.prepare(xbar.rows(), xbar.cols(), xbar.config().pulses(), batch);
   if (isa != MvmIsa::kScalar) ws.prepare_packed(xbar.rows(), padded_planes(xbar.config()));
   const auto rows = static_cast<std::size_t>(xbar.rows());
@@ -658,6 +701,7 @@ std::span<const std::int64_t> mvm_batch(const LogicalXbar& xbar,
     else
       exact_into(xbar, input, ws, out, stats, isa);
   }
+  if (m != nullptr && batch > 0) record_mvm_call(m, isa, batch, stats, before);
   return {ws.out.data(), static_cast<std::size_t>(batch * xbar.cols())};
 }
 

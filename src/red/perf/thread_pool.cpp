@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "red/common/contracts.h"
+#include "red/telemetry/metrics.h"
 
 namespace red::perf {
 
@@ -24,7 +26,27 @@ struct Job {
   std::atomic<bool> failed{false};  // set once an index threw: skip the rest
   std::int64_t completed = 0;       // guarded by the pool mutex
   std::exception_ptr error;         // first failure, guarded by the pool mutex
+  // Telemetry sinks, resolved once per parallel_for when a registry is
+  // installed (all nullptr otherwise, so the per-index cost stays one branch).
+  // Observe-only: nothing here feeds back into scheduling or results.
+  telemetry::Counter* tasks_metric = nullptr;
+  telemetry::Counter* steals_metric = nullptr;   // indices run by pool workers
+  telemetry::Histogram* duration_metric = nullptr;
 };
+
+/// Run one claimed index, feeding the per-task duration histogram when a
+/// metrics sink was installed at job-post time.
+void run_index(const Job& job, std::int64_t i) {
+  if (job.duration_metric == nullptr) {
+    (*job.fn)(i);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  (*job.fn)(i);
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - start);
+  job.duration_metric->record(static_cast<std::uint64_t>(ns.count()));
+}
 
 }  // namespace
 
@@ -39,10 +61,15 @@ struct ThreadPool::Impl {
 
   /// Claim and run indices of `job` until none remain. Returns with the pool
   /// lock NOT held. Each finished index bumps `completed` under the lock.
-  void drain(const std::shared_ptr<Job>& job) {
+  /// `helper` marks a pool worker (vs the posting caller) for steal counts.
+  void drain(const std::shared_ptr<Job>& job, bool helper = false) {
     for (;;) {
       const std::int64_t i = job->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= job->n) return;
+      if (job->tasks_metric != nullptr) {
+        job->tasks_metric->add(1);
+        if (helper) job->steals_metric->add(1);
+      }
       std::exception_ptr err;
       // Once any index threw, remaining indices are claimed but not run
       // (matching the serial loop's stop-at-first-exception semantics as
@@ -50,7 +77,7 @@ struct ThreadPool::Impl {
       // the caller's join accounting terminates.
       if (!job->failed.load(std::memory_order_acquire)) {
         try {
-          (*job->fn)(i);
+          run_index(*job, i);
         } catch (...) {
           err = std::current_exception();
           job->failed.store(true, std::memory_order_release);
@@ -79,7 +106,7 @@ struct ThreadPool::Impl {
           continue;
         }
       }
-      drain(job);
+      drain(job, /*helper=*/true);
     }
   }
 };
@@ -105,16 +132,39 @@ int ThreadPool::threads() const { return impl_->lanes; }
 void ThreadPool::parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
   RED_EXPECTS(n >= 0);
   if (n == 0) return;
+  auto* m = telemetry::metrics();
   if (impl_->workers.empty() || n == 1) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    if (m == nullptr) {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    Job serial;
+    serial.n = n;
+    serial.fn = &fn;
+    serial.tasks_metric = m->counter("pool.tasks");
+    serial.steals_metric = m->counter("pool.help_steals");
+    serial.duration_metric = m->histogram("pool.task_duration_ns");
+    m->counter("pool.parallel_for")->add(1);
+    for (std::int64_t i = 0; i < n; ++i) {
+      serial.tasks_metric->add(1);
+      run_index(serial, i);
+    }
     return;
   }
   auto job = std::make_shared<Job>();
   job->n = n;
   job->fn = &fn;
+  if (m != nullptr) {
+    job->tasks_metric = m->counter("pool.tasks");
+    job->steals_metric = m->counter("pool.help_steals");
+    job->duration_metric = m->histogram("pool.task_duration_ns");
+    m->counter("pool.parallel_for")->add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->jobs.push_back(job);
+    if (m != nullptr)
+      m->histogram("pool.queue_depth")->record(impl_->jobs.size());
   }
   impl_->work_cv.notify_all();
   impl_->drain(job);  // the caller is a lane too

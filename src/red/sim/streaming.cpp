@@ -11,6 +11,8 @@
 #include "red/common/string_util.h"
 #include "red/perf/thread_pool.h"
 #include "red/sim/engine.h"
+#include "red/telemetry/metrics.h"
+#include "red/telemetry/tracer.h"
 #include "red/tensor/tensor_ops.h"
 #include "red/workloads/networks.h"
 
@@ -22,6 +24,26 @@ using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0).count());
+}
+
+/// Static span names per pipeline stage: trace recording never allocates, so
+/// stage identity comes from a fixed literal table (deep stacks share a
+/// tail bucket).
+const char* stage_span_name(std::size_t stage) {
+  static constexpr const char* kNames[] = {
+      "streaming.stage[0]",  "streaming.stage[1]",  "streaming.stage[2]",
+      "streaming.stage[3]",  "streaming.stage[4]",  "streaming.stage[5]",
+      "streaming.stage[6]",  "streaming.stage[7]",  "streaming.stage[8]",
+      "streaming.stage[9]",  "streaming.stage[10]", "streaming.stage[11]",
+      "streaming.stage[12]", "streaming.stage[13]", "streaming.stage[14]",
+      "streaming.stage[15]"};
+  constexpr std::size_t kKnown = sizeof(kNames) / sizeof(kNames[0]);
+  return stage < kKnown ? kNames[stage] : "streaming.stage[16+]";
 }
 
 }  // namespace
@@ -136,11 +158,19 @@ Tensor<std::int32_t> StreamingExecutor::run_stage(std::size_t stage,
                                                   const Tensor<std::int32_t>& input,
                                                   arch::RunStats& stats, bool check,
                                                   std::int64_t image) const {
+  // Observe-only instrumentation: one branch each when no sink is installed.
+  telemetry::ScopedSpan span(stage_span_name(stage), "sim");
+  auto* m = telemetry::metrics();
+  const Clock::time_point t0 = m != nullptr ? Clock::now() : Clock::time_point{};
   Tensor<std::int32_t> out =
       programmed_[stage] != nullptr
           ? programmed_[stage]->run(input, &stats)
           : design_->run(stack_[stage], input, kernels_[stage], &stats);
   if (check) check_stage(stage, input, stats, image);
+  if (m != nullptr) {
+    m->counter("streaming.cells")->add(1);
+    m->histogram("streaming.stage_latency_ns")->record(ns_since(t0));
+  }
   return out;
 }
 
@@ -171,6 +201,11 @@ StreamingBatchResult StreamingExecutor::stream(const std::vector<Tensor<std::int
     const std::int64_t lo = std::max<std::int64_t>(0, d - n_images + 1);
     const std::int64_t hi = std::min<std::int64_t>(d, static_cast<std::int64_t>(depth) - 1);
     const std::int64_t cells = hi - lo + 1;
+    telemetry::ScopedSpan wave_span("streaming.wave", "sim");
+    if (auto* m = telemetry::metrics()) {
+      m->counter("streaming.waves")->add(1);
+      m->histogram("streaming.wave_occupancy")->record(static_cast<std::uint64_t>(cells));
+    }
     std::vector<std::exception_ptr> errors(static_cast<std::size_t>(cells));
     const auto t_wave = Clock::now();
     perf::parallel_chunks(
@@ -232,6 +267,7 @@ StreamingBatchResult StreamingExecutor::stream_layer_major(
   const auto t_start = Clock::now();
   std::vector<Tensor<std::int32_t>> current;  // stage input batch (stage > 0)
   for (std::size_t i = 0; i < depth; ++i) {
+    telemetry::ScopedSpan stage_span(stage_span_name(i), "sim");
     const std::span<const Tensor<std::int32_t>> ins =
         i == 0 ? std::span<const Tensor<std::int32_t>>(images)
                : std::span<const Tensor<std::int32_t>>(current);

@@ -1,0 +1,92 @@
+#include "red/telemetry/metrics.h"
+
+#include <sstream>
+#include <vector>
+
+#include "red/report/json.h"
+
+namespace red::telemetry {
+
+namespace detail {
+std::atomic<MetricsRegistry*> g_metrics_sink{nullptr};
+}  // namespace detail
+
+void install_metrics(MetricsRegistry* registry) {
+  detail::g_metrics_sink.store(registry, std::memory_order_release);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::snapshot_json(int indent) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  report::JsonWriter w(indent);
+  w.open();
+  w.object("counters");
+  for (const auto& [name, c] : counters_) w.field(name, c->value());
+  w.close(false);
+  w.object("gauges");
+  for (const auto& [name, g] : gauges_) w.field(name, g->value());
+  w.close(false);
+  w.object("histograms");
+  for (const auto& [name, h] : histograms_) {
+    w.object(name);
+    w.field("count", h->count());
+    w.field("sum", h->sum());
+    w.array("bins");
+    for (int k = 0; k < Histogram::kBins; ++k) {
+      const std::uint64_t n = h->bin_count(k);
+      if (n == 0) continue;
+      w.item_object();
+      w.field("lo", Histogram::bin_lo(k));
+      w.field("hi", Histogram::bin_hi(k));
+      w.field("count", n);
+      w.close(false);
+    }
+    w.close_array();
+    w.close(false);
+  }
+  w.close(false);
+  w.close();
+  return w.str();
+}
+
+std::string MetricsRegistry::snapshot_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "metric                                        value\n";
+  os << "--------------------------------------------  ------------\n";
+  const auto row = [&os](const std::string& name, const std::string& value) {
+    os << name;
+    for (std::size_t i = name.size(); i < 46; ++i) os << ' ';
+    os << value << '\n';
+  };
+  for (const auto& [name, c] : counters_) row(name, std::to_string(c->value()));
+  for (const auto& [name, g] : gauges_) row(name, std::to_string(g->value()));
+  for (const auto& [name, h] : histograms_) {
+    const std::uint64_t count = h->count();
+    const std::uint64_t mean = count == 0 ? 0 : h->sum() / count;
+    row(name, "count=" + std::to_string(count) + " mean~" + std::to_string(mean));
+  }
+  return os.str();
+}
+
+}  // namespace red::telemetry

@@ -1,0 +1,144 @@
+// Deterministic metrics substrate: monotonic counters, gauges, and fixed
+// log-scale-bin histograms with exact integer bin counts.
+//
+// The design constraint is the repo's determinism contract. Every metric is
+// an integer updated with commutative atomic adds, so a snapshot taken after
+// a join is invariant to thread count and interleaving: counters sum the
+// same, and histogram *bin counts* are exact integers (the bins are fixed
+// powers of two, so which bin a value lands in never depends on what other
+// threads recorded). Telemetry is strictly observe-only — nothing in this
+// layer may feed back into results, structural keys, or checkpoints; the
+// `telemetry-purity` red_lint rule enforces that statically.
+//
+// Sink model: instrumented code calls `telemetry::metrics()`, an inline
+// relaxed atomic load that returns nullptr unless a registry was installed
+// with `install_metrics()`. The no-sink fast path is a single predictable
+// branch with zero allocations. The CLI installs a registry for the duration
+// of one command when `--metrics FILE` is passed, uninstalls it after the
+// command joins all work, and writes the snapshot via
+// `store::write_file_atomic`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace red::telemetry {
+
+/// Monotonic counter. add() is a relaxed atomic increment — commutative, so
+/// the final value is thread-count invariant.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins signed gauge (e.g. current queue depth). add() is exact
+/// under concurrency; set() is for single-writer use.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed log2-bin histogram over unsigned integer samples. Bin 0 holds exact
+/// zeros; bin k (1..64) holds values with bit_width k, i.e. [2^(k-1), 2^k).
+/// Because the bin edges are fixed and the per-bin counts are integer atomic
+/// adds, a snapshot's bin counts are bit-reproducible across thread counts —
+/// unlike quantile sketches, which depend on merge order.
+class Histogram {
+ public:
+  static constexpr int kBins = 65;
+
+  void record(std::uint64_t value) {
+    bins_[bin_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bin for `value`: 0 for 0, else std::bit_width(value).
+  [[nodiscard]] static int bin_index(std::uint64_t value) {
+    return value == 0 ? 0 : std::bit_width(value);
+  }
+  /// Inclusive lower edge of bin k (0 for bins 0 and 1).
+  [[nodiscard]] static std::uint64_t bin_lo(int k) {
+    return k <= 1 ? 0 : std::uint64_t{1} << (k - 1);
+  }
+  /// Inclusive upper edge of bin k (0 for bin 0, 2^k - 1 otherwise).
+  [[nodiscard]] static std::uint64_t bin_hi(int k) {
+    if (k == 0) return 0;
+    if (k >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << k) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t bin_count(int k) const {
+    return bins_[static_cast<std::size_t>(k)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBins> bins_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Named metric registry. Lookup is a mutex-guarded map find (only paid when
+/// a sink is installed); the returned pointers are stable for the registry's
+/// lifetime, so hot loops resolve a metric once and update lock-free after.
+/// Names are dot-scoped `<layer>.<noun>[_<unit>]`, e.g. `pool.tasks`,
+/// `pool.task_duration_ns`, `sweep.memo_hits` (see docs/OBSERVABILITY.md).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter* counter(const std::string& name);
+  [[nodiscard]] Gauge* gauge(const std::string& name);
+  [[nodiscard]] Histogram* histogram(const std::string& name);
+
+  /// Full snapshot as a JSON object (counters / gauges / histograms, each
+  /// sorted by name; histogram bins elide empty bins). Parses back through
+  /// report::parse_json. Call after the work being measured has joined.
+  [[nodiscard]] std::string snapshot_json(int indent = 2) const;
+
+  /// Human-readable snapshot table for CLI text output (sorted by name).
+  [[nodiscard]] std::string snapshot_table() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: deterministic (sorted) snapshot order and stable node pointers.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+namespace detail {
+extern std::atomic<MetricsRegistry*> g_metrics_sink;
+}  // namespace detail
+
+/// Install `registry` as the process-wide metrics sink (nullptr uninstalls).
+/// The caller owns the registry and must keep it alive until after uninstall
+/// plus a join of any instrumented work.
+void install_metrics(MetricsRegistry* registry);
+
+/// The installed sink, or nullptr. The no-sink path is one relaxed atomic
+/// load + branch; instrument as `if (auto* m = telemetry::metrics()) ...`.
+[[nodiscard]] inline MetricsRegistry* metrics() {
+  return detail::g_metrics_sink.load(std::memory_order_acquire);
+}
+
+}  // namespace red::telemetry

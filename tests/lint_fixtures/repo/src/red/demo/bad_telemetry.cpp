@@ -1,0 +1,14 @@
+// Fixture: a checkpoint serializer that consults telemetry state. The
+// telemetry-purity rule must fire exactly once — on the use inside the
+// checkpoint_json body, not on the namespace definition above it (demo/ is
+// not a banned layer, so free-standing telemetry use is legal here).
+#include <string>
+
+namespace telemetry {
+inline int counter() { return 1; }
+}  // namespace telemetry
+
+std::string checkpoint_json(int state) {
+  const int observed = telemetry::counter();
+  return std::to_string(state + observed);
+}

@@ -1,0 +1,23 @@
+// Fixture: near misses the telemetry-purity rule must NOT flag — telemetry
+// instrumentation outside the banned serializers, a mere call (and a mere
+// declaration) of checkpoint_json, telemetry passed as a call argument, and
+// an identifier that only contains the banned name as a prefix.
+#include <string>
+
+namespace telemetry {
+inline int counter() { return 2; }
+}  // namespace telemetry
+
+// Instrumented worker: telemetry use in an ordinary function is the whole
+// point of the observe-only layer.
+int instrumented_worker() { return telemetry::counter(); }
+
+// Declaration only: there is no body to scan.
+std::string checkpoint_json(int state);
+
+// Call site, with a telemetry expression in the argument list: purity binds
+// the callee's body, not its callers.
+std::string use_checkpoint() { return checkpoint_json(telemetry::counter()); }
+
+// Word boundary: the banned name as a prefix of a longer identifier.
+std::string checkpoint_json_path() { return "telemetry goes in strings freely"; }

@@ -42,10 +42,11 @@ expect_finding double-stream        bench/bad_stream.cpp
 expect_finding naked-exit           src/red/demo/bad_exit.cpp
 expect_finding internal-include     src/red/other/bad_include.cpp
 expect_finding parallel-float-accum src/red/demo/bad_parallel.cpp
+expect_finding telemetry-purity     src/red/demo/bad_telemetry.cpp
 
 # ---- 2. clean fixtures: zero findings (false-positive net) -----------------
-for f in src/red/demo/clean.cpp src/red/store/io.cpp tools/red_cli.cpp \
-         src/red/demo/internal_detail.h; do
+for f in src/red/demo/clean.cpp src/red/demo/clean_telemetry.cpp src/red/store/io.cpp \
+         tools/red_cli.cpp src/red/demo/internal_detail.h; do
   "$LINT" --root "$FIXTURES" --baseline /dev/null "$f" > "$WORK/clean.out" \
     || fail "clean fixture $f flagged: $(cat "$WORK/clean.out")"
 done
@@ -90,6 +91,23 @@ grep -q "0x9e3779b97f4a7c15" "$WORK/repo/src/red/demo/bad_rng.cpp" \
 "$LINT" --root "$WORK/repo" --baseline /dev/null \
         src/red/demo/bad_tostring.cpp src/red/demo/bad_rng.cpp > /dev/null \
   || fail "fixed files should lint clean"
+
+# ---- telemetry-purity path ban ---------------------------------------------
+# Any telemetry mention inside a serialization/result layer fires, even
+# outside the banned function set (the function-body arm is covered by the
+# seeded bad_telemetry.cpp fixture above).
+cat > "$WORK/repo/src/red/store/purity_probe.cpp" <<'EOF'
+namespace telemetry { inline int counter() { return 3; } }
+int probe() { return telemetry::counter(); }
+EOF
+set +e
+"$LINT" --root "$WORK/repo" --baseline /dev/null src/red/store/purity_probe.cpp \
+  > "$WORK/purity.out"
+STATUS=$?
+set -e
+[ "$STATUS" -eq 1 ] || fail "telemetry in src/red/store/ should fire the path ban"
+grep -q "\[telemetry-purity\]" "$WORK/purity.out" \
+  || fail "path ban reported the wrong rule: $(cat "$WORK/purity.out")"
 
 # ---- 5. usage errors exit 2 ------------------------------------------------
 set +e

@@ -20,6 +20,7 @@
 #include "red/arch/chip.h"
 #include "red/arch/conv_engine.h"
 #include "red/common/error.h"
+#include "red/common/log.h"
 #include "red/plan/plan.h"
 #include "red/common/flags.h"
 #include "red/common/rng.h"
@@ -43,6 +44,8 @@
 #include "red/sim/streaming.h"
 #include "red/sim/trace.h"
 #include "red/sim/verifier.h"
+#include "red/telemetry/metrics.h"
+#include "red/telemetry/tracer.h"
 #include "red/tensor/tensor_ops.h"
 #include "red/workloads/benchmarks.h"
 #include "red/workloads/generator.h"
@@ -69,6 +72,7 @@ commands:
               [--div N] [--threads N] [--no-check] (reports fill, interval, img/s)
   sweep     Pareto grid over fold x mux [--folds 1,2,4,8] [--muxes 4,8,16] [--threads N]
             [--store FILE]  (persistent evaluation cache, shared with optimize)
+            [--json] [--out FILE]  (full SweepStats + StoreReport counters)
   faults    deterministic fault-injection campaign with graceful-degradation
             curves [--rates 0,0.001,0.01] [--wl-rate R] [--bl-rate R]
             [--drift S] [--trials N] [--seed N] [--threads N]
@@ -108,6 +112,13 @@ common flags:
   --tiled [--subarray N]  price bounded physical subarrays
   --breakdown             per-component Table II breakdown
   --run                   also execute functionally and verify vs golden
+
+observability (every command; strictly observe-only, results stay bit-identical):
+  --metrics FILE          write a metrics snapshot (JSON) and, in text mode,
+                          print the metrics table after the command output
+  --trace FILE            write a Chrome trace-event JSON (load in Perfetto)
+  --log-timestamps        prefix log lines with monotonic elapsed ms
+  RED_LOG_LEVEL           env: debug | info | warn | error (unknown = config error)
 
 exit codes:
   0 ok            1 usage             2 internal error   3 verification failed
@@ -260,29 +271,91 @@ int cmd_sweep(const Flags& flags) {
       grid.push_back(p);
     }
   explore::SweepDriver driver(threads);
-  if (flags.has("store"))
-    driver.attach_store(std::make_shared<store::ResultStore>(flags.get_string("store")));
+  std::shared_ptr<store::ResultStore> result_store;
+  if (flags.has("store")) {
+    result_store = std::make_shared<store::ResultStore>(flags.get_string("store"));
+    driver.attach_store(result_store);
+  }
   const auto outcomes = driver.evaluate(grid);
 
-  std::cout << spec.to_string() << '\n';
-  TextTable t({"fold", "mux", "sub-arrays", "cycles", "latency (us)", "energy (uJ)",
-               "area (mm^2)", "Pareto"});
   std::vector<std::vector<double>> rows;
   for (const auto& o : outcomes)
     rows.push_back({o.cost.total_latency().value(), o.cost.total_area().value()});
   const auto pareto = opt::non_dominated_mask(rows);
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto& c = outcomes[i].cost;
-    t.add_row({std::to_string(grid[i].cfg.red_fold), std::to_string(grid[i].cfg.mux_ratio),
-               std::to_string(outcomes[i].activity.sc_units),
-               std::to_string(outcomes[i].cost.cycles()),
-               format_double(c.total_latency().value() / 1e3, 2),
-               format_double(c.total_energy().value() / 1e6, 3),
-               format_double(c.total_area().value() / 1e6, 4), pareto[i] ? "*" : ""});
+
+  // Machine-readable twin of the table, carrying the full SweepStats (and
+  // StoreReport when a store is attached) alongside every grid point.
+  auto result_json = [&] {
+    report::JsonWriter w(0);
+    w.open();
+    w.field("type", "red_sweep_result");
+    w.field("layer", spec.name);
+    w.field("design", core::kind_to_name(kind));
+    w.field("threads", std::int64_t{threads});
+    w.array("points");
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& c = outcomes[i].cost;
+      w.item_object();
+      w.field("fold", std::int64_t{grid[i].cfg.red_fold});
+      w.field("mux", std::int64_t{grid[i].cfg.mux_ratio});
+      w.field("sc_units", std::int64_t{outcomes[i].activity.sc_units});
+      w.field("cycles", c.cycles());
+      w.field("latency_ns", c.total_latency().value());
+      w.field("energy_pj", c.total_energy().value());
+      w.field("area_um2", c.total_area().value());
+      w.field("pareto", static_cast<bool>(pareto[i]));
+      w.close(false);
+    }
+    w.close_array();
+    const auto& st = driver.stats();
+    w.object("stats");
+    w.field("points", st.points);
+    w.field("evaluated", st.evaluated);
+    w.field("cache_hits", st.cache_hits);
+    w.field("cached_entries", st.cached_entries);
+    w.field("evictions", st.evictions);
+    w.field("store_hits", st.store_hits);
+    w.field("store_rejects", st.store_rejects);
+    w.close(false);
+    if (result_store != nullptr) {
+      const auto rep = result_store->report();
+      w.object("store");
+      w.field("path", result_store->path());
+      w.field("entries", result_store->entries());
+      w.field("records_loaded", rep.records_loaded);
+      w.field("records_quarantined", rep.records_quarantined);
+      w.field("bytes_skipped", rep.bytes_skipped);
+      w.field("appended", rep.appended);
+      w.close(false);
+    }
+    w.close();
+    return w.str();
+  };
+
+  const bool json_mode = flags.get_bool("json");
+  if (json_mode) {
+    std::cout << result_json();
+  } else {
+    std::cout << spec.to_string() << '\n';
+    TextTable t({"fold", "mux", "sub-arrays", "cycles", "latency (us)", "energy (uJ)",
+                 "area (mm^2)", "Pareto"});
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      const auto& c = outcomes[i].cost;
+      t.add_row({std::to_string(grid[i].cfg.red_fold), std::to_string(grid[i].cfg.mux_ratio),
+                 std::to_string(outcomes[i].activity.sc_units),
+                 std::to_string(outcomes[i].cost.cycles()),
+                 format_double(c.total_latency().value() / 1e3, 2),
+                 format_double(c.total_energy().value() / 1e6, 3),
+                 format_double(c.total_area().value() / 1e6, 4), pareto[i] ? "*" : ""});
+    }
+    std::cout << t.to_ascii() << "sweep: " << driver.stats().evaluated << " evaluated, "
+              << driver.stats().cache_hits << " from cache, " << driver.stats().store_hits
+              << " from store, " << threads << " threads\n";
+    if (result_store != nullptr)
+      std::cout << "store: " << result_store->path() << " (" << result_store->entries()
+                << " entries, " << result_store->report().appended << " appended)\n";
   }
-  std::cout << t.to_ascii() << "sweep: " << driver.stats().evaluated << " evaluated, "
-            << driver.stats().cache_hits << " from cache, " << driver.stats().store_hits
-            << " from store, " << threads << " threads\n";
+  if (flags.has("out")) write_out_file(flags, result_json(), json_mode);
   return 0;
 }
 
@@ -444,9 +517,10 @@ int cmd_optimize(const Flags& flags) {
   if (flags.has("store")) {
     result_store = std::make_shared<store::ResultStore>(flags.get_string("store"));
     if (!result_store->report().clean())
-      std::cerr << "store: quarantined " << result_store->report().records_quarantined
-                << " record(s), skipped " << result_store->report().bytes_skipped
-                << " byte(s) of " << result_store->path() << '\n';
+      log_warn("store: quarantined " +
+               std::to_string(result_store->report().records_quarantined) +
+               " record(s), skipped " + std::to_string(result_store->report().bytes_skipped) +
+               " byte(s) of " + result_store->path());
     optimizer.attach_store(result_store);
   }
 
@@ -460,7 +534,7 @@ int cmd_optimize(const Flags& flags) {
     optimizer.set_checkpoint_file(checkpoint, flags.get_int("checkpoint-every", 64));
     const auto text = store::read_file_if_exists(checkpoint);
     if (!text) return optimizer.run();
-    std::cerr << "resuming from checkpoint " << checkpoint << '\n';
+    log_info("resuming from checkpoint " + checkpoint);
     return optimizer.resume(*text);
   }();
 
@@ -488,11 +562,25 @@ int cmd_optimize(const Flags& flags) {
     w.field("evaluations", result.stats.evaluations);
     w.field("repeats", result.stats.repeats);
     w.field("pruned", result.stats.pruned);
+    w.field("sweep_points", optimizer.sweep_stats().points);
+    w.field("sweep_evaluated", optimizer.sweep_stats().evaluated);
     w.field("sweep_cache_hits", optimizer.sweep_stats().cache_hits);
     w.field("sweep_cached_entries", optimizer.sweep_stats().cached_entries);
+    w.field("sweep_evictions", optimizer.sweep_stats().evictions);
     w.field("store_hits", optimizer.sweep_stats().store_hits);
     w.field("store_rejects", optimizer.sweep_stats().store_rejects);
     w.close(false);
+    if (result_store != nullptr) {
+      const auto rep = result_store->report();
+      w.object("store");
+      w.field("path", result_store->path());
+      w.field("entries", result_store->entries());
+      w.field("records_loaded", rep.records_loaded);
+      w.field("records_quarantined", rep.records_quarantined);
+      w.field("bytes_skipped", rep.bytes_skipped);
+      w.field("appended", rep.appended);
+      w.close(false);
+    }
     w.close();
     return w.str();
   };
@@ -564,7 +652,7 @@ int cmd_merge_checkpoints(const Flags& flags) {
       documents.emplace_back(path, store::read_file(path));
     } catch (const IoError& e) {
       documents.emplace_back(path, "");  // load_state rejects it with a parse error
-      std::cerr << "merge: cannot read " << path << ": " << e.what() << '\n';
+      log_warn("merge: cannot read " + path + ": " + e.what());
     }
   }
   const opt::MergeResult merged = optimizer.merge_states(documents);
@@ -882,6 +970,20 @@ int cmd_faults(const Flags& flags) {
   return 0;
 }
 
+/// Install a telemetry sink for the lifetime of one command dispatch and
+/// uninstall it on every exit path (including exceptions), so the global
+/// sink pointer can never dangle past the registry it points at.
+struct ScopedTelemetry {
+  ScopedTelemetry(telemetry::MetricsRegistry* m, telemetry::Tracer* t) {
+    telemetry::install_metrics(m);
+    telemetry::install_tracer(t);
+  }
+  ~ScopedTelemetry() {
+    telemetry::install_metrics(nullptr);
+    telemetry::install_tracer(nullptr);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -891,6 +993,23 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
+    // RED_LOG_LEVEL / --log-timestamps first: warnings from the command
+    // itself must already honour the requested verbosity and format.
+    red::apply_log_env();
+    if (flags.get_bool("log-timestamps")) red::set_log_timestamps(true);
+
+    // --metrics / --trace: build the sinks up front so every subcommand is
+    // observable through the same two flags. Telemetry is observe-only — the
+    // command's results are byte-identical with or without the sinks.
+    const std::string metrics_path = flags.get_string("metrics", "");
+    const std::string trace_path = flags.get_string("trace", "");
+    std::unique_ptr<red::telemetry::MetricsRegistry> metrics_registry;
+    std::unique_ptr<red::telemetry::Tracer> trace_tracer;
+    if (!metrics_path.empty())
+      metrics_registry = std::make_unique<red::telemetry::MetricsRegistry>();
+    if (!trace_path.empty()) trace_tracer = std::make_unique<red::telemetry::Tracer>();
+    const ScopedTelemetry telemetry_scope(metrics_registry.get(), trace_tracer.get());
+
     const std::string& cmd = flags.positional().front();
     int rc = 0;
     if (cmd == "layer")
@@ -927,8 +1046,21 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
-    for (const auto& name : flags.unused())
-      std::cerr << "warning: unused flag --" << name << '\n';
+    // Export telemetry after the command finishes: the trace covers the whole
+    // dispatch, and a failed run (rc != 0) still leaves its artifacts behind
+    // for diagnosis. Table to stdout only in text mode — under --json stdout
+    // must stay one parseable document.
+    const bool json_mode = flags.get_bool("json");
+    if (trace_tracer != nullptr) {
+      trace_tracer->write_chrome_trace(trace_path);
+      (json_mode ? std::cerr : std::cout) << "wrote " << trace_path << '\n';
+    }
+    if (metrics_registry != nullptr) {
+      if (!json_mode) std::cout << metrics_registry->snapshot_table();
+      red::store::write_file_atomic(metrics_path, metrics_registry->snapshot_json());
+      (json_mode ? std::cerr : std::cout) << "wrote " << metrics_path << '\n';
+    }
+    for (const auto& name : flags.unused()) red::log_warn("unused flag --" + name);
     return rc;
   } catch (const red::ConfigError& e) {
     // Bad flag / bad value: the message already names the flag and the

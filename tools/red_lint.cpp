@@ -6,7 +6,7 @@
 // bit-mismatch: a stray std::rand, iteration over an unordered container
 // feeding output, a raw std::ofstream bypassing the atomic-write layer. This
 // tool is a standalone, dependency-free token/line-level linter encoding
-// those invariants as ~8 rules (see kRules below, or run with --list-rules).
+// those invariants as ~9 rules (see kRules below, or run with --list-rules).
 //
 // Mechanics:
 //   * Analysis runs on a "masked" copy of each file where comments and
@@ -83,6 +83,12 @@ constexpr RuleDoc kRules[] = {
      "accumulating into a shared float/double inside a parallel_for/parallel_chunks "
      "body is order-dependent (and racy); accumulate per-lane and merge in a "
      "deterministic order after the join"},
+    {"telemetry-purity",
+     "telemetry is observe-only: no telemetry symbol may appear in the result and "
+     "serialization layers (plan/ xbar/ tensor/ nn/ core/ store/ report/) or inside "
+     "structural_key / checkpoint_json / encode_outcome / decode_outcome bodies — a "
+     "wall-clock-adjacent value feeding a key, checkpoint, or result breaks "
+     "bit-reproducibility"},
 };
 
 bool known_rule(const std::string& name) {
@@ -359,6 +365,18 @@ std::size_t match_paren(const std::string& s, std::size_t open) {
   for (std::size_t i = open; i < s.size(); ++i) {
     if (s[i] == '(') ++depth;
     else if (s[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// Balanced-brace extent: given offset of '{' in flat text, return offset one
+// past the matching '}' (or npos). Sound on masked text, where braces inside
+// strings and comments are already blanked.
+std::size_t match_brace(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '{') ++depth;
+    else if (s[i] == '}' && --depth == 0) return i + 1;
   }
   return std::string::npos;
 }
@@ -674,6 +692,59 @@ void rule_parallel_float_accum(Context& ctx) {
   }
 }
 
+void rule_telemetry_purity(Context& ctx) {
+  const std::string& path = ctx.file.path;
+  if (path_under(path, "src/red/telemetry/")) return;  // the layer's own home
+  const std::string& t = ctx.flat.text;
+
+  // Path ban: the result and serialization layers may not even mention
+  // telemetry — everything they compute feeds keys, checkpoints, or results.
+  static constexpr const char* kPureLayers[] = {
+      "src/red/plan/", "src/red/xbar/",  "src/red/tensor/", "src/red/nn/",
+      "src/red/core/", "src/red/store/", "src/red/report/"};
+  bool pure_layer = false;
+  for (const char* p : kPureLayers) pure_layer = pure_layer || path_under(path, p);
+  if (pure_layer) {
+    for (std::size_t pos = 0; (pos = find_word(t, "telemetry", pos)) != std::string::npos;
+         ++pos)
+      ctx.report("telemetry-purity", pos,
+                 "telemetry symbol in a result/serialization layer (observe-only contract)");
+    // include targets live in string literals, which the mask blanks
+    for (std::size_t li = 0; li < ctx.file.lines.size(); ++li) {
+      const std::string& line = ctx.file.lines[li];
+      if (line.find("#include") != std::string::npos &&
+          line.find("red/telemetry/") != std::string::npos)
+        ctx.report("telemetry-purity", ctx.flat.line_start[li],
+                   "telemetry include in a result/serialization layer");
+    }
+  }
+
+  // Function-body ban everywhere else: key builders and checkpoint/result
+  // codecs must stay pure even in otherwise-instrumented subsystems.
+  for (const char* fname :
+       {"structural_key", "checkpoint_json", "encode_outcome", "decode_outcome"}) {
+    for (std::size_t pos = 0; (pos = find_word(t, fname, pos)) != std::string::npos; ++pos) {
+      const std::size_t open = skip_space(t, pos + std::strlen(fname));
+      if (open >= t.size() || t[open] != '(') continue;
+      const std::size_t close = match_paren(t, open);
+      if (close == std::string::npos) continue;
+      // A definition has '{' after the parameter list, possibly behind
+      // trailing qualifiers (const, noexcept, override); a call or
+      // declaration does not.
+      std::size_t i = skip_space(t, close);
+      while (i < t.size() && ident_char(t[i])) i = skip_space(t, i + read_ident(t, i).size());
+      if (i >= t.size() || t[i] != '{') continue;
+      const std::size_t end = match_brace(t, i);
+      if (end == std::string::npos) continue;
+      const std::size_t hit = find_word(t, "telemetry", i);
+      if (hit != std::string::npos && hit < end)
+        ctx.report("telemetry-purity", hit,
+                   std::string("telemetry symbol inside ") + fname +
+                       "() (keys/checkpoints must be wall-clock-free)");
+    }
+  }
+}
+
 // ---- scanning ---------------------------------------------------------------
 
 bool lintable(const fs::path& p) {
@@ -868,6 +939,7 @@ int main(int argc, char** argv) {
     rule_naked_exit(ctx);
     rule_internal_include(ctx, internal_headers);
     rule_parallel_float_accum(ctx);
+    rule_telemetry_purity(ctx);
   }
 
   if (fix) {
